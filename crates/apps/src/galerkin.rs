@@ -1,0 +1,168 @@
+//! Distributed Galerkin product `RᵀAR` (§III-C, §IV-B).
+//!
+//! The left multiplication `RᵀA` runs the sparsity-aware 1D algorithm
+//! (Algorithm 1): `A` is stationary, `Rᵀ`'s columns are fetched on demand —
+//! and since `R` has one nonzero per row, `Rᵀ`'s columns are single-entry,
+//! making the sparsity-aware fetch especially profitable. The right
+//! multiplication `(RᵀA)·R` uses either Algorithm 1 again or the
+//! outer-product Algorithm 3, which Ballard et al. showed (and Fig. 12
+//! confirms) is the better 1D algorithm for that shape.
+
+use sa_dist::outer1d::{spgemm_outer_1d, OuterReport};
+use sa_dist::spgemm1d::{spgemm_1d, Plan1D, SpgemmReport};
+use sa_dist::{uniform_offsets, DistMat1D};
+use sa_mpisim::Comm;
+use sa_sparse::Csc;
+
+/// Algorithm choice for the right multiplication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RightAlgo {
+    /// Sparsity-aware 1D (Algorithm 1).
+    OneD,
+    /// Outer-product 1D (Algorithm 3) — the paper's recommendation.
+    Outer,
+}
+
+/// Reports from the two multiplications.
+#[derive(Clone, Copy, Debug)]
+pub struct GalerkinReport {
+    /// `RᵀA` (always Algorithm 1).
+    pub left: SpgemmReport,
+    /// `(RᵀA)R` when run with Algorithm 1.
+    pub right_1d: Option<SpgemmReport>,
+    /// `(RᵀA)R` when run with Algorithm 3.
+    pub right_outer: Option<OuterReport>,
+}
+
+/// Compute the distributed Galerkin product.
+///
+/// `a` is the fine operator, 1D-distributed; `r_global` is the restriction
+/// operator, conceptually replicated (it is tall-skinny and tiny next to
+/// `A`; CombBLAS also keeps it fully mapped). Returns the coarse operator
+/// (`n_agg × n_agg`, 1D-distributed) and the reports. Collective.
+pub fn galerkin_product(
+    comm: &Comm,
+    a: &DistMat1D,
+    r_global: &Csc<f64>,
+    right: RightAlgo,
+    plan: &Plan1D,
+) -> (DistMat1D, GalerkinReport) {
+    assert_eq!(a.nrows(), r_global.nrows(), "R's fine dimension must match A");
+    let n_agg = r_global.ncols();
+    // Rᵀ distributed with A's column offsets (so the k spaces align).
+    let rt = r_global.transpose();
+    let rt_dist = DistMat1D::from_global(comm, &rt, a.offsets());
+    // left: RᵀA — fetches Rᵀ columns, B = A stationary.
+    let (rta, left_rep) = spgemm_1d(comm, &rt_dist, a, plan);
+    // right: (RᵀA)·R — R distributed over the coarse dimension.
+    let r_offsets = uniform_offsets(n_agg, comm.size());
+    let r_dist = DistMat1D::from_global(comm, r_global, &r_offsets);
+    match right {
+        RightAlgo::OneD => {
+            let (coarse, rep) = spgemm_1d(comm, &rta, &r_dist, plan);
+            (
+                coarse,
+                GalerkinReport {
+                    left: left_rep,
+                    right_1d: Some(rep),
+                    right_outer: None,
+                },
+            )
+        }
+        RightAlgo::Outer => {
+            let (coarse, rep) = spgemm_outer_1d(comm, &rta, &r_dist);
+            (
+                coarse,
+                GalerkinReport {
+                    left: left_rep,
+                    right_1d: None,
+                    right_outer: Some(rep),
+                },
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::restriction::restriction_operator;
+    use sa_dist::reference::serial_galerkin;
+    use sa_mpisim::Universe;
+    use sa_sparse::gen::{erdos_renyi_square, stencil3d};
+
+    fn check(a: &Csc<f64>, p: usize, right: RightAlgo) {
+        let r = restriction_operator(a, 42);
+        let expect = serial_galerkin(&r, a);
+        let u = Universe::new(p);
+        let got = u.run(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, a, &offsets);
+            let (coarse, _) = galerkin_product(comm, &da, &r, right, &Plan1D::default());
+            coarse.gather(comm)
+        });
+        let coarse = got[0].as_ref().unwrap();
+        assert!(
+            coarse.max_abs_diff(&expect) < 1e-9,
+            "P={p} {right:?}: diff {}",
+            coarse.max_abs_diff(&expect)
+        );
+    }
+
+    #[test]
+    fn matches_serial_triple_product_1d_right() {
+        let a = stencil3d(5, 5, 4, true);
+        check(&a, 4, RightAlgo::OneD);
+    }
+
+    #[test]
+    fn matches_serial_triple_product_outer_right() {
+        let a = stencil3d(5, 5, 4, true);
+        check(&a, 4, RightAlgo::Outer);
+        check(&a, 3, RightAlgo::Outer);
+    }
+
+    #[test]
+    fn random_graph_galerkin() {
+        let a = erdos_renyi_square(120, 5.0, 7);
+        check(&a, 4, RightAlgo::Outer);
+    }
+
+    #[test]
+    fn coarse_operator_is_much_smaller() {
+        let a = stencil3d(6, 6, 6, true);
+        let r = restriction_operator(&a, 1);
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, &a, &uniform_offsets(a.ncols(), 4));
+            let (coarse, rep) =
+                galerkin_product(comm, &da, &r, RightAlgo::Outer, &Plan1D::default());
+            (coarse.ncols(), coarse.global_nnz(comm), rep)
+        });
+        let (nc, nnz, _) = got[0];
+        assert!(nc < a.ncols() / 8);
+        assert!(nnz > 0);
+        assert!((nnz as usize) < a.nnz());
+    }
+
+    #[test]
+    fn left_multiplication_fetch_is_cheap_for_one_nnz_rows() {
+        // Rᵀ columns are single-entry: the sparsity-aware fetch volume for
+        // RᵀA is bounded by nnz(R) = n, far below full replication.
+        let a = stencil3d(6, 6, 4, true);
+        let r = restriction_operator(&a, 2);
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, &a, &uniform_offsets(a.ncols(), 4));
+            let (_, rep) = galerkin_product(comm, &da, &r, RightAlgo::Outer, &Plan1D::default());
+            rep.left
+        });
+        for rep in got {
+            assert!(
+                rep.needed_bytes <= (r.nnz() as u64) * 12,
+                "needed {} bytes",
+                rep.needed_bytes
+            );
+        }
+    }
+}

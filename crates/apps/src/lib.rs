@@ -1,0 +1,23 @@
+//! SpGEMM applications from the paper's evaluation (§II-C, §IV):
+//!
+//! * [`mis2`] — distance-2 maximal independent set, the seed selection for
+//!   AMG restriction operators [Bell et al. 2012].
+//! * [`restriction`] — building the restriction operator `R` by aggregating
+//!   every vertex to a nearby MIS-2 root (one nonzero per row, Table III).
+//! * [`galerkin`] — the distributed Galerkin product `RᵀAR`: left
+//!   multiplication with the sparsity-aware 1D algorithm, right
+//!   multiplication with either 1D or outer-product 1D (Fig. 12).
+//! * [`bc`] — batched approximate Brandes betweenness centrality with
+//!   multi-source BFS forward searches and dependency-accumulation backward
+//!   sweeps, each level one distributed SpGEMM (Figs. 13, 14), over the 1D,
+//!   2D, and 3D algorithms.
+//! * [`triangle`], [`mcl`] — further SpGEMM applications cited in §I
+//!   (triangle counting; Markov clustering), exercising masked products and
+//!   repeated squaring.
+
+pub mod bc;
+pub mod galerkin;
+pub mod mcl;
+pub mod mis2;
+pub mod restriction;
+pub mod triangle;

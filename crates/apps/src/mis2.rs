@@ -1,0 +1,210 @@
+//! Distance-2 Maximal Independent Set (MIS-2).
+//!
+//! §II-C2: AMG restriction operators select coarse points with MIS-2 — no
+//! two selected vertices share a neighbor [Bell, Dalton, Olson 2012; Azad
+//! et al. 2016]. We implement the Luby-style random-priority parallel
+//! formulation: a vertex enters the set when its priority beats every
+//! undecided vertex within distance 2; its distance-≤2 neighborhood is then
+//! knocked out. Deterministic in the seed.
+
+use rand::{Rng, SeedableRng};
+use sa_sparse::Csc;
+
+/// Vertex states during the iteration.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum State {
+    Undecided,
+    In,
+    Out,
+}
+
+/// Compute a distance-2 MIS of the (symmetrized) graph of `a`.
+/// Returns the sorted root list.
+pub fn mis2(a: &Csc<f64>, seed: u64) -> Vec<u32> {
+    assert_eq!(a.nrows(), a.ncols());
+    let n = a.nrows();
+    // Symmetrize the structure so "neighbor" is well-defined on directed
+    // inputs (hv15r is nonsymmetric).
+    let t = a.transpose();
+    let neighbors = |v: usize| -> Vec<u32> {
+        let (r1, _) = a.col(v);
+        let (r2, _) = t.col(v);
+        let mut out = Vec::with_capacity(r1.len() + r2.len());
+        let (mut i, mut j) = (0, 0);
+        while i < r1.len() || j < r2.len() {
+            let x = r1.get(i).copied().unwrap_or(u32::MAX);
+            let y = r2.get(j).copied().unwrap_or(u32::MAX);
+            let u = x.min(y);
+            if x == u {
+                i += 1;
+            }
+            if y == u {
+                j += 1;
+            }
+            if u as usize != v {
+                out.push(u);
+            }
+        }
+        out
+    };
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    // Priorities break ties by vertex id (strict total order).
+    let prio: Vec<(u64, u32)> = (0..n).map(|v| (rng.gen::<u64>(), v as u32)).collect();
+    let mut state = vec![State::Undecided; n];
+    let mut undecided = n;
+
+    while undecided > 0 {
+        // A vertex wins if its priority is the max among undecided vertices
+        // within distance 2 (including itself).
+        let mut winners: Vec<u32> = Vec::new();
+        for v in 0..n {
+            if state[v] != State::Undecided {
+                continue;
+            }
+            let mut is_max = true;
+            'outer: for u in neighbors(v) {
+                let u = u as usize;
+                if state[u] == State::Undecided && prio[u] > prio[v] {
+                    is_max = false;
+                    break;
+                }
+                for w in neighbors(u) {
+                    let w = w as usize;
+                    if w != v && state[w] == State::Undecided && prio[w] > prio[v] {
+                        is_max = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if is_max {
+                winners.push(v as u32);
+            }
+        }
+        debug_assert!(!winners.is_empty(), "progress guaranteed by max priority");
+        for &v in &winners {
+            let v = v as usize;
+            state[v] = State::In;
+            undecided -= 1;
+            for u in neighbors(v) {
+                let u = u as usize;
+                if state[u] == State::Undecided {
+                    state[u] = State::Out;
+                    undecided -= 1;
+                }
+                for w in neighbors(u) {
+                    let w = w as usize;
+                    if state[w] == State::Undecided {
+                        state[w] = State::Out;
+                        undecided -= 1;
+                    }
+                }
+            }
+        }
+    }
+    (0..n as u32)
+        .filter(|&v| state[v as usize] == State::In)
+        .collect()
+}
+
+/// Check the MIS-2 invariants (used by tests and debug assertions):
+/// independence (no two roots within distance 2) and maximality (every
+/// vertex is within distance 2 of a root).
+pub fn verify_mis2(a: &Csc<f64>, roots: &[u32]) -> Result<(), String> {
+    let n = a.nrows();
+    let t = a.transpose();
+    let mut dist = vec![u8::MAX; n]; // distance to nearest root, capped at 2
+    let mut frontier: Vec<u32> = roots.to_vec();
+    for &r in roots {
+        dist[r as usize] = 0;
+    }
+    for d in 1..=2u8 {
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let v = v as usize;
+            let (r1, _) = a.col(v);
+            let (r2, _) = t.col(v);
+            for &u in r1.iter().chain(r2) {
+                if dist[u as usize] == u8::MAX {
+                    dist[u as usize] = d;
+                    next.push(u);
+                }
+            }
+        }
+        frontier = next;
+    }
+    // independence: BFS from each root must not meet another root at d<=2
+    let rootset: std::collections::HashSet<u32> = roots.iter().copied().collect();
+    for &r in roots {
+        let v = r as usize;
+        let (r1, _) = a.col(v);
+        let (r2, _) = t.col(v);
+        for &u in r1.iter().chain(r2) {
+            if u != r && rootset.contains(&u) {
+                return Err(format!("roots {r} and {u} adjacent"));
+            }
+            let (s1, _) = a.col(u as usize);
+            let (s2, _) = t.col(u as usize);
+            for &w in s1.iter().chain(s2) {
+                if w != r && rootset.contains(&w) {
+                    return Err(format!("roots {r} and {w} at distance 2"));
+                }
+            }
+        }
+    }
+    // maximality
+    for v in 0..n {
+        if dist[v] == u8::MAX {
+            return Err(format!("vertex {v} farther than 2 from every root"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::gen::{erdos_renyi_square, stencil3d};
+
+    #[test]
+    fn invariants_on_stencil() {
+        let a = stencil3d(6, 6, 6, true);
+        let roots = mis2(&a, 1);
+        assert!(!roots.is_empty());
+        verify_mis2(&a, &roots).unwrap();
+        // 27-pt stencil MIS-2 roots are ≥3 apart per axis => ≤ ~n/27 + slack
+        assert!(
+            roots.len() <= a.nrows() / 8,
+            "{} roots of {}",
+            roots.len(),
+            a.nrows()
+        );
+    }
+
+    #[test]
+    fn invariants_on_random_graph() {
+        let a = erdos_renyi_square(300, 5.0, 2);
+        let roots = mis2(&a, 3);
+        verify_mis2(&a, &roots).unwrap();
+    }
+
+    #[test]
+    fn isolated_vertices_are_roots() {
+        let a: Csc<f64> = Csc::zeros(5, 5);
+        let roots = mis2(&a, 4);
+        assert_eq!(roots, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = erdos_renyi_square(200, 4.0, 5);
+        assert_eq!(mis2(&a, 7), mis2(&a, 7));
+    }
+
+    #[test]
+    fn works_on_nonsymmetric_input() {
+        let a = sa_sparse::gen::banded(200, 6, 0.4, false, 6);
+        let roots = mis2(&a, 8);
+        verify_mis2(&a, &roots).unwrap();
+    }
+}

@@ -1,0 +1,136 @@
+//! Ablation (extension of §II-B / §III-B): graph-model multilevel
+//! partitioning (the paper's METIS route) vs the column-net **hypergraph**
+//! model of Akbudak & Aykanat, which prices communication exactly.
+//!
+//! For each strategy we report (a) the model's *predicted* volume, (b) the
+//! volume the sparsity-aware 1D algorithm *actually fetches* (column-exact
+//! mode, so no block over-fetch blurs the comparison), and (c) load
+//! balance. Expected shape: both partitioners crush random ordering on
+//! clustered inputs; the hypergraph model's prediction tracks the measured
+//! volume exactly (same metric), while the graph edge-cut only
+//! approximates it.
+
+use sa_bench::*;
+use sa_dist::{spgemm_1d, DistMat1D, FetchMode, Plan1D};
+use sa_mpisim::Universe;
+use sa_partition::{
+    connectivity_volume, hypergraph::hyper_balance, partition_hypergraph, partition_kway,
+    partition_to_perm, Graph, HyperConfig, Hypergraph, PartitionConfig,
+};
+use sa_sparse::gen::Dataset;
+use sa_sparse::permute::permute_symmetric;
+use sa_sparse::spgemm::Kernel;
+use sa_sparse::stats::squaring_vertex_weights;
+use sa_sparse::Csc;
+
+/// Squaring fetch volume (bytes) of the 1D algorithm on a permuted matrix
+/// with the given offsets, in column-exact fetch mode.
+fn measured_fetch_bytes(a: &Csc<f64>, offsets: &[usize]) -> u64 {
+    let p = offsets.len() - 1;
+    let u = Universe::new(p);
+    let a = a.clone();
+    let offsets = offsets.to_vec();
+    let reps = u.run(move |comm| {
+        let da = DistMat1D::from_global(comm, &a, &offsets);
+        let plan = Plan1D {
+            fetch_mode: FetchMode::ColumnExact,
+            kernel: Kernel::Hybrid,
+            global_stats: true,
+        };
+        let (_, rep) = spgemm_1d(comm, &da, &da.clone(), &plan);
+        rep
+    });
+    reps[0].fetched_bytes_global
+}
+
+fn main() {
+    banner(
+        "Ablation",
+        "graph vs hypergraph partitioning for 1D squaring",
+        "extension: hypergraph connectivity metric prices 1D volume exactly (Akbudak/Aykanat)",
+    );
+    let p = 16;
+    row(&[
+        "matrix".into(),
+        "strategy".into(),
+        "predicted_MB".into(),
+        "measured_MB".into(),
+        "balance".into(),
+        "partition_ms".into(),
+    ]);
+    for d in [Dataset::EukaryaLike, Dataset::Hv15rLike] {
+        let a = load(d);
+        let h = Hypergraph::column_net_squaring(&a);
+        let nnz_bytes = 12u64; // u32 row id + f64 value per transferred nnz
+
+        // natural order: contiguous uniform slices
+        let uni: Vec<u32> = {
+            let off = sa_dist::uniform_offsets(a.ncols(), p);
+            (0..a.ncols())
+                .map(|j| (off.partition_point(|&o| o <= j) - 1) as u32)
+                .collect()
+        };
+        let vol_nat = connectivity_volume(&h, &uni, p) * nnz_bytes;
+        let meas_nat = measured_fetch_bytes(&a, &sa_dist::uniform_offsets(a.ncols(), p));
+        row(&[
+            d.name().into(),
+            "original".into(),
+            mb(vol_nat),
+            mb(meas_nat),
+            format!("{:.2}", hyper_balance(&h, &uni, p)),
+            "0".into(),
+        ]);
+
+        // graph-model multilevel (the paper's METIS route)
+        let t0 = std::time::Instant::now();
+        let g = Graph::from_matrix_weighted(&a, squaring_vertex_weights(&a));
+        let gparts = partition_kway(&g, &PartitionConfig::new(p));
+        let graph_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let glayout = partition_to_perm(&gparts, p);
+        let vol_g = connectivity_volume(&h, &gparts, p) * nnz_bytes;
+        let ap = permute_symmetric(&a, &glayout.perm);
+        let meas_g = measured_fetch_bytes(&ap, &glayout.offsets);
+        row(&[
+            d.name().into(),
+            "graph_metis".into(),
+            mb(vol_g),
+            mb(meas_g),
+            format!("{:.2}", hyper_balance(&h, &gparts, p)),
+            format!("{graph_ms:.1}"),
+        ]);
+
+        // hypergraph column-net recursive bisection
+        let t0 = std::time::Instant::now();
+        let hparts = partition_hypergraph(&h, &HyperConfig::new(p));
+        let hyper_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let hlayout = partition_to_perm(&hparts, p);
+        let vol_h = connectivity_volume(&h, &hparts, p) * nnz_bytes;
+        let aph = permute_symmetric(&a, &hlayout.perm);
+        let meas_h = measured_fetch_bytes(&aph, &hlayout.offsets);
+        row(&[
+            d.name().into(),
+            "hypergraph".into(),
+            mb(vol_h),
+            mb(meas_h),
+            format!("{:.2}", hyper_balance(&h, &hparts, p)),
+            format!("{hyper_ms:.1}"),
+        ]);
+
+        let pred_err_g = (vol_g as f64 - meas_g as f64).abs() / meas_g.max(1) as f64;
+        let pred_err_h = (vol_h as f64 - meas_h as f64).abs() / meas_h.max(1) as f64;
+        println!(
+            "## {}: hypergraph prediction error {:.1}% (graph-model partition predicted via \
+             the same metric: {:.1}%); best measured volume: {}",
+            d.name(),
+            100.0 * pred_err_h,
+            100.0 * pred_err_g,
+            ["original", "graph_metis", "hypergraph"]
+                [[meas_nat, meas_g, meas_h]
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &v)| v)
+                    .unwrap()
+                    .0]
+        );
+    }
+}

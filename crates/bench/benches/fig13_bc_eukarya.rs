@@ -1,0 +1,88 @@
+//! Figure 13: betweenness centrality on eukarya — per-iteration SpGEMM
+//! times of the forward search and backward sweep, sparsity-aware 1D (with
+//! METIS permutation) vs 2D vs 3D.
+//!
+//! Paper: with METIS permutation the 1D algorithm is 1.74× faster than the
+//! next best (the 3D algorithm). Partitioning cost is excluded because BC
+//! runs tens of thousands of SpGEMMs per partitioning (§IV-C).
+
+use sa_apps::bc::{bc_batch_1d_offsets, bc_batch_2d, bc_batch_3d, pick_sources, BcOutcome};
+use sa_bench::*;
+use sa_dist::{prepare, Strategy};
+use sa_mpisim::{CostModel, Universe};
+use sa_sparse::gen::Dataset;
+
+fn print_iters(label: &str, o: &BcOutcome) {
+    let fwd: Vec<String> = o.times.forward_s.iter().map(|&t| ms(t)).collect();
+    let bwd: Vec<String> = o.times.backward_s.iter().map(|&t| ms(t)).collect();
+    println!("# {label}: levels={}", o.levels);
+    println!("{label},forward_ms,{}", fwd.join(","));
+    println!("{label},backward_ms,{}", bwd.join(","));
+    println!(
+        "# {label}: total fwd {} ms, total bwd {} ms, peak local {} MB, \
+         injected {} MB / {} msgs => model {} ms",
+        ms(o.times.forward_s.iter().sum::<f64>()),
+        ms(o.times.backward_s.iter().sum::<f64>()),
+        mb(o.peak_local_bytes),
+        mb(o.comm_bytes),
+        o.comm_msgs,
+        ms(CostModel::slingshot().time_s(o.comm_msgs, o.comm_bytes)),
+    );
+}
+
+fn total(o: &BcOutcome) -> f64 {
+    o.times.forward_s.iter().sum::<f64>() + o.times.backward_s.iter().sum::<f64>()
+}
+
+fn main() {
+    banner(
+        "Fig 13",
+        "BC forward/backward per-iteration times on eukarya: 1D(METIS) vs 2D vs 3D",
+        "1D with METIS is 1.74x faster than the best sparsity-oblivious algorithm (3D)",
+    );
+    let p = 16;
+    let a = load(Dataset::EukaryaLike);
+    // batch ≈ 0.16% of vertices, proportional to the paper's 4096 of ~3M
+    let batch = (a.nrows() / 625).max(16);
+    println!("# batch size: {batch} sources");
+
+    // 1D benefits from the METIS relabeling (same clustering BC reuses for
+    // every batch; cost amortized away per §IV-C)
+    let prep = prepare(&a, p, Strategy::Partition { seed: 1, epsilon: 0.05 });
+    let sources = pick_sources(a.nrows(), batch, 7);
+    let u = Universe::new(p);
+    let o1 = u
+        .run(|comm| bc_batch_1d_offsets(comm, &prep.a, &sources, &plan(), &prep.offsets))
+        .remove(0);
+    print_iters("1D_metis", &o1);
+
+    let prep2 = prepare(&a, p, Strategy::RandomPerm { seed: 2 });
+    let u = Universe::new(p);
+    let o2 = u
+        .run(|comm| bc_batch_2d(comm, &prep2.a, &sources))
+        .remove(0);
+    print_iters("2D_random", &o2);
+
+    let u = Universe::new(p);
+    let o3 = u
+        .run(|comm| bc_batch_3d(comm, 4, &prep2.a, &sources))
+        .remove(0);
+    print_iters("3D_random_c4", &o3);
+
+    let best_oblivious = total(&o2).min(total(&o3));
+    println!(
+        "## 1D(METIS) wall speedup vs best oblivious: {:.2}x (paper 1.74x vs 3D)",
+        best_oblivious / total(&o1).max(1e-12)
+    );
+    // On Perlmutter the per-level SpGEMMs are network-bound; add the α–β
+    // network time (from exact per-rank counters) to the local wall time to
+    // recover the regime the paper measures.
+    let net = |o: &BcOutcome| {
+        total(o) + CostModel::slingshot().time_s(o.comm_msgs, o.comm_bytes)
+    };
+    let best_oblivious_net = net(&o2).min(net(&o3));
+    println!(
+        "## 1D(METIS) wall+network-model speedup vs best oblivious: {:.2}x (paper 1.74x vs 3D)",
+        best_oblivious_net / net(&o1).max(1e-12)
+    );
+}

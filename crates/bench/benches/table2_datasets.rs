@@ -1,0 +1,42 @@
+//! Table II + Figures 2–3: dataset statistics and structure visualizations
+//! of the five evaluation-matrix analogs.
+
+use sa_bench::{banner, row, scale};
+use sa_sparse::gen::Dataset;
+use sa_sparse::stats::spy;
+
+fn main() {
+    banner(
+        "Table II",
+        "statistics of the evaluation matrices (scaled analogs)",
+        "queen 330M nnz sym / stokes 350M nonsym / eukarya 360M sym / hv15r 283M nonsym / nlpkkt200 448M sym",
+    );
+    row(&[
+        "matrix".into(),
+        "rows".into(),
+        "cols".into(),
+        "nnz".into(),
+        "symmetric".into(),
+        "nnz_per_row".into(),
+    ]);
+    let mut spies = Vec::new();
+    for d in Dataset::ALL {
+        let (a, s) = d.build_with_stats(scale());
+        row(&[
+            s.name.clone(),
+            s.nrows.to_string(),
+            s.ncols.to_string(),
+            s.nnz.to_string(),
+            if s.symmetric { "Yes" } else { "No" }.into(),
+            format!("{:.1}", s.avg_nnz_per_row),
+        ]);
+        if matches!(d, Dataset::NlpkktLike | Dataset::Hv15rLike) {
+            spies.push((s.name.clone(), spy(&a, 48, 20)));
+        }
+    }
+    // Figures 2 and 3 analogs
+    for (name, plot) in spies {
+        println!("\n# Fig 2/3 analog — {name} nonzero structure:");
+        print!("{plot}");
+    }
+}

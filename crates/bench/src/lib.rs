@@ -1,0 +1,217 @@
+//! Shared harness for the figure/table regeneration benches.
+//!
+//! Every `cargo bench --bench figN_*` target prints the same series the
+//! paper's figure plots, as a CSV-ish table plus a "paper claim vs measured"
+//! summary line that EXPERIMENTS.md records.
+//!
+//! Environment knobs:
+//! * `SA_SCALE` = `tiny` | `small` (default) | `medium` — dataset sizes;
+//! * `SA_QUICK=1` — fewer rank counts for smoke runs.
+
+use sa_dist::{prepare, spgemm_1d, DistMat1D, FetchMode, Plan1D, PrepResult, SpgemmReport, Strategy};
+use sa_mpisim::{Breakdown, CostModel, Universe};
+use sa_sparse::gen::{Dataset, Scale};
+use sa_sparse::spgemm::Kernel;
+use sa_sparse::stats::summarize;
+use sa_sparse::Csc;
+
+pub use sa_dist::Strategy as Strat;
+
+/// Dataset scale from the environment.
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// The 1D plan used by the benches. The paper's K = 2048 assumes millions
+/// of nonzero columns per rank; our scaled datasets have thousands, so the
+/// same ~15-columns-per-block granularity lands at K = 256.
+pub fn plan() -> Plan1D {
+    Plan1D {
+        fetch_mode: FetchMode::Block(256),
+        kernel: Kernel::Hybrid,
+        global_stats: true,
+    }
+}
+
+/// Repetitions per measurement (best run kept, washing out cold-start
+/// effects: pool spin-up, first-touch page faults). `SA_REPS` overrides.
+pub fn reps() -> usize {
+    std::env::var("SA_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+/// Run `f` `n` times, keep the result with the smallest time key.
+pub fn best_of<T>(n: usize, mut f: impl FnMut() -> (f64, T)) -> (f64, T) {
+    let mut best = f();
+    for _ in 1..n {
+        let next = f();
+        if next.0 < best.0 {
+            best = next;
+        }
+    }
+    best
+}
+
+/// Hybrid time estimate for one rank's 1D multiply: measured local work
+/// plus α–β-modeled network time for the exact metered traffic. Used where
+/// the figure's shape depends on network constants a shared-memory machine
+/// cannot reproduce (see DESIGN.md §"Measurement conventions").
+pub fn modeled_total(rep: &SpgemmReport) -> f64 {
+    rep.breakdown.comp_s + rep.breakdown.other_s + model().time_s(rep.rdma_msgs, rep.fetched_bytes)
+}
+
+/// Max modeled total across ranks.
+pub fn modeled_critical_path(reps: &[SpgemmReport]) -> f64 {
+    reps.iter().map(modeled_total).fold(0.0, f64::max)
+}
+
+/// Simulated-rank counts for strong-scaling sweeps (perfect squares so the
+/// 2D/3D grids are valid; the paper's CombBLAS convention).
+pub fn rank_counts() -> Vec<usize> {
+    if std::env::var("SA_QUICK").is_ok() {
+        vec![4, 9]
+    } else {
+        vec![4, 9, 16, 25]
+    }
+}
+
+/// Header banner for a bench target.
+pub fn banner(fig: &str, what: &str, claim: &str) {
+    println!("\n=== {fig}: {what} ===");
+    println!("paper claim: {claim}");
+    println!("scale: {:?}", scale());
+}
+
+/// Print a CSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join(","));
+}
+
+/// ms formatting.
+pub fn ms(s: f64) -> String {
+    format!("{:.3}", s * 1e3)
+}
+
+/// MB formatting.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.3}", bytes as f64 / 1e6)
+}
+
+/// The α–β model used for modeled communication times.
+pub fn model() -> CostModel {
+    CostModel::slingshot()
+}
+
+/// One squaring run of the sparsity-aware 1D algorithm under a strategy.
+/// Returns per-rank reports plus the preprocessing seconds.
+pub fn square_1d(
+    a: &Csc<f64>,
+    p: usize,
+    strategy: Strategy,
+    plan: Plan1D,
+) -> (Vec<SpgemmReport>, f64) {
+    let prep = prepare(a, p, strategy);
+    let reports = run_square_prepared(&prep, p, plan);
+    (reports, prep.prep_seconds)
+}
+
+/// Squaring on an already-prepared (permuted + offset) matrix; best of
+/// [`reps`] runs by critical-path time.
+pub fn run_square_prepared(prep: &PrepResult, p: usize, plan: Plan1D) -> Vec<SpgemmReport> {
+    let (_t, best) = best_of(reps(), || {
+        let u = Universe::new(p);
+        let reports = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
+            let db = da.clone();
+            let (_c, rep) = spgemm_1d(comm, &da, &db, &plan);
+            rep
+        });
+        let t = reports
+            .iter()
+            .map(|r| r.breakdown.total_s())
+            .fold(0.0f64, f64::max);
+        (t, reports)
+    });
+    best
+}
+
+/// Print the per-rank breakdown block the paper's Figs. 4/8/10 show:
+/// every rank's comm/comp/other in ms, then a min/median/max summary.
+pub fn print_rank_breakdown(label: &str, reps: &[Breakdown]) {
+    println!("# per-rank breakdown: {label}");
+    row(&[
+        "rank".into(),
+        "comm_ms".into(),
+        "comp_ms".into(),
+        "other_ms".into(),
+        "total_ms".into(),
+    ]);
+    for (r, b) in reps.iter().enumerate() {
+        row(&[
+            r.to_string(),
+            ms(b.comm_s),
+            ms(b.comp_s),
+            ms(b.other_s),
+            ms(b.total_s()),
+        ]);
+    }
+    let comm: Vec<f64> = reps.iter().map(|b| b.comm_s).collect();
+    let comp: Vec<f64> = reps.iter().map(|b| b.comp_s).collect();
+    let total: Vec<f64> = reps.iter().map(|b| b.total_s()).collect();
+    let (sc, sp, st) = (summarize(&comm), summarize(&comp), summarize(&total));
+    println!(
+        "# summary {label}: comm med {} max {} | comp med {} max {} | total med {} max {} (ms)",
+        ms(sc.median),
+        ms(sc.max),
+        ms(sp.median),
+        ms(sp.max),
+        ms(st.median),
+        ms(st.max)
+    );
+}
+
+/// The slowest rank's total — the paper's time-to-solution for a phase.
+pub fn critical_path(reps: &[Breakdown]) -> f64 {
+    reps.iter().map(|b| b.total_s()).fold(0.0, f64::max)
+}
+
+/// Max across ranks of one phase.
+pub fn max_phase(reps: &[Breakdown], f: impl Fn(&Breakdown) -> f64) -> f64 {
+    reps.iter().map(f).fold(0.0, f64::max)
+}
+
+/// Build a dataset at the bench scale.
+pub fn load(d: Dataset) -> Csc<f64> {
+    d.build(scale())
+}
+
+/// Strategies the paper compares for a dataset in the 1D algorithm
+/// (eukarya gets METIS; the naturally-structured ones don't need it).
+pub fn strategies_for(d: Dataset) -> Vec<Strategy> {
+    let mut v = vec![Strategy::Original, Strategy::RandomPerm { seed: 99 }];
+    if !d.naturally_structured() {
+        v.push(Strategy::Partition {
+            seed: 1,
+            epsilon: 0.05,
+        });
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_smoke() {
+        std::env::set_var("SA_SCALE", "tiny");
+        let a = load(Dataset::Hv15rLike);
+        let (reps, prep_s) = square_1d(&a, 4, Strategy::Original, Plan1D::default());
+        assert_eq!(reps.len(), 4);
+        assert_eq!(prep_s, 0.0);
+        let bds: Vec<Breakdown> = reps.iter().map(|r| r.breakdown).collect();
+        assert!(critical_path(&bds) > 0.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Zero-copy collective coordination ("blackboard").
+//!
+//! Ranks of one communicator deposit an `Arc` under a shared operation id
+//! and receive everyone's deposits once all have arrived. Used for
+//! *simulation-internal* rendezvous that is not network traffic: window
+//! registration (exposing a buffer is not a transfer — the `get`s are) and
+//! communicator splits.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type Slot = Option<Arc<dyn Any + Send + Sync>>;
+
+struct Entry {
+    slots: Vec<Slot>,
+    deposited: usize,
+    read: usize,
+}
+
+#[derive(Default)]
+pub(crate) struct Blackboard {
+    entries: Mutex<HashMap<u64, Entry>>,
+    cv: Condvar,
+}
+
+impl Blackboard {
+    pub fn new() -> Self {
+        Blackboard::default()
+    }
+
+    /// Collective all-exchange: rank `rank` of `n` deposits `value` under
+    /// `opid`; returns all `n` deposits once complete. Every rank of the
+    /// communicator must call with the same `opid` exactly once.
+    pub fn exchange(
+        &self,
+        opid: u64,
+        n: usize,
+        rank: usize,
+        value: Arc<dyn Any + Send + Sync>,
+    ) -> Vec<Arc<dyn Any + Send + Sync>> {
+        let mut entries = self.entries.lock();
+        let entry = entries.entry(opid).or_insert_with(|| Entry {
+            slots: vec![None; n],
+            deposited: 0,
+            read: 0,
+        });
+        assert!(entry.slots[rank].is_none(), "double deposit at op {opid}");
+        entry.slots[rank] = Some(value);
+        entry.deposited += 1;
+        if entry.deposited == n {
+            self.cv.notify_all();
+        }
+        loop {
+            let entry = entries.get_mut(&opid).expect("entry vanished");
+            if entry.deposited == n {
+                let out: Vec<_> = entry
+                    .slots
+                    .iter()
+                    .map(|s| s.as_ref().expect("deposited slot").clone())
+                    .collect();
+                entry.read += 1;
+                if entry.read == n {
+                    entries.remove(&opid);
+                }
+                return out;
+            }
+            self.cv.wait(&mut entries);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_way_exchange() {
+        let bb = Arc::new(Blackboard::new());
+        let handles: Vec<_> = (0..4)
+            .map(|r| {
+                let bb = bb.clone();
+                std::thread::spawn(move || {
+                    let got = bb.exchange(1, 4, r, Arc::new(r * 10));
+                    got.iter()
+                        .map(|a| *a.clone().downcast::<usize>().unwrap())
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), vec![0, 10, 20, 30]);
+        }
+    }
+
+    #[test]
+    fn entry_cleaned_after_all_read() {
+        let bb = Arc::new(Blackboard::new());
+        let handles: Vec<_> = (0..2)
+            .map(|r| {
+                let bb = bb.clone();
+                std::thread::spawn(move || {
+                    bb.exchange(9, 2, r, Arc::new(()));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(bb.entries.lock().is_empty(), "completed ops must not leak");
+    }
+
+    #[test]
+    fn distinct_opids_are_independent() {
+        let bb = Arc::new(Blackboard::new());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let bb = bb.clone();
+                std::thread::spawn(move || {
+                    let op = (i / 2) as u64 + 100;
+                    let rank = i % 2;
+                    let got = bb.exchange(op, 2, rank, Arc::new(i));
+                    got.len()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 2);
+        }
+    }
+}

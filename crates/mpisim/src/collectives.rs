@@ -1,0 +1,197 @@
+//! MPI-style collectives, built on the two-sided transport so every byte is
+//! metered. Linear algorithms (root-relays) — the volume they account is the
+//! natural communication volume of the operation, which is what the paper's
+//! analysis uses.
+
+use crate::comm::Comm;
+
+/// Internal tag namespace for collectives: high bit set, op id in the middle,
+/// op kind in the low byte. User tags must stay below 2^48.
+fn tag(op: u64, kind: u64) -> u64 {
+    (1 << 63) | (op << 8) | kind
+}
+
+const K_BCAST: u64 = 1;
+const K_GATHER: u64 = 2;
+const K_SCATTER: u64 = 3;
+const K_ALLTOALL: u64 = 4;
+const K_REDUCE: u64 = 5;
+
+impl Comm {
+    /// Broadcast `data` from `root` to every rank; all ranks return the
+    /// payload. Non-roots pass `None`.
+    pub fn bcast_vec<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        let op = self.next_op();
+        let t = tag(op, K_BCAST);
+        if self.rank() == root {
+            let data = data.expect("root must supply bcast data");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_vec(dst, t, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_vec(root, t)
+        }
+    }
+
+    /// Gather each rank's vector at `root`; returns `Some(per-rank vectors)`
+    /// on the root, `None` elsewhere.
+    pub fn gatherv<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        let op = self.next_op();
+        let t = tag(op, K_GATHER);
+        if self.rank() == root {
+            let mut out: Vec<Option<Vec<T>>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(data);
+            for src in 0..self.size() {
+                if src != root {
+                    out[src] = Some(self.recv_vec(src, t));
+                }
+            }
+            Some(out.into_iter().map(|v| v.unwrap()).collect())
+        } else {
+            self.send_vec(root, t, data);
+            None
+        }
+    }
+
+    /// Scatter per-destination vectors from `root`; every rank returns its
+    /// piece. Non-roots pass `None`.
+    pub fn scatterv<T: Send + 'static>(
+        &self,
+        root: usize,
+        data: Option<Vec<Vec<T>>>,
+    ) -> Vec<T> {
+        let op = self.next_op();
+        let t = tag(op, K_SCATTER);
+        if self.rank() == root {
+            let mut data = data.expect("root must supply scatter data");
+            assert_eq!(data.len(), self.size());
+            let mine = std::mem::take(&mut data[root]);
+            for (dst, part) in data.into_iter().enumerate() {
+                if dst != root {
+                    self.send_vec(dst, t, part);
+                }
+            }
+            mine
+        } else {
+            self.recv_vec(root, t)
+        }
+    }
+
+    /// All ranks receive every rank's vector (gather + bcast volume).
+    pub fn allgatherv<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        // gather to 0, then broadcast lengths+flat data
+        let gathered = self.gatherv(0, data);
+        let (flat, lens) = if self.rank() == 0 {
+            let parts = gathered.unwrap();
+            let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+            let mut flat = Vec::with_capacity(lens.iter().sum());
+            for p in parts {
+                flat.extend(p);
+            }
+            (Some(flat), Some(lens))
+        } else {
+            (None, None)
+        };
+        let lens = self.bcast_vec(0, lens);
+        let flat = self.bcast_vec(0, flat);
+        let mut out = Vec::with_capacity(lens.len());
+        let mut off = 0usize;
+        for l in lens {
+            out.push(flat[off..off + l].to_vec());
+            off += l;
+        }
+        out
+    }
+
+    /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns what
+    /// each source sent here.
+    pub fn alltoallv<T: Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size());
+        let op = self.next_op();
+        let t = tag(op, K_ALLTOALL);
+        let mine = std::mem::take(&mut sends[self.rank()]);
+        for (dst, part) in sends.into_iter().enumerate() {
+            if dst != self.rank() {
+                self.send_vec(dst, t, part);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        let mut mine = Some(mine); // self-delivery: no network traffic
+        for src in 0..self.size() {
+            if src == self.rank() {
+                out.push(mine.take().unwrap());
+            } else {
+                out.push(self.recv_vec(src, t));
+            }
+        }
+        out
+    }
+
+    /// Reduce single values to `root` with `op_fn`; `Some` on root only.
+    pub fn reduce<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        op_fn: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        let op = self.next_op();
+        let t = tag(op, K_REDUCE);
+        if self.rank() == root {
+            let mut acc = value;
+            for src in 0..self.size() {
+                if src != root {
+                    let v = self.recv_vec::<T>(src, t).pop().unwrap();
+                    acc = op_fn(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_vec(root, t, vec![value]);
+            None
+        }
+    }
+
+    /// All-reduce single values (reduce at 0, then broadcast).
+    pub fn allreduce<T: Clone + Send + 'static>(
+        &self,
+        value: T,
+        op_fn: impl Fn(T, T) -> T,
+    ) -> T {
+        let reduced = self.reduce(0, value, op_fn);
+        self.bcast_vec(0, reduced.map(|v| vec![v])).pop().unwrap()
+    }
+
+    /// Elementwise all-reduce of equal-length vectors.
+    pub fn allreduce_vec<T: Clone + Send + 'static>(
+        &self,
+        value: Vec<T>,
+        op_fn: impl Fn(&T, &T) -> T,
+    ) -> Vec<T> {
+        let reduced = self.reduce(0, value, |a, b| {
+            a.iter().zip(b.iter()).map(|(x, y)| op_fn(x, y)).collect()
+        });
+        self.bcast_vec(0, reduced)
+    }
+
+    /// Exclusive prefix "scan" of a single u64 (rank 0 gets 0) plus the
+    /// global total — the common "compute my offset" idiom.
+    pub fn exscan_sum(&self, value: u64) -> (u64, u64) {
+        let all = self.allgatherv(vec![value]);
+        let mut prefix = 0u64;
+        for (r, v) in all.iter().enumerate() {
+            if r == self.rank() {
+                break;
+            }
+            prefix += v[0];
+        }
+        let total = all.iter().map(|v| v[0]).sum();
+        (prefix, total)
+    }
+}

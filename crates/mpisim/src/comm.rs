@@ -1,0 +1,205 @@
+//! The per-rank communicator handle.
+
+use crate::blackboard::Blackboard;
+use crate::p2p::{Envelope, Hub};
+use crate::stats::{CommStats, StatsCell};
+use std::any::Any;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::{Arc, Barrier};
+
+/// State shared by all ranks of one communicator.
+pub(crate) struct Shared {
+    pub hub: Hub,
+    pub barrier: Barrier,
+    pub board: Blackboard,
+}
+
+impl Shared {
+    pub fn new(n: usize) -> Arc<Shared> {
+        Arc::new(Shared {
+            hub: Hub::new(n),
+            barrier: Barrier::new(n),
+            board: Blackboard::new(),
+        })
+    }
+}
+
+/// One rank's handle to a communicator — the analog of an `MPI_Comm` plus
+/// the rank's OpenMP pool. Lives on exactly one thread (neither `Send` nor
+/// `Sync`: the stats counter models the rank's NIC and is shared by `Rc`
+/// across communicators split from this one, so traffic on a row/column
+/// sub-communicator still charges this rank).
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    pub(crate) shared: Arc<Shared>,
+    pub(crate) stats: Rc<StatsCell>,
+    pub(crate) op_counter: Cell<u64>,
+    pool: Arc<rayon::ThreadPool>,
+}
+
+impl Comm {
+    pub(crate) fn new(rank: usize, size: usize, shared: Arc<Shared>, pool: Arc<rayon::ThreadPool>) -> Comm {
+        Comm {
+            rank,
+            size,
+            shared,
+            stats: Rc::new(StatsCell::default()),
+            op_counter: Cell::new(0),
+            pool,
+        }
+    }
+
+    fn with_stats(
+        rank: usize,
+        size: usize,
+        shared: Arc<Shared>,
+        pool: Arc<rayon::ThreadPool>,
+        stats: Rc<StatsCell>,
+    ) -> Comm {
+        Comm {
+            rank,
+            size,
+            shared,
+            stats,
+            op_counter: Cell::new(0),
+            pool,
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Cumulative communication counters of this rank (on this
+    /// communicator and windows created from it).
+    pub fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+
+    /// The rank's compute pool ("OpenMP threads"). Run local kernels inside
+    /// [`Comm::install`] so they use this pool, not the global one.
+    pub fn pool(&self) -> &rayon::ThreadPool {
+        &self.pool
+    }
+
+    /// Execute `f` on this rank's compute pool.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool.install(f)
+    }
+
+    /// Synchronize all ranks of this communicator.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Fresh collective-operation id; identical across ranks because MPI
+    /// semantics require every rank to call collectives in the same order.
+    pub(crate) fn next_op(&self) -> u64 {
+        let id = self.op_counter.get();
+        self.op_counter.set(id + 1);
+        id
+    }
+
+    /// Send a `Vec<T>` to `dst` under `tag` (two-sided, eager, non-blocking).
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(dst < self.size, "send to rank {dst} of {}", self.size);
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if dst != self.rank {
+            self.stats.record_send(bytes);
+        }
+        self.shared.hub.send(
+            self.rank,
+            dst,
+            tag,
+            Envelope {
+                bytes,
+                payload: Box::new(data),
+            },
+        );
+    }
+
+    /// Blocking receive of a `Vec<T>` from `(src, tag)`.
+    pub fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let env = self.shared.hub.recv(self.rank, src, tag);
+        if src != self.rank {
+            self.stats.record_recv(env.bytes);
+        }
+        *env.payload
+            .downcast::<Vec<T>>()
+            .expect("message type mismatch: recv_vec::<T> on a different payload")
+    }
+
+    /// Non-blocking: is a message from `(src, tag)` queued?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        self.shared.hub.probe(self.rank, src, tag)
+    }
+
+    /// Simulation-internal zero-copy all-exchange of `Arc`s (not metered;
+    /// see blackboard docs). Collective.
+    pub(crate) fn exchange_arcs(
+        &self,
+        value: Arc<dyn Any + Send + Sync>,
+    ) -> Vec<Arc<dyn Any + Send + Sync>> {
+        let op = self.next_op() | (1 << 62); // namespace apart from p2p tags
+        self.shared.board.exchange(op, self.size, self.rank, value)
+    }
+
+    /// Split into sub-communicators by `color`, ranked by `(key, old
+    /// rank)` — the analog of `MPI_Comm_split`. Collective over all ranks.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        // Round 1: learn everyone's (color, key).
+        let mine = Arc::new((color, key, self.rank));
+        let all = self.exchange_arcs(mine);
+        let infos: Vec<(usize, usize, usize)> = all
+            .into_iter()
+            .map(|a| *a.downcast::<(usize, usize, usize)>().unwrap())
+            .collect();
+        let mut group: Vec<(usize, usize, usize)> = infos
+            .iter()
+            .copied()
+            .filter(|&(c, _, _)| c == color)
+            .collect();
+        group.sort_by_key(|&(_, k, r)| (k, r));
+        let new_rank = group
+            .iter()
+            .position(|&(_, _, r)| r == self.rank)
+            .expect("self in own color group");
+        let group_size = group.len();
+        let leader = group[0].2;
+
+        // Round 2: each color's leader publishes the new Shared.
+        let deposit: Arc<dyn Any + Send + Sync> = if self.rank == leader {
+            Arc::new(Some((color, Shared::new(group_size))))
+        } else {
+            Arc::new(None::<(usize, Arc<Shared>)>)
+        };
+        let published = self.exchange_arcs(deposit);
+        let mut my_shared: Option<Arc<Shared>> = None;
+        for p in published {
+            if let Some((c, s)) = p
+                .downcast::<Option<(usize, Arc<Shared>)>>()
+                .unwrap()
+                .as_ref()
+            {
+                if *c == color {
+                    my_shared = Some(s.clone());
+                }
+            }
+        }
+        Comm::with_stats(
+            new_rank,
+            group_size,
+            my_shared.expect("leader published shared state"),
+            self.pool.clone(),
+            self.stats.clone(), // one NIC per rank: sub-comm traffic counts here
+        )
+    }
+}

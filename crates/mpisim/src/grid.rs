@@ -1,0 +1,176 @@
+//! Process grids: the 2D `√P × √P` layout of sparse SUMMA and the
+//! `√(P/c) × √(P/c) × c` layout of the 3D split algorithm.
+
+use crate::comm::Comm;
+
+/// A 2D process grid with row and column sub-communicators.
+///
+/// Rank `r` sits at `(row, col) = (r / pc, r % pc)`; SUMMA broadcasts A
+/// blocks along `row_comm` and B blocks along `col_comm`.
+pub struct Grid2D {
+    pub pr: usize,
+    pub pc: usize,
+    pub myrow: usize,
+    pub mycol: usize,
+    pub row_comm: Comm,
+    pub col_comm: Comm,
+}
+
+impl Grid2D {
+    /// Build a `pr × pc` grid over `comm` (requires `pr·pc == comm.size()`).
+    pub fn new(comm: &Comm, pr: usize, pc: usize) -> Grid2D {
+        assert_eq!(pr * pc, comm.size(), "grid {pr}x{pc} != {} ranks", comm.size());
+        let myrow = comm.rank() / pc;
+        let mycol = comm.rank() % pc;
+        let row_comm = comm.split(myrow, mycol); // peers in my row
+        let col_comm = comm.split(pc + mycol, myrow); // peers in my column
+        Grid2D {
+            pr,
+            pc,
+            myrow,
+            mycol,
+            row_comm,
+            col_comm,
+        }
+    }
+
+    /// Square grid of `comm.size()` (must be a perfect square — the
+    /// CombBLAS convention the paper follows).
+    pub fn square(comm: &Comm) -> Grid2D {
+        let p = comm.size();
+        let s = (p as f64).sqrt().round() as usize;
+        assert_eq!(s * s, p, "{p} ranks is not a perfect square");
+        Grid2D::new(comm, s, s)
+    }
+
+    /// Grid coordinates of a world rank.
+    pub fn coords_of(&self, rank: usize) -> (usize, usize) {
+        (rank / self.pc, rank % self.pc)
+    }
+
+    /// World rank at grid coordinates.
+    pub fn rank_at(&self, row: usize, col: usize) -> usize {
+        row * self.pc + col
+    }
+}
+
+/// A 3D process grid: `c` layers, each a 2D `q × q` grid, plus "fiber"
+/// communicators linking the same (row, col) position across layers.
+pub struct Grid3D {
+    pub q: usize,
+    pub layers: usize,
+    pub mylayer: usize,
+    pub myrow: usize,
+    pub mycol: usize,
+    /// Communicator spanning this rank's layer (the grid's "world").
+    pub layer_comm: Comm,
+    /// 2D grid within this rank's layer.
+    pub layer_grid: Grid2D,
+    /// Ranks sharing (row, col) across layers.
+    pub fiber_comm: Comm,
+}
+
+impl Grid3D {
+    /// Build `q × q × layers` over `comm` (requires `q²·layers ==
+    /// comm.size()`). Layer-major rank order.
+    pub fn new(comm: &Comm, q: usize, layers: usize) -> Grid3D {
+        assert_eq!(
+            q * q * layers,
+            comm.size(),
+            "grid {q}x{q}x{layers} != {} ranks",
+            comm.size()
+        );
+        let mylayer = comm.rank() / (q * q);
+        let within = comm.rank() % (q * q);
+        let myrow = within / q;
+        let mycol = within % q;
+        let layer_comm = comm.split(mylayer, within);
+        let layer_grid = Grid2D::new(&layer_comm, q, q);
+        let fiber_comm = comm.split(comm.size() + within, mylayer);
+        Grid3D {
+            q,
+            layers,
+            mylayer,
+            myrow,
+            mycol,
+            layer_comm,
+            layer_grid,
+            fiber_comm,
+        }
+    }
+
+    /// Valid layer counts for `p` ranks: `c` such that `p/c` is a perfect
+    /// square (the paper sweeps these and reports the best).
+    pub fn valid_layer_counts(p: usize) -> Vec<usize> {
+        (1..=p)
+            .filter(|c| {
+                p % c == 0 && {
+                    let q2 = p / c;
+                    let q = (q2 as f64).sqrt().round() as usize;
+                    q * q == q2
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn grid2d_coordinates_and_subcomms() {
+        let u = Universe::new(6);
+        let got = u.run(|comm| {
+            let g = Grid2D::new(comm, 2, 3);
+            // row_comm sums my column index across my row; col_comm my row.
+            let row_sum = g.row_comm.allreduce(g.mycol as u64, |a, b| a + b);
+            let col_sum = g.col_comm.allreduce(g.myrow as u64, |a, b| a + b);
+            (g.myrow, g.mycol, row_sum, col_sum)
+        });
+        for (r, &(row, col, row_sum, col_sum)) in got.iter().enumerate() {
+            assert_eq!(row, r / 3);
+            assert_eq!(col, r % 3);
+            assert_eq!(row_sum, 3); // 0+1+2
+            assert_eq!(col_sum, 1); // 0+1
+        }
+    }
+
+    #[test]
+    fn grid2d_square_asserts() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let g = Grid2D::square(comm);
+            (g.pr, g.pc, g.rank_at(g.myrow, g.mycol))
+        });
+        for (r, &(pr, pc, me)) in got.iter().enumerate() {
+            assert_eq!((pr, pc), (2, 2));
+            assert_eq!(me, r);
+        }
+    }
+
+    #[test]
+    fn grid3d_structure() {
+        let u = Universe::new(8); // 2x2x2
+        let got = u.run(|comm| {
+            let g = Grid3D::new(comm, 2, 2);
+            let fiber_sum = g.fiber_comm.allreduce(g.mylayer as u64, |a, b| a + b);
+            (g.mylayer, g.myrow, g.mycol, fiber_sum, g.fiber_comm.size())
+        });
+        for (r, &(layer, row, col, fsum, fsize)) in got.iter().enumerate() {
+            assert_eq!(layer, r / 4);
+            assert_eq!(row, (r % 4) / 2);
+            assert_eq!(col, r % 2);
+            assert_eq!(fsum, 1); // layers 0+1
+            assert_eq!(fsize, 2);
+        }
+    }
+
+    #[test]
+    fn layer_count_enumeration() {
+        assert_eq!(Grid3D::valid_layer_counts(16), vec![1, 4, 16]);
+        assert_eq!(Grid3D::valid_layer_counts(36), vec![1, 4, 9, 36]);
+        assert_eq!(Grid3D::valid_layer_counts(8), vec![2, 8]);
+    }
+}

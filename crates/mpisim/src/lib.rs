@@ -1,0 +1,40 @@
+//! Simulated distributed-memory runtime.
+//!
+//! The paper runs on MPI (Cray MPICH) with passive-target RDMA windows.
+//! This crate reproduces that programming model on one machine: every rank
+//! is an OS thread, ranks communicate **only** through this API (two-sided
+//! messages, collectives, and one-sided [`Window::get`]), and every transfer
+//! is metered exactly (message counts and bytes, split by operation class).
+//!
+//! Fidelity notes:
+//! * **Volume and message counts are exact**, not modeled — they are the
+//!   quantities the paper's analysis (Figures 5 and 6) is about.
+//! * **Wall-clock is real**: data is really copied between address regions
+//!   and local compute really runs on per-rank Rayon pools (`p × t` =
+//!   MPI ranks × OpenMP threads).
+//! * A Hockney **α–β model** ([`CostModel`]) converts the metered traffic
+//!   into network-time estimates with Slingshot-like constants, for the
+//!   figures whose shape depends on network latency/bandwidth rather than
+//!   shared-memory copy speed.
+//! * `Window::get` is genuinely one-sided: the target rank's thread is not
+//!   involved — the simulation reads the exposed buffer directly, exactly
+//!   like RDMA bypassing the remote CPU.
+
+mod blackboard;
+mod collectives;
+mod comm;
+mod costmodel;
+mod grid;
+mod p2p;
+mod stats;
+mod timer;
+mod universe;
+mod window;
+
+pub use comm::Comm;
+pub use costmodel::CostModel;
+pub use grid::{Grid2D, Grid3D};
+pub use stats::CommStats;
+pub use timer::{Breakdown, Phase, Timer};
+pub use universe::Universe;
+pub use window::{PairedWindow, Window, WindowError};

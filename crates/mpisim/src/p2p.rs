@@ -1,0 +1,146 @@
+//! Point-to-point transport: per-rank mailboxes keyed by `(source, tag)`.
+//!
+//! Sends never block (unbounded queues), receives block until a matching
+//! message arrives — MPI's eager-protocol semantics, which is what the
+//! linear collective algorithms built on top assume for deadlock freedom.
+
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+
+/// A type-erased message with its accounted size.
+pub(crate) struct Envelope {
+    pub bytes: usize,
+    pub payload: Box<dyn Any + Send>,
+}
+
+#[derive(Default)]
+struct MailboxInner {
+    queues: HashMap<(usize, u64), VecDeque<Envelope>>,
+}
+
+#[derive(Default)]
+struct Mailbox {
+    inner: Mutex<MailboxInner>,
+    cv: Condvar,
+}
+
+/// The transport fabric of one communicator: `n` mailboxes.
+pub(crate) struct Hub {
+    boxes: Vec<Mailbox>,
+}
+
+impl Hub {
+    pub fn new(n: usize) -> Hub {
+        Hub {
+            boxes: (0..n).map(|_| Mailbox::default()).collect(),
+        }
+    }
+
+    pub fn size(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Deposit a message for `dst`.
+    pub fn send(&self, src: usize, dst: usize, tag: u64, env: Envelope) {
+        let mbox = &self.boxes[dst];
+        {
+            let mut inner = mbox.inner.lock();
+            inner.queues.entry((src, tag)).or_default().push_back(env);
+        }
+        mbox.cv.notify_all();
+    }
+
+    /// Block until a message from `(src, tag)` is available for `me`.
+    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Envelope {
+        let mbox = &self.boxes[me];
+        let mut inner = mbox.inner.lock();
+        loop {
+            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                if let Some(env) = q.pop_front() {
+                    if q.is_empty() {
+                        inner.queues.remove(&(src, tag));
+                    }
+                    return env;
+                }
+            }
+            mbox.cv.wait(&mut inner);
+        }
+    }
+
+    /// Non-blocking probe: is a message from `(src, tag)` waiting?
+    pub fn probe(&self, me: usize, src: usize, tag: u64) -> bool {
+        let inner = self.boxes[me].inner.lock();
+        inner
+            .queues
+            .get(&(src, tag))
+            .map(|q| !q.is_empty())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn env<T: Send + 'static>(v: T, bytes: usize) -> Envelope {
+        Envelope {
+            bytes,
+            payload: Box::new(v),
+        }
+    }
+
+    #[test]
+    fn send_then_recv_same_thread() {
+        let hub = Hub::new(2);
+        hub.send(0, 1, 7, env(vec![1u64, 2, 3], 24));
+        let got = hub.recv(1, 0, 7);
+        assert_eq!(got.bytes, 24);
+        let v = got.payload.downcast::<Vec<u64>>().unwrap();
+        assert_eq!(*v, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tags_do_not_cross() {
+        let hub = Hub::new(2);
+        hub.send(0, 1, 1, env(10i32, 4));
+        hub.send(0, 1, 2, env(20i32, 4));
+        let b = hub.recv(1, 0, 2);
+        assert_eq!(*b.payload.downcast::<i32>().unwrap(), 20);
+        let a = hub.recv(1, 0, 1);
+        assert_eq!(*a.payload.downcast::<i32>().unwrap(), 10);
+    }
+
+    #[test]
+    fn fifo_within_tag() {
+        let hub = Hub::new(1);
+        hub.send(0, 0, 0, env(1i32, 4));
+        hub.send(0, 0, 0, env(2i32, 4));
+        assert_eq!(*hub.recv(0, 0, 0).payload.downcast::<i32>().unwrap(), 1);
+        assert_eq!(*hub.recv(0, 0, 0).payload.downcast::<i32>().unwrap(), 2);
+    }
+
+    #[test]
+    fn blocking_recv_wakes_on_send() {
+        let hub = Arc::new(Hub::new(2));
+        let h2 = hub.clone();
+        let t = std::thread::spawn(move || {
+            let e = h2.recv(1, 0, 5);
+            *e.payload.downcast::<&'static str>().unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(30));
+        hub.send(0, 1, 5, env("hello", 5));
+        assert_eq!(t.join().unwrap(), "hello");
+    }
+
+    #[test]
+    fn probe_reflects_queue() {
+        let hub = Hub::new(2);
+        assert!(!hub.probe(1, 0, 3));
+        hub.send(0, 1, 3, env((), 0));
+        assert!(hub.probe(1, 0, 3));
+        let _ = hub.recv(1, 0, 3);
+        assert!(!hub.probe(1, 0, 3));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-phase wall-clock timing, matching the paper's breakdown legend
+//! (Figures 4, 8, 10): *communication* (RDMA fetches), *computation*
+//! (local SpGEMM), and *other* (metadata exchange, auxiliary structure
+//! construction such as building the local DCSC and the compacted Ã).
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// The paper's three time-breakdown categories.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// RDMA requests fetching remote A data.
+    Comm,
+    /// Local SpGEMM computation.
+    Comp,
+    /// Auxiliary array/data-structure creation and metadata exchange.
+    Other,
+}
+
+/// Accumulated seconds per phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Breakdown {
+    pub comm_s: f64,
+    pub comp_s: f64,
+    pub other_s: f64,
+}
+
+impl Breakdown {
+    pub fn total_s(&self) -> f64 {
+        self.comm_s + self.comp_s + self.other_s
+    }
+
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Comm => self.comm_s,
+            Phase::Comp => self.comp_s,
+            Phase::Other => self.other_s,
+        }
+    }
+}
+
+impl std::ops::Add for Breakdown {
+    type Output = Breakdown;
+    fn add(self, o: Breakdown) -> Breakdown {
+        Breakdown {
+            comm_s: self.comm_s + o.comm_s,
+            comp_s: self.comp_s + o.comp_s,
+            other_s: self.other_s + o.other_s,
+        }
+    }
+}
+
+/// Phase accumulator with interior mutability (single-threaded per rank).
+#[derive(Default)]
+pub struct Timer {
+    acc: RefCell<Breakdown>,
+}
+
+impl Timer {
+    pub fn new() -> Self {
+        Timer::default()
+    }
+
+    /// Run `f`, charging its wall time to `phase`.
+    pub fn time<R>(&self, phase: Phase, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        self.add(phase, t0.elapsed().as_secs_f64());
+        r
+    }
+
+    /// Charge `secs` to `phase` directly.
+    pub fn add(&self, phase: Phase, secs: f64) {
+        let mut acc = self.acc.borrow_mut();
+        match phase {
+            Phase::Comm => acc.comm_s += secs,
+            Phase::Comp => acc.comp_s += secs,
+            Phase::Other => acc.other_s += secs,
+        }
+    }
+
+    /// Current accumulated breakdown.
+    pub fn breakdown(&self) -> Breakdown {
+        *self.acc.borrow()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_phases() {
+        let t = Timer::new();
+        let v = t.time(Phase::Comp, || 42);
+        assert_eq!(v, 42);
+        t.add(Phase::Comm, 0.25);
+        t.add(Phase::Comm, 0.25);
+        t.add(Phase::Other, 0.1);
+        let b = t.breakdown();
+        assert!((b.comm_s - 0.5).abs() < 1e-12);
+        assert!((b.other_s - 0.1).abs() < 1e-12);
+        assert!(b.comp_s >= 0.0);
+        assert!(b.total_s() >= 0.6);
+    }
+
+    #[test]
+    fn breakdown_add() {
+        let a = Breakdown {
+            comm_s: 1.0,
+            comp_s: 2.0,
+            other_s: 3.0,
+        };
+        let s = a + a;
+        assert_eq!(s.total_s(), 12.0);
+        assert_eq!(s.get(Phase::Comp), 4.0);
+    }
+}

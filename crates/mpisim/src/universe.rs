@@ -1,0 +1,304 @@
+//! Launching a simulated job: one thread per rank, one Rayon pool per rank.
+
+use crate::comm::{Comm, Shared};
+use std::sync::Arc;
+
+/// A simulated machine allocation: `nranks` MPI ranks, each with
+/// `threads_per_rank` compute threads (the paper's `c = p · t` Figure 7
+/// configuration space).
+///
+/// ```
+/// use sa_mpisim::Universe;
+///
+/// let u = Universe::new(4);
+/// // every rank runs the closure; results come back in rank order
+/// let sums = u.run(|comm| comm.allreduce(comm.rank() as u64, |a, b| a + b));
+/// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Universe {
+    nranks: usize,
+    threads_per_rank: usize,
+}
+
+impl Universe {
+    /// `nranks` ranks with 1 compute thread each.
+    pub fn new(nranks: usize) -> Universe {
+        Universe::with_threads(nranks, 1)
+    }
+
+    /// `nranks` ranks × `threads_per_rank` compute threads.
+    pub fn with_threads(nranks: usize, threads_per_rank: usize) -> Universe {
+        assert!(nranks >= 1 && threads_per_rank >= 1);
+        Universe {
+            nranks,
+            threads_per_rank,
+        }
+    }
+
+    pub fn nranks(&self) -> usize {
+        self.nranks
+    }
+
+    pub fn threads_per_rank(&self) -> usize {
+        self.threads_per_rank
+    }
+
+    /// Run `f` once per rank (in parallel) and collect the per-rank results
+    /// in rank order. Panics in any rank propagate.
+    pub fn run<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&Comm) -> R + Send + Sync,
+        R: Send,
+    {
+        let shared = Shared::new(self.nranks);
+        let tpr = self.threads_per_rank;
+        let f = &f;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.nranks)
+                .map(|rank| {
+                    let shared = shared.clone();
+                    scope.spawn(move || {
+                        let pool = Arc::new(
+                            rayon::ThreadPoolBuilder::new()
+                                .num_threads(tpr)
+                                .thread_name(move |i| format!("rank{rank}-w{i}"))
+                                .build()
+                                .expect("rank pool"),
+                        );
+                        let comm = Comm::new(rank, shared.hub_size(), shared, pool);
+                        f(&comm)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    // re-raise with the original payload so callers (and
+                    // `#[should_panic(expected = ...)]` tests) see the
+                    // rank's message, not a generic wrapper
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+}
+
+impl Shared {
+    fn hub_size(&self) -> usize {
+        self.hub.size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_see_their_ids() {
+        let u = Universe::new(6);
+        let got = u.run(|comm| (comm.rank(), comm.size()));
+        for (r, (rank, size)) in got.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert_eq!(*size, 6);
+        }
+    }
+
+    #[test]
+    fn p2p_ring() {
+        let u = Universe::new(5);
+        let got = u.run(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_vec(next, 0, vec![comm.rank() as u64]);
+            comm.recv_vec::<u64>(prev, 0)[0]
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn barrier_interleaves() {
+        // All ranks must pass phase 1 before any passes phase 2.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let u = Universe::new(8);
+        u.run(|comm| {
+            counter.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            assert_eq!(counter.load(Ordering::SeqCst), 8);
+        });
+    }
+
+    #[test]
+    fn bcast_and_gather() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let data = comm.bcast_vec(2, (comm.rank() == 2).then(|| vec![7u32, 8, 9]));
+            assert_eq!(data, vec![7, 8, 9]);
+            comm.gatherv(0, vec![comm.rank() as u32])
+        });
+        let at_root = got[0].as_ref().unwrap();
+        assert_eq!(at_root.len(), 4);
+        assert_eq!(at_root[3], vec![3]);
+        assert!(got[1].is_none());
+    }
+
+    #[test]
+    fn allgatherv_uneven() {
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let mine: Vec<u64> = (0..comm.rank() as u64 + 1).collect();
+            comm.allgatherv(mine)
+        });
+        for parts in got {
+            assert_eq!(parts, vec![vec![0], vec![0, 1], vec![0, 1, 2]]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_transposes() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let sends: Vec<Vec<u64>> = (0..4)
+                .map(|d| vec![(comm.rank() * 10 + d) as u64])
+                .collect();
+            comm.alltoallv(sends)
+        });
+        for (r, recvd) in got.iter().enumerate() {
+            for (s, v) in recvd.iter().enumerate() {
+                assert_eq!(v[0], (s * 10 + r) as u64, "from {s} at {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_and_allreduce() {
+        let u = Universe::new(5);
+        let got = u.run(|comm| {
+            let total = comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b);
+            let max = comm.reduce(0, comm.rank() as u64, |a, b| a.max(b));
+            (total, max)
+        });
+        for (r, (total, max)) in got.iter().enumerate() {
+            assert_eq!(*total, 15);
+            if r == 0 {
+                assert_eq!(*max, Some(4));
+            } else {
+                assert!(max.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            comm.allreduce_vec(vec![comm.rank() as u64, 1], |a, b| a + b)
+        });
+        for v in got {
+            assert_eq!(v, vec![3, 3]);
+        }
+    }
+
+    #[test]
+    fn exscan_offsets() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| comm.exscan_sum((comm.rank() as u64 + 1) * 10));
+        assert_eq!(got, vec![(0, 100), (10, 100), (30, 100), (60, 100)]);
+    }
+
+    #[test]
+    fn stats_meter_p2p() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            if comm.rank() == 0 {
+                comm.send_vec(1, 3, vec![0u64; 100]); // 800 bytes
+            } else {
+                let _ = comm.recv_vec::<u64>(0, 3);
+            }
+            comm.barrier();
+            comm.stats()
+        });
+        assert_eq!(got[0].sent_msgs, 1);
+        assert_eq!(got[0].sent_bytes, 800);
+        assert_eq!(got[1].recv_msgs, 1);
+        assert_eq!(got[1].recv_bytes, 800);
+    }
+
+    #[test]
+    fn self_sends_are_free() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            comm.send_vec(comm.rank(), 9, vec![1u8, 2, 3]);
+            let v = comm.recv_vec::<u8>(comm.rank(), 9);
+            assert_eq!(v, vec![1, 2, 3]);
+            comm.stats()
+        });
+        assert_eq!(got[0].sent_bytes, 0);
+        assert_eq!(got[0].recv_bytes, 0);
+    }
+
+    #[test]
+    fn subcomm_traffic_charges_parent_stats() {
+        // The rank's counters model its NIC: traffic on a split
+        // communicator must appear in the world handle's stats too.
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let before = comm.stats();
+            if sub.rank() == 0 {
+                sub.send_vec(1, 0, vec![0u64; 64]);
+            } else {
+                let _ = sub.recv_vec::<u64>(0, 0);
+            }
+            comm.barrier();
+            comm.stats() - before
+        });
+        assert_eq!(got[0].sent_bytes, 512);
+        assert_eq!(got[2].recv_bytes, 512);
+    }
+
+    #[test]
+    fn split_into_rows() {
+        // 6 ranks -> 2 colors of 3; new ranks ordered by key=old rank.
+        let u = Universe::new(6);
+        let got = u.run(|comm| {
+            let color = comm.rank() / 3;
+            let sub = comm.split(color, comm.rank());
+            // sum of old ranks within each color group
+            let s = sub.allreduce(comm.rank() as u64, |a, b| a + b);
+            (sub.rank(), sub.size(), s)
+        });
+        assert_eq!(got[0], (0, 3, 3)); // 0+1+2
+        assert_eq!(got[4], (1, 3, 12)); // 3+4+5
+        assert_eq!(got[5], (2, 3, 12));
+    }
+
+    #[test]
+    fn split_key_reorders() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            // single color, key reverses order
+            let sub = comm.split(0, comm.size() - comm.rank());
+            sub.rank()
+        });
+        assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn per_rank_pools_have_requested_threads() {
+        let u = Universe::with_threads(3, 2);
+        let got = u.run(|comm| comm.pool().current_num_threads());
+        assert_eq!(got, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn install_runs_on_pool() {
+        let u = Universe::with_threads(2, 3);
+        let got = u.run(|comm| {
+            comm.install(|| rayon::current_num_threads())
+        });
+        assert_eq!(got, vec![3, 3]);
+    }
+}

@@ -1,0 +1,295 @@
+//! Passive-target RDMA windows — the paper's key communication primitive.
+//!
+//! Algorithm 1 line 1: "Create two MPI Windows for row id and numeric
+//! values of A"; line 7: "Use passive-target RDMA Calls (MPI_Get) to fetch
+//! the remote column block data". [`Window::create`] is the collective
+//! exposure (`MPI_Win_create`), [`Window::get`] the one-sided fetch. The
+//! target rank's thread never participates in a `get` — faithful to RDMA
+//! semantics where the NIC serves remote reads.
+
+use crate::comm::Comm;
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Errors a one-sided access can produce.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WindowError {
+    /// Target rank does not exist in the communicator.
+    BadRank { rank: usize, size: usize },
+    /// Requested range exceeds the exposed buffer.
+    OutOfRange {
+        rank: usize,
+        requested_end: usize,
+        exposed_len: usize,
+    },
+}
+
+impl std::fmt::Display for WindowError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WindowError::BadRank { rank, size } => {
+                write!(f, "window get from rank {rank}, communicator has {size}")
+            }
+            WindowError::OutOfRange {
+                rank,
+                requested_end,
+                exposed_len,
+            } => write!(
+                f,
+                "window get past end of rank {rank}'s buffer: {requested_end} > {exposed_len}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WindowError {}
+
+/// A window over per-rank exposed buffers of `T`.
+///
+/// The handle is cheap to clone (it holds `Arc`s of the exposed buffers).
+pub struct Window<T> {
+    bufs: Vec<Arc<Vec<T>>>,
+}
+
+impl<T: Copy + Send + Sync + 'static> Window<T> {
+    /// Collectively expose `local` from every rank. The data is frozen for
+    /// the window's lifetime (passive-target exposure epoch).
+    pub fn create(comm: &Comm, local: Vec<T>) -> Window<T> {
+        let deposits = comm.exchange_arcs(Arc::new(local));
+        let bufs = deposits
+            .into_iter()
+            .map(|a| a.downcast::<Vec<T>>().expect("window type mismatch"))
+            .collect();
+        Window { bufs }
+    }
+
+    /// Length of `rank`'s exposed buffer.
+    pub fn len_of(&self, rank: usize) -> usize {
+        self.bufs[rank].len()
+    }
+
+    /// This rank's own exposed buffer (no traffic).
+    pub fn local<'a>(&'a self, comm: &Comm) -> &'a [T] {
+        &self.bufs[comm.rank()]
+    }
+
+    /// One-sided fetch of `range` from `rank`'s buffer into a fresh vector,
+    /// metered as one RDMA message. Local gets are free (the paper's ranks
+    /// read their own slice directly).
+    pub fn get(&self, comm: &Comm, rank: usize, range: Range<usize>) -> Vec<T> {
+        let mut out = Vec::new();
+        self.get_into(comm, rank, range, &mut out).unwrap();
+        out
+    }
+
+    /// As [`Window::get`], appending into `out`; returns errors instead of
+    /// panicking (failure-injection friendly).
+    pub fn get_into(
+        &self,
+        comm: &Comm,
+        rank: usize,
+        range: Range<usize>,
+        out: &mut Vec<T>,
+    ) -> Result<(), WindowError> {
+        if rank >= self.bufs.len() {
+            return Err(WindowError::BadRank {
+                rank,
+                size: self.bufs.len(),
+            });
+        }
+        let buf = &self.bufs[rank];
+        if range.end > buf.len() {
+            return Err(WindowError::OutOfRange {
+                rank,
+                requested_end: range.end,
+                exposed_len: buf.len(),
+            });
+        }
+        if rank != comm.rank() {
+            comm.stats
+                .record_get((range.end - range.start) * std::mem::size_of::<T>());
+        }
+        out.extend_from_slice(&buf[range]);
+        Ok(())
+    }
+}
+
+impl<T> Clone for Window<T> {
+    fn clone(&self) -> Self {
+        Window {
+            bufs: self.bufs.clone(),
+        }
+    }
+}
+
+/// Two parallel arrays exposed in a **single** collective round.
+///
+/// Algorithm 1 exposes both the row-id and the numeric-value array of the
+/// local `A`; creating them as one paired window halves the per-multiply
+/// rendezvous count, which matters when a multiply is issued per BFS level
+/// (betweenness centrality) rather than once per application run.
+pub struct PairedWindow<T, U> {
+    bufs: Vec<Arc<(Vec<T>, Vec<U>)>>,
+}
+
+impl<T, U> PairedWindow<T, U>
+where
+    T: Copy + Send + Sync + 'static,
+    U: Copy + Send + Sync + 'static,
+{
+    /// Collectively expose `(a, b)` from every rank. The arrays must be
+    /// parallel (same length); they are frozen for the window's lifetime.
+    pub fn create(comm: &Comm, a: Vec<T>, b: Vec<U>) -> PairedWindow<T, U> {
+        assert_eq!(a.len(), b.len(), "paired window arrays must be parallel");
+        let deposits = comm.exchange_arcs(Arc::new((a, b)));
+        let bufs = deposits
+            .into_iter()
+            .map(|d| d.downcast::<(Vec<T>, Vec<U>)>().expect("paired window type"))
+            .collect();
+        PairedWindow { bufs }
+    }
+
+    /// Length of `rank`'s exposed arrays.
+    pub fn len_of(&self, rank: usize) -> usize {
+        self.bufs[rank].0.len()
+    }
+
+    /// One-sided fetch of `range` from both of `rank`'s arrays, appended to
+    /// `out_a`/`out_b`. Metered as two RDMA messages (one per array), like
+    /// the two `MPI_Get`s of Algorithm 1 line 7.
+    pub fn get_both_into(
+        &self,
+        comm: &Comm,
+        rank: usize,
+        range: Range<usize>,
+        out_a: &mut Vec<T>,
+        out_b: &mut Vec<U>,
+    ) -> Result<(), WindowError> {
+        if rank >= self.bufs.len() {
+            return Err(WindowError::BadRank {
+                rank,
+                size: self.bufs.len(),
+            });
+        }
+        let (a, b) = &*self.bufs[rank];
+        if range.end > a.len() {
+            return Err(WindowError::OutOfRange {
+                rank,
+                requested_end: range.end,
+                exposed_len: a.len(),
+            });
+        }
+        if rank != comm.rank() {
+            comm.stats
+                .record_get((range.end - range.start) * std::mem::size_of::<T>());
+            comm.stats
+                .record_get((range.end - range.start) * std::mem::size_of::<U>());
+        }
+        out_a.extend_from_slice(&a[range.clone()]);
+        out_b.extend_from_slice(&b[range]);
+        Ok(())
+    }
+}
+
+impl<T, U> Clone for PairedWindow<T, U> {
+    fn clone(&self) -> Self {
+        PairedWindow {
+            bufs: self.bufs.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn exposes_and_fetches() {
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let data: Vec<u64> = (0..10).map(|i| (comm.rank() * 100 + i) as u64).collect();
+            let win = Window::create(comm, data);
+            // every rank reads a slice of rank 1
+            let piece = win.get(comm, 1, 2..5);
+            piece
+        });
+        for p in got {
+            assert_eq!(p, vec![102, 103, 104]);
+        }
+    }
+
+    #[test]
+    fn gets_are_metered_and_local_reads_free() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![1.0f64; 50]);
+            let before = comm.stats();
+            let _ = win.get(comm, 1 - comm.rank(), 0..50); // remote: 400 B
+            let _ = win.get(comm, comm.rank(), 0..50); // local: free
+            let _ = win.local(comm);
+            comm.stats() - before
+        });
+        for s in got {
+            assert_eq!(s.rdma_gets, 1);
+            assert_eq!(s.rdma_get_bytes, 400);
+        }
+    }
+
+    #[test]
+    fn out_of_range_is_reported() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![0u32; comm.rank() * 4]);
+            let mut out = Vec::new();
+            win.get_into(comm, 0, 0..10, &mut out).err()
+        });
+        assert_eq!(
+            got[1],
+            Some(WindowError::OutOfRange {
+                rank: 0,
+                requested_end: 10,
+                exposed_len: 0
+            })
+        );
+    }
+
+    #[test]
+    fn bad_rank_is_reported() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![0u8; 1]);
+            let mut out = Vec::new();
+            win.get_into(comm, 7, 0..1, &mut out).err()
+        });
+        assert_eq!(got[0], Some(WindowError::BadRank { rank: 7, size: 2 }));
+    }
+
+    #[test]
+    fn uneven_buffer_sizes() {
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![comm.rank() as u8; comm.rank() * 3]);
+            (0..4).map(|r| win.len_of(r)).collect::<Vec<_>>()
+        });
+        for lens in got {
+            assert_eq!(lens, vec![0, 3, 6, 9]);
+        }
+    }
+
+    #[test]
+    fn two_windows_coexist() {
+        // Algorithm 1 uses two windows (row ids + values).
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win_ir = Window::create(comm, vec![comm.rank() as u32; 4]);
+            let win_num = Window::create(comm, vec![comm.rank() as f64 + 0.5; 4]);
+            let other = 1 - comm.rank();
+            (win_ir.get(comm, other, 0..1), win_num.get(comm, other, 3..4))
+        });
+        assert_eq!(got[0].0, vec![1u32]);
+        assert_eq!(got[0].1, vec![1.5f64]);
+        assert_eq!(got[1].0, vec![0u32]);
+        assert_eq!(got[1].1, vec![0.5f64]);
+    }
+}

@@ -1,0 +1,207 @@
+//! Undirected weighted graph in CSR form — the partitioner's working
+//! representation, built from a sparse matrix's symmetrized structure.
+
+use sa_sparse::{Csc, Vidx};
+
+/// Undirected graph with vertex and edge weights (self-loops removed).
+#[derive(Clone, Debug)]
+pub struct Graph {
+    xadj: Vec<usize>,
+    adjncy: Vec<Vidx>,
+    adjwgt: Vec<u64>,
+    vwgt: Vec<u64>,
+}
+
+impl Graph {
+    /// From raw CSR parts (must already be symmetric and loop-free).
+    pub fn from_parts(
+        xadj: Vec<usize>,
+        adjncy: Vec<Vidx>,
+        adjwgt: Vec<u64>,
+        vwgt: Vec<u64>,
+    ) -> Graph {
+        assert_eq!(xadj.len(), vwgt.len() + 1);
+        assert_eq!(adjncy.len(), adjwgt.len());
+        assert_eq!(*xadj.last().unwrap(), adjncy.len());
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+
+    /// Build from a square matrix: structure is symmetrized (`A ∪ Aᵀ`),
+    /// diagonal dropped, unit edge weights, vertex weights supplied by
+    /// `vwgt` (pass the squared-degree weights from
+    /// [`sa_sparse::stats::squaring_vertex_weights`] for SpGEMM balancing,
+    /// per §III-B).
+    pub fn from_matrix_weighted(a: &Csc<f64>, vwgt: Vec<u64>) -> Graph {
+        assert_eq!(a.nrows(), a.ncols(), "graph needs a square matrix");
+        assert_eq!(vwgt.len(), a.nrows());
+        let n = a.nrows();
+        // union of A and A^T patterns, sans diagonal
+        let t = a.transpose();
+        let mut xadj = vec![0usize; n + 1];
+        let mut adjncy: Vec<Vidx> = Vec::with_capacity(2 * a.nnz());
+        for v in 0..n {
+            let (r1, _) = a.col(v);
+            let (r2, _) = t.col(v);
+            // merge two sorted lists, dropping v itself and duplicates
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < r1.len() || j < r2.len() {
+                let x = r1.get(i).copied().unwrap_or(Vidx::MAX);
+                let y = r2.get(j).copied().unwrap_or(Vidx::MAX);
+                let u = x.min(y);
+                if x == u {
+                    i += 1;
+                }
+                if y == u {
+                    j += 1;
+                }
+                if u as usize != v {
+                    adjncy.push(u);
+                }
+            }
+            xadj[v + 1] = adjncy.len();
+        }
+        let adjwgt = vec![1u64; adjncy.len()];
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+
+    /// Build with unit vertex weights.
+    pub fn from_matrix(a: &Csc<f64>) -> Graph {
+        let n = a.nrows();
+        Graph::from_matrix_weighted(a, vec![1; n])
+    }
+
+    pub fn n(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    pub fn n_edges_directed(&self) -> usize {
+        self.adjncy.len()
+    }
+
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> (&[Vidx], &[u64]) {
+        let (s, e) = (self.xadj[v], self.xadj[v + 1]);
+        (&self.adjncy[s..e], &self.adjwgt[s..e])
+    }
+
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.xadj[v + 1] - self.xadj[v]
+    }
+
+    #[inline]
+    pub fn vwgt(&self, v: usize) -> u64 {
+        self.vwgt[v]
+    }
+
+    pub fn vwgts(&self) -> &[u64] {
+        &self.vwgt
+    }
+
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Induce the subgraph on `ids` (sorted order defines new labels).
+    /// Returns the subgraph; `ids[new] = old`.
+    pub fn induce(&self, ids: &[Vidx]) -> Graph {
+        let mut newid = vec![Vidx::MAX; self.n()];
+        for (new, &old) in ids.iter().enumerate() {
+            newid[old as usize] = new as Vidx;
+        }
+        let mut xadj = vec![0usize; ids.len() + 1];
+        let mut adjncy = Vec::new();
+        let mut adjwgt = Vec::new();
+        let mut vwgt = Vec::with_capacity(ids.len());
+        for (new, &old) in ids.iter().enumerate() {
+            let (nbrs, wts) = self.neighbors(old as usize);
+            for (&u, &w) in nbrs.iter().zip(wts) {
+                let nu = newid[u as usize];
+                if nu != Vidx::MAX {
+                    adjncy.push(nu);
+                    adjwgt.push(w);
+                }
+            }
+            xadj[new + 1] = adjncy.len();
+            vwgt.push(self.vwgt(old as usize));
+        }
+        Graph {
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::Coo;
+
+    fn path3() -> Graph {
+        // 0 - 1 - 2 with a diagonal entry to be dropped
+        let mut m = Coo::new(3, 3);
+        m.push(0, 1, 1.0);
+        m.push(1, 0, 1.0);
+        m.push(1, 2, 1.0);
+        m.push(2, 1, 1.0);
+        m.push(1, 1, 5.0);
+        Graph::from_matrix(&m.to_csc())
+    }
+
+    #[test]
+    fn structure_symmetric_no_loops() {
+        let g = path3();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.neighbors(0).0, &[1]);
+        assert_eq!(g.neighbors(1).0, &[0, 2]);
+        assert_eq!(g.neighbors(2).0, &[1]);
+    }
+
+    #[test]
+    fn asymmetric_matrix_is_symmetrized() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 2, 1.0); // only one direction stored
+        let g = Graph::from_matrix(&m.to_csc());
+        assert_eq!(g.neighbors(0).0, &[2]);
+        assert_eq!(g.neighbors(2).0, &[0]);
+    }
+
+    #[test]
+    fn weights_carried() {
+        let mut m = Coo::new(2, 2);
+        m.push(0, 1, 1.0);
+        m.push(1, 0, 1.0);
+        let g = Graph::from_matrix_weighted(&m.to_csc(), vec![10, 20]);
+        assert_eq!(g.vwgt(0), 10);
+        assert_eq!(g.total_vwgt(), 30);
+    }
+
+    #[test]
+    fn induce_subgraph() {
+        let g = path3();
+        let sub = g.induce(&[0, 1]); // drop vertex 2
+        assert_eq!(sub.n(), 2);
+        assert_eq!(sub.neighbors(0).0, &[1]);
+        assert_eq!(sub.neighbors(1).0, &[0], "edge to dropped vertex removed");
+    }
+
+    #[test]
+    fn induce_relabels() {
+        let g = path3();
+        let sub = g.induce(&[1, 2]); // 1->0, 2->1
+        assert_eq!(sub.neighbors(0).0, &[1]);
+        assert_eq!(sub.neighbors(1).0, &[0]);
+    }
+}

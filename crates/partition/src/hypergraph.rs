@@ -1,0 +1,636 @@
+//! Hypergraph partitioning for 1D SpGEMM — the §II-B extension.
+//!
+//! The paper's related work (Akbudak & Aykanat [2, 4]) models 1D SpGEMM
+//! communication *exactly* with a hypergraph: unlike the graph model, whose
+//! edge cut only approximates communication, the **connectivity metric**
+//! `Σ_nets cost(net)·(λ(net) − 1)` equals the true volume the
+//! sparsity-aware 1D algorithm moves.
+//!
+//! For squaring (`C = A·A`, the paper's §IV-A workload) the model is the
+//! *column-net* construction: vertex `j` is column `j` of `A`; net `n_k`
+//! connects vertex `k` with every vertex `j` such that `A[k, j] ≠ 0`, and
+//! costs `nnz(A(:,k))` (the bytes-proportional size of column `k`). A part
+//! needs column `k` exactly when it owns some column `j` with `A[k,j] ≠ 0`
+//! (then row `k` of its `B` slice is nonzero — Algorithm 1's `⃗H` test), so
+//! column `k` is fetched by `λ(n_k) − 1` non-owner parts.
+//!
+//! The partitioner is a multilevel-style recursive bisection: greedy
+//! net-aware growing for the initial split, then Fiduccia–Mattheyses
+//! boundary passes using exact connectivity gains. This is the same
+//! algorithm family as PaToH, scaled to this repository's needs.
+
+use crate::perm_builder::{partition_to_perm, PartLayout};
+use sa_sparse::{Csc, Vidx};
+
+/// A hypergraph: vertices with weights, nets (hyperedges) with costs.
+#[derive(Clone, Debug)]
+pub struct Hypergraph {
+    /// Net pin lists in CSR form: net `i` pins are
+    /// `pins[xpins[i]..xpins[i+1]]`.
+    xpins: Vec<usize>,
+    pins: Vec<Vidx>,
+    /// Cost charged per unit of connectivity above 1.
+    ncost: Vec<u64>,
+    /// Vertex weights (flop balance, squared column nnz per §III-B).
+    vwgt: Vec<u64>,
+}
+
+impl Hypergraph {
+    /// Assemble from raw parts.
+    pub fn from_parts(
+        xpins: Vec<usize>,
+        pins: Vec<Vidx>,
+        ncost: Vec<u64>,
+        vwgt: Vec<u64>,
+    ) -> Hypergraph {
+        assert_eq!(xpins.len(), ncost.len() + 1);
+        assert_eq!(*xpins.last().unwrap_or(&0), pins.len());
+        Hypergraph {
+            xpins,
+            pins,
+            ncost,
+            vwgt,
+        }
+    }
+
+    /// The column-net model of squaring a square matrix `A` (see module
+    /// docs): one vertex and one net per column; net `k` pins `{k} ∪
+    /// {j : A[k,j] ≠ 0}`, cost `nnz(A(:,k))`; vertex weight
+    /// `nnz(A(:,j))²` (the §III-B sparse-flop estimate).
+    ///
+    /// ```
+    /// use sa_partition::{connectivity_volume, Hypergraph};
+    /// use sa_sparse::gen::banded;
+    ///
+    /// let a = banded(100, 3, 1.0, true, 1);
+    /// let h = Hypergraph::column_net_squaring(&a);
+    /// assert_eq!(h.nverts(), 100);
+    /// // splitting the band in half only cuts the nets at the boundary
+    /// let parts: Vec<u32> = (0..100).map(|v| (v >= 50) as u32).collect();
+    /// let vol = connectivity_volume(&h, &parts, 2);
+    /// assert!(vol > 0 && vol < a.nnz() as u64 / 10);
+    /// ```
+    pub fn column_net_squaring(a: &Csc<f64>) -> Hypergraph {
+        assert_eq!(a.nrows(), a.ncols(), "squaring model needs square A");
+        let n = a.ncols();
+        let at = a.transpose(); // at.col(k) = row k of A = pins of net k
+        let mut xpins = Vec::with_capacity(n + 1);
+        let mut pins: Vec<Vidx> = Vec::with_capacity(a.nnz() + n);
+        let mut ncost = Vec::with_capacity(n);
+        let mut vwgt = Vec::with_capacity(n);
+        xpins.push(0usize);
+        for k in 0..n {
+            let (row_js, _) = at.col(k);
+            // merge {k} into the sorted pin list, dropping the duplicate
+            let mut inserted = false;
+            for &j in row_js {
+                if !inserted && (j as usize) >= k {
+                    if (j as usize) != k {
+                        pins.push(k as Vidx);
+                    }
+                    inserted = true;
+                }
+                pins.push(j);
+            }
+            if !inserted {
+                pins.push(k as Vidx);
+            }
+            xpins.push(pins.len());
+            ncost.push(a.col_nnz(k) as u64);
+            let d = a.col_nnz(k) as u64;
+            vwgt.push(d * d);
+        }
+        Hypergraph {
+            xpins,
+            pins,
+            ncost,
+            vwgt,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn nverts(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Number of nets.
+    pub fn nnets(&self) -> usize {
+        self.ncost.len()
+    }
+
+    /// Pins of net `i`.
+    pub fn net(&self, i: usize) -> &[Vidx] {
+        &self.pins[self.xpins[i]..self.xpins[i + 1]]
+    }
+
+    /// Vertex weights.
+    pub fn vwgt(&self) -> &[u64] {
+        &self.vwgt
+    }
+
+    /// Net costs.
+    pub fn ncost(&self) -> &[u64] {
+        &self.ncost
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Build the inverse (vertex → nets containing it) incidence in CSR.
+    fn vertex_to_nets(&self) -> (Vec<usize>, Vec<Vidx>) {
+        let n = self.nverts();
+        let mut deg = vec![0usize; n];
+        for &p in &self.pins {
+            deg[p as usize] += 1;
+        }
+        let mut xnets = Vec::with_capacity(n + 1);
+        xnets.push(0usize);
+        for v in 0..n {
+            xnets.push(xnets[v] + deg[v]);
+        }
+        let mut cursor = xnets.clone();
+        let mut nets = vec![0 as Vidx; self.pins.len()];
+        for i in 0..self.nnets() {
+            for &p in self.net(i) {
+                nets[cursor[p as usize]] = i as Vidx;
+                cursor[p as usize] += 1;
+            }
+        }
+        (xnets, nets)
+    }
+}
+
+/// Connectivity metric `Σ cost(net)·(λ − 1)` — the exact 1D SpGEMM
+/// communication volume (in nnz units) of the partition.
+pub fn connectivity_volume(h: &Hypergraph, parts: &[u32], k: usize) -> u64 {
+    assert_eq!(parts.len(), h.nverts());
+    let mut seen = vec![u32::MAX; k];
+    let mut vol = 0u64;
+    for i in 0..h.nnets() {
+        let mut lambda = 0u64;
+        for &p in h.net(i) {
+            let pt = parts[p as usize] as usize;
+            if seen[pt] != i as u32 {
+                seen[pt] = i as u32;
+                lambda += 1;
+            }
+        }
+        vol += h.ncost[i] * lambda.saturating_sub(1);
+    }
+    vol
+}
+
+/// Number of nets spanning more than one part (the "cut nets").
+pub fn cut_nets(h: &Hypergraph, parts: &[u32]) -> usize {
+    (0..h.nnets())
+        .filter(|&i| {
+            let net = h.net(i);
+            net.iter()
+                .any(|&p| parts[p as usize] != parts[net[0] as usize])
+        })
+        .count()
+}
+
+/// Max part weight over average part weight (1.0 = perfectly balanced).
+pub fn hyper_balance(h: &Hypergraph, parts: &[u32], k: usize) -> f64 {
+    let mut w = vec![0u64; k];
+    for (v, &p) in parts.iter().enumerate() {
+        w[p as usize] += h.vwgt[v];
+    }
+    let max = *w.iter().max().unwrap_or(&0) as f64;
+    let avg = h.total_vwgt() as f64 / k as f64;
+    if avg == 0.0 {
+        1.0
+    } else {
+        max / avg
+    }
+}
+
+/// Configuration of the recursive-bisection hypergraph partitioner.
+#[derive(Clone, Copy, Debug)]
+pub struct HyperConfig {
+    /// Number of parts.
+    pub k: usize,
+    /// Allowed imbalance per bisection (0.05 = 5%).
+    pub epsilon: f64,
+    /// FM refinement passes per bisection.
+    pub passes: usize,
+    /// RNG seed for tie-breaking and growth starts.
+    pub seed: u64,
+}
+
+impl HyperConfig {
+    /// Defaults matching the graph partitioner's (ε = 5%, 4 passes).
+    pub fn new(k: usize) -> HyperConfig {
+        HyperConfig {
+            k,
+            epsilon: 0.05,
+            passes: 4,
+            seed: 1,
+        }
+    }
+}
+
+/// Partition the hypergraph into `cfg.k` parts by recursive bisection,
+/// minimizing the connectivity metric. Returns a part id per vertex.
+pub fn partition_hypergraph(h: &Hypergraph, cfg: &HyperConfig) -> Vec<u32> {
+    assert!(cfg.k >= 1);
+    let mut parts = vec![0u32; h.nverts()];
+    if cfg.k == 1 || h.nverts() == 0 {
+        return parts;
+    }
+    let all: Vec<Vidx> = (0..h.nverts() as Vidx).collect();
+    recurse(h, &all, 0, cfg.k, cfg, &mut parts);
+    parts
+}
+
+/// Bisect `verts` (a sub-hypergraph by restriction) into part-id ranges
+/// `[base, base+split)` and `[base+split, base+k)`, recursing.
+fn recurse(h: &Hypergraph, verts: &[Vidx], base: u32, k: usize, cfg: &HyperConfig, parts: &mut [u32]) {
+    if k == 1 {
+        for &v in verts {
+            parts[v as usize] = base;
+        }
+        return;
+    }
+    let k_left = k / 2;
+    let k_right = k - k_left;
+    let frac_left = k_left as f64 / k as f64;
+    let (left, right) = bisect(h, verts, frac_left, cfg);
+    recurse(h, &left, base, k_left, cfg, parts);
+    recurse(h, &right, base + k_left as u32, k_right, cfg, parts);
+}
+
+/// One weighted bisection of `verts`: greedy growth + FM refinement.
+/// Returns (left, right) vertex lists.
+fn bisect(h: &Hypergraph, verts: &[Vidx], frac_left: f64, cfg: &HyperConfig) -> (Vec<Vidx>, Vec<Vidx>) {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (verts.len() as u64) << 1);
+    let total: u64 = verts.iter().map(|&v| h.vwgt[v as usize]).sum();
+    let target_left = (total as f64 * frac_left) as u64;
+    let cap_left = (target_left as f64 * (1.0 + cfg.epsilon)) as u64;
+
+    // membership: 0 = left, 1 = right, restricted to `verts`
+    let mut side = vec![1u8; h.nverts()];
+    let mut in_sub = vec![false; h.nverts()];
+    for &v in verts {
+        in_sub[v as usize] = true;
+    }
+
+    // (1) greedy growth of the left side from a random start: absorb
+    // frontier vertices while that moves the left weight *closer to* the
+    // target (classic graph-growing; overshoot bounded by one vertex).
+    let (xnets, vnets) = h.vertex_to_nets();
+    let start = verts[rng.gen_range(0..verts.len())] as usize;
+    let mut wl = 0u64;
+    let mut queue: Vec<usize> = vec![start];
+    let mut enqueued = vec![false; h.nverts()];
+    enqueued[start] = true;
+    loop {
+        let v = match queue.pop() {
+            Some(v) => v,
+            None => {
+                // disconnected remainder: seed from any right-side vertex
+                match verts
+                    .iter()
+                    .find(|&&u| side[u as usize] == 1 && !enqueued[u as usize])
+                {
+                    Some(&u) => {
+                        enqueued[u as usize] = true;
+                        u as usize
+                    }
+                    None => break,
+                }
+            }
+        };
+        if side[v] == 0 {
+            continue;
+        }
+        let w = h.vwgt[v];
+        // absorb only while it brings wl closer to the target
+        if (wl + w).abs_diff(target_left) >= wl.abs_diff(target_left) && wl > 0 {
+            if wl >= target_left {
+                break;
+            }
+            continue; // heavy vertex: skip it, keep growing past it
+        }
+        side[v] = 0;
+        wl += w;
+        // push net-neighbours; shuffle within the batch to avoid
+        // pathological orderings while keeping growth contiguous (LIFO)
+        let mut nbrs: Vec<usize> = Vec::new();
+        for &ni in &vnets[xnets[v]..xnets[v + 1]] {
+            for &u in h.net(ni as usize) {
+                let u = u as usize;
+                if in_sub[u] && side[u] == 1 && !enqueued[u] {
+                    enqueued[u] = true;
+                    nbrs.push(u);
+                }
+            }
+        }
+        for i in (1..nbrs.len()).rev() {
+            nbrs.swap(i, rng.gen_range(0..=i));
+        }
+        queue.extend(nbrs);
+    }
+
+    // (2) FM refinement on the connectivity metric, with best-prefix
+    // rollback: each pass greedily applies the best allowed move (each
+    // vertex at most once per pass), tracks the running volume delta, and
+    // rewinds to the best balanced state seen.
+    let mut pin_l = vec![0u32; h.nnets()];
+    let mut pin_r = vec![0u32; h.nnets()];
+    let mut net_active = vec![false; h.nnets()];
+    for i in 0..h.nnets() {
+        for &p in h.net(i) {
+            if !in_sub[p as usize] {
+                continue;
+            }
+            net_active[i] = true;
+            if side[p as usize] == 0 {
+                pin_l[i] += 1;
+            } else {
+                pin_r[i] += 1;
+            }
+        }
+    }
+    let mut cnt_l = verts.iter().filter(|&&v| side[v as usize] == 0).count();
+    let mut wl_now = wl;
+    let floor_left = (target_left as f64 * (1.0 - cfg.epsilon)) as u64;
+    let gain_of = |v: usize, side: &[u8], pin_l: &[u32], pin_r: &[u32]| -> i64 {
+        let mut g = 0i64;
+        for &ni in &vnets[xnets[v]..xnets[v + 1]] {
+            let ni = ni as usize;
+            if !net_active[ni] {
+                continue;
+            }
+            let (mine, other) = if side[v] == 0 {
+                (pin_l[ni], pin_r[ni])
+            } else {
+                (pin_r[ni], pin_l[ni])
+            };
+            if mine == 1 && other > 0 {
+                g += h.ncost[ni] as i64;
+            } else if other == 0 && mine > 1 {
+                g -= h.ncost[ni] as i64;
+            }
+        }
+        g
+    };
+    for _ in 0..cfg.passes {
+        // One pass: snapshot the boundary, order by initial gain, then
+        // apply greedily with gains recomputed at apply time (stale-gain
+        // FM — O(B log B + B·pins) instead of O(B²·pins)).
+        let mut candidates: Vec<(i64, usize)> = verts
+            .iter()
+            .map(|&v| v as usize)
+            .filter(|&v| {
+                vnets[xnets[v]..xnets[v + 1]].iter().any(|&ni| {
+                    let ni = ni as usize;
+                    net_active[ni] && pin_l[ni] > 0 && pin_r[ni] > 0
+                })
+            })
+            .map(|v| (gain_of(v, &side, &pin_l, &pin_r), v))
+            .collect();
+        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        let mut history: Vec<usize> = Vec::new();
+        let mut delta = 0i64; // cumulative volume change (negative = better)
+        let mut best_delta = 0i64;
+        let mut best_len = 0usize;
+        for &(_, v) in &candidates {
+            let g = gain_of(v, &side, &pin_l, &pin_r); // fresh gain
+            if g < 0 && history.len() >= best_len + 8 {
+                break; // short escape budget past the best state
+            }
+            let w = h.vwgt[v];
+            let (new_wl, leaves_empty) = if side[v] == 0 {
+                (wl_now - w, cnt_l == 1)
+            } else {
+                (wl_now + w, cnt_l + 1 == verts.len())
+            };
+            // block emptying a side; block right→left moves above the cap
+            if leaves_empty || (side[v] == 1 && new_wl > cap_left) {
+                continue;
+            }
+            for &ni in &vnets[xnets[v]..xnets[v + 1]] {
+                let ni = ni as usize;
+                if !net_active[ni] {
+                    continue;
+                }
+                if side[v] == 0 {
+                    pin_l[ni] -= 1;
+                    pin_r[ni] += 1;
+                } else {
+                    pin_r[ni] -= 1;
+                    pin_l[ni] += 1;
+                }
+            }
+            if side[v] == 0 {
+                wl_now -= w;
+                cnt_l -= 1;
+            } else {
+                wl_now += w;
+                cnt_l += 1;
+            }
+            side[v] = 1 - side[v];
+            history.push(v);
+            delta -= g;
+            let balanced = wl_now >= floor_left && wl_now <= cap_left;
+            if delta < best_delta && balanced && cnt_l > 0 && cnt_l < verts.len() {
+                best_delta = delta;
+                best_len = history.len();
+            }
+        }
+        // rewind to the best prefix
+        while history.len() > best_len {
+            let v = history.pop().unwrap();
+            for &ni in &vnets[xnets[v]..xnets[v + 1]] {
+                let ni = ni as usize;
+                if !net_active[ni] {
+                    continue;
+                }
+                if side[v] == 0 {
+                    pin_l[ni] -= 1;
+                    pin_r[ni] += 1;
+                } else {
+                    pin_r[ni] -= 1;
+                    pin_l[ni] += 1;
+                }
+            }
+            if side[v] == 0 {
+                wl_now -= h.vwgt[v];
+                cnt_l -= 1;
+            } else {
+                wl_now += h.vwgt[v];
+                cnt_l += 1;
+            }
+            side[v] = 1 - side[v];
+        }
+        if best_len == 0 {
+            break;
+        }
+    }
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for &v in verts {
+        if side[v as usize] == 0 {
+            left.push(v);
+        } else {
+            right.push(v);
+        }
+    }
+    // degenerate growth (e.g. one huge vertex): never return an empty side
+    if left.is_empty() {
+        left.push(right.pop().unwrap());
+    } else if right.is_empty() {
+        right.push(left.pop().unwrap());
+    }
+    (left, right)
+}
+
+/// Partition a square matrix for `k`-way 1D SpGEMM with the column-net
+/// model and convert the result to a (permutation, offsets) layout, like
+/// [`crate::partition_to_perm`] does for the graph partitioner.
+pub fn hypergraph_layout(a: &Csc<f64>, cfg: &HyperConfig) -> PartLayout {
+    let h = Hypergraph::column_net_squaring(a);
+    let parts = partition_hypergraph(&h, cfg);
+    partition_to_perm(&parts, cfg.k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::gen::{banded, erdos_renyi, sbm};
+    use sa_sparse::Coo;
+
+    fn tiny_block_diag() -> Csc<f64> {
+        // two 3-cliques joined by one edge: the obvious 2-way split exists
+        let mut coo = Coo::new(6, 6);
+        for &(u, v) in &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5), (2, 3)] {
+            coo.push(u, v, 1.0);
+            coo.push(v, u, 1.0);
+        }
+        coo.to_csc_with(|x, _| x)
+    }
+
+    #[test]
+    fn column_net_counts() {
+        let a = tiny_block_diag();
+        let h = Hypergraph::column_net_squaring(&a);
+        assert_eq!(h.nverts(), 6);
+        assert_eq!(h.nnets(), 6);
+        // net 0 pins: {0} ∪ {j : A[0,j] ≠ 0} = {0, 1, 2}
+        assert_eq!(h.net(0), &[0, 1, 2]);
+        // net 2 pins: row 2 touches 0,1,3 plus vertex 2 itself
+        assert_eq!(h.net(2), &[0, 1, 2, 3]);
+        // cost = column nnz
+        assert_eq!(h.ncost()[2], 3);
+        assert_eq!(h.vwgt()[2], 9);
+    }
+
+    #[test]
+    fn connectivity_volume_matches_hand_count() {
+        let a = tiny_block_diag();
+        let h = Hypergraph::column_net_squaring(&a);
+        // the natural split {0,1,2} | {3,4,5}: only nets 2 and 3 span both
+        // parts (they contain the bridge 2–3); each costs its column nnz 3.
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(connectivity_volume(&h, &parts, 2), 6);
+        assert_eq!(cut_nets(&h, &parts), 2);
+        // everything in one part: zero volume
+        assert_eq!(connectivity_volume(&h, &vec![0; 6], 1), 0);
+    }
+
+    #[test]
+    fn partitioner_finds_planted_split() {
+        let a = tiny_block_diag();
+        let h = Hypergraph::column_net_squaring(&a);
+        let parts = partition_hypergraph(&h, &HyperConfig::new(2));
+        // both cliques must be pure
+        assert_eq!(parts[0], parts[1]);
+        assert_eq!(parts[1], parts[2]);
+        assert_eq!(parts[3], parts[4]);
+        assert_eq!(parts[4], parts[5]);
+        assert_ne!(parts[0], parts[3]);
+    }
+
+    #[test]
+    fn volume_beats_random_assignment_on_banded() {
+        let a = banded(600, 6, 1.0, true, 3);
+        let h = Hypergraph::column_net_squaring(&a);
+        let cfg = HyperConfig::new(8);
+        let parts = partition_hypergraph(&h, &cfg);
+        let vol = connectivity_volume(&h, &parts, 8);
+        // random assignment for comparison
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let rand_parts: Vec<u32> = (0..h.nverts()).map(|_| rng.gen_range(0..8)).collect();
+        let rand_vol = connectivity_volume(&h, &rand_parts, 8);
+        assert!(
+            vol * 4 < rand_vol,
+            "partitioned volume {vol} should be ≪ random volume {rand_vol}"
+        );
+    }
+
+    #[test]
+    fn balance_respected_on_clustered_input() {
+        let a = sbm(800, 8, 12.0, 1.0, false, 7);
+        let h = Hypergraph::column_net_squaring(&a);
+        let cfg = HyperConfig::new(8);
+        let parts = partition_hypergraph(&h, &cfg);
+        let bal = hyper_balance(&h, &parts, 8);
+        // recursive bisection compounds ε per level; allow a loose bound
+        assert!(bal < 1.8, "balance {bal}");
+        let k_used = parts.iter().collect::<std::collections::HashSet<_>>().len();
+        assert_eq!(k_used, 8, "all parts populated");
+    }
+
+    #[test]
+    fn er_matrix_has_no_exploitable_structure() {
+        // on an ER matrix even a good partitioner cannot reduce volume
+        // much below random — the paper's "worst case for 1D" (§II-A)
+        let a = erdos_renyi(400, 400, 8.0, 5);
+        let sym = {
+            // symmetrize so the model's assumptions hold
+            let at = a.transpose();
+            sa_sparse::ewise::ewise_add::<sa_sparse::semiring::PlusTimes<f64>>(&a, &at)
+        };
+        let h = Hypergraph::column_net_squaring(&sym);
+        let parts = partition_hypergraph(&h, &HyperConfig::new(4));
+        let vol = connectivity_volume(&h, &parts, 4);
+        let full = h.ncost().iter().sum::<u64>() * 3; // λ−1 = 3 everywhere
+        assert!(
+            vol * 10 > full * 4,
+            "ER volume {vol} cannot be far below the λ-max {full}"
+        );
+    }
+
+    #[test]
+    fn single_part_trivial() {
+        let a = tiny_block_diag();
+        let h = Hypergraph::column_net_squaring(&a);
+        let parts = partition_hypergraph(&h, &HyperConfig::new(1));
+        assert!(parts.iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn layout_offsets_cover_all_columns() {
+        let a = banded(200, 4, 1.0, true, 1);
+        let layout = hypergraph_layout(&a, &HyperConfig::new(4));
+        assert_eq!(layout.offsets.len(), 5);
+        assert_eq!(layout.offsets[0], 0);
+        assert_eq!(*layout.offsets.last().unwrap(), 200);
+        assert!(layout.offsets.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_matrix_partitions() {
+        let a: Csc<f64> = Csc::zeros(0, 0);
+        let h = Hypergraph::column_net_squaring(&a);
+        let parts = partition_hypergraph(&h, &HyperConfig::new(4));
+        assert!(parts.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Graph partitioning and permutation strategies for sparsity-aware SpGEMM.
+//!
+//! The paper (§III-B) partitions the input graph with (Par)METIS using
+//! vertex weights equal to the *square* of each vertex's degree (the
+//! sparse-flop estimate for squaring), so that both nonzeros and local
+//! SpGEMM work are balanced across the 1D process slices. This crate
+//! implements the same multilevel k-way scheme METIS uses:
+//!
+//! 1. **Coarsening** by heavy-edge matching until the graph is small,
+//! 2. **Initial partitioning** by recursive bisection with greedy graph
+//!    growing,
+//! 3. **Uncoarsening** with Fiduccia–Mattheyses-style boundary refinement
+//!    at every level.
+//!
+//! It also provides the *random symmetric permutation* baseline the 2D/3D
+//! sparsity-oblivious algorithms need, and the conversion from a partition
+//! vector to a (permutation, 1D column-offset) pair that the distributed
+//! matrices consume.
+
+mod graph;
+pub mod hypergraph;
+pub mod metrics;
+mod multilevel;
+mod perm_builder;
+
+pub use graph::Graph;
+pub use hypergraph::{
+    connectivity_volume, hypergraph_layout, partition_hypergraph, HyperConfig, Hypergraph,
+};
+pub use multilevel::{partition_kway, PartitionConfig};
+pub use perm_builder::{partition_to_perm, PartLayout};
+
+use sa_sparse::Perm;
+
+/// Uniformly random symmetric permutation — the load-balancing
+/// preprocessing of the sparsity-oblivious algorithms (§II-B1).
+pub fn random_symmetric_perm(n: usize, seed: u64) -> Perm {
+    Perm::random(n, seed)
+}

@@ -1,0 +1,156 @@
+//! Coarsening by heavy-edge matching (HEM): visit vertices in random order,
+//! match each unmatched vertex with its unmatched neighbor of heaviest edge,
+//! then contract matched pairs into coarse vertices.
+
+use super::Rng;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+use sa_sparse::Vidx;
+use std::collections::HashMap;
+
+/// One coarsening level. Returns the coarse graph and the fine→coarse map.
+pub fn coarsen(g: &Graph, rng: &mut Rng) -> (Graph, Vec<u32>) {
+    let n = g.n();
+    const UNMATCHED: u32 = u32::MAX;
+    let mut mate = vec![UNMATCHED; n];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+
+    for &v in &order {
+        let v = v as usize;
+        if mate[v] != UNMATCHED {
+            continue;
+        }
+        let (nbrs, wts) = g.neighbors(v);
+        let mut best: Option<(u64, usize)> = None;
+        for (&u, &w) in nbrs.iter().zip(wts) {
+            let u = u as usize;
+            if u != v && mate[u] == UNMATCHED {
+                match best {
+                    Some((bw, _)) if bw >= w => {}
+                    _ => best = Some((w, u)),
+                }
+            }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v] = u as u32;
+                mate[u] = v as u32;
+            }
+            None => mate[v] = v as u32, // self-match (stays singleton)
+        }
+    }
+
+    // Assign coarse ids: pair gets one id (owned by the smaller endpoint).
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n {
+        if map[v] != u32::MAX {
+            continue;
+        }
+        let m = mate[v] as usize;
+        map[v] = next;
+        map[m] = next; // self-match: same write twice
+        next += 1;
+    }
+    let cn = next as usize;
+
+    // Build the coarse graph: sum vertex weights, merge parallel edges.
+    let mut cvwgt = vec![0u64; cn];
+    for v in 0..n {
+        cvwgt[map[v] as usize] += g.vwgt(v);
+    }
+    let mut xadj = vec![0usize; cn + 1];
+    let mut adjncy: Vec<Vidx> = Vec::new();
+    let mut adjwgt: Vec<u64> = Vec::new();
+    // bucket fine vertices per coarse vertex
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
+    for v in 0..n {
+        members[map[v] as usize].push(v as u32);
+    }
+    let mut acc: HashMap<u32, u64> = HashMap::new();
+    for c in 0..cn {
+        acc.clear();
+        for &v in &members[c] {
+            let (nbrs, wts) = g.neighbors(v as usize);
+            for (&u, &w) in nbrs.iter().zip(wts) {
+                let cu = map[u as usize];
+                if cu as usize != c {
+                    *acc.entry(cu).or_insert(0) += w;
+                }
+            }
+        }
+        let mut pairs: Vec<(u32, u64)> = acc.iter().map(|(&k, &v)| (k, v)).collect();
+        pairs.sort_unstable_by_key(|p| p.0);
+        for (u, w) in pairs {
+            adjncy.push(u);
+            adjwgt.push(w);
+        }
+        xadj[c + 1] = adjncy.len();
+    }
+    (Graph::from_parts(xadj, adjncy, adjwgt, cvwgt), map)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use sa_sparse::gen::stencil3d;
+
+    #[test]
+    fn shrinks_substantially() {
+        let g = Graph::from_matrix(&stencil3d(6, 6, 6, true));
+        let mut rng = Rng::seed_from_u64(1);
+        let (coarse, map) = coarsen(&g, &mut rng);
+        assert!(coarse.n() <= (g.n() * 3) / 4, "{} -> {}", g.n(), coarse.n());
+        assert_eq!(map.len(), g.n());
+        assert!(map.iter().all(|&c| (c as usize) < coarse.n()));
+    }
+
+    #[test]
+    fn preserves_total_vertex_weight() {
+        let a = stencil3d(5, 5, 5, true);
+        let w: Vec<u64> = (0..a.nrows() as u64).map(|i| i + 1).collect();
+        let g = Graph::from_matrix_weighted(&a, w);
+        let mut rng = Rng::seed_from_u64(2);
+        let (coarse, _) = coarsen(&g, &mut rng);
+        assert_eq!(coarse.total_vwgt(), g.total_vwgt());
+    }
+
+    #[test]
+    fn preserves_cross_pair_edge_weight() {
+        // Total edge weight between distinct coarse vertices equals total
+        // fine edge weight minus intra-pair weight — and nothing is created.
+        let g = Graph::from_matrix(&stencil3d(4, 4, 4, true));
+        let mut rng = Rng::seed_from_u64(3);
+        let (coarse, map) = coarsen(&g, &mut rng);
+        let map_ref = &map;
+        let fine_cross: u64 = (0..g.n())
+            .flat_map(|v| {
+                let (nbrs, wts) = g.neighbors(v);
+                nbrs.iter()
+                    .zip(wts)
+                    .filter(move |(&u, _)| map_ref[u as usize] != map_ref[v])
+                    .map(|(_, &w)| w)
+                    .collect::<Vec<_>>()
+            })
+            .sum();
+        let coarse_total: u64 = (0..coarse.n())
+            .map(|v| coarse.neighbors(v).1.iter().sum::<u64>())
+            .sum();
+        assert_eq!(coarse_total, fine_cross);
+    }
+
+    #[test]
+    fn map_pairs_are_adjacent_or_self() {
+        let g = Graph::from_matrix(&stencil3d(4, 4, 2, true));
+        let mut rng = Rng::seed_from_u64(4);
+        let (_, map) = coarsen(&g, &mut rng);
+        // every coarse vertex has at most 2 fine members
+        let mut count = std::collections::HashMap::new();
+        for &c in &map {
+            *count.entry(c).or_insert(0usize) += 1;
+        }
+        assert!(count.values().all(|&c| c <= 2));
+    }
+}

@@ -1,0 +1,150 @@
+//! Initial partitioning of the coarsest graph: recursive bisection with
+//! greedy (BFS) graph growing, best-of-several-seeds.
+
+use super::Rng;
+use crate::graph::Graph;
+use crate::metrics::edge_cut;
+use rand::Rng as _;
+use sa_sparse::Vidx;
+use std::collections::VecDeque;
+
+/// Partition `g` into `k` parts by recursive bisection.
+pub fn initial_partition(g: &Graph, k: usize, epsilon: f64, rng: &mut Rng) -> Vec<u32> {
+    let mut parts = vec![0u32; g.n()];
+    let ids: Vec<Vidx> = (0..g.n() as u32).collect();
+    recurse(g, &ids, k, 0, epsilon, rng, &mut parts);
+    parts
+}
+
+/// Partition the sub-graph induced on `ids` into parts `base..base+k`.
+fn recurse(
+    g: &Graph,
+    ids: &[Vidx],
+    k: usize,
+    base: u32,
+    epsilon: f64,
+    rng: &mut Rng,
+    parts: &mut [u32],
+) {
+    if k == 1 {
+        for &v in ids {
+            parts[v as usize] = base;
+        }
+        return;
+    }
+    let sub = g.induce(ids);
+    let k_left = k / 2;
+    let frac = k_left as f64 / k as f64;
+    let side = grow_bisection(&sub, frac, epsilon, rng);
+    let (mut left, mut right) = (Vec::new(), Vec::new());
+    for (new, &old) in ids.iter().enumerate() {
+        if side[new] {
+            left.push(old);
+        } else {
+            right.push(old);
+        }
+    }
+    // Degenerate guard: growing can fail only on pathological graphs.
+    if left.is_empty() || right.is_empty() {
+        let mid = ids.len() / 2;
+        left = ids[..mid].to_vec();
+        right = ids[mid..].to_vec();
+    }
+    recurse(g, &left, k_left, base, epsilon, rng, parts);
+    recurse(g, &right, k - k_left, base + k_left as u32, epsilon, rng, parts);
+}
+
+/// Grow a region of ~`frac` of the total vertex weight by BFS from a random
+/// seed; several trials, keep the lowest-cut result. Returns the side mask.
+fn grow_bisection(g: &Graph, frac: f64, _epsilon: f64, rng: &mut Rng) -> Vec<bool> {
+    let total = g.total_vwgt();
+    let target = (total as f64 * frac) as u64;
+    let trials = 4.min(g.n()).max(1);
+    let mut best: Option<(u64, Vec<bool>)> = None;
+    for _ in 0..trials {
+        let seed = rng.gen_range(0..g.n());
+        let mut side = vec![false; g.n()];
+        let mut weight = 0u64;
+        let mut queue = VecDeque::new();
+        let mut seen = vec![false; g.n()];
+        queue.push_back(seed);
+        seen[seed] = true;
+        while weight < target {
+            let v = match queue.pop_front() {
+                Some(v) => v,
+                None => {
+                    // disconnected: jump to an unseen vertex
+                    match (0..g.n()).find(|&u| !seen[u]) {
+                        Some(u) => {
+                            seen[u] = true;
+                            u
+                        }
+                        None => break,
+                    }
+                }
+            };
+            side[v] = true;
+            weight += g.vwgt(v);
+            for &u in g.neighbors(v).0 {
+                let u = u as usize;
+                if !seen[u] {
+                    seen[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+        let as_parts: Vec<u32> = side.iter().map(|&s| s as u32).collect();
+        let cut = edge_cut(g, &as_parts);
+        if best.as_ref().map(|(c, _)| cut < *c).unwrap_or(true) {
+            best = Some((cut, side));
+        }
+    }
+    best.expect("at least one trial").1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::balance;
+    use rand::SeedableRng;
+    use sa_sparse::gen::stencil3d;
+
+    #[test]
+    fn bisection_splits_grid_spatially() {
+        let g = Graph::from_matrix(&stencil3d(8, 8, 4, true));
+        let mut rng = Rng::seed_from_u64(5);
+        let parts = initial_partition(&g, 2, 0.05, &mut rng);
+        let bal = balance(&g, &parts, 2);
+        assert!(bal < 1.2, "balance {bal}");
+        // a spatial bisection of a 2048-edge-ish grid should cut a small
+        // fraction of total edges
+        let cut = edge_cut(&g, &parts);
+        let total: u64 = (0..g.n()).map(|v| g.degree(v) as u64).sum::<u64>() / 2;
+        assert!(cut * 4 < total, "cut {cut} of {total}");
+    }
+
+    #[test]
+    fn all_parts_populated_for_odd_k() {
+        let g = Graph::from_matrix(&stencil3d(6, 6, 3, true));
+        let mut rng = Rng::seed_from_u64(6);
+        let parts = initial_partition(&g, 5, 0.05, &mut rng);
+        for p in 0..5u32 {
+            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graph() {
+        // two disjoint paths
+        use sa_sparse::Coo;
+        let mut m = Coo::new(6, 6);
+        for (a, b) in [(0, 1), (1, 2), (3, 4), (4, 5)] {
+            m.push(a, b, 1.0);
+            m.push(b, a, 1.0);
+        }
+        let g = Graph::from_matrix(&m.to_csc());
+        let mut rng = Rng::seed_from_u64(7);
+        let parts = initial_partition(&g, 2, 0.05, &mut rng);
+        assert!(parts.iter().any(|&p| p == 0) && parts.iter().any(|&p| p == 1));
+    }
+}

@@ -1,0 +1,145 @@
+//! Boundary refinement (Fiduccia–Mattheyses greedy variant): move boundary
+//! vertices to the neighboring part with the best edge-cut gain while the
+//! balance constraint holds.
+
+use super::Rng;
+use crate::graph::Graph;
+use rand::seq::SliceRandom;
+
+/// In-place k-way refinement, up to `passes` sweeps or until no moves.
+pub fn refine(
+    g: &Graph,
+    parts: &mut [u32],
+    k: usize,
+    epsilon: f64,
+    passes: usize,
+    rng: &mut Rng,
+) {
+    let n = g.n();
+    let total = g.total_vwgt();
+    let max_allowed = ((total as f64 / k as f64) * (1.0 + epsilon)).ceil() as u64;
+    let mut pwgt = vec![0u64; k];
+    for v in 0..n {
+        pwgt[parts[v] as usize] += g.vwgt(v);
+    }
+    // connectivity[p] scratch reused per vertex
+    let mut conn = vec![0u64; k];
+    let mut touched: Vec<u32> = Vec::new();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+
+    for _pass in 0..passes {
+        order.shuffle(rng);
+        let mut moved = 0usize;
+        for &v in &order {
+            let v = v as usize;
+            let my = parts[v] as usize;
+            let (nbrs, wts) = g.neighbors(v);
+            // external connectivity per neighbor part
+            touched.clear();
+            let mut internal = 0u64;
+            for (&u, &w) in nbrs.iter().zip(wts) {
+                let pu = parts[u as usize] as usize;
+                if pu == my {
+                    internal += w;
+                } else {
+                    if conn[pu] == 0 {
+                        touched.push(pu as u32);
+                    }
+                    conn[pu] += w;
+                }
+            }
+            // best candidate move
+            let vw = g.vwgt(v);
+            let mut best: Option<(i64, usize)> = None;
+            for &p in &touched {
+                let p = p as usize;
+                if pwgt[p] + vw > max_allowed {
+                    continue;
+                }
+                let gain = conn[p] as i64 - internal as i64;
+                let better = match best {
+                    Some((bg, _)) => gain > bg,
+                    None => true,
+                };
+                if better {
+                    best = Some((gain, p));
+                }
+            }
+            if let Some((gain, p)) = best {
+                // accept strict gains, or zero-gain moves that improve balance
+                let improves_balance = pwgt[my] > pwgt[p] + vw;
+                if gain > 0 || (gain == 0 && improves_balance) {
+                    pwgt[my] -= vw;
+                    pwgt[p] += vw;
+                    parts[v] = p as u32;
+                    moved += 1;
+                }
+            }
+            for &p in &touched {
+                conn[p as usize] = 0;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{balance, edge_cut};
+    use rand::SeedableRng;
+    use sa_sparse::gen::stencil3d;
+
+    #[test]
+    fn refinement_never_worsens_cut() {
+        let g = Graph::from_matrix(&stencil3d(6, 6, 6, true));
+        let mut rng = Rng::seed_from_u64(1);
+        use rand::Rng as _;
+        let mut parts: Vec<u32> = (0..g.n()).map(|_| rng.gen_range(0..4)).collect();
+        let before = edge_cut(&g, &parts);
+        refine(&g, &mut parts, 4, 0.05, 6, &mut rng);
+        let after = edge_cut(&g, &parts);
+        assert!(after <= before, "cut {before} -> {after}");
+        assert!(
+            (after as f64) < 0.7 * before as f64,
+            "random partition should improve a lot: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn respects_balance_cap() {
+        let g = Graph::from_matrix(&stencil3d(5, 5, 5, true));
+        let mut rng = Rng::seed_from_u64(2);
+        use rand::Rng as _;
+        let mut parts: Vec<u32> = (0..g.n()).map(|_| rng.gen_range(0..5)).collect();
+        refine(&g, &mut parts, 5, 0.05, 8, &mut rng);
+        // refinement must not blow the cap it was given even if it started
+        // roughly balanced
+        let bal = balance(&g, &parts, 5);
+        assert!(bal <= 1.3, "balance {bal}");
+    }
+
+    #[test]
+    fn perfect_partition_is_stable() {
+        // two cliques joined by one edge, already optimally split
+        use sa_sparse::Coo;
+        let mut m = Coo::new(8, 8);
+        for i in 0..4u32 {
+            for j in 0..4u32 {
+                if i != j {
+                    m.push(i, j, 1.0);
+                    m.push(i + 4, j + 4, 1.0);
+                }
+            }
+        }
+        m.push(0, 4, 1.0);
+        m.push(4, 0, 1.0);
+        let g = Graph::from_matrix(&m.to_csc_with(|a, _| a));
+        let mut parts = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut rng = Rng::seed_from_u64(3);
+        refine(&g, &mut parts, 2, 0.05, 4, &mut rng);
+        assert_eq!(parts, vec![0, 0, 0, 0, 1, 1, 1, 1]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Coordinate (triplet) format — the assembly / interchange format.
+//!
+//! All generators produce COO; distributed redistribution (outer-product
+//! algorithm, 2D/3D layouts) moves COO triples between ranks.
+
+use crate::csc::Csc;
+use crate::types::Vidx;
+
+/// A sparse matrix as a bag of `(row, col, value)` triples.
+///
+/// Duplicates are permitted until [`Coo::compress`] merges them; `to_csc`
+/// compresses implicitly.
+#[derive(Clone, Debug)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    /// `(row, col, value)` triples in arbitrary order.
+    pub entries: Vec<(Vidx, Vidx, T)>,
+}
+
+impl<T: Copy + Send + Sync> Coo<T> {
+    /// An empty `nrows × ncols` matrix.
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Build from a triple list, validating indices in debug builds.
+    pub fn from_entries(nrows: usize, ncols: usize, entries: Vec<(Vidx, Vidx, T)>) -> Self {
+        debug_assert!(entries
+            .iter()
+            .all(|&(r, c, _)| (r as usize) < nrows && (c as usize) < ncols));
+        Coo {
+            nrows,
+            ncols,
+            entries,
+        }
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    /// Number of stored triples (duplicates counted separately).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Append one triple.
+    #[inline]
+    pub fn push(&mut self, row: Vidx, col: Vidx, val: T) {
+        debug_assert!((row as usize) < self.nrows && (col as usize) < self.ncols);
+        self.entries.push((row, col, val));
+    }
+
+    /// Sort triples into column-major order (column, then row).
+    pub fn sort_col_major(&mut self) {
+        self.entries
+            .sort_unstable_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+    }
+
+    /// Merge duplicate coordinates with `combine`, leaving sorted
+    /// column-major order.
+    pub fn compress(&mut self, combine: impl Fn(T, T) -> T) {
+        if self.entries.is_empty() {
+            return;
+        }
+        self.sort_col_major();
+        let mut w = 0usize;
+        for i in 1..self.entries.len() {
+            let (r, c, v) = self.entries[i];
+            let last = &mut self.entries[w];
+            if last.0 == r && last.1 == c {
+                last.2 = combine(last.2, v);
+            } else {
+                w += 1;
+                self.entries[w] = (r, c, v);
+            }
+        }
+        self.entries.truncate(w + 1);
+    }
+
+    /// Convert to CSC, merging duplicates with `combine`.
+    pub fn to_csc_with(&self, combine: impl Fn(T, T) -> T) -> Csc<T> {
+        let mut sorted = self.clone();
+        sorted.compress(combine);
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for &(_, c, _) in &sorted.entries {
+            colptr[c as usize + 1] += 1;
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        let rowidx: Vec<Vidx> = sorted.entries.iter().map(|e| e.0).collect();
+        let vals: Vec<T> = sorted.entries.iter().map(|e| e.2).collect();
+        Csc::from_parts(self.nrows, self.ncols, colptr, rowidx, vals)
+    }
+
+    /// Transpose by swapping coordinates (O(nnz), no sort).
+    pub fn transpose(mut self) -> Self {
+        for e in &mut self.entries {
+            std::mem::swap(&mut e.0, &mut e.1);
+        }
+        std::mem::swap(&mut self.nrows, &mut self.ncols);
+        self
+    }
+}
+
+impl Coo<f64> {
+    /// Convert to CSC merging duplicates by addition (the common case).
+    pub fn to_csc(&self) -> Csc<f64> {
+        self.to_csc_with(|a, b| a + b)
+    }
+
+    /// Symmetrize: `A ← A ∪ Aᵀ` structurally, keeping the max magnitude on
+    /// coincident entries. Used to build undirected graphs for partitioning.
+    pub fn symmetrize(&mut self) {
+        assert_eq!(self.nrows, self.ncols, "symmetrize requires square");
+        let mirrored: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|&&(r, c, _)| r != c)
+            .map(|&(r, c, v)| (c, r, v))
+            .collect();
+        self.entries.extend(mirrored);
+        self.compress(|a, b| if a.abs() >= b.abs() { a } else { b });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_merges_duplicates() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(2, 1, 5.0);
+        m.push(1, 0, 3.0);
+        m.compress(|a, b| a + b);
+        assert_eq!(
+            m.entries,
+            vec![(0, 0, 3.0), (1, 0, 3.0), (2, 1, 5.0)],
+            "duplicates merged and column-major sorted"
+        );
+    }
+
+    #[test]
+    fn to_csc_structure() {
+        let mut m = Coo::new(4, 3);
+        m.push(3, 2, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(2, 0, 4.0);
+        let c = m.to_csc();
+        assert_eq!(c.nrows(), 4);
+        assert_eq!(c.ncols(), 3);
+        assert_eq!(c.nnz(), 3);
+        assert_eq!(c.col(0), (&[0, 2][..], &[2.0, 4.0][..]));
+        assert_eq!(c.col(1).0.len(), 0);
+        assert_eq!(c.col(2), (&[3][..], &[1.0][..]));
+    }
+
+    #[test]
+    fn transpose_swaps() {
+        let mut m = Coo::new(2, 5);
+        m.push(1, 4, 7.0);
+        let t = m.transpose();
+        assert_eq!(t.nrows(), 5);
+        assert_eq!(t.ncols(), 2);
+        assert_eq!(t.entries, vec![(4, 1, 7.0)]);
+    }
+
+    #[test]
+    fn symmetrize_mirrors_offdiagonal() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push(1, 1, 9.0);
+        m.symmetrize();
+        let c = m.to_csc();
+        assert_eq!(c.get(0, 1), Some(2.0));
+        assert_eq!(c.get(1, 0), Some(2.0));
+        assert_eq!(c.get(1, 1), Some(9.0));
+        assert_eq!(c.nnz(), 3);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m: Coo<f64> = Coo::new(5, 5);
+        let c = m.to_csc();
+        assert_eq!(c.nnz(), 0);
+        assert_eq!(c.ncols(), 5);
+    }
+}

@@ -1,0 +1,166 @@
+//! Compressed Sparse Row storage.
+//!
+//! Needed where row access is the natural pattern: the outer-product 1D
+//! algorithm (Algorithm 3) redistributes B by *rows*, and the row-wise local
+//! outer product then streams B's rows.
+
+use crate::csc::Csc;
+use crate::types::Vidx;
+
+/// A CSR sparse matrix over element type `T`. Column indices are sorted
+/// ascending within each row.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr<T> {
+    nrows: usize,
+    ncols: usize,
+    rowptr: Vec<usize>,
+    colidx: Vec<Vidx>,
+    vals: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> Csr<T> {
+    /// Assemble from raw parts, checking invariants in debug builds.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        rowptr: Vec<usize>,
+        colidx: Vec<Vidx>,
+        vals: Vec<T>,
+    ) -> Self {
+        assert_eq!(rowptr.len(), nrows + 1);
+        assert_eq!(colidx.len(), vals.len());
+        assert_eq!(*rowptr.last().unwrap(), colidx.len());
+        debug_assert!((0..nrows).all(|i| {
+            colidx[rowptr[i]..rowptr[i + 1]]
+                .windows(2)
+                .all(|w| w[0] < w[1])
+        }));
+        Csr {
+            nrows,
+            ncols,
+            rowptr,
+            colidx,
+            vals,
+        }
+    }
+
+    /// Reinterpret a CSC matrix's storage as the CSR of its transpose
+    /// (zero-copy: `(Aᵀ) in CSR` has identical arrays to `A in CSC`).
+    pub fn transpose_of_csc(m: &Csc<T>) -> Csr<T> {
+        Csr {
+            nrows: m.ncols(),
+            ncols: m.nrows(),
+            rowptr: m.colptr().to_vec(),
+            colidx: m.rowidx().to_vec(),
+            vals: m.vals().to_vec(),
+        }
+    }
+
+    /// Convert a CSC matrix to CSR of the *same* matrix (one transpose pass).
+    pub fn from_csc(m: &Csc<T>) -> Csr<T> {
+        Csr::transpose_of_csc(&m.transpose())
+    }
+
+    /// Convert to CSC of the same matrix.
+    pub fn to_csc(&self) -> Csc<T> {
+        // Our storage equals CSC of the transpose; transposing that yields
+        // CSC of the original.
+        Csc::from_parts(
+            self.ncols,
+            self.nrows,
+            self.rowptr.clone(),
+            self.colidx.clone(),
+            self.vals.clone(),
+        )
+        .transpose()
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.colidx.len()
+    }
+
+    /// The (column indices, values) of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[Vidx], &[T]) {
+        let (s, e) = (self.rowptr[i], self.rowptr[i + 1]);
+        (&self.colidx[s..e], &self.vals[s..e])
+    }
+
+    /// nnz of row `i`.
+    #[inline]
+    pub fn row_nnz(&self, i: usize) -> usize {
+        self.rowptr[i + 1] - self.rowptr[i]
+    }
+
+    /// Extract row range `[r0, r1)` as a standalone CSR.
+    pub fn extract_rows(&self, r0: usize, r1: usize) -> Csr<T> {
+        assert!(r0 <= r1 && r1 <= self.nrows);
+        let (s, e) = (self.rowptr[r0], self.rowptr[r1]);
+        let rowptr = self.rowptr[r0..=r1].iter().map(|&p| p - s).collect();
+        Csr {
+            nrows: r1 - r0,
+            ncols: self.ncols,
+            rowptr,
+            colidx: self.colidx[s..e].to_vec(),
+            vals: self.vals[s..e].to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csc<f64> {
+        let mut m = Coo::new(3, 4);
+        m.push(0, 0, 1.0);
+        m.push(0, 3, 2.0);
+        m.push(1, 1, 3.0);
+        m.push(2, 0, 4.0);
+        m.to_csc()
+    }
+
+    #[test]
+    fn csc_csr_roundtrip() {
+        let c = sample();
+        let r = Csr::from_csc(&c);
+        assert_eq!(r.to_csc(), c);
+    }
+
+    #[test]
+    fn row_access() {
+        let r = Csr::from_csc(&sample());
+        assert_eq!(r.row(0), (&[0, 3][..], &[1.0, 2.0][..]));
+        assert_eq!(r.row(1), (&[1][..], &[3.0][..]));
+        assert_eq!(r.row(2), (&[0][..], &[4.0][..]));
+        assert_eq!(r.row_nnz(0), 2);
+    }
+
+    #[test]
+    fn transpose_of_csc_is_zero_cost_alias() {
+        let c = sample();
+        let t = Csr::transpose_of_csc(&c);
+        // t represents Aᵀ in CSR: row j of t = column j of A.
+        assert_eq!(t.nrows(), c.ncols());
+        assert_eq!(t.row(0), c.col(0));
+        assert_eq!(t.row(3), c.col(3));
+    }
+
+    #[test]
+    fn extract_rows_subset() {
+        let r = Csr::from_csc(&sample());
+        let s = r.extract_rows(1, 3);
+        assert_eq!(s.nrows(), 2);
+        assert_eq!(s.row(0), (&[1][..], &[3.0][..]));
+        assert_eq!(s.row(1), (&[0][..], &[4.0][..]));
+    }
+}

@@ -1,0 +1,263 @@
+//! Double-Compressed Sparse Column (DCSC) — the hypersparse format of
+//! Buluç & Gilbert (IPDPS'08) that CombBLAS stores local submatrices in and
+//! that the paper's implementation uses (§II).
+//!
+//! Where CSC spends `O(ncols)` on `colptr` even when almost every column is
+//! empty, DCSC stores only the `nzc` nonzero columns: `jc[q]` is the q-th
+//! nonzero column id and `cp[q]..cp[q+1]` indexes its entries. After a 1D or
+//! 2D split, local submatrices are hypersparse (`nnz ≪ ncols`), which is
+//! exactly when this matters.
+
+use crate::csc::Csc;
+use crate::types::{vidx, Vidx};
+
+/// A DCSC sparse matrix over element type `T`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dcsc<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Ids of columns holding at least one entry, ascending. Length `nzc`.
+    jc: Vec<Vidx>,
+    /// Entry ranges: column `jc[q]` owns entries `cp[q]..cp[q+1]`.
+    /// Length `nzc + 1`.
+    cp: Vec<usize>,
+    /// Row ids, ascending within each column.
+    ir: Vec<Vidx>,
+    /// Values, parallel to `ir`.
+    num: Vec<T>,
+}
+
+impl<T: Copy + Send + Sync> Dcsc<T> {
+    /// Assemble from raw parts, checking invariants in debug builds.
+    pub fn from_parts(
+        nrows: usize,
+        ncols: usize,
+        jc: Vec<Vidx>,
+        cp: Vec<usize>,
+        ir: Vec<Vidx>,
+        num: Vec<T>,
+    ) -> Self {
+        assert_eq!(cp.len(), jc.len() + 1);
+        assert_eq!(ir.len(), num.len());
+        assert_eq!(*cp.last().unwrap_or(&0), ir.len());
+        debug_assert!(jc.windows(2).all(|w| w[0] < w[1]), "jc strictly ascending");
+        debug_assert!(jc.iter().all(|&j| (j as usize) < ncols));
+        debug_assert!(cp.windows(2).all(|w| w[0] < w[1]), "no empty columns stored");
+        debug_assert!(ir.iter().all(|&r| (r as usize) < nrows));
+        Dcsc {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            num,
+        }
+    }
+
+    /// An empty matrix.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dcsc {
+            nrows,
+            ncols,
+            jc: Vec::new(),
+            cp: vec![0],
+            ir: Vec::new(),
+            num: Vec::new(),
+        }
+    }
+
+    /// Compress a CSC matrix (dropping empty columns from the index).
+    pub fn from_csc(m: &Csc<T>) -> Self {
+        let mut jc = Vec::new();
+        let mut cp = vec![0usize];
+        let mut ir = Vec::with_capacity(m.nnz());
+        let mut num = Vec::with_capacity(m.nnz());
+        for j in 0..m.ncols() {
+            let (rows, vals) = m.col(j);
+            if rows.is_empty() {
+                continue;
+            }
+            jc.push(vidx(j));
+            ir.extend_from_slice(rows);
+            num.extend_from_slice(vals);
+            cp.push(ir.len());
+        }
+        Dcsc {
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            jc,
+            cp,
+            ir,
+            num,
+        }
+    }
+
+    /// Expand back to CSC.
+    pub fn to_csc(&self) -> Csc<T> {
+        let mut colptr = vec![0usize; self.ncols + 1];
+        for q in 0..self.jc.len() {
+            colptr[self.jc[q] as usize + 1] = self.cp[q + 1] - self.cp[q];
+        }
+        for j in 0..self.ncols {
+            colptr[j + 1] += colptr[j];
+        }
+        Csc::from_parts(
+            self.nrows,
+            self.ncols,
+            colptr,
+            self.ir.clone(),
+            self.num.clone(),
+        )
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn nnz(&self) -> usize {
+        self.ir.len()
+    }
+
+    /// Number of nonzero columns (`nzc`).
+    pub fn nzc(&self) -> usize {
+        self.jc.len()
+    }
+
+    /// Nonzero column ids (ascending) — the per-rank contribution to the
+    /// paper's allgathered `⃗D` vector.
+    pub fn jc(&self) -> &[Vidx] {
+        &self.jc
+    }
+
+    /// Entry-range prefix over nonzero columns. `cp()[q+1]-cp()[q]` is the
+    /// nnz of column `jc()[q]`; this is the "prefix sum of non-zero elements
+    /// in the column" replicated on every rank in Algorithm 1.
+    pub fn cp(&self) -> &[usize] {
+        &self.cp
+    }
+
+    /// Row-id array (what the paper exposes through the first MPI window).
+    pub fn ir(&self) -> &[Vidx] {
+        &self.ir
+    }
+
+    /// Value array (the second MPI window).
+    pub fn num(&self) -> &[T] {
+        &self.num
+    }
+
+    /// Column `j` by global id (binary search over `jc`); empty if absent.
+    pub fn col(&self, j: usize) -> (&[Vidx], &[T]) {
+        match self.jc.binary_search(&vidx(j)) {
+            Ok(q) => self.col_by_pos(q),
+            Err(_) => (&[], &[]),
+        }
+    }
+
+    /// Column by position `q` in the nonzero-column list.
+    #[inline]
+    pub fn col_by_pos(&self, q: usize) -> (&[Vidx], &[T]) {
+        let (s, e) = (self.cp[q], self.cp[q + 1]);
+        (&self.ir[s..e], &self.num[s..e])
+    }
+
+    /// Iterate `(global column id, rows, vals)` over nonzero columns.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (Vidx, &[Vidx], &[T])> + '_ {
+        (0..self.jc.len()).map(move |q| {
+            let (r, v) = self.col_by_pos(q);
+            (self.jc[q], r, v)
+        })
+    }
+
+    /// Dense boolean vector over rows marking which rows hold entries —
+    /// `⃗Hᵢ` of Algorithm 1 (computed from the local B slice).
+    pub fn row_hit_vector(&self) -> Vec<bool> {
+        let mut h = vec![false; self.nrows];
+        for &r in &self.ir {
+            h[r as usize] = true;
+        }
+        h
+    }
+
+    /// Estimated heap bytes (index + value arrays).
+    pub fn mem_bytes(&self) -> usize {
+        self.jc.len() * std::mem::size_of::<Vidx>()
+            + self.cp.len() * std::mem::size_of::<usize>()
+            + self.ir.len() * std::mem::size_of::<Vidx>()
+            + self.num.len() * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn hypersparse() -> Csc<f64> {
+        // 6x8 with entries only in columns 1, 5, 6
+        let mut m = Coo::new(6, 8);
+        m.push(2, 1, 1.0);
+        m.push(4, 1, 2.0);
+        m.push(0, 5, 3.0);
+        m.push(5, 6, 4.0);
+        m.to_csc()
+    }
+
+    #[test]
+    fn roundtrip_csc() {
+        let c = hypersparse();
+        let d = Dcsc::from_csc(&c);
+        assert_eq!(d.to_csc(), c);
+    }
+
+    #[test]
+    fn compression_skips_empty_columns() {
+        let d = Dcsc::from_csc(&hypersparse());
+        assert_eq!(d.nzc(), 3);
+        assert_eq!(d.jc(), &[1, 5, 6]);
+        assert_eq!(d.cp(), &[0, 2, 3, 4]);
+        assert_eq!(d.nnz(), 4);
+    }
+
+    #[test]
+    fn col_lookup() {
+        let d = Dcsc::from_csc(&hypersparse());
+        assert_eq!(d.col(1), (&[2, 4][..], &[1.0, 2.0][..]));
+        assert_eq!(d.col(5), (&[0][..], &[3.0][..]));
+        assert_eq!(d.col(0), (&[][..], &[][..]), "absent column is empty");
+        assert_eq!(d.col(7), (&[][..], &[][..]));
+    }
+
+    #[test]
+    fn row_hits() {
+        let d = Dcsc::from_csc(&hypersparse());
+        assert_eq!(
+            d.row_hit_vector(),
+            vec![true, false, true, false, true, true]
+        );
+    }
+
+    #[test]
+    fn empty() {
+        let d: Dcsc<f64> = Dcsc::zeros(4, 4);
+        assert_eq!(d.nnz(), 0);
+        assert_eq!(d.nzc(), 0);
+        assert_eq!(d.to_csc().nnz(), 0);
+    }
+
+    #[test]
+    fn mem_smaller_than_csc_when_hypersparse() {
+        // 4 entries in a 6x10_000 matrix: DCSC index cost ~ nzc, CSC ~ ncols.
+        let mut m = Coo::new(6, 10_000);
+        m.push(0, 3, 1.0);
+        m.push(1, 5_000, 1.0);
+        m.push(2, 9_999, 1.0);
+        let c = m.to_csc();
+        let d = Dcsc::from_csc(&c);
+        assert!(d.mem_bytes() < c.mem_bytes() / 100);
+    }
+}

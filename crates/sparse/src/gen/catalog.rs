@@ -1,0 +1,199 @@
+//! Dataset catalog: scaled analogs of the paper's Table II evaluation set.
+//!
+//! | Paper matrix | rows | nnz  | class                     | analog here |
+//! |--------------|------|------|---------------------------|-------------|
+//! | queen_4147   | 4M   | 330M | 3D FEM, symmetric         | 27-pt 3D stencil |
+//! | stokes       | 11M  | 350M | CFD saddle point, nonsym  | 2D convection + constraint coupling |
+//! | eukarya      | 3M   | 360M | protein network, hidden clusters | relabeled SBM |
+//! | hv15r        | 2M   | 283M | CFD, nonsym, banded       | variable-band matrix |
+//! | nlpkkt200    | 16M  | 448M | KKT optimization, symmetric | banded Hessian + arrow |
+//!
+//! Sizes are controlled by [`Scale`]; nnz/row ratios track the originals.
+
+use crate::csc::Csc;
+use crate::gen::{banded, kkt_arrow, sbm, stencil2d_convection, stencil3d};
+use crate::stats::{matrix_stats, MatrixStats};
+
+/// Problem-size knob shared by tests (`Tiny`) and benches (`Small`
+/// default; `Medium` via `SA_SCALE=medium`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// ~2–6k rows: unit/integration tests.
+    Tiny,
+    /// ~30–60k rows, 0.5–2M nnz: default benchmark scale.
+    Small,
+    /// ~100–250k rows: slower, better-separated measurements.
+    Medium,
+}
+
+impl Scale {
+    /// Read from the `SA_SCALE` environment variable (default Small).
+    pub fn from_env() -> Scale {
+        match std::env::var("SA_SCALE").as_deref() {
+            Ok("tiny") => Scale::Tiny,
+            Ok("medium") => Scale::Medium,
+            _ => Scale::Small,
+        }
+    }
+}
+
+/// The five Table II analogs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Dataset {
+    QueenLike,
+    StokesLike,
+    EukaryaLike,
+    Hv15rLike,
+    NlpkktLike,
+}
+
+impl Dataset {
+    /// All five, in the paper's Table II order.
+    pub const ALL: [Dataset; 5] = [
+        Dataset::QueenLike,
+        Dataset::StokesLike,
+        Dataset::EukaryaLike,
+        Dataset::Hv15rLike,
+        Dataset::NlpkktLike,
+    ];
+
+    /// The four used in the squaring strong-scaling study (Fig. 9) —
+    /// the paper shows queen, stokes, hv15r, nlpkkt200 there.
+    pub const SCALING_SET: [Dataset; 4] = [
+        Dataset::QueenLike,
+        Dataset::StokesLike,
+        Dataset::Hv15rLike,
+        Dataset::NlpkktLike,
+    ];
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dataset::QueenLike => "queen_like",
+            Dataset::StokesLike => "stokes_like",
+            Dataset::EukaryaLike => "eukarya_like",
+            Dataset::Hv15rLike => "hv15r_like",
+            Dataset::NlpkktLike => "nlpkkt_like",
+        }
+    }
+
+    /// Whether the paper's original has useful *natural-order* locality
+    /// (hv15r, queen, stokes, nlpkkt do; eukarya does not — §IV-A1).
+    pub fn naturally_structured(&self) -> bool {
+        !matches!(self, Dataset::EukaryaLike)
+    }
+
+    /// Generate the matrix at `scale`.
+    pub fn build(&self, scale: Scale) -> Csc<f64> {
+        match (self, scale) {
+            (Dataset::QueenLike, Scale::Tiny) => stencil3d(10, 10, 10, true),
+            (Dataset::QueenLike, Scale::Small) => stencil3d(34, 34, 34, true),
+            (Dataset::QueenLike, Scale::Medium) => stencil3d(54, 54, 54, true),
+
+            (Dataset::StokesLike, Scale::Tiny) => stokes_like(16, 1),
+            (Dataset::StokesLike, Scale::Small) => stokes_like(190, 1),
+            (Dataset::StokesLike, Scale::Medium) => stokes_like(320, 1),
+
+            (Dataset::EukaryaLike, Scale::Tiny) => sbm(2_000, 20, 14.0, 1.5, true, 11),
+            (Dataset::EukaryaLike, Scale::Small) => sbm(40_000, 128, 26.0, 2.5, true, 11),
+            (Dataset::EukaryaLike, Scale::Medium) => sbm(120_000, 256, 28.0, 2.5, true, 11),
+
+            (Dataset::Hv15rLike, Scale::Tiny) => banded(3_000, 40, 0.35, false, 7),
+            (Dataset::Hv15rLike, Scale::Small) => banded(40_000, 90, 0.35, false, 7),
+            (Dataset::Hv15rLike, Scale::Medium) => banded(120_000, 130, 0.4, false, 7),
+
+            (Dataset::NlpkktLike, Scale::Tiny) => kkt_arrow(2_500, 300, 20, 6, 5),
+            (Dataset::NlpkktLike, Scale::Small) => kkt_arrow(44_000, 5_000, 45, 8, 5),
+            (Dataset::NlpkktLike, Scale::Medium) => kkt_arrow(140_000, 16_000, 60, 8, 5),
+        }
+    }
+
+    /// Generate and describe (Table II row).
+    pub fn build_with_stats(&self, scale: Scale) -> (Csc<f64>, MatrixStats) {
+        let a = self.build(scale);
+        let s = matrix_stats(self.name(), &a);
+        (a, s)
+    }
+}
+
+/// Stokes-like saddle point: convection-diffusion velocity block on an
+/// `m × m` grid coupled to an `m²/4` pressure space; nonsymmetric like the
+/// original.
+fn stokes_like(m: usize, seed: u64) -> Csc<f64> {
+    use crate::coo::Coo;
+    use crate::types::vidx;
+    use rand::{Rng, SeedableRng};
+    let nv = m * m;
+    let np = (m / 2) * (m / 2);
+    let n = nv + np;
+    let vel = stencil2d_convection(m, m, 0.5);
+    let mut out = Coo::new(n, n);
+    for (r, c, v) in vel.iter() {
+        out.push(r, c, v);
+    }
+    // divergence/gradient coupling: each pressure cell couples to the 4
+    // velocity nodes of its coarse cell; B and -Bᵀ blocks (nonsymmetric).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let half = m / 2;
+    for py in 0..half {
+        for px in 0..half {
+            let p = nv + px + half * py;
+            for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                let vx = (2 * px + dx).min(m - 1);
+                let vy = (2 * py + dy).min(m - 1);
+                let v = vx + m * vy;
+                let w = rng.gen_range(0.2..1.0f64);
+                out.push(vidx(p), vidx(v), w);
+                out.push(vidx(v), vidx(p), -w);
+            }
+            out.push(vidx(p), vidx(p), 1e-2);
+        }
+    }
+    out.to_csc_with(|a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_catalog_builds_and_matches_classes() {
+        for d in Dataset::ALL {
+            let (a, s) = d.build_with_stats(Scale::Tiny);
+            assert!(a.nnz() > 0, "{}", d.name());
+            assert_eq!(a.nrows(), a.ncols(), "{} square", d.name());
+            assert!(s.avg_nnz_per_row > 3.0, "{} too sparse", d.name());
+        }
+    }
+
+    #[test]
+    fn symmetry_flags_match_table2() {
+        // Table II: queen/eukarya/nlpkkt symmetric, stokes/hv15r not.
+        let expect = [
+            (Dataset::QueenLike, true),
+            (Dataset::StokesLike, false),
+            (Dataset::EukaryaLike, true),
+            (Dataset::Hv15rLike, false),
+            (Dataset::NlpkktLike, true),
+        ];
+        for (d, sym) in expect {
+            let (_, s) = d.build_with_stats(Scale::Tiny);
+            assert_eq!(s.symmetric, sym, "{}", d.name());
+        }
+    }
+
+    #[test]
+    fn scale_ordering() {
+        for d in [Dataset::QueenLike, Dataset::Hv15rLike] {
+            let t = d.build(Scale::Tiny).nnz();
+            let s = d.build(Scale::Small).nnz();
+            assert!(s > 5 * t, "{}: small {s} should dwarf tiny {t}", d.name());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Dataset::EukaryaLike.build(Scale::Tiny);
+        let b = Dataset::EukaryaLike.build(Scale::Tiny);
+        assert_eq!(a, b);
+    }
+}

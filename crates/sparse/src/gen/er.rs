@@ -1,0 +1,75 @@
+//! Erdős–Rényi random sparse matrices — the model Ballard et al.'s 1D/2D/3D
+//! communication analysis (§II-A) is stated over, and the paper's "worst
+//! case" for sparsity-aware 1D (no structure to exploit).
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::types::vidx;
+use rand::{Rng, SeedableRng};
+
+/// `nrows × ncols` matrix with ~`d` expected nonzeros per column, uniform
+/// positions, values in `(0, 1]`.
+pub fn erdos_renyi(nrows: usize, ncols: usize, d: f64, seed: u64) -> Csc<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let total = (d * ncols as f64).round() as usize;
+    let mut m = Coo::new(nrows, ncols);
+    m.entries.reserve(total);
+    for _ in 0..total {
+        m.push(
+            vidx(rng.gen_range(0..nrows)),
+            vidx(rng.gen_range(0..ncols)),
+            rng.gen_range(0.0..1.0f64) + f64::MIN_POSITIVE,
+        );
+    }
+    m.to_csc_with(|a, _| a)
+}
+
+/// Square symmetric ER graph adjacency with ~`d` expected nonzeros per
+/// column after symmetrization.
+pub fn erdos_renyi_square(n: usize, d: f64, seed: u64) -> Csc<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let total = (d * n as f64 / 2.0).round() as usize;
+    let mut m = Coo::new(n, n);
+    m.entries.reserve(total * 2);
+    for _ in 0..total {
+        let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        let v = rng.gen_range(0.0..1.0f64) + f64::MIN_POSITIVE;
+        m.push(vidx(i), vidx(j), v);
+    }
+    m.symmetrize();
+    m.to_csc_with(|a, _| a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_close_to_requested() {
+        let a = erdos_renyi(2000, 2000, 8.0, 1);
+        let d = a.nnz() as f64 / 2000.0;
+        assert!((7.0..=8.1).contains(&d), "density {d} (duplicates shrink it slightly)");
+    }
+
+    #[test]
+    fn symmetric_variant_is_symmetric() {
+        let a = erdos_renyi_square(500, 6.0, 2);
+        assert!(a.max_abs_diff(&a.transpose()) == 0.0);
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        assert_eq!(erdos_renyi(100, 100, 4.0, 7), erdos_renyi(100, 100, 4.0, 7));
+        assert_ne!(
+            erdos_renyi(100, 100, 4.0, 7).nnz(),
+            0
+        );
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let a = erdos_renyi(50, 200, 3.0, 3);
+        assert_eq!(a.nrows(), 50);
+        assert_eq!(a.ncols(), 200);
+    }
+}

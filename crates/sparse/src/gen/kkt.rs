@@ -1,0 +1,87 @@
+//! KKT / saddle-point matrices — the structure class of nlpkkt200
+//! (an interior-point KKT system: near-banded Hessian blocks plus global
+//! constraint coupling, Figure 2) and of stokes (velocity-pressure saddle
+//! point).
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::gen::banded::banded;
+use crate::types::vidx;
+use rand::{Rng, SeedableRng};
+
+/// Symmetric KKT arrow matrix
+/// `[[H, Jᵀ], [J, -δI]]` where `H` is `n1 × n1` banded (half-bandwidth
+/// `band`) and `J` is `n2 × n1` with `per_row` entries per constraint row
+/// spread across H's column space (the global coupling that produces the
+/// "arrow" borders in Figure 2).
+pub fn kkt_arrow(n1: usize, n2: usize, band: usize, per_row: usize, seed: u64) -> Csc<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let h = banded(n1, band, 0.5, true, seed.wrapping_add(17));
+    let n = n1 + n2;
+    let mut m = Coo::new(n, n);
+    // H block
+    for (r, c, v) in h.iter() {
+        m.push(r, c, v);
+    }
+    // J and Jᵀ blocks: each constraint touches per_row spread-out columns,
+    // with mild locality (a window around a random anchor) like real
+    // constraint Jacobians.
+    for i in 0..n2 {
+        let anchor = rng.gen_range(0..n1);
+        for _ in 0..per_row {
+            let span = (n1 / 50).max(4);
+            let off = rng.gen_range(0..span * 2) as i64 - span as i64;
+            let jcol = (anchor as i64 + off).rem_euclid(n1 as i64) as usize;
+            let v = rng.gen_range(0.1..1.0f64);
+            m.push(vidx(n1 + i), vidx(jcol), v);
+            m.push(vidx(jcol), vidx(n1 + i), v);
+        }
+        // regularization diagonal
+        m.push(vidx(n1 + i), vidx(n1 + i), -1e-2);
+    }
+    // Repeated draws of the same (row, col) are summed; addition is
+    // commutative so mirrored duplicates stay exactly symmetric.
+    m.to_csc_with(|a, b| a + b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_symmetry() {
+        let a = kkt_arrow(800, 100, 12, 6, 1);
+        assert_eq!(a.nrows(), 900);
+        assert_eq!(a.max_abs_diff(&a.transpose()), 0.0);
+    }
+
+    #[test]
+    fn arrow_rows_are_global() {
+        // constraint rows reach across most of the Hessian's column space
+        let (n1, n2) = (1000, 80);
+        let a = kkt_arrow(n1, n2, 10, 8, 2);
+        let t = a.transpose(); // rows as columns
+        let mut spread_found = false;
+        for i in 0..n2 {
+            let (cols, _) = t.col(n1 + i);
+            if cols.len() >= 2 {
+                let span = cols[cols.len() - 2] as i64 - cols[0] as i64;
+                if span > (n1 / 2) as i64 {
+                    spread_found = true;
+                }
+            }
+        }
+        assert!(spread_found, "some constraints should couple globally");
+    }
+
+    #[test]
+    fn hessian_block_banded() {
+        let (n1, band) = (500, 10);
+        let a = kkt_arrow(n1, 40, band, 4, 3);
+        for (r, c, _) in a.iter() {
+            if (r as usize) < n1 && (c as usize) < n1 {
+                assert!((r as i64 - c as i64).unsigned_abs() as usize <= band + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Synthetic matrix generators.
+//!
+//! Stand-ins for the paper's SuiteSparse evaluation set (Table II) that
+//! preserve each matrix's *structure class* — the property the sparsity-aware
+//! algorithm's behavior depends on — at a laptop-tractable scale. See
+//! [`catalog`] for the per-dataset mapping and DESIGN.md for the
+//! substitution rationale.
+
+mod banded;
+mod er;
+mod kkt;
+mod rmat;
+mod sbm;
+mod stencil;
+
+pub mod catalog;
+
+pub use banded::banded;
+pub use catalog::{Dataset, Scale};
+pub use er::{erdos_renyi, erdos_renyi_square};
+pub use kkt::kkt_arrow;
+pub use rmat::rmat;
+pub use sbm::sbm;
+pub use stencil::{stencil2d_convection, stencil3d};

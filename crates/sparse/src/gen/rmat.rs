@@ -1,0 +1,83 @@
+//! R-MAT (recursive matrix) power-law graph generator — the standard
+//! Graph500-style scale-free model; used in BC experiments and as a skewed
+//! stress input for load-balance tests.
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::types::vidx;
+use rand::{Rng, SeedableRng};
+
+/// `2^scale` vertices, `edge_factor · 2^scale` edges, quadrant probabilities
+/// `(a, b, c, d)` (Graph500 defaults: 0.57, 0.19, 0.19, 0.05). Returns the
+/// symmetrized adjacency with unit weights.
+pub fn rmat(scale: u32, edge_factor: usize, probs: (f64, f64, f64, f64), seed: u64) -> Csc<f64> {
+    let (a, b, c, _d) = probs;
+    assert!((probs.0 + probs.1 + probs.2 + probs.3 - 1.0).abs() < 1e-9);
+    let n = 1usize << scale;
+    let nedges = edge_factor * n;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut m = Coo::new(n, n);
+    m.entries.reserve(nedges * 2);
+    for _ in 0..nedges {
+        let (mut lo_r, mut hi_r) = (0usize, n);
+        let (mut lo_c, mut hi_c) = (0usize, n);
+        while hi_r - lo_r > 1 {
+            let mid_r = (lo_r + hi_r) / 2;
+            let mid_c = (lo_c + hi_c) / 2;
+            let p: f64 = rng.gen();
+            // Slight per-level noise keeps degree tails realistic.
+            let noise = 1.0 + rng.gen_range(-0.05..0.05);
+            if p < a * noise {
+                hi_r = mid_r;
+                hi_c = mid_c;
+            } else if p < (a + b) * noise {
+                hi_r = mid_r;
+                lo_c = mid_c;
+            } else if p < (a + b + c) * noise {
+                lo_r = mid_r;
+                hi_c = mid_c;
+            } else {
+                lo_r = mid_r;
+                lo_c = mid_c;
+            }
+        }
+        if lo_r != lo_c {
+            m.push(vidx(lo_r), vidx(lo_c), 1.0);
+        }
+    }
+    m.symmetrize();
+    m.to_csc_with(|x, _| x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_symmetry() {
+        let g = rmat(8, 8, (0.57, 0.19, 0.19, 0.05), 1);
+        assert_eq!(g.nrows(), 256);
+        assert_eq!(g.max_abs_diff(&g.transpose()), 0.0);
+        assert!(g.nnz() > 256, "should be reasonably dense");
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat(10, 8, (0.57, 0.19, 0.19, 0.05), 2);
+        let counts = g.nnz_per_col();
+        let max = *counts.iter().max().unwrap();
+        let mean = counts.iter().sum::<usize>() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "R-MAT should have heavy-tail degrees: max {max} mean {mean}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = rmat(7, 4, (0.57, 0.19, 0.19, 0.05), 3);
+        for j in 0..g.ncols() {
+            assert_eq!(g.get(j, j), None);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Matrix Market (`.mtx`) coordinate-format reader/writer, so users can run
+//! the library on the paper's actual SuiteSparse inputs when they have them.
+//!
+//! Supports `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+
+use crate::coo::Coo;
+use crate::csc::Csc;
+use crate::types::vidx;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+
+/// Parse a Matrix Market stream into CSC (duplicates summed; symmetric
+/// storage expanded).
+pub fn read_matrix_market<R: Read>(reader: R) -> std::io::Result<Csc<f64>> {
+    let mut lines = BufReader::new(reader).lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty file"))??
+        .to_lowercase();
+    let fields: Vec<&str> = header.split_whitespace().collect();
+    if fields.len() < 5 || !fields[0].starts_with("%%matrixmarket") {
+        return Err(bad("missing %%MatrixMarket header"));
+    }
+    if fields[1] != "matrix" || fields[2] != "coordinate" {
+        return Err(bad("only coordinate matrices supported"));
+    }
+    let pattern = fields[3] == "pattern";
+    if !matches!(fields[3], "real" | "integer" | "pattern") {
+        return Err(bad("unsupported value type"));
+    }
+    let symmetric = match fields[4] {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(bad(&format!("unsupported symmetry '{other}'"))),
+    };
+
+    // size line (skipping comments)
+    let mut size_line = String::new();
+    for line in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        size_line = t.to_string();
+        break;
+    }
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| bad("bad size line")))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(bad("size line needs 'rows cols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut m = Coo::new(nrows, ncols);
+    m.entries.reserve(if symmetric { nnz * 2 } else { nnz });
+    let mut read = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let i: usize = it
+            .next()
+            .ok_or_else(|| bad("short entry line"))?
+            .parse()
+            .map_err(|_| bad("bad row index"))?;
+        let j: usize = it
+            .next()
+            .ok_or_else(|| bad("short entry line"))?
+            .parse()
+            .map_err(|_| bad("bad col index"))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| bad("missing value"))?
+                .parse()
+                .map_err(|_| bad("bad value"))?
+        };
+        if i == 0 || j == 0 || i > nrows || j > ncols {
+            return Err(bad("index out of bounds (1-based expected)"));
+        }
+        m.push(vidx(i - 1), vidx(j - 1), v);
+        if symmetric && i != j {
+            m.push(vidx(j - 1), vidx(i - 1), v);
+        }
+        read += 1;
+    }
+    if read != nnz {
+        return Err(bad(&format!("expected {nnz} entries, found {read}")));
+    }
+    Ok(m.to_csc())
+}
+
+/// Write CSC as `matrix coordinate real general`.
+pub fn write_matrix_market<W: Write>(writer: W, a: &Csc<f64>) -> std::io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by saspgemm")?;
+    writeln!(w, "{} {} {}", a.nrows(), a.ncols(), a.nnz())?;
+    for (r, c, v) in a.iter() {
+        writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+    }
+    w.flush()
+}
+
+fn bad(msg: &str) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("MatrixMarket: {msg}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let a = crate::gen::erdos_renyi(40, 30, 3.0, 1);
+        let mut buf = Vec::new();
+        write_matrix_market(&mut buf, &a).unwrap();
+        let b = read_matrix_market(&buf[..]).unwrap();
+        assert_eq!(a.nrows(), b.nrows());
+        assert_eq!(a.nnz(), b.nnz());
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+
+    #[test]
+    fn reads_symmetric_storage() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    % lower triangle only\n\
+                    3 3 3\n\
+                    1 1 2.0\n\
+                    2 1 5.0\n\
+                    3 3 1.0\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.nnz(), 4, "off-diagonal expands to both triangles");
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(1, 0), Some(5.0));
+    }
+
+    #[test]
+    fn reads_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
+        let short = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+        assert!(read_matrix_market(short.as_bytes()).is_err(), "nnz mismatch");
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! Matrix I/O.
+
+pub mod matrix_market;
+
+pub use matrix_market::{read_matrix_market, write_matrix_market};

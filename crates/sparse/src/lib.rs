@@ -1,0 +1,33 @@
+//! Sparse-matrix substrate for the sparsity-aware SpGEMM reproduction.
+//!
+//! Provides the storage formats the paper's implementation relies on
+//! (most importantly **DCSC**, the double-compressed sparse column format of
+//! Buluç & Gilbert used by CombBLAS), the local SpGEMM kernels (heap-based
+//! [Azad et al. 2016], hash-based [Nagasaka et al. 2019], dense-accumulator,
+//! and the hybrid dispatcher the paper uses), semiring abstraction, synthetic
+//! dataset generators standing in for the SuiteSparse evaluation matrices,
+//! and Matrix Market I/O.
+
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod dcsc;
+pub mod dense;
+pub mod ewise;
+pub mod gen;
+pub mod io;
+pub mod permute;
+pub mod semiring;
+pub mod spgemm;
+pub mod stats;
+pub mod types;
+
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use dcsc::Dcsc;
+pub use dense::Dense;
+pub use permute::Perm;
+pub use semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
+pub use spgemm::{spgemm, spgemm_kernel, Kernel};
+pub use types::Vidx;

@@ -1,0 +1,216 @@
+//! Permutations of sparse matrices.
+//!
+//! Random symmetric permutation is the load-balancing preprocessing step the
+//! 2D/3D sparsity-oblivious algorithms require (§II-B1): instead of
+//! `C = A·B` they compute `(P C Pᵀ) = (P A Pᵀ)(P B Pᵀ)`. The sparsity-aware
+//! 1D algorithm instead wants to *preserve* structure (or apply a
+//! partitioning permutation), which is the paper's central point.
+
+use crate::csc::Csc;
+use crate::types::{vidx, Vidx};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// A permutation of `0..n`. `perm.apply(i)` is the new label of old index
+/// `i`; i.e. `new[perm.apply(i)] = old[i]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Perm {
+    /// `forward[old] = new`
+    forward: Vec<Vidx>,
+}
+
+impl Perm {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Perm {
+            forward: (0..n).map(|i| vidx(i)).collect(),
+        }
+    }
+
+    /// Build from a forward map (`forward[old] = new`); must be a bijection.
+    pub fn from_forward(forward: Vec<Vidx>) -> Self {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &v in &forward {
+            assert!((v as usize) < n && !seen[v as usize], "not a permutation");
+            seen[v as usize] = true;
+        }
+        Perm { forward }
+    }
+
+    /// A uniformly random permutation (Fisher–Yates).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut forward: Vec<Vidx> = (0..n).map(|i| vidx(i)).collect();
+        forward.shuffle(&mut rng);
+        Perm { forward }
+    }
+
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// New label of old index `i`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> Vidx {
+        self.forward[i]
+    }
+
+    /// The raw forward map.
+    pub fn forward(&self) -> &[Vidx] {
+        &self.forward
+    }
+
+    /// The inverse permutation (`inv.apply(new) = old`).
+    pub fn inverse(&self) -> Perm {
+        let mut inv = vec![0 as Vidx; self.forward.len()];
+        for (old, &new) in self.forward.iter().enumerate() {
+            inv[new as usize] = vidx(old);
+        }
+        Perm { forward: inv }
+    }
+
+    /// Composition: `self` then `other` (`(other ∘ self).apply(i) =
+    /// other.apply(self.apply(i))`).
+    pub fn then(&self, other: &Perm) -> Perm {
+        assert_eq!(self.len(), other.len());
+        Perm {
+            forward: self
+                .forward
+                .iter()
+                .map(|&m| other.forward[m as usize])
+                .collect(),
+        }
+    }
+}
+
+/// Apply row and column permutations: `B = P_r · A · P_cᵀ`, i.e.
+/// `B[pr(i), pc(j)] = A[i, j]`.
+pub fn permute<T: Copy + Send + Sync>(a: &Csc<T>, row_perm: &Perm, col_perm: &Perm) -> Csc<T> {
+    assert_eq!(row_perm.len(), a.nrows());
+    assert_eq!(col_perm.len(), a.ncols());
+    let inv_col = col_perm.inverse();
+    let mut colptr = vec![0usize; a.ncols() + 1];
+    // Column j of the result is old column inv_col(j).
+    for new_j in 0..a.ncols() {
+        let old_j = inv_col.apply(new_j) as usize;
+        colptr[new_j + 1] = a.col_nnz(old_j);
+    }
+    for j in 0..a.ncols() {
+        colptr[j + 1] += colptr[j];
+    }
+    let mut rowidx = vec![0 as Vidx; a.nnz()];
+    let mut vals: Vec<T> = Vec::with_capacity(a.nnz());
+    // Fill per new column; rows must be re-sorted after relabeling.
+    let mut scratch: Vec<(Vidx, T)> = Vec::new();
+    unsafe { vals.set_len(a.nnz()) };
+    for new_j in 0..a.ncols() {
+        let old_j = inv_col.apply(new_j) as usize;
+        let (rows, v) = a.col(old_j);
+        scratch.clear();
+        scratch.extend(
+            rows.iter()
+                .zip(v)
+                .map(|(&r, &x)| (row_perm.apply(r as usize), x)),
+        );
+        scratch.sort_unstable_by_key(|e| e.0);
+        let base = colptr[new_j];
+        for (t, &(r, x)) in scratch.iter().enumerate() {
+            rowidx[base + t] = r;
+            vals[base + t] = x;
+        }
+    }
+    Csc::from_parts(a.nrows(), a.ncols(), colptr, rowidx, vals)
+}
+
+/// Symmetric permutation `P A Pᵀ` — relabels the graph's vertices, the
+/// operation both random permutation and graph partitioning apply (§II-B).
+pub fn permute_symmetric<T: Copy + Send + Sync>(a: &Csc<T>, p: &Perm) -> Csc<T> {
+    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation requires square");
+    permute(a, p, p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csc<f64> {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(1, 0, 2.0);
+        m.push(2, 2, 3.0);
+        m.push(0, 2, 4.0);
+        m.to_csc()
+    }
+
+    #[test]
+    fn identity_is_noop() {
+        let a = sample();
+        let p = Perm::identity(3);
+        assert_eq!(permute_symmetric(&a, &p), a);
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let a = sample();
+        let p = Perm::random(3, 42);
+        let b = permute_symmetric(&a, &p);
+        let back = permute_symmetric(&b, &p.inverse());
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn entries_relocate() {
+        let a = sample();
+        // cycle 0->1->2->0
+        let p = Perm::from_forward(vec![1, 2, 0]);
+        let b = permute(&a, &p, &p);
+        for (r, c, v) in a.iter() {
+            assert_eq!(
+                b.get(p.apply(r as usize) as usize, p.apply(c as usize) as usize),
+                Some(v)
+            );
+        }
+        assert_eq!(b.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn rectangular_permute() {
+        let mut m = Coo::new(2, 4);
+        m.push(0, 3, 5.0);
+        m.push(1, 1, 6.0);
+        let a = m.to_csc();
+        let pr = Perm::from_forward(vec![1, 0]);
+        let pc = Perm::from_forward(vec![2, 0, 3, 1]);
+        let b = permute(&a, &pr, &pc);
+        assert_eq!(b.get(1, 1), Some(5.0)); // (0,3) -> (1,1)
+        assert_eq!(b.get(0, 0), Some(6.0)); // (1,1) -> (0,0)
+    }
+
+    #[test]
+    fn composition() {
+        let p1 = Perm::random(10, 1);
+        let p2 = Perm::random(10, 2);
+        let both = p1.then(&p2);
+        for i in 0..10 {
+            assert_eq!(both.apply(i), p2.apply(p1.apply(i) as usize));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn rejects_non_bijection() {
+        Perm::from_forward(vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn random_perm_is_seeded() {
+        assert_eq!(Perm::random(64, 7), Perm::random(64, 7));
+        assert_ne!(Perm::random(64, 7), Perm::random(64, 8));
+    }
+}

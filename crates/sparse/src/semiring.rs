@@ -1,0 +1,144 @@
+//! Semiring abstraction for generalized SpGEMM.
+//!
+//! SpGEMM over a semiring `(⊕, ⊗, 0)` computes
+//! `C[i][j] = ⊕_k A[i][k] ⊗ B[k][j]`. The paper's applications need several:
+//! plus-times (numeric multiply, AMG Galerkin products), or-and (reachability
+//! / symbolic structure), min-plus (shortest paths), and plus-times over path
+//! counts (betweenness-centrality forward search).
+
+use std::fmt::Debug;
+
+/// A semiring over element type [`Semiring::T`].
+///
+/// Implementations are zero-sized tag types so kernels monomorphize to the
+/// exact arithmetic with no dynamic dispatch.
+pub trait Semiring: Copy + Send + Sync + 'static {
+    /// The element type of matrix values.
+    type T: Copy + Send + Sync + PartialEq + Debug + 'static;
+
+    /// The additive identity (`⊕`-identity, also the implicit value of
+    /// structural zeros).
+    fn zero() -> Self::T;
+
+    /// The additive combine `a ⊕ b`.
+    fn add(a: Self::T, b: Self::T) -> Self::T;
+
+    /// The multiplicative combine `a ⊗ b`.
+    fn mul(a: Self::T, b: Self::T) -> Self::T;
+
+    /// Whether `a` equals the additive identity. Output entries that reduce
+    /// to zero are dropped (the convention CombBLAS uses).
+    #[inline]
+    fn is_zero(a: &Self::T) -> bool {
+        *a == Self::zero()
+    }
+}
+
+/// Ordinary arithmetic `(+, ×, 0)` over a numeric type.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlusTimes<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_plus_times {
+    ($($t:ty),*) => {$(
+        impl Semiring for PlusTimes<$t> {
+            type T = $t;
+            #[inline] fn zero() -> $t { 0 as $t }
+            #[inline] fn add(a: $t, b: $t) -> $t { a + b }
+            #[inline] fn mul(a: $t, b: $t) -> $t { a * b }
+        }
+    )*};
+}
+impl_plus_times!(f64, f32, i64, u64, u32);
+
+/// Boolean semiring `(∨, ∧, false)`: structure-only products (reachability,
+/// symbolic SpGEMM, MIS-2 distance-2 neighborhoods).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OrAnd;
+
+impl Semiring for OrAnd {
+    type T = bool;
+    #[inline]
+    fn zero() -> bool {
+        false
+    }
+    #[inline]
+    fn add(a: bool, b: bool) -> bool {
+        a | b
+    }
+    #[inline]
+    fn mul(a: bool, b: bool) -> bool {
+        a & b
+    }
+}
+
+/// Tropical semiring `(min, +, ∞)` over `f64`: shortest-path relaxations
+/// (the Bellman-Ford-style BC variant of Solomonik et al. cited in §II-C3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MinPlus;
+
+impl Semiring for MinPlus {
+    type T = f64;
+    #[inline]
+    fn zero() -> f64 {
+        f64::INFINITY
+    }
+    #[inline]
+    fn add(a: f64, b: f64) -> f64 {
+        a.min(b)
+    }
+    #[inline]
+    fn mul(a: f64, b: f64) -> f64 {
+        a + b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_laws<S: Semiring>(vals: &[S::T]) {
+        for &a in vals {
+            // zero is additive identity
+            assert_eq!(S::add(a, S::zero()), a);
+            assert_eq!(S::add(S::zero(), a), a);
+            for &b in vals {
+                // commutative add
+                assert_eq!(S::add(a, b), S::add(b, a));
+                for &c in vals {
+                    // associativity
+                    assert_eq!(S::add(S::add(a, b), c), S::add(a, S::add(b, c)));
+                    assert_eq!(S::mul(S::mul(a, b), c), S::mul(a, S::mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plus_times_laws() {
+        check_laws::<PlusTimes<i64>>(&[-3, 0, 1, 7, 11]);
+    }
+
+    #[test]
+    fn or_and_laws() {
+        check_laws::<OrAnd>(&[false, true]);
+    }
+
+    #[test]
+    fn min_plus_laws() {
+        check_laws::<MinPlus>(&[0.0, 1.5, 3.0, f64::INFINITY]);
+    }
+
+    #[test]
+    fn min_plus_annihilator() {
+        // ∞ (the zero) annihilates under ⊗ = +
+        assert_eq!(MinPlus::mul(f64::INFINITY, 3.0), f64::INFINITY);
+        assert!(MinPlus::is_zero(&f64::INFINITY));
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(PlusTimes::<f64>::is_zero(&0.0));
+        assert!(!PlusTimes::<f64>::is_zero(&1e-300));
+        assert!(OrAnd::is_zero(&false));
+    }
+}

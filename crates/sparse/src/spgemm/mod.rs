@@ -1,0 +1,395 @@
+//! Local (shared-memory) SpGEMM kernels.
+//!
+//! The paper's local computation (§II) is "a hybrid version of Heap-based
+//! SpGEMM [Azad et al. 2016] and Hash-based SpGEMM [Nagasaka et al. 2019]".
+//! We implement both, plus a dense-accumulator (SPA) kernel for very dense
+//! output columns, and a per-column [`Kernel::Hybrid`] dispatcher that picks
+//! among them from the column's upper-bound flop count — the same policy
+//! class CombBLAS' hybrid kernel uses.
+//!
+//! All kernels are column-by-column: `C(:,j) = ⊕_k A(:,k) ⊗ B(k,j)`, are
+//! generic over [`Semiring`]s and over the column source of `A` (CSC or
+//! DCSC — the distributed 1D algorithm feeds the fetched `Ã` as DCSC), and
+//! parallelize over output columns with Rayon (the per-rank "OpenMP" pool).
+
+mod hash;
+mod heap;
+pub mod rowwise;
+mod spa;
+pub mod symbolic;
+
+use crate::csc::Csc;
+use crate::dcsc::Dcsc;
+use crate::semiring::Semiring;
+use crate::types::Vidx;
+use rayon::prelude::*;
+
+pub use rowwise::spgemm_rowwise;
+pub use symbolic::{upper_bound_flops, upper_bound_flops_per_col};
+
+/// Column access abstraction so kernels run over CSC and DCSC alike.
+pub trait ColSource<T>: Sync {
+    fn nrows(&self) -> usize;
+    fn ncols(&self) -> usize;
+    /// (row ids, values) of column `j`; empty slices if the column is empty.
+    fn col(&self, j: usize) -> (&[Vidx], &[T]);
+    /// nnz of column `j` (cheap; used for flop estimation).
+    fn col_nnz(&self, j: usize) -> usize {
+        self.col(j).0.len()
+    }
+}
+
+impl<T: Copy + Send + Sync> ColSource<T> for Csc<T> {
+    fn nrows(&self) -> usize {
+        Csc::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        Csc::ncols(self)
+    }
+    fn col(&self, j: usize) -> (&[Vidx], &[T]) {
+        Csc::col(self, j)
+    }
+    fn col_nnz(&self, j: usize) -> usize {
+        Csc::col_nnz(self, j)
+    }
+}
+
+impl<T: Copy + Send + Sync> ColSource<T> for Dcsc<T> {
+    fn nrows(&self) -> usize {
+        Dcsc::nrows(self)
+    }
+    fn ncols(&self) -> usize {
+        Dcsc::ncols(self)
+    }
+    fn col(&self, j: usize) -> (&[Vidx], &[T]) {
+        Dcsc::col(self, j)
+    }
+}
+
+/// Which accumulator a column (or a whole multiply) uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// k-way merge with a binary heap — cheapest for short columns.
+    Heap,
+    /// Linear-probing hash accumulator — robust mid-range default.
+    Hash,
+    /// Dense accumulator (sparse accumulator "SPA") — wins when a column's
+    /// flops approach the row dimension.
+    Spa,
+    /// Per-column choice among the three from the column's upper-bound
+    /// flops (the paper's hybrid).
+    Hybrid,
+}
+
+impl Default for Kernel {
+    fn default() -> Self {
+        Kernel::Hybrid
+    }
+}
+
+/// Per-thread scratch reused across columns (generation-stamped SPA and a
+/// growable hash table) so the hot loop allocates only for output.
+struct Scratch<T> {
+    spa_vals: Vec<T>,
+    spa_gen: Vec<u32>,
+    generation: u32,
+    touched: Vec<Vidx>,
+    hash: hash::HashAcc<T>,
+}
+
+impl<T: Copy> Scratch<T> {
+    fn new(nrows: usize, zero: T) -> Self {
+        Scratch {
+            spa_vals: vec![zero; nrows],
+            spa_gen: vec![0; nrows],
+            generation: 0,
+            touched: Vec::new(),
+            hash: hash::HashAcc::new(),
+        }
+    }
+}
+
+/// Pick a kernel for one output column given B's column nnz and the
+/// upper-bound flop count. Thresholds follow the usual CombBLAS-style
+/// heuristics: tiny columns merge cheaply; columns whose accumulation
+/// footprint rivals the row dimension go dense; the rest hash.
+#[inline]
+fn choose_kernel(bcol_nnz: usize, ub_flops: usize, nrows: usize) -> Kernel {
+    if bcol_nnz <= 2 || ub_flops <= 64 {
+        Kernel::Heap
+    } else if ub_flops * 4 >= nrows {
+        Kernel::Spa
+    } else {
+        Kernel::Hash
+    }
+}
+
+/// Compute one output column into `(rows_out, vals_out)` (cleared first).
+fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
+    a: &A,
+    brows: &[Vidx],
+    bvals: &[S::T],
+    kernel: Kernel,
+    scratch: &mut Scratch<S::T>,
+    rows_out: &mut Vec<Vidx>,
+    vals_out: &mut Vec<S::T>,
+) {
+    rows_out.clear();
+    vals_out.clear();
+    if brows.is_empty() {
+        return;
+    }
+    // Single B entry: a scaled copy of one A column, already sorted.
+    if brows.len() == 1 {
+        let (ar, av) = a.col(brows[0] as usize);
+        let b = bvals[0];
+        for (&r, &x) in ar.iter().zip(av) {
+            let v = S::mul(x, b);
+            if !S::is_zero(&v) {
+                rows_out.push(r);
+                vals_out.push(v);
+            }
+        }
+        return;
+    }
+    let kernel = if kernel == Kernel::Hybrid {
+        let ub: usize = brows.iter().map(|&k| a.col_nnz(k as usize)).sum();
+        choose_kernel(brows.len(), ub, a.nrows())
+    } else {
+        kernel
+    };
+    match kernel {
+        Kernel::Heap => heap::heap_column::<S, A>(a, brows, bvals, rows_out, vals_out),
+        Kernel::Hash => {
+            let ub: usize = brows.iter().map(|&k| a.col_nnz(k as usize)).sum();
+            hash::hash_column::<S, A>(a, brows, bvals, ub, &mut scratch.hash, rows_out, vals_out)
+        }
+        Kernel::Spa => spa::spa_column::<S, A>(
+            a,
+            brows,
+            bvals,
+            &mut scratch.spa_vals,
+            &mut scratch.spa_gen,
+            &mut scratch.generation,
+            &mut scratch.touched,
+            rows_out,
+            vals_out,
+        ),
+        Kernel::Hybrid => unreachable!("resolved above"),
+    }
+}
+
+/// Columns per parallel work item. Chunking keeps the number of output
+/// allocations at O(ncols / CHUNK) instead of O(ncols): with many ranks
+/// multiplying concurrently, per-column output vectors fault fresh heap
+/// pages under a process-wide lock and dominate the wall time.
+const CHUNK: usize = 256;
+
+/// General SpGEMM `C = A·B` over a semiring with an explicit kernel choice.
+///
+/// Parallelizes over B's columns on the current Rayon pool (so calling it
+/// inside `pool.install(..)` binds it to a per-rank pool, mirroring
+/// MPI+OpenMP).
+pub fn spgemm_kernel<S, A, B>(a: &A, b: &B, kernel: Kernel) -> Csc<S::T>
+where
+    S: Semiring,
+    A: ColSource<S::T> + ?Sized,
+    B: ColSource<S::T> + ?Sized,
+{
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "dimension mismatch: A is ..x{}, B is {}x..",
+        a.ncols(),
+        b.nrows()
+    );
+    let ncols = b.ncols();
+    let nrows = a.nrows();
+    let nchunks = ncols.div_ceil(CHUNK);
+    // Per-chunk results, computed in parallel with per-thread scratch and
+    // per-chunk output accumulation (column lengths + concatenated data).
+    let chunks: Vec<(Vec<u32>, Vec<Vidx>, Vec<S::T>)> = (0..nchunks)
+        .into_par_iter()
+        .map_init(
+            || (Scratch::new(nrows, S::zero()), Vec::new(), Vec::new()),
+            |(scratch, col_rows, col_vals), ci| {
+                let j0 = ci * CHUNK;
+                let j1 = ((ci + 1) * CHUNK).min(ncols);
+                let mut lens: Vec<u32> = Vec::with_capacity(j1 - j0);
+                let mut rows: Vec<Vidx> = Vec::new();
+                let mut vals: Vec<S::T> = Vec::new();
+                for j in j0..j1 {
+                    let (brows, bvals) = b.col(j);
+                    compute_column::<S, A>(a, brows, bvals, kernel, scratch, col_rows, col_vals);
+                    lens.push(col_rows.len() as u32);
+                    rows.extend_from_slice(col_rows);
+                    vals.extend_from_slice(col_vals);
+                }
+                (lens, rows, vals)
+            },
+        )
+        .collect();
+    // Stitch chunks (ordered by construction) into one CSC.
+    let nnz: usize = chunks.iter().map(|c| c.1.len()).sum();
+    let mut colptr = Vec::with_capacity(ncols + 1);
+    colptr.push(0usize);
+    let mut rowidx = Vec::with_capacity(nnz);
+    let mut vals = Vec::with_capacity(nnz);
+    for (lens, r, v) in chunks {
+        for l in lens {
+            colptr.push(colptr.last().unwrap() + l as usize);
+        }
+        rowidx.extend_from_slice(&r);
+        vals.extend_from_slice(&v);
+    }
+    Csc::from_parts(nrows, ncols, colptr, rowidx, vals)
+}
+
+/// SpGEMM with the hybrid kernel — the default entry point.
+///
+/// ```
+/// use sa_sparse::semiring::PlusTimes;
+/// use sa_sparse::spgemm::spgemm;
+/// use sa_sparse::Coo;
+///
+/// // C = A·A on a 3-cycle: every vertex reaches its 2-hop neighbour
+/// let mut coo = Coo::new(3, 3);
+/// coo.push(1, 0, 1.0);
+/// coo.push(2, 1, 1.0);
+/// coo.push(0, 2, 1.0);
+/// let a = coo.to_csc_with(|x, _| x);
+/// let c = spgemm::<PlusTimes<f64>, _, _>(&a, &a);
+/// assert_eq!(c.get(2, 0), Some(1.0)); // 0 → 1 → 2
+/// ```
+pub fn spgemm<S, A, B>(a: &A, b: &B) -> Csc<S::T>
+where
+    S: Semiring,
+    A: ColSource<S::T> + ?Sized,
+    B: ColSource<S::T> + ?Sized,
+{
+    spgemm_kernel::<S, A, B>(a, b, Kernel::Hybrid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::dense::Dense;
+    use crate::semiring::{OrAnd, PlusTimes};
+    use rand::{Rng, SeedableRng};
+
+    fn random_csc(nrows: usize, ncols: usize, nnz: usize, seed: u64) -> Csc<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Coo::new(nrows, ncols);
+        for _ in 0..nnz {
+            m.push(
+                rng.gen_range(0..nrows as u32),
+                rng.gen_range(0..ncols as u32),
+                rng.gen_range(-4..5) as f64, // integers: exact arithmetic
+            );
+        }
+        m.to_csc().filter(|_, _, v| v != 0.0)
+    }
+
+    fn reference(a: &Csc<f64>, b: &Csc<f64>) -> Csc<f64> {
+        Dense::from_csc::<PlusTimes<f64>>(a)
+            .matmul::<PlusTimes<f64>>(&Dense::from_csc::<PlusTimes<f64>>(b))
+            .to_csc::<PlusTimes<f64>>()
+    }
+
+    #[test]
+    fn all_kernels_match_dense_reference() {
+        for seed in 0..6u64 {
+            let a = random_csc(40, 30, 150, seed);
+            let b = random_csc(30, 25, 120, seed + 100);
+            let expect = reference(&a, &b);
+            for kernel in [Kernel::Heap, Kernel::Hash, Kernel::Spa, Kernel::Hybrid] {
+                let got = spgemm_kernel::<PlusTimes<f64>, _, _>(&a, &b, kernel);
+                assert_eq!(got, expect, "kernel {kernel:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn dcsc_source_matches_csc_source() {
+        let a = random_csc(50, 40, 100, 9);
+        let b = random_csc(40, 20, 80, 10);
+        let ad = Dcsc::from_csc(&a);
+        let via_csc = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+        let via_dcsc = spgemm::<PlusTimes<f64>, _, _>(&ad, &b);
+        assert_eq!(via_csc, via_dcsc);
+    }
+
+    #[test]
+    fn boolean_semiring_reachability() {
+        // path graph 0->1->2; A² over OrAnd gives 2-hop reachability.
+        let mut m = Coo::new(3, 3);
+        m.push(1, 0, true);
+        m.push(2, 1, true);
+        let a = m.to_csc_with(|x, _| x);
+        let a2 = spgemm::<OrAnd, _, _>(&a, &a);
+        assert_eq!(a2.nnz(), 1);
+        assert_eq!(a2.get(2, 0), Some(true));
+    }
+
+    #[test]
+    fn empty_operands() {
+        let a: Csc<f64> = Csc::zeros(5, 4);
+        let b: Csc<f64> = Csc::zeros(4, 3);
+        let c = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+        assert_eq!((c.nrows(), c.ncols(), c.nnz()), (5, 3, 0));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = random_csc(20, 20, 60, 3);
+        let i = Csc::diagonal(&vec![1.0; 20]);
+        assert_eq!(spgemm::<PlusTimes<f64>, _, _>(&a, &i), a);
+        assert_eq!(spgemm::<PlusTimes<f64>, _, _>(&i, &a), a);
+    }
+
+    #[test]
+    fn numeric_cancellation_dropped() {
+        // A row with +1 and -1 meeting the same output position.
+        // A = [1 -1], B = [1; 1]  => C = [0] (stored empty).
+        let mut ma = Coo::new(1, 2);
+        ma.push(0, 0, 1.0);
+        ma.push(0, 1, -1.0);
+        let mut mb = Coo::new(2, 1);
+        mb.push(0, 0, 1.0);
+        mb.push(1, 0, 1.0);
+        let c = spgemm::<PlusTimes<f64>, _, _>(&ma.to_csc(), &mb.to_csc());
+        assert_eq!(c.nnz(), 0);
+    }
+
+    #[test]
+    fn rectangular_chain() {
+        // (5x3)(3x7) valid; check shape + reference equality.
+        let a = random_csc(5, 3, 10, 11);
+        let b = random_csc(3, 7, 12, 12);
+        let c = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+        assert_eq!((c.nrows(), c.ncols()), (5, 7));
+        assert_eq!(c, reference(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dimension_mismatch_panics() {
+        let a = random_csc(5, 3, 5, 1);
+        let b = random_csc(4, 2, 5, 2);
+        let _ = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+    }
+
+    #[test]
+    fn larger_random_consistency_across_kernels() {
+        let a = random_csc(300, 300, 3000, 21);
+        let b = random_csc(300, 300, 3000, 22);
+        let h = spgemm_kernel::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Heap);
+        let s = spgemm_kernel::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Hash);
+        let p = spgemm_kernel::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Spa);
+        let y = spgemm_kernel::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Hybrid);
+        assert_eq!(h, s);
+        assert_eq!(s, p);
+        assert_eq!(p, y);
+    }
+}

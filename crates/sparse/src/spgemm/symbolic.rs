@@ -1,0 +1,183 @@
+//! Symbolic analysis for SpGEMM: flop upper bounds and exact output
+//! structure. The upper bound drives the hybrid kernel choice; the exact
+//! count verifies estimates in tests and sizes distributed merge buffers.
+
+use super::ColSource;
+use crate::semiring::OrAnd;
+use crate::types::Vidx;
+use rayon::prelude::*;
+
+/// Per-output-column upper-bound flop counts:
+/// `ub[j] = Σ_{k ∈ B(:,j)} nnz(A(:,k))`.
+pub fn upper_bound_flops_per_col<T, A, B>(a: &A, b: &B) -> Vec<u64>
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+    B: ColSource<T> + ?Sized,
+{
+    (0..b.ncols())
+        .into_par_iter()
+        .map(|j| {
+            let (brows, _) = b.col(j);
+            brows.iter().map(|&k| a.col_nnz(k as usize) as u64).sum()
+        })
+        .collect()
+}
+
+/// Total upper-bound flops of `A·B`.
+pub fn upper_bound_flops<T, A, B>(a: &A, b: &B) -> u64
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+    B: ColSource<T> + ?Sized,
+{
+    upper_bound_flops_per_col(a, b).iter().sum()
+}
+
+/// Exact per-column output nnz (structural — ignores numeric cancellation),
+/// computed with a boolean accumulation pass.
+pub fn exact_output_nnz_per_col<T, A, B>(a: &A, b: &B) -> Vec<u64>
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+    B: ColSource<T> + ?Sized,
+{
+    let nrows = a.nrows();
+    (0..b.ncols())
+        .into_par_iter()
+        .map_init(
+            || (vec![0u32; nrows], 0u32),
+            |(stamp, gen), j| {
+                *gen += 1;
+                let g = *gen;
+                let (brows, _) = b.col(j);
+                let mut count = 0u64;
+                for &k in brows {
+                    let (ar, _) = a.col(k as usize);
+                    for &r in ar {
+                        if stamp[r as usize] != g {
+                            stamp[r as usize] = g;
+                            count += 1;
+                        }
+                    }
+                }
+                count
+            },
+        )
+        .collect()
+}
+
+/// The compression factor `flops / nnz(C)` — how much accumulation the
+/// multiply does; ≥ 1 structurally.
+pub fn compression_ratio<T, A, B>(a: &A, b: &B) -> f64
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+    B: ColSource<T> + ?Sized,
+{
+    let flops = upper_bound_flops(a, b) as f64;
+    let out: u64 = exact_output_nnz_per_col(a, b).iter().sum();
+    if out == 0 {
+        1.0
+    } else {
+        flops / out as f64
+    }
+}
+
+/// Structural product over the boolean semiring (handy oracle).
+pub fn symbolic_product<T, A>(a: &A, b: &crate::csc::Csc<T>) -> crate::csc::Csc<bool>
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+{
+    // Convert inputs to boolean and reuse the general kernel.
+    let ab = csc_pattern_from_source(a);
+    let bb = b.map(|_| true);
+    super::spgemm::<OrAnd, _, _>(&ab, &bb)
+}
+
+fn csc_pattern_from_source<T, A>(a: &A) -> crate::csc::Csc<bool>
+where
+    T: Copy + Send + Sync,
+    A: ColSource<T> + ?Sized,
+{
+    let mut colptr = vec![0usize; a.ncols() + 1];
+    let mut rowidx: Vec<Vidx> = Vec::new();
+    for j in 0..a.ncols() {
+        let (r, _) = a.col(j);
+        rowidx.extend_from_slice(r);
+        colptr[j + 1] = rowidx.len();
+    }
+    let n = rowidx.len();
+    crate::csc::Csc::from_parts(a.nrows(), a.ncols(), colptr, rowidx, vec![true; n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::csc::Csc;
+    use crate::semiring::PlusTimes;
+    use crate::spgemm::spgemm;
+
+    fn mk(seed: u64) -> Csc<f64> {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Coo::new(30, 30);
+        for _ in 0..120 {
+            m.push(rng.gen_range(0..30), rng.gen_range(0..30), 1.0);
+        }
+        m.to_csc()
+    }
+
+    #[test]
+    fn upper_bound_dominates_exact() {
+        let a = mk(1);
+        let b = mk(2);
+        let ub = upper_bound_flops_per_col(&a, &b);
+        let exact = exact_output_nnz_per_col(&a, &b);
+        for (u, e) in ub.iter().zip(&exact) {
+            assert!(u >= e, "ub {u} < exact {e}");
+        }
+    }
+
+    #[test]
+    fn exact_matches_real_product_structure() {
+        let a = mk(3);
+        let b = mk(4);
+        let exact = exact_output_nnz_per_col(&a, &b);
+        // All values are 1.0 (positive), so no numeric cancellation occurs
+        // and the structural count equals the stored count.
+        let c = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+        let actual: Vec<u64> = (0..c.ncols()).map(|j| c.col_nnz(j) as u64).collect();
+        assert_eq!(exact, actual);
+    }
+
+    #[test]
+    fn flops_total_equals_stats_formula() {
+        let a = mk(5);
+        let b = mk(6);
+        assert_eq!(
+            upper_bound_flops(&a, &b),
+            crate::stats::spgemm_flops(&a, &b)
+        );
+    }
+
+    #[test]
+    fn compression_ratio_at_least_one() {
+        let a = mk(7);
+        assert!(compression_ratio(&a, &a) >= 1.0);
+    }
+
+    #[test]
+    fn symbolic_product_pattern_matches() {
+        let a = mk(8);
+        let b = mk(9);
+        let sym = symbolic_product(&a, &b);
+        let num = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+        assert_eq!(sym.nnz(), num.nnz());
+        for (r, c, _) in num.iter() {
+            assert_eq!(sym.get(r as usize, c as usize), Some(true));
+        }
+    }
+}

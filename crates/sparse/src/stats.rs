@@ -1,0 +1,229 @@
+//! Matrix statistics: sparse-flop estimation, load-imbalance metrics, and
+//! ASCII spy plots (stand-ins for the paper's Figures 2–3 visualizations).
+
+use crate::csc::Csc;
+
+/// Exact sparse flops of `A·B` — the number of nontrivial scalar products
+/// `a_ik · b_kj`. By the outer-product view (§III-B, ref.\[16\] Th 13.1, ref.\[2\] Eq
+/// 3.5) this is the inner product of A's per-column nnz with B's per-row
+/// nnz.
+pub fn spgemm_flops<T: Copy + Send + Sync, U: Copy + Send + Sync>(
+    a: &Csc<T>,
+    b: &Csc<U>,
+) -> u64 {
+    assert_eq!(a.ncols(), b.nrows());
+    let a_col = a.nnz_per_col();
+    let b_row = b.nnz_per_row();
+    a_col
+        .iter()
+        .zip(&b_row)
+        .map(|(&x, &y)| x as u64 * y as u64)
+        .sum()
+}
+
+/// Per-vertex work estimate for partitioning a squaring workload: the square
+/// of each column's nnz (§III-B: "the weight value is the square of non-zero
+/// elements of the column").
+pub fn squaring_vertex_weights<T: Copy + Send + Sync>(a: &Csc<T>) -> Vec<u64> {
+    a.nnz_per_col()
+        .iter()
+        .map(|&c| (c as u64) * (c as u64))
+        .collect()
+}
+
+/// max/mean ratio of a workload distribution (1.0 = perfectly balanced).
+pub fn imbalance(loads: &[u64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = *loads.iter().max().unwrap() as f64;
+    let mean = loads.iter().sum::<u64>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+/// Summary statistics of a per-rank series (used by the per-process
+/// breakdown figures).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SeriesSummary {
+    pub min: f64,
+    pub median: f64,
+    pub mean: f64,
+    pub max: f64,
+}
+
+/// Compute [`SeriesSummary`] of an f64 slice.
+pub fn summarize(xs: &[f64]) -> SeriesSummary {
+    if xs.is_empty() {
+        return SeriesSummary::default();
+    }
+    let mut s = xs.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SeriesSummary {
+        min: s[0],
+        median: s[s.len() / 2],
+        mean: s.iter().sum::<f64>() / s.len() as f64,
+        max: s[s.len() - 1],
+    }
+}
+
+/// ASCII "spy" plot of the nonzero pattern, `height × width` character
+/// cells, densities rendered ` .:+#@`.
+pub fn spy<T: Copy + Send + Sync>(a: &Csc<T>, width: usize, height: usize) -> String {
+    let mut counts = vec![0u64; width * height];
+    let (rs, cs) = (
+        (a.nrows().max(1) as f64) / height as f64,
+        (a.ncols().max(1) as f64) / width as f64,
+    );
+    for (r, c, _) in a.iter() {
+        let y = ((r as f64 / rs) as usize).min(height - 1);
+        let x = ((c as f64 / cs) as usize).min(width - 1);
+        counts[y * width + x] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1) as f64;
+    let glyphs = [' ', '.', ':', '+', '#', '@'];
+    let mut out = String::with_capacity(height * (width + 1));
+    for y in 0..height {
+        for x in 0..width {
+            let c = counts[y * width + x];
+            let g = if c == 0 {
+                0
+            } else {
+                1 + ((c as f64 / max) * 4.0).round() as usize
+            };
+            out.push(glyphs[g.min(5)]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Dataset statistics row matching the paper's Table II columns.
+#[derive(Clone, Debug)]
+pub struct MatrixStats {
+    pub name: String,
+    pub nrows: usize,
+    pub ncols: usize,
+    pub nnz: usize,
+    pub symmetric: bool,
+    pub avg_nnz_per_row: f64,
+}
+
+/// Compute [`MatrixStats`], testing symmetry structurally and numerically.
+pub fn matrix_stats(name: &str, a: &Csc<f64>) -> MatrixStats {
+    let symmetric = a.nrows() == a.ncols() && {
+        let t = a.transpose();
+        a.max_abs_diff(&t) < 1e-12
+    };
+    MatrixStats {
+        name: name.to_string(),
+        nrows: a.nrows(),
+        ncols: a.ncols(),
+        nnz: a.nnz(),
+        symmetric,
+        avg_nnz_per_row: a.nnz() as f64 / a.nrows().max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::dense::Dense;
+    use crate::semiring::PlusTimes;
+
+    fn random_small(seed: u64) -> Csc<f64> {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut m = Coo::new(12, 12);
+        for _ in 0..30 {
+            m.push(rng.gen_range(0..12), rng.gen_range(0..12), 1.0);
+        }
+        m.to_csc()
+    }
+
+    #[test]
+    fn flops_matches_brute_force() {
+        let a = random_small(1);
+        let b = random_small(2);
+        // brute force: for every k, count pairs
+        let mut expect = 0u64;
+        for k in 0..12usize {
+            let ak = a.col_nnz(k) as u64;
+            let bk = b.nnz_per_row()[k] as u64;
+            expect += ak * bk;
+        }
+        assert_eq!(spgemm_flops(&a, &b), expect);
+    }
+
+    #[test]
+    fn flops_zero_when_disjoint() {
+        // A only uses column 0, B only uses row 1.
+        let mut a = Coo::new(4, 4);
+        a.push(2, 0, 1.0);
+        let mut b = Coo::new(4, 4);
+        b.push(1, 3, 1.0);
+        assert_eq!(spgemm_flops(&a.to_csc(), &b.to_csc()), 0);
+    }
+
+    #[test]
+    fn squaring_weights_are_squared_degrees() {
+        let a = random_small(3);
+        let w = squaring_vertex_weights(&a);
+        for (j, &wj) in w.iter().enumerate() {
+            let d = a.col_nnz(j) as u64;
+            assert_eq!(wj, d * d);
+        }
+    }
+
+    #[test]
+    fn imbalance_bounds() {
+        assert_eq!(imbalance(&[5, 5, 5, 5]), 1.0);
+        assert_eq!(imbalance(&[0, 0, 0, 12]), 4.0);
+        assert_eq!(imbalance(&[]), 1.0);
+    }
+
+    #[test]
+    fn summarize_order() {
+        let s = summarize(&[3.0, 1.0, 2.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.max, 3.0);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spy_shape() {
+        let a = random_small(4);
+        let plot = spy(&a, 10, 5);
+        assert_eq!(plot.lines().count(), 5);
+        assert!(plot.lines().all(|l| l.chars().count() == 10));
+    }
+
+    #[test]
+    fn stats_detects_symmetry() {
+        let mut m = Coo::new(3, 3);
+        m.push(0, 1, 2.0);
+        m.push(1, 0, 2.0);
+        m.push(2, 2, 1.0);
+        let s = matrix_stats("sym", &m.to_csc());
+        assert!(s.symmetric);
+        let t = matrix_stats("asym", &random_small(5));
+        assert!(!t.symmetric);
+    }
+
+    #[test]
+    fn flops_consistent_with_dense_product_work() {
+        // flops >= nnz(C) always (each output entry needs >= 1 product).
+        let a = random_small(6);
+        let b = random_small(7);
+        let da = Dense::from_csc::<PlusTimes<f64>>(&a);
+        let db = Dense::from_csc::<PlusTimes<f64>>(&b);
+        let c = da.matmul::<PlusTimes<f64>>(&db).to_csc::<PlusTimes<f64>>();
+        assert!(spgemm_flops(&a, &b) >= c.nnz() as u64);
+    }
+}

@@ -1,0 +1,43 @@
+//! Shared index types.
+//!
+//! Row/column indices are `u32` (the evaluation matrices in the paper have at
+//! most 16.2M rows; our scaled analogs are far smaller), which halves index
+//! bytes moved over the simulated network relative to `usize` — the same
+//! trade-off CombBLAS makes with its 32-bit local indices.
+
+/// Row / column index within a matrix dimension.
+pub type Vidx = u32;
+
+/// Convert a `usize` to [`Vidx`], panicking on overflow (debug-friendly,
+/// and dimensions beyond `u32::MAX` are out of scope for this library).
+#[inline]
+pub fn vidx(x: usize) -> Vidx {
+    debug_assert!(x <= u32::MAX as usize, "index {x} exceeds u32 range");
+    x as Vidx
+}
+
+/// Ceiling division for splitting dimensions across ranks.
+#[inline]
+pub fn div_ceil(a: usize, b: usize) -> usize {
+    (a + b - 1) / b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vidx_roundtrip() {
+        assert_eq!(vidx(0), 0);
+        assert_eq!(vidx(12345) as usize, 12345);
+    }
+
+    #[test]
+    fn div_ceil_edges() {
+        assert_eq!(div_ceil(0, 4), 0);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(4, 4), 1);
+        assert_eq!(div_ceil(5, 4), 2);
+        assert_eq!(div_ceil(8, 4), 2);
+    }
+}

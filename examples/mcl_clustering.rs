@@ -1,0 +1,63 @@
+//! Markov clustering (MCL) on a planted-community graph.
+//!
+//! §II-C1 of the paper names squaring as the bottleneck of HipMCL; this
+//! example runs the full MCL pipeline — expansion via the sparsity-aware
+//! 1D SpGEMM, inflation/pruning locally — on a stochastic block model with
+//! 8 planted communities, and checks how well the recovered clustering
+//! matches the ground truth.
+//!
+//! Run with: `cargo run --release --example mcl_clustering`
+
+use saspgemm::apps::mcl::{mcl_1d, MclConfig};
+use saspgemm::dist::Plan1D;
+use saspgemm::mpisim::Universe;
+use saspgemm::sparse::gen::sbm;
+
+fn main() {
+    // MCL with the standard inflation of 2.0 resolves *dense* communities;
+    // 100-vertex blocks with ~30 intra-edges per vertex are comfortably
+    // inside its granularity (sparser communities fragment — an MCL
+    // property, not an implementation artifact).
+    let n = 1_200;
+    let k = 12;
+    let a = sbm(n, k, 30.0, 0.5, false, 42);
+    println!(
+        "graph: {} vertices, {} edges, {} planted communities",
+        n,
+        a.nnz() / 2,
+        k
+    );
+
+    let p = 4;
+    let u = Universe::new(p);
+    let cfg = MclConfig::default();
+    let a2 = a.clone();
+    let results = u.run(move |comm| mcl_1d(comm, &a2, &cfg, &Plan1D::default()));
+    let (clusters, iters) = &results[0];
+    let found = clusters.iter().collect::<std::collections::HashSet<_>>().len();
+    println!("MCL converged in {iters} iterations; {found} clusters found");
+
+    // ground truth: SBM blocks are contiguous index ranges of size n/k
+    let block = n / k;
+    let mut agree = 0usize;
+    let mut pairs = 0usize;
+    // sampled pair-counting F-measure proxy: same-block pairs should share
+    // a cluster, cross-block pairs should not
+    for i in (0..n).step_by(7) {
+        for j in (i + 1..n).step_by(13) {
+            let same_truth = i / block == j / block;
+            let same_found = clusters[i] == clusters[j];
+            pairs += 1;
+            if same_truth == same_found {
+                agree += 1;
+            }
+        }
+    }
+    let rand_index = agree as f64 / pairs as f64;
+    println!("pairwise agreement with planted communities (Rand index): {rand_index:.3}");
+    assert!(
+        rand_index > 0.9,
+        "MCL should recover strong planted communities"
+    );
+    println!("OK");
+}
