@@ -88,7 +88,11 @@ fn backward_weights(fringe: &Csc<f64>, delta: &Csc<f64>, nsp: &Csc<f64>) -> Csc<
             while di < dr.len() && dr[di] < r {
                 di += 1;
             }
-            let d = if di < dr.len() && dr[di] == r { dv[di] } else { 0.0 };
+            let d = if di < dr.len() && dr[di] == r {
+                dv[di]
+            } else {
+                0.0
+            };
             while si < sr.len() && sr[si] < r {
                 si += 1;
             }
@@ -159,7 +163,13 @@ fn accumulate_col_sums(block: &Csc<f64>, col0: usize, scores: &mut [f64]) {
 /// (conformal with the adjacency's column split), so masking, σ updates and
 /// dependency accumulation are all rank-local.
 pub fn bc_batch_1d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx], plan: &Plan1D) -> BcOutcome {
-    bc_batch_1d_offsets(comm, a, sources, plan, &uniform_offsets(a.nrows(), comm.size()))
+    bc_batch_1d_offsets(
+        comm,
+        a,
+        sources,
+        plan,
+        &uniform_offsets(a.nrows(), comm.size()),
+    )
 }
 
 /// [`bc_batch_1d`] with explicit 1D column offsets — pass the partitioner's
@@ -217,8 +227,7 @@ pub fn bc_batch_1d_offsets(
         // frontier state + the fetched Ã working set, comparable with the
         // 2D/3D engines' per-level peaks
         peak = peak.max(
-            (masked.mem_bytes() + nsp.mem_bytes() + visited.mem_bytes()) as u64
-                + rep.fetched_bytes,
+            (masked.mem_bytes() + nsp.mem_bytes() + visited.mem_bytes()) as u64 + rep.fetched_bytes,
         );
         if live == 0 {
             break;
@@ -327,9 +336,7 @@ pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
         let t0 = Instant::now();
         let (t, rep) = spgemm_summa_2d(comm, &grid, &da, &wrap(w));
         times.backward_s.push(t0.elapsed().as_secs_f64());
-        peak = peak.max(
-            rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64,
-        );
+        peak = peak.max(rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64);
         if l >= 2 {
             let contrib = masked_scale(t.local(), &stack[l - 1], &nsp);
             delta = ewise_add::<PlusTimes<f64>>(&delta, &contrib);
@@ -462,9 +469,7 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
         let (out, rep) = spgemm_split_3d(comm, &grid, &da, &wrap(w));
         let t = restore(&out, comm);
         times.backward_s.push(t0.elapsed().as_secs_f64());
-        peak = peak.max(
-            rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64,
-        );
+        peak = peak.max(rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64);
         if l >= 2 {
             let contrib = masked_scale(&t, &stack[l - 1], &nsp);
             delta = ewise_add::<PlusTimes<f64>>(&delta, &contrib);
@@ -569,7 +574,11 @@ mod tests {
         for o in got {
             assert!(close(&o.scores, &expect), "1D BC mismatch");
             assert!(o.levels >= 2);
-            assert_eq!(o.times.forward_s.len(), o.levels, "one fwd spgemm per level incl. the empty-detect one");
+            assert_eq!(
+                o.times.forward_s.len(),
+                o.levels,
+                "one fwd spgemm per level incl. the empty-detect one"
+            );
         }
     }
 

@@ -47,7 +47,11 @@ pub fn galerkin_product(
     right: RightAlgo,
     plan: &Plan1D,
 ) -> (DistMat1D, GalerkinReport) {
-    assert_eq!(a.nrows(), r_global.nrows(), "R's fine dimension must match A");
+    assert_eq!(
+        a.nrows(),
+        r_global.nrows(),
+        "R's fine dimension must match A"
+    );
     let n_agg = r_global.ncols();
     // Rᵀ distributed with A's column offsets (so the k spaces align).
     let rt = r_global.transpose();

@@ -61,7 +61,7 @@ pub fn interpret_clusters(m: &Csc<f64>) -> Vec<u32> {
     let mut next = 0u32;
     let mut attractor_cluster: std::collections::HashMap<Vidx, u32> =
         std::collections::HashMap::new();
-    for j in 0..n {
+    for (j, slot) in cluster.iter_mut().enumerate() {
         let (rows, vals) = m.col(j);
         // attractor = max-valued row of the column
         if let Some(pos) = vals
@@ -76,9 +76,9 @@ pub fn interpret_clusters(m: &Csc<f64>) -> Vec<u32> {
                 next += 1;
                 id
             });
-            cluster[j] = id;
+            *slot = id;
         } else {
-            cluster[j] = next;
+            *slot = next;
             next += 1;
         }
     }

@@ -153,10 +153,8 @@ pub fn verify_mis2(a: &Csc<f64>, roots: &[u32]) -> Result<(), String> {
         }
     }
     // maximality
-    for v in 0..n {
-        if dist[v] == u8::MAX {
-            return Err(format!("vertex {v} farther than 2 from every root"));
-        }
+    if let Some(v) = dist.iter().position(|&d| d == u8::MAX) {
+        return Err(format!("vertex {v} farther than 2 from every root"));
     }
     Ok(())
 }

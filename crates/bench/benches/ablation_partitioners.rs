@@ -124,13 +124,12 @@ fn main() {
             d.name(),
             100.0 * pred_err_h,
             100.0 * pred_err_g,
-            ["original", "graph_metis", "hypergraph"]
-                [[meas_nat, meas_g, meas_h]
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, &v)| v)
-                    .unwrap()
-                    .0]
+            ["original", "graph_metis", "hypergraph"][[meas_nat, meas_g, meas_h]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &v)| v)
+                .unwrap()
+                .0]
         );
     }
 }

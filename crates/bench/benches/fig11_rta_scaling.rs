@@ -9,9 +9,7 @@ use sa_apps::galerkin::{galerkin_product, RightAlgo};
 use sa_apps::restriction::restriction_operator;
 use sa_bench::*;
 use sa_dist::mat3d::DistMat3D;
-use sa_dist::{
-    prepare, spgemm_split_3d, spgemm_summa_2d, DistMat1D, DistMat2D, Strategy,
-};
+use sa_dist::{prepare, spgemm_split_3d, spgemm_summa_2d, DistMat1D, DistMat2D, Strategy};
 use sa_mpisim::{Grid2D, Grid3D, Universe};
 use sa_sparse::gen::Dataset;
 use std::time::Instant;
@@ -24,11 +22,7 @@ fn main() {
     );
 
     // --- panel 1: RtA scaling across datasets with the 1D algorithm ---
-    row(&[
-        "matrix".into(),
-        "P".into(),
-        "rta_1d_ms".into(),
-    ]);
+    row(&["matrix".into(), "P".into(), "rta_1d_ms".into()]);
     for d in Dataset::SCALING_SET {
         let a = load(d);
         let r = restriction_operator(&a, 42);
@@ -64,8 +58,7 @@ fn main() {
                 let offsets = sa_dist::uniform_offsets(a.ncols(), comm.size());
                 let da = DistMat1D::from_global(comm, &a, &offsets);
                 let t0 = Instant::now();
-                let (_c, _rep) =
-                    galerkin_product(comm, &da, &r, RightAlgo::Outer, &plan());
+                let (_c, _rep) = galerkin_product(comm, &da, &r, RightAlgo::Outer, &plan());
                 t0.elapsed().as_secs_f64()
             })
             .into_iter()

@@ -48,7 +48,14 @@ fn main() {
 
     // 1D benefits from the METIS relabeling (same clustering BC reuses for
     // every batch; cost amortized away per §IV-C)
-    let prep = prepare(&a, p, Strategy::Partition { seed: 1, epsilon: 0.05 });
+    let prep = prepare(
+        &a,
+        p,
+        Strategy::Partition {
+            seed: 1,
+            epsilon: 0.05,
+        },
+    );
     let sources = pick_sources(a.nrows(), batch, 7);
     let u = Universe::new(p);
     let o1 = u
@@ -77,9 +84,7 @@ fn main() {
     // On Perlmutter the per-level SpGEMMs are network-bound; add the α–β
     // network time (from exact per-rank counters) to the local wall time to
     // recover the regime the paper measures.
-    let net = |o: &BcOutcome| {
-        total(o) + CostModel::slingshot().time_s(o.comm_msgs, o.comm_bytes)
-    };
+    let net = |o: &BcOutcome| total(o) + CostModel::slingshot().time_s(o.comm_msgs, o.comm_bytes);
     let best_oblivious_net = net(&o2).min(net(&o3));
     println!(
         "## 1D(METIS) wall+network-model speedup vs best oblivious: {:.2}x (paper 1.74x vs 3D)",

@@ -41,16 +41,18 @@ fn main() {
 
     let prep = prepare(&a, p, Strategy::RandomPerm { seed: 2 });
     let u = Universe::new(p);
-    let o2 = u
-        .run(|comm| bc_batch_2d(comm, &prep.a, &sources))
-        .remove(0);
+    let o2 = u.run(|comm| bc_batch_2d(comm, &prep.a, &sources)).remove(0);
 
     let u = Universe::new(p);
     let o3 = u
         .run(|comm| bc_batch_3d(comm, 4, &prep.a, &sources))
         .remove(0);
 
-    for (label, o) in [("1D_original", &o1), ("2D_random", &o2), ("3D_random_c4", &o3)] {
+    for (label, o) in [
+        ("1D_original", &o1),
+        ("2D_random", &o2),
+        ("3D_random_c4", &o3),
+    ] {
         let fwd: Vec<String> = o.times.forward_s.iter().map(|&t| ms(t)).collect();
         let bwd: Vec<String> = o.times.backward_s.iter().map(|&t| ms(t)).collect();
         println!("{label},forward_ms,{}", fwd.join(","));

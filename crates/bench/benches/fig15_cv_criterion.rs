@@ -34,20 +34,35 @@ fn main() {
             cvs.remove(0)
         };
         let orig = prepare(&a, p, Strategy::Original);
-        let metis = prepare(&a, p, Strategy::Partition { seed: 1, epsilon: 0.05 });
+        let metis = prepare(
+            &a,
+            p,
+            Strategy::Partition {
+                seed: 1,
+                epsilon: 0.05,
+            },
+        );
         let cv_orig = cv_of(&orig.a, &orig.offsets);
         let cv_metis = cv_of(&metis.a, &metis.offsets);
         let recommend = cv_orig > 0.30;
         // measure actual effect of following the recommendation
         let t_orig = {
             let reps = run_square_prepared(&orig, p, plan());
-            reps.iter().map(|r| r.breakdown.total_s()).fold(0.0f64, f64::max)
+            reps.iter()
+                .map(|r| r.breakdown.total_s())
+                .fold(0.0f64, f64::max)
         };
         let t_metis = {
             let reps = run_square_prepared(&metis, p, plan());
-            reps.iter().map(|r| r.breakdown.total_s()).fold(0.0f64, f64::max)
+            reps.iter()
+                .map(|r| r.breakdown.total_s())
+                .fold(0.0f64, f64::max)
         };
-        let speedup = if recommend { t_orig / t_metis } else { t_metis / t_orig };
+        let speedup = if recommend {
+            t_orig / t_metis
+        } else {
+            t_metis / t_orig
+        };
         row(&[
             d.name().into(),
             format!("{:.3}", cv_orig),

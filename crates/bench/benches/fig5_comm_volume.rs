@@ -39,7 +39,12 @@ fn main() {
             let (reps, _) = square_1d(&a, p, strat, exact);
             let total = reps[0].fetched_bytes_global;
             let per_rank_max = reps.iter().map(|r| r.fetched_bytes).max().unwrap();
-            entries.push((strat.name().to_string(), total, per_rank_max, reps[0].cv_over_mem));
+            entries.push((
+                strat.name().to_string(),
+                total,
+                per_rank_max,
+                reps[0].cv_over_mem,
+            ));
         }
         let worst = entries.iter().map(|e| e.1).max().unwrap().max(1);
         for (name, total, prm, cv) in &entries {

@@ -27,6 +27,7 @@ fn main() {
         "modeled_comm_ms".into(),
     ]);
     let mut modes: Vec<(String, FetchMode)> = vec![
+        ("full_matrix_oblivious".into(), FetchMode::FullMatrix),
         ("exact_per_column".into(), FetchMode::ColumnExact),
         ("runs_extension".into(), FetchMode::ContiguousRuns),
     ];

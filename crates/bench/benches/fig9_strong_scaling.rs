@@ -9,9 +9,7 @@
 
 use sa_bench::*;
 use sa_dist::mat3d::DistMat3D;
-use sa_dist::{
-    prepare, spgemm_split_3d, spgemm_summa_2d, DistMat2D, Strategy,
-};
+use sa_dist::{prepare, spgemm_split_3d, spgemm_summa_2d, DistMat2D, Strategy};
 use sa_mpisim::{Grid2D, Grid3D, Universe};
 use sa_sparse::gen::Dataset;
 use std::time::Instant;

@@ -18,13 +18,9 @@ fn kernel_comparison(c: &mut Criterion) {
     ];
     for (name, a) in &cases {
         for kernel in [Kernel::Heap, Kernel::Hash, Kernel::Spa, Kernel::Hybrid] {
-            group.bench_with_input(
-                BenchmarkId::new(format!("{kernel:?}"), name),
-                a,
-                |b, a| {
-                    b.iter(|| spgemm_kernel::<PlusTimes<f64>, _, _>(a, a, kernel));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(format!("{kernel:?}"), name), a, |b, a| {
+                b.iter(|| spgemm_kernel::<PlusTimes<f64>, _, _>(a, a, kernel));
+            });
         }
     }
     group.finish();

@@ -8,7 +8,9 @@
 //! * `SA_SCALE` = `tiny` | `small` (default) | `medium` — dataset sizes;
 //! * `SA_QUICK=1` — fewer rank counts for smoke runs.
 
-use sa_dist::{prepare, spgemm_1d, DistMat1D, FetchMode, Plan1D, PrepResult, SpgemmReport, Strategy};
+use sa_dist::{
+    prepare, spgemm_1d, DistMat1D, FetchMode, Plan1D, PrepResult, SpgemmReport, Strategy,
+};
 use sa_mpisim::{Breakdown, CostModel, Universe};
 use sa_sparse::gen::{Dataset, Scale};
 use sa_sparse::spgemm::Kernel;

@@ -1,0 +1,39 @@
+//! Distributed SpGEMM algorithms — the paper's contribution and its
+//! baselines (Hong & Buluç, SC 2024, arXiv:2408.14558).
+//!
+//! * [`spgemm1d`] — **Algorithm 1**, the sparsity-aware 1D algorithm:
+//!   `B` and `C` stay put in a 1D column layout while only the columns of
+//!   `A` that the local `B` slice's sparsity *requires* are fetched over
+//!   one-sided windows, coalesced per [`FetchMode`] into ranged
+//!   `get`s (§III-A's block fetch strategy). [`analyze_1d`] prices the
+//!   communication exactly *before* any data moves — the §V `CV/memA`
+//!   criterion.
+//! * [`outer1d`] — **Algorithm 3**, the outer-product 1D baseline
+//!   (expand–multiply–reduce), the better 1D algorithm for the Galerkin
+//!   right multiplication (Fig. 12).
+//! * [`summa2d`] — 2D sparse SUMMA (CombBLAS' default), the
+//!   sparsity-oblivious baseline of Figs. 4/5/9.
+//! * [`mat3d`] — the 3D split algorithm: per-layer SUMMA over a column/row
+//!   split of the operands, with a fiber reduce-scatter of the partials.
+//! * [`prepare`](crate::prepare::prepare) — the permutation strategies the
+//!   paper compares (natural order, random symmetric, METIS-style
+//!   partitioning) packaged as a preprocessing step.
+//! * [`reference`] — serial oracles the integration tests compare against.
+
+pub mod dist1d;
+mod fetch;
+pub mod mat3d;
+pub mod outer1d;
+pub mod prepare;
+pub mod reference;
+pub mod spgemm1d;
+pub mod summa2d;
+
+pub use dist1d::{uniform_offsets, DistMat1D};
+pub use mat3d::{spgemm_split_3d, DistMat3D, LayerSplit, Owned3DBlock, Split3DReport};
+pub use outer1d::{spgemm_outer_1d, OuterReport};
+pub use prepare::{prepare, PrepResult, Strategy};
+pub use spgemm1d::{
+    analyze_1d, spgemm_1d, spgemm_1d_overlap, Analysis1D, FetchMode, Plan1D, SpgemmReport,
+};
+pub use summa2d::{spgemm_summa_2d, DistMat2D, SummaReport};

@@ -1,0 +1,144 @@
+//! Preprocessing strategies (§III-B): how the input is permuted and cut
+//! into the 1D layout before Algorithm 1 runs.
+
+use crate::dist1d::uniform_offsets;
+use sa_partition::{partition_kway, partition_to_perm, Graph, PartitionConfig};
+use sa_sparse::permute::permute_symmetric;
+use sa_sparse::{Csc, Perm};
+use std::time::Instant;
+
+/// The paper's three layout strategies (Figs. 4, 5).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Strategy {
+    /// Keep the natural ordering — free, and the winner whenever the input
+    /// has natural-order locality (hv15r, queen, stokes, nlpkkt).
+    Original,
+    /// Random symmetric permutation — the sparsity-oblivious algorithms'
+    /// load-balancing preprocessing, which destroys locality.
+    RandomPerm { seed: u64 },
+    /// METIS-class multilevel partitioning with squared-degree vertex
+    /// weights, converted to a (permutation, offsets) layout.
+    Partition { seed: u64, epsilon: f64 },
+}
+
+impl Strategy {
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::Original => "original",
+            Strategy::RandomPerm { .. } => "random",
+            Strategy::Partition { .. } => "metis",
+        }
+    }
+}
+
+/// A prepared input: the (possibly permuted) matrix, its 1D layout, the
+/// permutation to undo, and the preprocessing cost the paper charges
+/// against partitioned runs (Fig. 4's "including partitioning time").
+#[derive(Clone, Debug)]
+pub struct PrepResult {
+    pub a: Csc<f64>,
+    pub offsets: Vec<usize>,
+    pub perm: Option<Perm>,
+    pub prep_seconds: f64,
+}
+
+/// Apply `strategy` for a `p`-rank 1D run. Permutation strategies require a
+/// square matrix (they permute rows and columns symmetrically).
+pub fn prepare(a: &Csc<f64>, p: usize, strategy: Strategy) -> PrepResult {
+    match strategy {
+        Strategy::Original => PrepResult {
+            a: a.clone(),
+            offsets: uniform_offsets(a.ncols(), p),
+            perm: None,
+            prep_seconds: 0.0,
+        },
+        Strategy::RandomPerm { seed } => {
+            assert_eq!(a.nrows(), a.ncols(), "symmetric permutation needs square A");
+            let t0 = Instant::now();
+            let perm = sa_partition::random_symmetric_perm(a.ncols(), seed);
+            let pa = permute_symmetric(a, &perm);
+            PrepResult {
+                a: pa,
+                offsets: uniform_offsets(a.ncols(), p),
+                perm: Some(perm),
+                prep_seconds: t0.elapsed().as_secs_f64(),
+            }
+        }
+        Strategy::Partition { seed, epsilon } => {
+            assert_eq!(a.nrows(), a.ncols(), "partitioning needs square A");
+            let t0 = Instant::now();
+            let g = Graph::from_matrix(a);
+            let cfg = PartitionConfig {
+                epsilon,
+                seed,
+                ..PartitionConfig::new(p)
+            };
+            let parts = partition_kway(&g, &cfg);
+            let layout = partition_to_perm(&parts, p);
+            let pa = permute_symmetric(a, &layout.perm);
+            PrepResult {
+                a: pa,
+                offsets: layout.offsets,
+                perm: Some(layout.perm),
+                prep_seconds: t0.elapsed().as_secs_f64(),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::gen::sbm;
+
+    #[test]
+    fn original_is_free_and_identity() {
+        let a = sbm(60, 3, 5.0, 1.0, true, 1);
+        let prep = prepare(&a, 4, Strategy::Original);
+        assert_eq!(prep.a, a);
+        assert_eq!(prep.prep_seconds, 0.0);
+        assert!(prep.perm.is_none());
+        assert_eq!(prep.offsets, uniform_offsets(60, 4));
+    }
+
+    #[test]
+    fn random_perm_is_invertible() {
+        let a = sbm(80, 4, 5.0, 1.0, true, 2);
+        let prep = prepare(&a, 4, Strategy::RandomPerm { seed: 7 });
+        let undone = permute_symmetric(&prep.a, &prep.perm.as_ref().unwrap().inverse());
+        assert_eq!(undone, a);
+        assert_eq!(prep.a.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn partition_offsets_cover_and_balance() {
+        let a = sbm(200, 4, 8.0, 1.0, true, 3);
+        let prep = prepare(
+            &a,
+            4,
+            Strategy::Partition {
+                seed: 1,
+                epsilon: 0.05,
+            },
+        );
+        assert_eq!(prep.offsets.len(), 5);
+        assert_eq!(prep.offsets[0], 0);
+        assert_eq!(*prep.offsets.last().unwrap(), 200);
+        assert!(prep.offsets.windows(2).all(|w| w[0] <= w[1]));
+        assert!(prep.prep_seconds > 0.0);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Strategy::Original.name(), "original");
+        assert_eq!(Strategy::RandomPerm { seed: 1 }.name(), "random");
+        assert_eq!(
+            Strategy::Partition {
+                seed: 1,
+                epsilon: 0.1
+            }
+            .name(),
+            "metis"
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Serial oracles the distributed algorithms are tested against.
+
+use sa_sparse::semiring::PlusTimes;
+use sa_sparse::spgemm::spgemm;
+use sa_sparse::Csc;
+
+/// Single-process SpGEMM over the arithmetic semiring — the ground truth
+/// every distributed algorithm must reproduce exactly.
+pub fn serial_spgemm(a: &Csc<f64>, b: &Csc<f64>) -> Csc<f64> {
+    spgemm::<PlusTimes<f64>, _, _>(a, b)
+}
+
+/// Serial Galerkin triple product `RᵀAR` (the AMG coarse operator).
+pub fn serial_galerkin(r: &Csc<f64>, a: &Csc<f64>) -> Csc<f64> {
+    let rt = r.transpose();
+    let rta = serial_spgemm(&rt, a);
+    serial_spgemm(&rta, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::Coo;
+
+    #[test]
+    fn galerkin_of_identity_restriction_is_a() {
+        let mut coo = Coo::new(4, 4);
+        for (i, j, v) in [(0, 1, 2.0), (1, 2, 3.0), (3, 0, 4.0)] {
+            coo.push(i, j, v);
+        }
+        let a = coo.to_csc_with(|x, _| x);
+        let r = Csc::diagonal(&[1.0; 4]);
+        assert_eq!(serial_galerkin(&r, &a), a);
+    }
+
+    #[test]
+    fn galerkin_aggregates_columns() {
+        // R maps both fine points to one coarse point: RᵀAR sums all of A
+        let mut coo = Coo::new(2, 1);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 1.0);
+        let r = coo.to_csc_with(|x, _| x);
+        let mut am = Coo::new(2, 2);
+        for (i, j, v) in [(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0), (1, 1, 4.0)] {
+            am.push(i, j, v);
+        }
+        let a = am.to_csc_with(|x, _| x);
+        let coarse = serial_galerkin(&r, &a);
+        assert_eq!(coarse.get(0, 0), Some(10.0));
+    }
+}

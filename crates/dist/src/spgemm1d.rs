@@ -1,0 +1,521 @@
+//! Algorithm 1 — the sparsity-aware 1D SpGEMM.
+//!
+//! `C = A·B` with `A`, `B`, `C` all 1D column-distributed. `B` and `C`
+//! never move. Each rank:
+//!
+//! 1. replicates every rank's nonzero-column metadata (one allgather —
+//!    Algorithm 1's `⃗D` and prefix-sum arrays),
+//! 2. computes from its local `B` slice's row support exactly which remote
+//!    `A` columns the multiply touches,
+//! 3. coalesces them into ranged one-sided fetches per [`FetchMode`]
+//!    (§III-A block fetching), pulling row ids and values through a single
+//!    [`PairedWindow`] — two RDMA messages per interval, appended straight
+//!    into the compacted `Ã` arrays with no per-column allocation,
+//! 4. multiplies `Ã · B_loc` with the local hybrid kernel on the rank's
+//!    compute pool.
+//!
+//! [`analyze_1d`] runs steps 1–2 (plus the pricing of step 3) without
+//! moving numeric data — the §V `CV/memA` criterion is available *before*
+//! committing to a layout. [`spgemm_1d_overlap`] additionally overlaps the
+//! local partial product with the remote fetches (§III-A notes the paper's
+//! implementation leaves this on the table).
+
+use crate::dist1d::DistMat1D;
+use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, RankMeta, ENTRY_BYTES};
+use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow};
+use sa_sparse::semiring::PlusTimes;
+use sa_sparse::spgemm::{spgemm_kernel, Kernel};
+use sa_sparse::types::{vidx, Vidx};
+use sa_sparse::Dcsc;
+use std::time::Instant;
+
+/// How needed remote columns are coalesced into window fetches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FetchMode {
+    /// Sparsity-oblivious baseline: fetch every remote rank's whole slice.
+    FullMatrix,
+    /// §III-A block fetching: each remote slice's nonzero-column list is
+    /// cut into `K` blocks, fetched whole when any of their columns is
+    /// needed. Bounded messages, bounded over-fetch.
+    Block(usize),
+    /// Merge needed columns that are adjacent in the owner's storage:
+    /// byte-minimal like [`FetchMode::ColumnExact`], fewer messages.
+    ContiguousRuns,
+    /// One fetch pair per needed column — byte-minimal, message-maximal.
+    ColumnExact,
+}
+
+impl Default for FetchMode {
+    /// The benches' default granularity (the paper's K = 2048 scaled to
+    /// these dataset sizes; see `sa_bench::plan`).
+    fn default() -> FetchMode {
+        FetchMode::Block(256)
+    }
+}
+
+/// Execution plan for one 1D multiply.
+#[derive(Clone, Copy, Debug)]
+pub struct Plan1D {
+    pub fetch_mode: FetchMode,
+    /// Local kernel for `Ã · B_loc`.
+    pub kernel: Kernel,
+    /// Compute the global-volume fields of [`SpgemmReport`] (two extra
+    /// allreduces). Disable in per-level inner loops (BC) where only local
+    /// counters matter.
+    pub global_stats: bool,
+}
+
+impl Default for Plan1D {
+    /// Block fetching at the benches' granularity, hybrid kernel, global
+    /// volume metrics on (written out because `bool::default()` would
+    /// silently turn them off).
+    fn default() -> Plan1D {
+        Plan1D {
+            fetch_mode: FetchMode::default(),
+            kernel: Kernel::Hybrid,
+            global_stats: true,
+        }
+    }
+}
+
+/// What one rank observed during [`spgemm_1d`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpgemmReport {
+    /// Bytes this rank pulled through the windows (index + value arrays).
+    pub fetched_bytes: u64,
+    /// Bytes the sparsity strictly required (`fetched_bytes` minus block
+    /// over-fetch).
+    pub needed_bytes: u64,
+    /// Σ `fetched_bytes` over all ranks (0 unless `global_stats`).
+    pub fetched_bytes_global: u64,
+    /// One-sided messages this rank issued (2 per fetch interval).
+    pub rdma_msgs: u64,
+    /// The §V criterion: max per-rank fetch volume over the global memory
+    /// footprint of `A`'s entries. ≈ `(P-1)/P` when every rank fetches
+    /// everything; ~0 when slices are self-contained.
+    pub cv_over_mem: f64,
+    /// Exact communication-counter delta of this call on this rank.
+    pub comm: CommStats,
+    /// Wall-clock split into the paper's comm/comp/other categories.
+    pub breakdown: Breakdown,
+}
+
+/// Pre-communication analysis of a 1D multiply (Algorithm 1 lines 1–6
+/// without any window traffic).
+#[derive(Clone, Copy, Debug)]
+pub struct Analysis1D {
+    /// Bytes the plan will fetch on this rank.
+    pub planned_fetch_bytes: u64,
+    /// Ranged fetches the plan will issue on this rank.
+    pub planned_intervals: u64,
+    /// Bytes the sparsity strictly requires on this rank.
+    pub needed_bytes: u64,
+    /// Σ planned fetch bytes over all ranks.
+    pub planned_fetch_bytes_global: u64,
+    /// The §V `CV/memA` criterion (identical to the value the execution
+    /// reports).
+    pub cv_over_mem: f64,
+}
+
+fn assert_conformal(a: &DistMat1D, b: &DistMat1D) {
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "dimension mismatch: A is {}x{}, B is {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols(),
+    );
+}
+
+/// Global columns of `A` the local multiply touches: the row support of
+/// the local `B` slice (Algorithm 1's `⃗H` vector).
+fn needed_columns(b: &DistMat1D) -> Vec<bool> {
+    b.local().row_hit_vector()
+}
+
+/// Global-volume reduction shared by execution and analysis: total volume,
+/// per-rank max volume, and the global byte footprint of `A`'s entries.
+fn global_volume(comm: &Comm, local_fetch_bytes: u64, a: &DistMat1D) -> (u64, u64, u64) {
+    let mem_local = a.local().nnz() as u64 * ENTRY_BYTES;
+    comm.allreduce((local_fetch_bytes, local_fetch_bytes, mem_local), |x, y| {
+        (x.0 + y.0, x.1.max(y.1), x.2 + y.2)
+    })
+}
+
+fn cv_of(max_fetched: u64, mem_global: u64) -> f64 {
+    if mem_global == 0 {
+        0.0
+    } else {
+        max_fetched as f64 / mem_global as f64
+    }
+}
+
+/// Price a 1D multiply before communicating: exactly the fetch schedule
+/// [`spgemm_1d`] would execute, as byte/message counts. Collective (one
+/// metadata allgather + one allreduce).
+pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) -> Analysis1D {
+    assert_conformal(a, b);
+    let metas = exchange_meta(comm, a.local());
+    let needed = needed_columns(b);
+    let plan = plan_fetch(mode, &metas, a.offsets(), &needed, comm.rank());
+    let (total, max_fetched, mem_global) = global_volume(comm, plan.fetch_bytes(), a);
+    Analysis1D {
+        planned_fetch_bytes: plan.fetch_bytes(),
+        planned_intervals: plan.intervals.len() as u64,
+        needed_bytes: plan.needed_bytes(),
+        planned_fetch_bytes_global: total,
+        cv_over_mem: cv_of(max_fetched, mem_global),
+    }
+}
+
+/// Fetch every planned interval through `win`, appending into `ir`/`num`,
+/// and splice the local slice in at its owner position so the buffers come
+/// out in ascending global column order. Returns (jc, cp) of the
+/// assembled `Ã` and the seconds spent inside window gets.
+#[allow(clippy::too_many_arguments)]
+fn assemble_atilde(
+    comm: &Comm,
+    win: &PairedWindow<Vidx, f64>,
+    plan: &FetchPlan,
+    metas: &[RankMeta],
+    a: &DistMat1D,
+    include_local: bool,
+    ir: &mut Vec<Vidx>,
+    num: &mut Vec<f64>,
+) -> (Vec<Vidx>, Vec<usize>, f64) {
+    let me = comm.rank();
+    let offsets = a.offsets();
+    let local = a.local();
+    let nzc_estimate = plan.intervals.iter().map(|iv| iv.pos.len()).sum::<usize>()
+        + if include_local { local.nzc() } else { 0 };
+    let mut jc: Vec<Vidx> = Vec::with_capacity(nzc_estimate);
+    let mut cp: Vec<usize> = Vec::with_capacity(nzc_estimate + 1);
+    cp.push(0);
+    ir.reserve(plan.fetch_entries as usize + if include_local { local.nnz() } else { 0 });
+    num.reserve(plan.fetch_entries as usize + if include_local { local.nnz() } else { 0 });
+    let mut comm_s = 0.0f64;
+    let mut iv_iter = plan.intervals.iter().peekable();
+    for owner in 0..comm.size() {
+        if owner == me {
+            if include_local {
+                let base = offsets[me];
+                for q in 0..local.nzc() {
+                    jc.push(vidx(base + local.jc()[q] as usize));
+                    cp.push(cp.last().unwrap() + (local.cp()[q + 1] - local.cp()[q]));
+                }
+                ir.extend_from_slice(local.ir());
+                num.extend_from_slice(local.num());
+            }
+            continue;
+        }
+        let base = offsets[owner];
+        let meta = &metas[owner];
+        while let Some(iv) = iv_iter.peek() {
+            if iv.owner != owner {
+                break;
+            }
+            let iv = iv_iter.next().unwrap();
+            let t0 = Instant::now();
+            win.get_both_into(
+                comm,
+                owner,
+                iv.entries.start as usize..iv.entries.end as usize,
+                ir,
+                num,
+            )
+            .expect("fetch interval within exposed window");
+            comm_s += t0.elapsed().as_secs_f64();
+            for q in iv.pos.clone() {
+                jc.push(vidx(base + meta.jc[q] as usize));
+                cp.push(cp.last().unwrap() + meta.col_entries(q) as usize);
+            }
+        }
+    }
+    (jc, cp, comm_s)
+}
+
+/// The sparsity-aware 1D SpGEMM (Algorithm 1). Returns `C` in `B`'s column
+/// layout plus this rank's [`SpgemmReport`]. Collective.
+pub fn spgemm_1d(
+    comm: &Comm,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+) -> (DistMat1D, SpgemmReport) {
+    run_1d(comm, a, b, plan, false)
+}
+
+/// [`spgemm_1d`] with communication/computation overlap: the local partial
+/// product `Ã_loc·B` runs on a helper thread while this thread drives the
+/// remote fetches, then the remote partial product is merged in. Identical
+/// traffic to [`spgemm_1d`]; the win is bounded by min(comm, local comp).
+pub fn spgemm_1d_overlap(
+    comm: &Comm,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+) -> (DistMat1D, SpgemmReport) {
+    run_1d(comm, a, b, plan, true)
+}
+
+fn run_1d(
+    comm: &Comm,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+    overlap: bool,
+) -> (DistMat1D, SpgemmReport) {
+    assert_conformal(a, b);
+    let stats0 = comm.stats();
+    let t_call = Instant::now();
+
+    // --- symbolic phase: metadata replication + fetch planning (other) ---
+    let metas = exchange_meta(comm, a.local());
+    let needed = needed_columns(b);
+    let fplan = plan_fetch(plan.fetch_mode, &metas, a.offsets(), &needed, comm.rank());
+
+    // --- exposure: both of A's arrays in one paired window (other) ---
+    let win = PairedWindow::create(comm, a.local().ir().to_vec(), a.local().num().to_vec());
+
+    let k = a.ncols();
+    let nrows = a.nrows();
+    let (c_local, comm_s, comp_s) = if overlap {
+        // local partial product on a helper thread while we fetch
+        let local_only = {
+            let (mut ir, mut num) = (Vec::new(), Vec::new());
+            let empty = FetchPlan {
+                intervals: Vec::new(),
+                fetch_entries: 0,
+                needed_entries: 0,
+            };
+            let (jc, cp, _) =
+                assemble_atilde(comm, &win, &empty, &metas, a, true, &mut ir, &mut num);
+            Dcsc::from_parts(nrows, k, jc, cp, ir, num)
+        };
+        let b_local = b.local();
+        let kernel = plan.kernel;
+        let pool = comm.pool();
+        let mut remote_ir: Vec<Vidx> = Vec::new();
+        let mut remote_num: Vec<f64> = Vec::new();
+        let mut fetch_s = 0.0f64;
+        let mut jc_cp = (Vec::new(), Vec::new());
+        let (c_loc, t_loc) = std::thread::scope(|scope| {
+            let handle = scope.spawn(|| {
+                let t0 = Instant::now();
+                let c = pool.install(|| {
+                    spgemm_kernel::<PlusTimes<f64>, _, _>(&local_only, b_local, kernel)
+                });
+                (c, t0.elapsed().as_secs_f64())
+            });
+            let (jc, cp, s) = assemble_atilde(
+                comm,
+                &win,
+                &fplan,
+                &metas,
+                a,
+                false,
+                &mut remote_ir,
+                &mut remote_num,
+            );
+            fetch_s = s;
+            jc_cp = (jc, cp);
+            handle.join().expect("local partial product")
+        });
+        let remote = Dcsc::from_parts(nrows, k, jc_cp.0, jc_cp.1, remote_ir, remote_num);
+        let t0 = Instant::now();
+        let c_rem =
+            comm.install(|| spgemm_kernel::<PlusTimes<f64>, _, _>(&remote, b_local, kernel));
+        let merged = sa_sparse::ewise::ewise_add::<PlusTimes<f64>>(&c_loc, &c_rem);
+        let comp = t_loc + t0.elapsed().as_secs_f64();
+        (merged, fetch_s, comp)
+    } else {
+        let (mut ir, mut num) = (Vec::new(), Vec::new());
+        let (jc, cp, comm_s) =
+            assemble_atilde(comm, &win, &fplan, &metas, a, true, &mut ir, &mut num);
+        let atilde = Dcsc::from_parts(nrows, k, jc, cp, ir, num);
+        let t0 = Instant::now();
+        let c =
+            comm.install(|| spgemm_kernel::<PlusTimes<f64>, _, _>(&atilde, b.local(), plan.kernel));
+        (c, comm_s, t0.elapsed().as_secs_f64())
+    };
+
+    // --- wrap the output in B's layout (other) ---
+    let c = DistMat1D::from_local(
+        nrows,
+        b.ncols(),
+        b.offsets().clone(),
+        Dcsc::from_csc(&c_local),
+    );
+
+    let comm_delta = comm.stats() - stats0;
+    let fetched = fplan.fetch_bytes();
+    debug_assert_eq!(comm_delta.rdma_get_bytes, fetched, "metered == planned");
+    let (fetched_global, cv) = if plan.global_stats {
+        let (total, max_fetched, mem_global) = global_volume(comm, fetched, a);
+        (total, cv_of(max_fetched, mem_global))
+    } else {
+        // local-only variant of the criterion: this rank's volume over its
+        // own slice footprint
+        let mem_local = a.local().nnz() as u64 * ENTRY_BYTES;
+        (fetched, cv_of(fetched, mem_local))
+    };
+    let total_s = t_call.elapsed().as_secs_f64();
+    let report = SpgemmReport {
+        fetched_bytes: fetched,
+        needed_bytes: fplan.needed_bytes(),
+        fetched_bytes_global: fetched_global,
+        rdma_msgs: fplan.rdma_msgs(),
+        cv_over_mem: cv,
+        comm: comm_delta,
+        breakdown: Breakdown {
+            comm_s,
+            comp_s,
+            other_s: (total_s - comm_s - comp_s).max(0.0),
+        },
+    };
+    (c, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist1d::uniform_offsets;
+    use crate::reference::serial_spgemm;
+    use sa_mpisim::Universe;
+    use sa_sparse::gen::{banded, erdos_renyi};
+    use sa_sparse::Csc;
+
+    fn square_both_ways(a: &Csc<f64>, p: usize, mode: FetchMode) {
+        let expect = serial_spgemm(a, a);
+        let u = Universe::new(p);
+        let got = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), p));
+            let plan = Plan1D {
+                fetch_mode: mode,
+                ..Default::default()
+            };
+            let (c1, r1) = spgemm_1d(comm, &da, &da.clone(), &plan);
+            let (c2, r2) = spgemm_1d_overlap(comm, &da, &da.clone(), &plan);
+            (
+                c1.gather(comm),
+                c2.gather(comm),
+                r1.fetched_bytes,
+                r2.fetched_bytes,
+                r1.rdma_msgs,
+                r2.rdma_msgs,
+            )
+        });
+        let (c1, c2, f1, f2, m1, m2) = &got[0];
+        assert_eq!(c1.as_ref().unwrap(), &expect, "{mode:?}: serial equality");
+        assert!(
+            c2.as_ref().unwrap().max_abs_diff(&expect) < 1e-12,
+            "{mode:?}: overlap"
+        );
+        // overlap must not change the traffic
+        assert_eq!(f1, f2, "{mode:?}");
+        assert_eq!(m1, m2, "{mode:?}");
+    }
+
+    #[test]
+    fn all_fetch_modes_match_serial_and_overlap_preserves_traffic() {
+        let a = erdos_renyi(48, 48, 3.0, 11);
+        for mode in [
+            FetchMode::FullMatrix,
+            FetchMode::Block(3),
+            FetchMode::ContiguousRuns,
+            FetchMode::ColumnExact,
+        ] {
+            square_both_ways(&a, 3, mode);
+        }
+    }
+
+    #[test]
+    fn default_plan_has_global_stats() {
+        let plan = Plan1D::default();
+        assert!(plan.global_stats);
+        assert_eq!(plan.fetch_mode, FetchMode::Block(256));
+        assert_eq!(plan.kernel, Kernel::Hybrid);
+    }
+
+    #[test]
+    fn banded_natural_order_fetches_little() {
+        let a = banded(240, 5, 0.8, true, 3);
+        let u = Universe::new(4);
+        let reps = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, &a, &uniform_offsets(240, 4));
+            let (_c, rep) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
+            rep
+        });
+        // each rank needs only the band-overlap columns of its neighbours
+        assert!(reps[0].cv_over_mem < 0.25, "cv = {}", reps[0].cv_over_mem);
+        let full = u.run(|comm| {
+            let da = DistMat1D::from_global(comm, &a, &uniform_offsets(240, 4));
+            let plan = Plan1D {
+                fetch_mode: FetchMode::FullMatrix,
+                ..Default::default()
+            };
+            let (_c, rep) = spgemm_1d(comm, &da, &da.clone(), &plan);
+            rep.fetched_bytes_global
+        });
+        assert!(
+            reps[0].fetched_bytes_global * 4 < full[0],
+            "sparsity-aware {} vs oblivious {}",
+            reps[0].fetched_bytes_global,
+            full[0]
+        );
+    }
+
+    #[test]
+    fn analysis_matches_execution_across_modes() {
+        let a = erdos_renyi(120, 120, 4.0, 5);
+        for mode in [
+            FetchMode::FullMatrix,
+            FetchMode::Block(8),
+            FetchMode::ContiguousRuns,
+            FetchMode::ColumnExact,
+        ] {
+            let u = Universe::new(4);
+            let pairs = u.run(|comm| {
+                let da = DistMat1D::from_global(comm, &a, &uniform_offsets(120, 4));
+                let pre = analyze_1d(comm, &da, &da.clone(), mode);
+                let plan = Plan1D {
+                    fetch_mode: mode,
+                    ..Default::default()
+                };
+                let (_c, rep) = spgemm_1d(comm, &da, &da.clone(), &plan);
+                (pre, rep)
+            });
+            for (pre, rep) in pairs {
+                assert_eq!(pre.planned_fetch_bytes, rep.fetched_bytes, "{mode:?}");
+                assert_eq!(pre.planned_intervals * 2, rep.rdma_msgs, "{mode:?}");
+                assert_eq!(pre.needed_bytes, rep.needed_bytes, "{mode:?}");
+                assert_eq!(pre.planned_fetch_bytes_global, rep.fetched_bytes_global);
+            }
+        }
+    }
+
+    #[test]
+    fn rectangular_from_local_operand() {
+        // A built via from_local (the BC frontier path): 4x30 times 30x30
+        let f = erdos_renyi(4, 30, 2.0, 9);
+        let g = erdos_renyi(30, 30, 3.0, 10);
+        let expect = serial_spgemm(&f, &g);
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let offsets = std::sync::Arc::new(uniform_offsets(30, 3));
+            let dg = DistMat1D::from_global(comm, &g, &offsets[..]);
+            let (c0, c1) = (offsets[comm.rank()], offsets[comm.rank() + 1]);
+            let df = DistMat1D::from_local(
+                4,
+                30,
+                offsets.clone(),
+                Dcsc::from_csc(&f.extract_cols(c0, c1)),
+            );
+            let (c, _) = spgemm_1d(comm, &df, &dg, &Plan1D::default());
+            c.gather(comm)
+        });
+        assert_eq!(got[0].as_ref().unwrap(), &expect);
+    }
+}

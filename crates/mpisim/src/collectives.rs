@@ -48,9 +48,9 @@ impl Comm {
         if self.rank() == root {
             let mut out: Vec<Option<Vec<T>>> = (0..self.size()).map(|_| None).collect();
             out[root] = Some(data);
-            for src in 0..self.size() {
+            for (src, slot) in out.iter_mut().enumerate() {
                 if src != root {
-                    out[src] = Some(self.recv_vec(src, t));
+                    *slot = Some(self.recv_vec(src, t));
                 }
             }
             Some(out.into_iter().map(|v| v.unwrap()).collect())
@@ -62,11 +62,7 @@ impl Comm {
 
     /// Scatter per-destination vectors from `root`; every rank returns its
     /// piece. Non-roots pass `None`.
-    pub fn scatterv<T: Send + 'static>(
-        &self,
-        root: usize,
-        data: Option<Vec<Vec<T>>>,
-    ) -> Vec<T> {
+    pub fn scatterv<T: Send + 'static>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
         let op = self.next_op();
         let t = tag(op, K_SCATTER);
         if self.rank() == root {
@@ -159,11 +155,7 @@ impl Comm {
     }
 
     /// All-reduce single values (reduce at 0, then broadcast).
-    pub fn allreduce<T: Clone + Send + 'static>(
-        &self,
-        value: T,
-        op_fn: impl Fn(T, T) -> T,
-    ) -> T {
+    pub fn allreduce<T: Clone + Send + 'static>(&self, value: T, op_fn: impl Fn(T, T) -> T) -> T {
         let reduced = self.reduce(0, value, op_fn);
         self.bcast_vec(0, reduced.map(|v| vec![v])).pop().unwrap()
     }

@@ -40,7 +40,12 @@ pub struct Comm {
 }
 
 impl Comm {
-    pub(crate) fn new(rank: usize, size: usize, shared: Arc<Shared>, pool: Arc<rayon::ThreadPool>) -> Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        shared: Arc<Shared>,
+        pool: Arc<rayon::ThreadPool>,
+    ) -> Comm {
         Comm {
             rank,
             size,

@@ -60,7 +60,10 @@ mod tests {
         // 10k tiny messages vs 1 big one of the same total volume
         let many = m.time_s(10_000, 10_000 * 8);
         let one = m.time_s(1, 10_000 * 8);
-        assert!(many > 100.0 * one, "fine-grained messaging must be penalized");
+        assert!(
+            many > 100.0 * one,
+            "fine-grained messaging must be penalized"
+        );
     }
 
     #[test]

@@ -19,7 +19,12 @@ pub struct Grid2D {
 impl Grid2D {
     /// Build a `pr × pc` grid over `comm` (requires `pr·pc == comm.size()`).
     pub fn new(comm: &Comm, pr: usize, pc: usize) -> Grid2D {
-        assert_eq!(pr * pc, comm.size(), "grid {pr}x{pc} != {} ranks", comm.size());
+        assert_eq!(
+            pr * pc,
+            comm.size(),
+            "grid {pr}x{pc} != {} ranks",
+            comm.size()
+        );
         let myrow = comm.rank() / pc;
         let mycol = comm.rank() % pc;
         let row_comm = comm.split(myrow, mycol); // peers in my row
@@ -104,7 +109,7 @@ impl Grid3D {
     pub fn valid_layer_counts(p: usize) -> Vec<usize> {
         (1..=p)
             .filter(|c| {
-                p % c == 0 && {
+                p.is_multiple_of(*c) && {
                     let q2 = p / c;
                     let q = (q2 as f64).sqrt().round() as usize;
                     q * q == q2

@@ -193,9 +193,7 @@ mod tests {
     #[test]
     fn allreduce_vec_elementwise() {
         let u = Universe::new(3);
-        let got = u.run(|comm| {
-            comm.allreduce_vec(vec![comm.rank() as u64, 1], |a, b| a + b)
-        });
+        let got = u.run(|comm| comm.allreduce_vec(vec![comm.rank() as u64, 1], |a, b| a + b));
         for v in got {
             assert_eq!(v, vec![3, 3]);
         }
@@ -296,9 +294,7 @@ mod tests {
     #[test]
     fn install_runs_on_pool() {
         let u = Universe::with_threads(2, 3);
-        let got = u.run(|comm| {
-            comm.install(|| rayon::current_num_threads())
-        });
+        let got = u.run(|comm| comm.install(rayon::current_num_threads));
         assert_eq!(got, vec![3, 3]);
     }
 }

@@ -144,7 +144,10 @@ where
         let deposits = comm.exchange_arcs(Arc::new((a, b)));
         let bufs = deposits
             .into_iter()
-            .map(|d| d.downcast::<(Vec<T>, Vec<U>)>().expect("paired window type"))
+            .map(|d| {
+                d.downcast::<(Vec<T>, Vec<U>)>()
+                    .expect("paired window type")
+            })
             .collect();
         PairedWindow { bufs }
     }
@@ -211,8 +214,8 @@ mod tests {
             let data: Vec<u64> = (0..10).map(|i| (comm.rank() * 100 + i) as u64).collect();
             let win = Window::create(comm, data);
             // every rank reads a slice of rank 1
-            let piece = win.get(comm, 1, 2..5);
-            piece
+
+            win.get(comm, 1, 2..5)
         });
         for p in got {
             assert_eq!(p, vec![102, 103, 104]);
@@ -278,6 +281,123 @@ mod tests {
     }
 
     #[test]
+    fn ranged_fetches_meter_exact_bytes_per_rank() {
+        // The fetch path's accounting contract: every ranged remote get
+        // charges exactly range_len * size_of::<T>() to the *issuing* rank,
+        // and nothing to the target.
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![comm.rank() as u64; 16]);
+            let before = comm.stats();
+            if comm.rank() == 0 {
+                let _ = win.get(comm, 1, 2..7); // 5 * 8 B
+                let _ = win.get(comm, 2, 0..16); // 16 * 8 B
+                let _ = win.get(comm, 1, 10..10); // empty range: 1 msg, 0 B
+            }
+            comm.barrier();
+            comm.stats() - before
+        });
+        assert_eq!(got[0].rdma_gets, 3);
+        assert_eq!(got[0].rdma_get_bytes, (5 + 16) * 8);
+        // targets of one-sided gets stay idle and uncharged
+        assert_eq!(got[1].rdma_gets, 0);
+        assert_eq!(got[1].rdma_get_bytes, 0);
+        assert_eq!(got[2].rdma_get_bytes, 0);
+    }
+
+    #[test]
+    fn get_into_appends_preserving_existing_contents() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![comm.rank() as u32 + 10; 4]);
+            let mut out = vec![99u32];
+            win.get_into(comm, 0, 0..2, &mut out).unwrap();
+            win.get_into(comm, 1, 1..3, &mut out).unwrap();
+            out
+        });
+        for o in got {
+            assert_eq!(o, vec![99, 10, 10, 11, 11]);
+        }
+    }
+
+    #[test]
+    fn out_of_range_error_carries_request_and_exposure() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = Window::create(comm, vec![0u8; 6]);
+            let mut out = Vec::new();
+            let err = win.get_into(comm, 1, 3..9, &mut out).unwrap_err();
+            (err, out.len())
+        });
+        for (err, len) in got {
+            assert_eq!(
+                err,
+                WindowError::OutOfRange {
+                    rank: 1,
+                    requested_end: 9,
+                    exposed_len: 6
+                }
+            );
+            assert_eq!(len, 0, "failed get must not touch the output buffer");
+        }
+    }
+
+    #[test]
+    fn paired_window_matches_two_plain_windows_and_meters_both_arrays() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let ir: Vec<u32> = (0..12).map(|i| comm.rank() as u32 * 100 + i).collect();
+            let num: Vec<f64> = (0..12).map(|i| i as f64 / 3.0).collect();
+            let paired = PairedWindow::create(comm, ir.clone(), num.clone());
+            let w_ir = Window::create(comm, ir);
+            let w_num = Window::create(comm, num);
+            let other = 1 - comm.rank();
+            let before = comm.stats();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            paired
+                .get_both_into(comm, other, 4..9, &mut a, &mut b)
+                .unwrap();
+            let delta = comm.stats() - before;
+            let a2 = w_ir.get(comm, other, 4..9);
+            let b2 = w_num.get(comm, other, 4..9);
+            (a == a2, b == b2, delta)
+        });
+        for (ir_same, num_same, delta) in got {
+            assert!(ir_same && num_same);
+            assert_eq!(delta.rdma_gets, 2, "one message per exposed array");
+            assert_eq!(delta.rdma_get_bytes, 5 * 4 + 5 * 8);
+        }
+    }
+
+    #[test]
+    fn paired_window_rejects_bad_rank_and_overrun() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = PairedWindow::create(comm, vec![1u32; 3], vec![1.0f64; 3]);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            let bad = win
+                .get_both_into(comm, 5, 0..1, &mut a, &mut b)
+                .unwrap_err();
+            let oob = win
+                .get_both_into(comm, 0, 0..4, &mut a, &mut b)
+                .unwrap_err();
+            (bad, oob, a.len(), b.len())
+        });
+        for (bad, oob, alen, blen) in got {
+            assert!(matches!(bad, WindowError::BadRank { rank: 5, size: 2 }));
+            assert!(matches!(
+                oob,
+                WindowError::OutOfRange {
+                    requested_end: 4,
+                    exposed_len: 3,
+                    ..
+                }
+            ));
+            assert_eq!((alen, blen), (0, 0));
+        }
+    }
+
+    #[test]
     fn two_windows_coexist() {
         // Algorithm 1 uses two windows (row ids + values).
         let u = Universe::new(2);
@@ -285,7 +405,10 @@ mod tests {
             let win_ir = Window::create(comm, vec![comm.rank() as u32; 4]);
             let win_num = Window::create(comm, vec![comm.rank() as f64 + 0.5; 4]);
             let other = 1 - comm.rank();
-            (win_ir.get(comm, other, 0..1), win_num.get(comm, other, 3..4))
+            (
+                win_ir.get(comm, other, 0..1),
+                win_num.get(comm, other, 3..4),
+            )
         });
         assert_eq!(got[0].0, vec![1u32]);
         assert_eq!(got[0].1, vec![1.5f64]);

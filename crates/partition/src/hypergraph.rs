@@ -248,7 +248,14 @@ pub fn partition_hypergraph(h: &Hypergraph, cfg: &HyperConfig) -> Vec<u32> {
 
 /// Bisect `verts` (a sub-hypergraph by restriction) into part-id ranges
 /// `[base, base+split)` and `[base+split, base+k)`, recursing.
-fn recurse(h: &Hypergraph, verts: &[Vidx], base: u32, k: usize, cfg: &HyperConfig, parts: &mut [u32]) {
+fn recurse(
+    h: &Hypergraph,
+    verts: &[Vidx],
+    base: u32,
+    k: usize,
+    cfg: &HyperConfig,
+    parts: &mut [u32],
+) {
     if k == 1 {
         for &v in verts {
             parts[v as usize] = base;
@@ -265,7 +272,12 @@ fn recurse(h: &Hypergraph, verts: &[Vidx], base: u32, k: usize, cfg: &HyperConfi
 
 /// One weighted bisection of `verts`: greedy growth + FM refinement.
 /// Returns (left, right) vertex lists.
-fn bisect(h: &Hypergraph, verts: &[Vidx], frac_left: f64, cfg: &HyperConfig) -> (Vec<Vidx>, Vec<Vidx>) {
+fn bisect(
+    h: &Hypergraph,
+    verts: &[Vidx],
+    frac_left: f64,
+    cfg: &HyperConfig,
+) -> (Vec<Vidx>, Vec<Vidx>) {
     use rand::{Rng, SeedableRng};
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed ^ (verts.len() as u64) << 1);
     let total: u64 = verts.iter().map(|&v| h.vwgt[v as usize]).sum();
@@ -394,7 +406,7 @@ fn bisect(h: &Hypergraph, verts: &[Vidx], frac_left: f64, cfg: &HyperConfig) -> 
             })
             .map(|v| (gain_of(v, &side, &pin_l, &pin_r), v))
             .collect();
-        candidates.sort_unstable_by(|a, b| b.0.cmp(&a.0));
+        candidates.sort_unstable_by_key(|&(g, _)| std::cmp::Reverse(g));
         let mut history: Vec<usize> = Vec::new();
         let mut delta = 0i64; // cumulative volume change (negative = better)
         let mut best_delta = 0i64;
@@ -541,7 +553,7 @@ mod tests {
         assert_eq!(connectivity_volume(&h, &parts, 2), 6);
         assert_eq!(cut_nets(&h, &parts), 2);
         // everything in one part: zero volume
-        assert_eq!(connectivity_volume(&h, &vec![0; 6], 1), 0);
+        assert_eq!(connectivity_volume(&h, &[0; 6], 1), 0);
     }
 
     #[test]

@@ -51,7 +51,15 @@ fn recurse(
         right = ids[mid..].to_vec();
     }
     recurse(g, &left, k_left, base, epsilon, rng, parts);
-    recurse(g, &right, k - k_left, base + k_left as u32, epsilon, rng, parts);
+    recurse(
+        g,
+        &right,
+        k - k_left,
+        base + k_left as u32,
+        epsilon,
+        rng,
+        parts,
+    );
 }
 
 /// Grow a region of ~`frac` of the total vertex weight by BFS from a random
@@ -129,7 +137,7 @@ mod tests {
         let mut rng = Rng::seed_from_u64(6);
         let parts = initial_partition(&g, 5, 0.05, &mut rng);
         for p in 0..5u32 {
-            assert!(parts.iter().any(|&x| x == p), "part {p} empty");
+            assert!(parts.contains(&p), "part {p} empty");
         }
     }
 
@@ -145,6 +153,6 @@ mod tests {
         let g = Graph::from_matrix(&m.to_csc());
         let mut rng = Rng::seed_from_u64(7);
         let parts = initial_partition(&g, 2, 0.05, &mut rng);
-        assert!(parts.iter().any(|&p| p == 0) && parts.iter().any(|&p| p == 1));
+        assert!(parts.contains(&0) && parts.contains(&1));
     }
 }

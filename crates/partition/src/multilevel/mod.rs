@@ -69,7 +69,14 @@ pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
     let mut best_cut = u64::MAX;
     for _ in 0..4 {
         let mut cand = initial::initial_partition(&current, cfg.k, cfg.epsilon, &mut rng);
-        refine::refine(&current, &mut cand, cfg.k, cfg.epsilon, cfg.refine_passes, &mut rng);
+        refine::refine(
+            &current,
+            &mut cand,
+            cfg.k,
+            cfg.epsilon,
+            cfg.refine_passes,
+            &mut rng,
+        );
         let cut = crate::metrics::edge_cut(&current, &cand);
         if cut < best_cut {
             best_cut = cut;
@@ -84,7 +91,14 @@ pub fn partition_kway(g: &Graph, cfg: &PartitionConfig) -> Vec<u32> {
             fine_parts[v] = parts[map[v] as usize];
         }
         parts = fine_parts;
-        refine::refine(&fine, &mut parts, cfg.k, cfg.epsilon, cfg.refine_passes, &mut rng);
+        refine::refine(
+            &fine,
+            &mut parts,
+            cfg.k,
+            cfg.epsilon,
+            cfg.refine_passes,
+            &mut rng,
+        );
         current = fine;
     }
     let _ = current;
@@ -147,7 +161,10 @@ mod tests {
         let g = Graph::from_matrix(&a);
         let parts = partition_kway(&g, &PartitionConfig::new(8));
         let cut = edge_cut(&g, &parts);
-        let total: u64 = (0..g.n()).map(|v| g.neighbors(v).1.iter().sum::<u64>()).sum::<u64>() / 2;
+        let total: u64 = (0..g.n())
+            .map(|v| g.neighbors(v).1.iter().sum::<u64>())
+            .sum::<u64>()
+            / 2;
         assert!(
             (cut as f64) < 0.25 * total as f64,
             "cut {cut} of {total} edges — should isolate communities"

@@ -7,14 +7,7 @@ use crate::graph::Graph;
 use rand::seq::SliceRandom;
 
 /// In-place k-way refinement, up to `passes` sweeps or until no moves.
-pub fn refine(
-    g: &Graph,
-    parts: &mut [u32],
-    k: usize,
-    epsilon: f64,
-    passes: usize,
-    rng: &mut Rng,
-) {
+pub fn refine(g: &Graph, parts: &mut [u32], k: usize, epsilon: f64, passes: usize, rng: &mut Rng) {
     let n = g.n();
     let total = g.total_vwgt();
     let max_allowed = ((total as f64 / k as f64) * (1.0 + epsilon)).ceil() as u64;

@@ -70,7 +70,8 @@ mod tests {
         use sa_sparse::permute::permute_symmetric;
         // SBM with hidden labels; a perfect partition re-clusters it.
         let n = 300;
-        let a = sbm(n, 3, 10.0, 0.0, true, 1); // no cross edges at all
+        // no cross edges at all
+        let a = sbm(n, 3, 10.0, 0.0, true, 1);
         // Recover components by union-find-ish BFS to build "parts".
         let mut parts = vec![u32::MAX; n];
         let mut next = 0u32;

@@ -62,8 +62,7 @@ impl<T: Copy + Send + Sync> Coo<T> {
 
     /// Sort triples into column-major order (column, then row).
     pub fn sort_col_major(&mut self) {
-        self.entries
-            .sort_unstable_by(|a, b| (a.1, a.0).cmp(&(b.1, b.0)));
+        self.entries.sort_unstable_by_key(|a| (a.1, a.0));
     }
 
     /// Merge duplicate coordinates with `combine`, leaving sorted

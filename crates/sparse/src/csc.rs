@@ -66,7 +66,7 @@ impl<T: Copy + Send + Sync> Csc<T> {
             nrows: n,
             ncols: n,
             colptr: (0..=n).collect(),
-            rowidx: (0..n).map(|i| vidx(i)).collect(),
+            rowidx: (0..n).map(vidx).collect(),
             vals: diag.to_vec(),
         }
     }
@@ -127,9 +127,7 @@ impl<T: Copy + Send + Sync> Csc<T> {
     pub fn iter(&self) -> impl Iterator<Item = (Vidx, Vidx, T)> + '_ {
         (0..self.ncols).flat_map(move |j| {
             let (rows, vals) = self.col(j);
-            rows.iter()
-                .zip(vals)
-                .map(move |(&r, &v)| (r, vidx(j), v))
+            rows.iter().zip(vals).map(move |(&r, &v)| (r, vidx(j), v))
         })
     }
 
@@ -233,10 +231,7 @@ impl<T: Copy + Send + Sync> Csc<T> {
         for &r in &self.rowidx {
             seen[r as usize] = true;
         }
-        (0..self.nrows)
-            .filter(|&i| seen[i])
-            .map(|i| vidx(i))
-            .collect()
+        (0..self.nrows).filter(|&i| seen[i]).map(vidx).collect()
     }
 
     /// Dense boolean hit-vector over rows (`⃗H` of Algorithm 1).
@@ -354,7 +349,13 @@ mod tests {
         // [0 3 0]
         // [4 0 5]
         let mut m = Coo::new(3, 3);
-        for &(r, c, v) in &[(0, 0, 1.0), (2, 0, 4.0), (1, 1, 3.0), (0, 2, 2.0), (2, 2, 5.0)] {
+        for &(r, c, v) in &[
+            (0, 0, 1.0),
+            (2, 0, 4.0),
+            (1, 1, 3.0),
+            (0, 2, 2.0),
+            (2, 2, 5.0),
+        ] {
             m.push(r, c, v);
         }
         m.to_csc()

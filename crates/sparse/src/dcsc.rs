@@ -42,7 +42,10 @@ impl<T: Copy + Send + Sync> Dcsc<T> {
         assert_eq!(*cp.last().unwrap_or(&0), ir.len());
         debug_assert!(jc.windows(2).all(|w| w[0] < w[1]), "jc strictly ascending");
         debug_assert!(jc.iter().all(|&j| (j as usize) < ncols));
-        debug_assert!(cp.windows(2).all(|w| w[0] < w[1]), "no empty columns stored");
+        debug_assert!(
+            cp.windows(2).all(|w| w[0] < w[1]),
+            "no empty columns stored"
+        );
         debug_assert!(ir.iter().all(|&r| (r as usize) < nrows));
         Dcsc {
             nrows,

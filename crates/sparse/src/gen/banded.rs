@@ -22,7 +22,8 @@ pub fn banded(n: usize, band: usize, fill: f64, symmetric: bool, seed: u64) -> C
         let local = ((band as f64) * (0.66 + 0.33 * phase.sin())).max(2.0) as usize;
         let lo = j.saturating_sub(local);
         let hi = (j + local + 1).min(n);
-        m.push(vidx(j), vidx(j), (local + 1) as f64); // strong diagonal
+        // strong diagonal
+        m.push(vidx(j), vidx(j), (local + 1) as f64);
         // In symmetric mode sample only the lower triangle (i > j) and
         // mirror, so each unordered pair is drawn exactly once.
         let lo = if symmetric { j + 1 } else { lo };
@@ -66,7 +67,10 @@ mod tests {
     fn fill_scales_nnz() {
         let lo = banded(400, 16, 0.2, false, 3).nnz();
         let hi = banded(400, 16, 0.8, false, 3).nnz();
-        assert!(hi > 2 * lo, "fill 0.8 ({hi}) should far exceed fill 0.2 ({lo})");
+        assert!(
+            hi > 2 * lo,
+            "fill 0.8 ({hi}) should far exceed fill 0.2 ({lo})"
+        );
     }
 
     #[test]

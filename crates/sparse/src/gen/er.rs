@@ -48,7 +48,10 @@ mod tests {
     fn density_close_to_requested() {
         let a = erdos_renyi(2000, 2000, 8.0, 1);
         let d = a.nnz() as f64 / 2000.0;
-        assert!((7.0..=8.1).contains(&d), "density {d} (duplicates shrink it slightly)");
+        assert!(
+            (7.0..=8.1).contains(&d),
+            "density {d} (duplicates shrink it slightly)"
+        );
     }
 
     #[test]
@@ -60,10 +63,7 @@ mod tests {
     #[test]
     fn deterministic_by_seed() {
         assert_eq!(erdos_renyi(100, 100, 4.0, 7), erdos_renyi(100, 100, 4.0, 7));
-        assert_ne!(
-            erdos_renyi(100, 100, 4.0, 7).nnz(),
-            0
-        );
+        assert_ne!(erdos_renyi(100, 100, 4.0, 7).nnz(), 0);
     }
 
     #[test]

@@ -109,7 +109,10 @@ pub fn write_matrix_market<W: Write>(writer: W, a: &Csc<f64>) -> std::io::Result
 }
 
 fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("MatrixMarket: {msg}"))
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("MatrixMarket: {msg}"),
+    )
 }
 
 #[cfg(test)]
@@ -153,7 +156,10 @@ mod tests {
     fn rejects_garbage() {
         assert!(read_matrix_market("not a matrix".as_bytes()).is_err());
         let short = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
-        assert!(read_matrix_market(short.as_bytes()).is_err(), "nnz mismatch");
+        assert!(
+            read_matrix_market(short.as_bytes()).is_err(),
+            "nnz mismatch"
+        );
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(oob.as_bytes()).is_err());
     }

@@ -23,7 +23,7 @@ impl Perm {
     /// The identity permutation on `n` elements.
     pub fn identity(n: usize) -> Self {
         Perm {
-            forward: (0..n).map(|i| vidx(i)).collect(),
+            forward: (0..n).map(vidx).collect(),
         }
     }
 
@@ -41,7 +41,7 @@ impl Perm {
     /// A uniformly random permutation (Fisher–Yates).
     pub fn random(n: usize, seed: u64) -> Self {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut forward: Vec<Vidx> = (0..n).map(|i| vidx(i)).collect();
+        let mut forward: Vec<Vidx> = (0..n).map(vidx).collect();
         forward.shuffle(&mut rng);
         Perm { forward }
     }
@@ -96,9 +96,8 @@ pub fn permute<T: Copy + Send + Sync>(a: &Csc<T>, row_perm: &Perm, col_perm: &Pe
     let inv_col = col_perm.inverse();
     let mut colptr = vec![0usize; a.ncols() + 1];
     // Column j of the result is old column inv_col(j).
-    for new_j in 0..a.ncols() {
-        let old_j = inv_col.apply(new_j) as usize;
-        colptr[new_j + 1] = a.col_nnz(old_j);
+    for (new_j, slot) in colptr.iter_mut().skip(1).enumerate() {
+        *slot = a.col_nnz(inv_col.apply(new_j) as usize);
     }
     for j in 0..a.ncols() {
         colptr[j + 1] += colptr[j];
@@ -108,7 +107,7 @@ pub fn permute<T: Copy + Send + Sync>(a: &Csc<T>, row_perm: &Perm, col_perm: &Pe
     // Fill per new column; rows must be re-sorted after relabeling.
     let mut scratch: Vec<(Vidx, T)> = Vec::new();
     unsafe { vals.set_len(a.nnz()) };
-    for new_j in 0..a.ncols() {
+    for (new_j, &base) in colptr[..a.ncols()].iter().enumerate() {
         let old_j = inv_col.apply(new_j) as usize;
         let (rows, v) = a.col(old_j);
         scratch.clear();
@@ -118,7 +117,6 @@ pub fn permute<T: Copy + Send + Sync>(a: &Csc<T>, row_perm: &Perm, col_perm: &Pe
                 .map(|(&r, &x)| (row_perm.apply(r as usize), x)),
         );
         scratch.sort_unstable_by_key(|e| e.0);
-        let base = colptr[new_j];
         for (t, &(r, x)) in scratch.iter().enumerate() {
             rowidx[base + t] = r;
             vals[base + t] = x;
@@ -130,7 +128,11 @@ pub fn permute<T: Copy + Send + Sync>(a: &Csc<T>, row_perm: &Perm, col_perm: &Pe
 /// Symmetric permutation `P A Pᵀ` — relabels the graph's vertices, the
 /// operation both random permutation and graph partitioning apply (§II-B).
 pub fn permute_symmetric<T: Copy + Send + Sync>(a: &Csc<T>, p: &Perm) -> Csc<T> {
-    assert_eq!(a.nrows(), a.ncols(), "symmetric permutation requires square");
+    assert_eq!(
+        a.nrows(),
+        a.ncols(),
+        "symmetric permutation requires square"
+    );
     permute(a, p, p)
 }
 

@@ -18,8 +18,9 @@ pub fn heap_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     rows_out: &mut Vec<Vidx>,
     vals_out: &mut Vec<S::T>,
 ) {
-    // One cursor per participating A column.
-    let mut cols: Vec<(&[Vidx], &[S::T], S::T)> = Vec::with_capacity(brows.len());
+    // One cursor per participating A column: (row ids, values, B scalar).
+    type Cursor<'c, T> = (&'c [Vidx], &'c [T], T);
+    let mut cols: Vec<Cursor<'_, S::T>> = Vec::with_capacity(brows.len());
     for (&k, &bv) in brows.iter().zip(bvals) {
         let (ar, av) = a.col(k as usize);
         if !ar.is_empty() {

@@ -67,7 +67,7 @@ impl<T: Copy + Send + Sync> ColSource<T> for Dcsc<T> {
 }
 
 /// Which accumulator a column (or a whole multiply) uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
 pub enum Kernel {
     /// k-way merge with a binary heap — cheapest for short columns.
     Heap,
@@ -78,13 +78,8 @@ pub enum Kernel {
     Spa,
     /// Per-column choice among the three from the column's upper-bound
     /// flops (the paper's hybrid).
+    #[default]
     Hybrid,
-}
-
-impl Default for Kernel {
-    fn default() -> Self {
-        Kernel::Hybrid
-    }
 }
 
 /// Per-thread scratch reused across columns (generation-stamped SPA and a
@@ -125,11 +120,15 @@ fn choose_kernel(bcol_nnz: usize, ub_flops: usize, nrows: usize) -> Kernel {
 }
 
 /// Compute one output column into `(rows_out, vals_out)` (cleared first).
+/// `ub` is the column's upper-bound flop count, computed once by the caller
+/// and shared by the hybrid dispatch and the hash-table sizing.
+#[allow(clippy::too_many_arguments)]
 fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     a: &A,
     brows: &[Vidx],
     bvals: &[S::T],
     kernel: Kernel,
+    ub: usize,
     scratch: &mut Scratch<S::T>,
     rows_out: &mut Vec<Vidx>,
     vals_out: &mut Vec<S::T>,
@@ -153,7 +152,6 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
         return;
     }
     let kernel = if kernel == Kernel::Hybrid {
-        let ub: usize = brows.iter().map(|&k| a.col_nnz(k as usize)).sum();
         choose_kernel(brows.len(), ub, a.nrows())
     } else {
         kernel
@@ -161,7 +159,6 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     match kernel {
         Kernel::Heap => heap::heap_column::<S, A>(a, brows, bvals, rows_out, vals_out),
         Kernel::Hash => {
-            let ub: usize = brows.iter().map(|&k| a.col_nnz(k as usize)).sum();
             hash::hash_column::<S, A>(a, brows, bvals, ub, &mut scratch.hash, rows_out, vals_out)
         }
         Kernel::Spa => spa::spa_column::<S, A>(
@@ -184,6 +181,9 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
 /// multiplying concurrently, per-column output vectors fault fresh heap
 /// pages under a process-wide lock and dominate the wall time.
 const CHUNK: usize = 256;
+
+/// One chunk's output: per-column lengths plus concatenated rows/values.
+type ChunkOut<T> = (Vec<u32>, Vec<Vidx>, Vec<T>);
 
 /// General SpGEMM `C = A·B` over a semiring with an explicit kernel choice.
 ///
@@ -208,7 +208,7 @@ where
     let nchunks = ncols.div_ceil(CHUNK);
     // Per-chunk results, computed in parallel with per-thread scratch and
     // per-chunk output accumulation (column lengths + concatenated data).
-    let chunks: Vec<(Vec<u32>, Vec<Vidx>, Vec<S::T>)> = (0..nchunks)
+    let chunks: Vec<ChunkOut<S::T>> = (0..nchunks)
         .into_par_iter()
         .map_init(
             || (Scratch::new(nrows, S::zero()), Vec::new(), Vec::new()),
@@ -216,14 +216,36 @@ where
                 let j0 = ci * CHUNK;
                 let j1 = ((ci + 1) * CHUNK).min(ncols);
                 let mut lens: Vec<u32> = Vec::with_capacity(j1 - j0);
-                let mut rows: Vec<Vidx> = Vec::new();
-                let mut vals: Vec<S::T> = Vec::new();
-                for j in j0..j1 {
+                // One symbolic pass per chunk: the upper bounds drive the
+                // hybrid dispatch, the hash-table sizing, AND the output
+                // pre-sizing (each output column holds at most
+                // min(ub, nrows) entries), so the hot loop's extends never
+                // reallocate.
+                let ubs: Vec<usize> = (j0..j1)
+                    .map(|j| {
+                        let (brows, _) = b.col(j);
+                        brows.iter().map(|&k| a.col_nnz(k as usize)).sum()
+                    })
+                    .collect();
+                let est: usize = ubs.iter().map(|&u| u.min(nrows)).sum();
+                let mut rows: Vec<Vidx> = Vec::with_capacity(est);
+                let mut vals: Vec<S::T> = Vec::with_capacity(est);
+                for (j, &ub) in (j0..j1).zip(&ubs) {
                     let (brows, bvals) = b.col(j);
-                    compute_column::<S, A>(a, brows, bvals, kernel, scratch, col_rows, col_vals);
+                    compute_column::<S, A>(
+                        a, brows, bvals, kernel, ub, scratch, col_rows, col_vals,
+                    );
                     lens.push(col_rows.len() as u32);
                     rows.extend_from_slice(col_rows);
                     vals.extend_from_slice(col_vals);
+                }
+                // Flop-proportional capacity is held by ALL chunks until
+                // the stitch; when the output compresses heavily (many
+                // k-paths landing on one entry) release the slack so peak
+                // intermediate memory stays output-proportional.
+                if rows.capacity() > 2 * rows.len() {
+                    rows.shrink_to_fit();
+                    vals.shrink_to_fit();
                 }
                 (lens, rows, vals)
             },
@@ -343,7 +365,7 @@ mod tests {
     #[test]
     fn identity_is_neutral() {
         let a = random_csc(20, 20, 60, 3);
-        let i = Csc::diagonal(&vec![1.0; 20]);
+        let i = Csc::diagonal(&[1.0; 20]);
         assert_eq!(spgemm::<PlusTimes<f64>, _, _>(&a, &i), a);
         assert_eq!(spgemm::<PlusTimes<f64>, _, _>(&i, &a), a);
     }

@@ -17,6 +17,9 @@ use rayon::prelude::*;
 /// column kernels' chunking).
 const ROW_CHUNK: usize = 256;
 
+/// One chunk's output: per-row lengths plus concatenated columns/values.
+type ChunkOut<T> = (Vec<u32>, Vec<Vidx>, Vec<T>);
+
 /// Row-wise SpGEMM `C = A·B` over a semiring, CSR in, CSR out.
 ///
 /// Each output row is accumulated with a generation-stamped sparse
@@ -34,7 +37,7 @@ pub fn spgemm_rowwise<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
     let nrows = a.nrows();
     let ncols = b.ncols();
     let nchunks = nrows.div_ceil(ROW_CHUNK);
-    let chunks: Vec<(Vec<u32>, Vec<Vidx>, Vec<S::T>)> = (0..nchunks)
+    let chunks: Vec<ChunkOut<S::T>> = (0..nchunks)
         .into_par_iter()
         .map_init(
             || (vec![S::zero(); ncols], vec![0u32; ncols], 0u32, Vec::new()),
@@ -42,14 +45,30 @@ pub fn spgemm_rowwise<S: Semiring>(a: &Csr<S::T>, b: &Csr<S::T>) -> Csr<S::T> {
                 let i0 = ci * ROW_CHUNK;
                 let i1 = ((ci + 1) * ROW_CHUNK).min(nrows);
                 let mut lens: Vec<u32> = Vec::with_capacity(i1 - i0);
-                let mut cols: Vec<Vidx> = Vec::new();
-                let mut out: Vec<S::T> = Vec::new();
+                // Pre-size outputs from the chunk's flop upper bound (each
+                // output row holds at most min(ub, ncols) entries) so the
+                // accumulation loop never reallocates.
+                let est: usize = (i0..i1)
+                    .map(|i| {
+                        let (aks, _) = a.row(i);
+                        let ub: usize = aks.iter().map(|&k| b.row_nnz(k as usize)).sum();
+                        ub.min(ncols)
+                    })
+                    .sum();
+                let mut cols: Vec<Vidx> = Vec::with_capacity(est);
+                let mut out: Vec<S::T> = Vec::with_capacity(est);
                 for i in i0..i1 {
                     let before = cols.len();
                     spa_len::accumulate_row::<S>(
                         a, b, i, vals, gen, generation, touched, &mut cols, &mut out,
                     );
                     lens.push((cols.len() - before) as u32);
+                }
+                // Release flop-proportional slack (all chunks are held
+                // until stitching; see the column kernel's rationale).
+                if cols.capacity() > 2 * cols.len() {
+                    cols.shrink_to_fit();
+                    out.shrink_to_fit();
                 }
                 (lens, cols, out)
             },
@@ -159,7 +178,9 @@ mod tests {
     #[test]
     fn rowwise_minplus_shortest_hops() {
         // MinPlus square of an edge-length matrix gives 2-hop distances
-        let a = random_csc(15, 15, 40, 9).map(f64::abs).filter(|_, _, v| v > 0.0);
+        let a = random_csc(15, 15, 40, 9)
+            .map(f64::abs)
+            .filter(|_, _, v| v > 0.0);
         let e = spgemm::<MinPlus, _, _>(&a, &a);
         let got = spgemm_rowwise::<MinPlus>(&Csr::from_csc(&a), &Csr::from_csc(&a));
         assert_eq!(got.to_csc(), e);

@@ -74,7 +74,9 @@ mod tests {
         m.to_csc()
     }
 
-    fn run_twice() -> ((Vec<Vidx>, Vec<f64>), (Vec<Vidx>, Vec<f64>)) {
+    type ColOut = (Vec<Vidx>, Vec<f64>);
+
+    fn run_twice() -> (ColOut, ColOut) {
         let a = a_matrix();
         let mut vals = vec![0.0; 5];
         let mut gen = vec![0u32; 5];
@@ -87,10 +89,19 @@ mod tests {
                    g: &mut u32,
                    touched: &mut Vec<Vidx>| {
             let (mut r, mut v) = (Vec::new(), Vec::new());
-            spa_column::<PlusTimes<f64>, _>(&a, brows, bvals, vals, gen, g, touched, &mut r, &mut v);
+            spa_column::<PlusTimes<f64>, _>(
+                &a, brows, bvals, vals, gen, g, touched, &mut r, &mut v,
+            );
             (r, v)
         };
-        let first = run(&[0, 1], &[1.0, 1.0], &mut vals, &mut gen, &mut g, &mut touched);
+        let first = run(
+            &[0, 1],
+            &[1.0, 1.0],
+            &mut vals,
+            &mut gen,
+            &mut g,
+            &mut touched,
+        );
         let second = run(&[1], &[1.0], &mut vals, &mut gen, &mut g, &mut touched);
         (first, second)
     }

@@ -7,10 +7,7 @@ use crate::csc::Csc;
 /// `a_ik · b_kj`. By the outer-product view (§III-B, ref.\[16\] Th 13.1, ref.\[2\] Eq
 /// 3.5) this is the inner product of A's per-column nnz with B's per-row
 /// nnz.
-pub fn spgemm_flops<T: Copy + Send + Sync, U: Copy + Send + Sync>(
-    a: &Csc<T>,
-    b: &Csc<U>,
-) -> u64 {
+pub fn spgemm_flops<T: Copy + Send + Sync, U: Copy + Send + Sync>(a: &Csc<T>, b: &Csc<U>) -> u64 {
     assert_eq!(a.ncols(), b.nrows());
     let a_col = a.nnz_per_col();
     let b_row = b.nnz_per_row();

@@ -19,7 +19,7 @@ pub fn vidx(x: usize) -> Vidx {
 /// Ceiling division for splitting dimensions across ranks.
 #[inline]
 pub fn div_ceil(a: usize, b: usize) -> usize {
-    (a + b - 1) / b
+    a.div_ceil(b)
 }
 
 #[cfg(test)]

@@ -45,9 +45,9 @@ fn main() {
         let (gathered, rep) = results.remove(0);
         let coarse = gathered.expect("rank 0 gathers");
         println!(
-            "level {level}: n = {} ({}x coarser), nnz = {}, RtA comm: {} RDMA msgs / {:.1} KB fetched",
+            "level {level}: n = {} ({:.1}x coarser), nnz = {}, RtA comm: {} RDMA msgs / {:.1} KB fetched",
             coarse.nrows(),
-            format!("{:.1}", s.coarsening_ratio),
+            s.coarsening_ratio,
             coarse.nnz(),
             rep.left.rdma_msgs,
             rep.left.fetched_bytes as f64 / 1e3,

@@ -15,7 +15,14 @@ fn main() {
     let p = 16;
     let a = Dataset::EukaryaLike.build(Scale::Small);
     println!("eukarya_like: n={} nnz={}", a.nrows(), a.nnz());
-    let prep = prepare(&a, p, Strategy::Partition { seed: 1, epsilon: 0.05 });
+    let prep = prepare(
+        &a,
+        p,
+        Strategy::Partition {
+            seed: 1,
+            epsilon: 0.05,
+        },
+    );
     let a = prep.a;
     let batch = (a.nrows() / 625).max(16);
     let sources: Vec<Vidx> = saspgemm::apps::bc::pick_sources(a.nrows(), batch, 7);

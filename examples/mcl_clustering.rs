@@ -34,7 +34,10 @@ fn main() {
     let a2 = a.clone();
     let results = u.run(move |comm| mcl_1d(comm, &a2, &cfg, &Plan1D::default()));
     let (clusters, iters) = &results[0];
-    let found = clusters.iter().collect::<std::collections::HashSet<_>>().len();
+    let found = clusters
+        .iter()
+        .collect::<std::collections::HashSet<_>>()
+        .len();
     println!("MCL converged in {iters} iterations; {found} clusters found");
 
     // ground truth: SBM blocks are contiguous index ranges of size n/k

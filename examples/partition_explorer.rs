@@ -65,6 +65,8 @@ fn main() {
             t_metis * 1e3
         );
     }
-    println!("\nreading: eukarya-like (hidden clusters) crosses the threshold and gains from METIS;");
+    println!(
+        "\nreading: eukarya-like (hidden clusters) crosses the threshold and gains from METIS;"
+    );
     println!("the naturally-structured matrices stay below it — exactly the paper's guidance.");
 }

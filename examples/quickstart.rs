@@ -54,10 +54,18 @@ fn main() {
         );
     }
     let c = outputs[0].4.as_ref().unwrap();
-    println!("C = A*A has {} nonzeros (verified against serial: {})", c.nnz(), {
-        let serial = sa_dist::reference::serial_spgemm(&a, &a);
-        if serial.max_abs_diff(c) < 1e-12 { "match" } else { "MISMATCH" }
-    });
+    println!(
+        "C = A*A has {} nonzeros (verified against serial: {})",
+        c.nnz(),
+        {
+            let serial = sa_dist::reference::serial_spgemm(&a, &a);
+            if serial.max_abs_diff(c) < 1e-12 {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+        }
+    );
 
     // ------------------------------------------------------------------
     // Part 2 — squaring a structured matrix on 8 ranks with a report.

@@ -34,7 +34,11 @@ fn main() {
     let u = Universe::new(4);
     let k12c = k12.clone();
     let got = u.run(move |comm| triangles_1d(comm, &k12c, &Plan1D::default()))[0];
-    println!("K12: serial {} | 1D {} | closed form {expect}", triangles_serial(&k12), got);
+    println!(
+        "K12: serial {} | 1D {} | closed form {expect}",
+        triangles_serial(&k12),
+        got
+    );
     assert_eq!(got, expect);
 
     // a scale-free-ish RMAT graph (symmetrized inside the generator)

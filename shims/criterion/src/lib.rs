@@ -1,0 +1,158 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! Provides the harness surface the `local_kernels` bench target uses:
+//! [`Criterion::benchmark_group`], `sample_size`, `bench_function`,
+//! `bench_with_input`, [`BenchmarkId::new`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a
+//! warmup-plus-samples loop reporting the minimum and median per-iteration
+//! time — no statistics engine, no HTML reports, no baselines.
+
+use std::time::Instant;
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    samples: usize,
+    /// Minimum observed per-iteration seconds.
+    best_s: f64,
+    /// All per-sample means, for the median.
+    all_s: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `routine`: one warmup call, then `samples` timed calls.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            std::hint::black_box(routine());
+            let dt = t0.elapsed().as_secs_f64();
+            self.best_s = self.best_s.min(dt);
+            self.all_s.push(dt);
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id.label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run(&mut self, label: String, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            best_s: f64::INFINITY,
+            all_s: Vec::new(),
+        };
+        f(&mut b);
+        b.all_s.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        let median = b.all_s.get(b.all_s.len() / 2).copied().unwrap_or(0.0);
+        println!(
+            "{}/{label}: min {:.3} ms, median {:.3} ms ({} samples)",
+            self.name,
+            b.best_s * 1e3,
+            median * 1e3,
+            b.all_s.len()
+        );
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _parent: self,
+        }
+    }
+}
+
+/// Group bench functions under one callable, as the real macro does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("param", 42), &42u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+    }
+}

@@ -1,0 +1,135 @@
+//! Offline stand-in for [parking_lot](https://crates.io/crates/parking_lot).
+//!
+//! Wraps `std::sync::Mutex`/`Condvar` behind parking_lot's poison-free API:
+//! `lock()` returns the guard directly and `Condvar::wait` takes the guard by
+//! `&mut`. Poisoning is translated to a panic propagation (a poisoned lock
+//! means a worker already panicked; the simulation re-raises).
+
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// Mutual exclusion primitive, poison-free `lock()`.
+#[derive(Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            guard: Some(self.inner.lock().unwrap_or_else(|p| p.into_inner())),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|p| p.into_inner())
+    }
+}
+
+/// RAII guard; releases the lock on drop.
+pub struct MutexGuard<'a, T> {
+    /// `Option` so [`Condvar::wait`] can temporarily take the std guard out
+    /// while the thread is parked.
+    guard: Option<StdGuard<'a, T>>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// Condition variable whose `wait` re-borrows the parking_lot-style guard.
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    pub fn new() -> Condvar {
+        Condvar::default()
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let reacquired = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|p| p.into_inner());
+        guard.guard = Some(reacquired);
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+    }
+
+    #[test]
+    fn wait_notify_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            true
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn contended_counter() {
+        let m = Arc::new(Mutex::new(0u64));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        *m.lock() += 1;
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 8000);
+    }
+}

@@ -1,0 +1,336 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build container has no registry access, so this workspace vendors the
+//! *subset* of rayon's API its crates actually use, implemented on plain
+//! `std::thread` scoped threads:
+//!
+//! * [`ThreadPool`] / [`ThreadPoolBuilder`] — a pool here is a concurrency
+//!   *budget* (a thread count), not a set of live threads. [`ThreadPool::install`]
+//!   runs the closure on the calling thread with a thread-local budget set;
+//!   parallel iterators spawn scoped workers up to that budget per call.
+//! * [`prelude`] — `into_par_iter()` over `Range<usize>` with `with_min_len`,
+//!   `map`, `map_init`, and order-preserving `collect()` into `Vec`.
+//! * [`current_num_threads`] — the installed budget (1 outside any pool).
+//!
+//! Semantics preserved from real rayon: deterministic output order, per-worker
+//! `map_init` state, work stealing at chunk granularity (an atomic cursor), and
+//! real parallel execution when the budget exceeds one thread. Not implemented:
+//! nested pools, `join`, `scope`, the full iterator zoo.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+thread_local! {
+    /// Concurrency budget installed by [`ThreadPool::install`] on this thread.
+    static INSTALLED: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads in the currently installed pool, or a machine default
+/// when called outside [`ThreadPool::install`].
+pub fn current_num_threads() -> usize {
+    let n = INSTALLED.with(|c| c.get());
+    if n > 0 {
+        n
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Budget actually used by parallel iterators on this thread.
+fn effective_threads() -> usize {
+    current_num_threads()
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`] (infallible here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> ThreadPoolBuilder {
+        ThreadPoolBuilder::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> ThreadPoolBuilder {
+        self.num_threads = n;
+        self
+    }
+
+    /// Accepted for API compatibility; scoped workers are anonymous here.
+    pub fn thread_name<F>(self, _f: F) -> ThreadPoolBuilder
+    where
+        F: FnMut(usize) -> String + 'static,
+    {
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { n })
+    }
+}
+
+/// A concurrency budget: `install` makes parallel iterators on the calling
+/// thread use up to `n` scoped worker threads.
+pub struct ThreadPool {
+    n: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.n
+    }
+
+    /// Run `op` with this pool installed as the ambient budget.
+    pub fn install<R: Send>(&self, op: impl FnOnce() -> R + Send) -> R {
+        let prev = INSTALLED.with(|c| c.replace(self.n));
+        let out = op();
+        INSTALLED.with(|c| c.set(prev));
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (ranges of `usize` only — the shape
+/// every hot loop in this workspace uses).
+pub trait IntoParallelIterator {
+    type Iter;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange {
+            range: self,
+            min_len: 1,
+        }
+    }
+}
+
+/// Marker trait so `use rayon::prelude::*` mirrors the real crate.
+pub trait ParallelIterator {}
+
+/// A parallel index range.
+pub struct ParRange {
+    range: Range<usize>,
+    min_len: usize,
+}
+
+impl ParallelIterator for ParRange {}
+
+impl ParRange {
+    /// Lower bound on items handed to one worker at a time.
+    pub fn with_min_len(mut self, min: usize) -> ParRange {
+        self.min_len = min.max(1);
+        self
+    }
+
+    pub fn map<T, F>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        ParMap { src: self, f }
+    }
+
+    pub fn map_init<I, T, INIT, F>(self, init: INIT, f: F) -> ParMapInit<INIT, F>
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, usize) -> T + Sync,
+        T: Send,
+    {
+        ParMapInit { src: self, init, f }
+    }
+}
+
+pub struct ParMap<F> {
+    src: ParRange,
+    f: F,
+}
+
+impl<F> ParallelIterator for ParMap<F> {}
+
+impl<F> ParMap<F> {
+    pub fn collect<T>(self) -> Vec<T>
+    where
+        F: Fn(usize) -> T + Sync,
+        T: Send,
+    {
+        let f = &self.f;
+        run_chunked(
+            self.src.range,
+            self.src.min_len,
+            &|_state: &mut (), i| f(i),
+            &|| (),
+        )
+    }
+}
+
+pub struct ParMapInit<INIT, F> {
+    src: ParRange,
+    init: INIT,
+    f: F,
+}
+
+impl<INIT, F> ParallelIterator for ParMapInit<INIT, F> {}
+
+impl<INIT, F> ParMapInit<INIT, F> {
+    pub fn collect<I, T>(self) -> Vec<T>
+    where
+        INIT: Fn() -> I + Sync,
+        F: Fn(&mut I, usize) -> T + Sync,
+        T: Send,
+    {
+        let f = &self.f;
+        run_chunked(
+            self.src.range,
+            self.src.min_len,
+            &|state: &mut I, i| f(state, i),
+            &self.init,
+        )
+    }
+}
+
+/// Execute `f` over every index of `range`, in parallel when the installed
+/// budget allows, preserving index order in the output. Workers claim
+/// contiguous chunks from an atomic cursor (chunk-granular stealing) and
+/// keep one `init()` state each for the duration of the call.
+fn run_chunked<I, T, F, INIT>(range: Range<usize>, min_len: usize, f: &F, init: &INIT) -> Vec<T>
+where
+    F: Fn(&mut I, usize) -> T + Sync,
+    INIT: Fn() -> I + Sync,
+    T: Send,
+{
+    let len = range.end.saturating_sub(range.start);
+    let threads = effective_threads().min(len.max(1));
+    if threads <= 1 || len <= min_len {
+        let mut state = init();
+        return range.map(|i| f(&mut state, i)).collect();
+    }
+    // chunk size: enough chunks for stealing, bounded below by min_len
+    let chunk = ((len / (threads * 4)).max(min_len)).max(1);
+    let nchunks = len.div_ceil(chunk);
+    let cursor = AtomicUsize::new(0);
+    let start = range.start;
+    let worker = |out: &mut Vec<(usize, Vec<T>)>| {
+        let mut state = init();
+        loop {
+            let c = cursor.fetch_add(1, Ordering::Relaxed);
+            if c >= nchunks {
+                break;
+            }
+            let lo = start + c * chunk;
+            let hi = (lo + chunk).min(range.end);
+            let vals: Vec<T> = (lo..hi).map(|i| f(&mut state, i)).collect();
+            out.push((c, vals));
+        }
+    };
+    let mut pieces: Vec<(usize, Vec<T>)> = Vec::with_capacity(nchunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (1..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    worker(&mut mine);
+                    mine
+                })
+            })
+            .collect();
+        worker(&mut pieces);
+        for h in handles {
+            pieces.extend(h.join().expect("rayon-shim worker panicked"));
+        }
+    });
+    pieces.sort_unstable_by_key(|&(c, _)| c);
+    let mut out = Vec::with_capacity(len);
+    for (_, mut vals) in pieces {
+        out.append(&mut vals);
+    }
+    out
+}
+
+// Re-exported so downstream code can hold `Arc<rayon::ThreadPool>` cheaply.
+#[doc(hidden)]
+pub type PoolHandle = Arc<ThreadPool>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let got: Vec<usize> = pool.install(|| (0..10_000).into_par_iter().map(|i| i * 2).collect());
+        assert_eq!(got.len(), 10_000);
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i * 2));
+    }
+
+    #[test]
+    fn map_init_state_is_per_worker() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        // the per-worker counter must never be shared across workers racily;
+        // results depend only on the index, not the counter
+        let got: Vec<usize> = pool.install(|| {
+            (0..5_000)
+                .into_par_iter()
+                .map_init(
+                    || 0usize,
+                    |acc, i| {
+                        *acc += 1;
+                        i
+                    },
+                )
+                .collect()
+        });
+        assert!(got.iter().enumerate().all(|(i, &v)| v == i));
+    }
+
+    #[test]
+    fn install_sets_current_num_threads() {
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 7);
+    }
+
+    #[test]
+    fn sequential_outside_pool_still_works() {
+        let got: Vec<usize> = (0..100)
+            .into_par_iter()
+            .with_min_len(8)
+            .map(|i| i)
+            .collect();
+        assert_eq!(got, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_range() {
+        let got: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(got.is_empty());
+    }
+}

@@ -57,10 +57,10 @@ pub mod prelude {
     };
     pub use sa_mpisim::{Comm, CostModel, Phase, Universe};
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
+    pub use sa_sparse as sparse_crate;
     pub use sa_sparse::{
         semiring::{OrAnd, PlusTimes},
         Coo, Csc, Csr, Dcsc, Perm,
     };
-    pub use sa_sparse as sparse_crate;
     pub use {sa_dist, sa_mpisim, sa_partition, sa_sparse};
 }

@@ -56,9 +56,7 @@ fn bc_engines_agree_with_each_other_and_serial() {
     assert!(close(&o2.scores), "2D on 3x3");
 
     let u = Universe::new(8);
-    let o3 = u
-        .run(|comm| bc_batch_3d(comm, 2, &g, &sources))
-        .remove(0);
+    let o3 = u.run(|comm| bc_batch_3d(comm, 2, &g, &sources)).remove(0);
     assert!(close(&o3.scores), "3D 2x2x2");
 
     // level counts agree (same BFS structure regardless of distribution)

@@ -3,9 +3,7 @@
 //! the oblivious baseline's, the pre-communication analysis is exact, and
 //! structure translates into volume.
 
-use saspgemm::dist::{
-    analyze_1d, spgemm_1d, uniform_offsets, DistMat1D, FetchMode, Plan1D,
-};
+use saspgemm::dist::{analyze_1d, spgemm_1d, uniform_offsets, DistMat1D, FetchMode, Plan1D};
 use saspgemm::mpisim::Universe;
 use saspgemm::sparse::gen::{banded, erdos_renyi, sbm};
 use saspgemm::sparse::Csc;

@@ -53,7 +53,11 @@ fn paired_window_meters_two_messages_per_get() {
 fn paired_window_rejects_out_of_range_and_bad_rank() {
     let u = Universe::new(2);
     let got = u.run(|comm| {
-        let win = PairedWindow::create(comm, vec![0u32; comm.rank() * 2], vec![0f64; comm.rank() * 2]);
+        let win = PairedWindow::create(
+            comm,
+            vec![0u32; comm.rank() * 2],
+            vec![0f64; comm.rank() * 2],
+        );
         let (mut a, mut b) = (Vec::new(), Vec::new());
         let oor = win.get_both_into(comm, 0, 0..5, &mut a, &mut b).is_err();
         let bad = win.get_both_into(comm, 9, 0..1, &mut a, &mut b).is_err();
@@ -86,7 +90,10 @@ fn empty_rank_slices_are_harmless() {
         let offsets = vec![0usize, 12, 12, 24];
         let da = DistMat1D::from_global(comm, &a2, &offsets);
         let (c, rep) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
-        assert!(rep.fetched_bytes == 0 || comm.rank() != 1, "empty slice fetches nothing");
+        assert!(
+            rep.fetched_bytes == 0 || comm.rank() != 1,
+            "empty slice fetches nothing"
+        );
         c.gather(comm)
     });
     assert_eq!(got[0].as_ref().unwrap(), &expect);
@@ -173,7 +180,12 @@ fn stats_deltas_are_monotone_and_additive() {
         let d2 = s2 - s1;
         // identical multiplies → identical metered traffic, and the raw
         // counters never decrease
-        (rep1.fetched_bytes, rep2.fetched_bytes, d1.rdma_get_bytes, d2.rdma_get_bytes)
+        (
+            rep1.fetched_bytes,
+            rep2.fetched_bytes,
+            d1.rdma_get_bytes,
+            d2.rdma_get_bytes,
+        )
     });
     for (f1, f2, d1, d2) in got {
         assert_eq!(f1, f2);
@@ -199,7 +211,8 @@ fn exposed_dcsc_arrays_reassemble_to_original_columns() {
         // every rank fetches rank 2's whole exposure and rebuilds its slice
         let len = win.len_of(2);
         let (mut ir, mut num) = (Vec::new(), Vec::new());
-        win.get_both_into(comm, 2, 0..len, &mut ir, &mut num).unwrap();
+        win.get_both_into(comm, 2, 0..len, &mut ir, &mut num)
+            .unwrap();
         (ir, num)
     });
     let slice = a.extract_cols(20, 30); // rank 2's columns under uniform(40,4)
