@@ -20,7 +20,8 @@
 
 use sa_dist::mat3d::{DistMat3D, LayerSplit, Owned3DBlock};
 use sa_dist::{
-    spgemm_1d, spgemm_split_3d, spgemm_summa_2d, uniform_offsets, DistMat1D, DistMat2D, Plan1D,
+    spgemm_1d, spgemm_split_3d, spgemm_summa_2d, uniform_offsets, CacheConfig, DistMat1D,
+    DistMat2D, Plan1D, SessionStats, SpgemmSession,
 };
 use sa_mpisim::{Comm, Grid2D, Grid3D};
 use sa_sparse::ewise::{ewise_add, mask_complement};
@@ -258,6 +259,169 @@ pub fn bc_batch_1d_offsets(
 
     let mut scores = vec![0.0f64; n];
     accumulate_col_sums(&delta, c0, &mut scores);
+    let scores = comm.allreduce_vec(scores, |x, y| x + y);
+    BcOutcome {
+        scores,
+        levels: stack.len(),
+        times,
+        peak_local_bytes: peak,
+        comm_bytes: (comm.stats() - stats0).injected_bytes(),
+        comm_msgs: (comm.stats() - stats0).injected_msgs(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// 1D session engine (persistent adjacency sessions + fetch cache)
+// ---------------------------------------------------------------------
+
+/// Cumulative session counters of [`bc_batches_1d_session`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BcSessionStats {
+    /// The forward sessions' counters (`Next = Ãᵀ·F`).
+    pub forward: SessionStats,
+    /// The backward sessions' counters (`T = Ã·W`).
+    pub backward: SessionStats,
+}
+
+impl BcSessionStats {
+    /// Σ wire bytes over both sessions.
+    pub fn fresh_bytes(&self) -> u64 {
+        self.forward.fresh_bytes + self.backward.fresh_bytes
+    }
+
+    /// Σ needed bytes the caches served without traffic.
+    pub fn cache_hit_bytes(&self) -> u64 {
+        self.forward.cache_hit_bytes + self.backward.cache_hit_bytes
+    }
+}
+
+/// Run several BC batches over *persistent* sparsity-aware 1D sessions.
+/// Collective.
+///
+/// Where [`bc_batch_1d`] transposes the frontier so the tiny changing
+/// operand is the fetched one, this engine keeps CombBLAS' column-frontier
+/// formulation (`Next = Ãᵀ·F`, `T = Ã·W`) and pins the **adjacency** as the
+/// fetched operand of two [`SpgemmSession`]s (forward `Ãᵀ`, backward `Ã`).
+/// Within one batch each BFS level needs fresh columns (frontiers are
+/// disjoint), but across batches the traversals revisit mostly the same
+/// graph — so from the second batch on, the sessions' caches serve almost
+/// every needed column and the cumulative fetched volume flattens (the
+/// `session_cache` bench plots exactly this curve). An undersized
+/// [`CacheConfig`] degrades gracefully to per-level refetching;
+/// [`CacheConfig::disabled`] is the uncached baseline the acceptance test
+/// compares against.
+///
+/// Returns one [`BcOutcome`] per batch plus the cumulative session
+/// counters *after each batch* (the last entry is the final total — its
+/// increments are what the `session_cache` bench plots).
+pub fn bc_batches_1d_session(
+    comm: &Comm,
+    a: &Csc<f64>,
+    batches: &[Vec<Vidx>],
+    plan: &Plan1D,
+    cache: CacheConfig,
+) -> (Vec<BcOutcome>, Vec<BcSessionStats>) {
+    let n = a.nrows();
+    let a01 = a.map(|_| 1.0);
+    let at01 = a01.transpose();
+    let plan = Plan1D {
+        global_stats: false,
+        ..*plan
+    };
+    let n_offsets = uniform_offsets(n, comm.size());
+    let mut fwd = SpgemmSession::create(
+        comm,
+        DistMat1D::from_global(comm, &at01, &n_offsets),
+        plan,
+        cache,
+    );
+    let mut bwd = SpgemmSession::create(
+        comm,
+        DistMat1D::from_global(comm, &a01, &n_offsets),
+        plan,
+        cache,
+    );
+    let mut outcomes = Vec::with_capacity(batches.len());
+    let mut snapshots = Vec::with_capacity(batches.len());
+    for sources in batches {
+        outcomes.push(bc_one_batch_sessions(comm, &mut fwd, &mut bwd, n, sources));
+        snapshots.push(BcSessionStats {
+            forward: *fwd.stats(),
+            backward: *bwd.stats(),
+        });
+    }
+    (outcomes, snapshots)
+}
+
+/// One batch of the session engine: the column-frontier BC algebra of
+/// [`bc_batch_2d`] on a 1D split of the batch dimension, multiplies routed
+/// through the persistent sessions.
+fn bc_one_batch_sessions(
+    comm: &Comm,
+    fwd: &mut SpgemmSession,
+    bwd: &mut SpgemmSession,
+    n: usize,
+    sources: &[Vidx],
+) -> BcOutcome {
+    let b = sources.len();
+    let col_offsets = Arc::new(uniform_offsets(b, comm.size()));
+    let (c0, c1) = (col_offsets[comm.rank()], col_offsets[comm.rank() + 1]);
+    let stats0 = comm.stats();
+    let wrap =
+        |local: &Csc<f64>| DistMat1D::from_local(n, b, col_offsets.clone(), Dcsc::from_csc(local));
+
+    // frontier block: rows = vertices (global), columns = my batch slice
+    let mut fringe = {
+        let mut coo = Coo::new(n, c1 - c0);
+        for (j, &s) in sources[c0..c1].iter().enumerate() {
+            coo.push(s, j as Vidx, 1.0);
+        }
+        coo.to_csc_with(|x, _| x)
+    };
+    let mut visited = fringe.clone();
+    let mut nsp = fringe.clone();
+    let mut stack = vec![fringe.clone()];
+    let mut times = BcTimes::default();
+    let mut peak = 0u64;
+
+    loop {
+        let t0 = Instant::now();
+        let (next, rep) = fwd.multiply(comm, &wrap(&fringe));
+        times.forward_s.push(t0.elapsed().as_secs_f64());
+        let masked = mask_complement(&next.into_local_csc(), &visited);
+        // frontier state + this level's Ã working set (fresh + cached)
+        peak = peak.max(
+            (masked.mem_bytes() + nsp.mem_bytes() + visited.mem_bytes()) as u64
+                + rep.fresh_bytes
+                + rep.cache_hit_bytes,
+        );
+        let live = comm.allreduce(masked.nnz() as u64, |x, y| x + y);
+        if live == 0 {
+            break;
+        }
+        visited = ewise_add::<PlusTimes<f64>>(&visited, &masked.map(|_| 1.0));
+        nsp = ewise_add::<PlusTimes<f64>>(&nsp, &masked);
+        stack.push(masked.clone());
+        fringe = masked;
+        if stack.len() > n {
+            unreachable!("BFS deeper than vertex count");
+        }
+    }
+
+    let mut delta: Csc<f64> = Csc::zeros(n, c1 - c0);
+    for l in (1..stack.len()).rev() {
+        let w = backward_weights(&stack[l], &delta, &nsp);
+        let t0 = Instant::now();
+        let (t, _rep) = bwd.multiply(comm, &wrap(&w));
+        times.backward_s.push(t0.elapsed().as_secs_f64());
+        if l >= 2 {
+            let contrib = masked_scale(&t.into_local_csc(), &stack[l - 1], &nsp);
+            delta = ewise_add::<PlusTimes<f64>>(&delta, &contrib);
+        }
+    }
+
+    let mut scores = vec![0.0f64; n];
+    accumulate_row_sums(&delta, 0, &mut scores);
     let scores = comm.allreduce_vec(scores, |x, y| x + y);
     BcOutcome {
         scores,
@@ -659,5 +823,63 @@ mod tests {
         let u = Universe::new(2);
         let got = u.run(|comm| bc_batch_1d(comm, &a, &[], &Plan1D::default()));
         assert!(got[0].scores.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn session_engine_matches_serial_per_batch() {
+        let a = rmat(7, 6, (0.57, 0.19, 0.19, 0.05), 1);
+        let batches: Vec<Vec<Vidx>> = (0..3).map(|s| pick_sources(a.nrows(), 10, s)).collect();
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            bc_batches_1d_session(
+                comm,
+                &a,
+                &batches,
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+            )
+        });
+        for (outcomes, snapshots) in got {
+            assert_eq!(outcomes.len(), batches.len());
+            assert_eq!(snapshots.len(), batches.len());
+            for (o, sources) in outcomes.iter().zip(&batches) {
+                let expect = bc_serial(&a, sources);
+                assert!(close(&o.scores, &expect), "session BC batch mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_halves_cumulative_traffic_across_batches() {
+        // ≥4 batches over the same graph: from the second batch on, the
+        // persistent sessions serve the adjacency columns out of cache, so
+        // cumulative fetched bytes must be ≤ 50% of the uncached engine's.
+        let a = rmat(7, 8, (0.57, 0.19, 0.19, 0.05), 3);
+        let batches: Vec<Vec<Vidx>> = (0..4)
+            .map(|s| pick_sources(a.nrows(), 12, 10 + s))
+            .collect();
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let plan = Plan1D::default();
+            let (_, cached) =
+                bc_batches_1d_session(comm, &a, &batches, &plan, CacheConfig::unlimited());
+            let (_, uncached) =
+                bc_batches_1d_session(comm, &a, &batches, &plan, CacheConfig::disabled());
+            (cached, uncached)
+        });
+        let total = |s: &[BcSessionStats]| s.last().unwrap().fresh_bytes();
+        let cached: u64 = got.iter().map(|(c, _)| total(c)).sum();
+        let uncached: u64 = got.iter().map(|(_, u)| total(u)).sum();
+        assert!(uncached > 0);
+        assert!(
+            cached * 2 <= uncached,
+            "cached {cached} B should be ≤ 50% of uncached {uncached} B"
+        );
+        // the avoided traffic is accounted, not lost
+        let hits: u64 = got
+            .iter()
+            .map(|(c, _)| c.last().unwrap().cache_hit_bytes())
+            .sum();
+        assert!(hits > 0);
     }
 }

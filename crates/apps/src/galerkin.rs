@@ -10,7 +10,7 @@
 
 use sa_dist::outer1d::{spgemm_outer_1d, OuterReport};
 use sa_dist::spgemm1d::{spgemm_1d, Plan1D, SpgemmReport};
-use sa_dist::{uniform_offsets, DistMat1D};
+use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, SessionStats, SpgemmSession};
 use sa_mpisim::Comm;
 use sa_sparse::Csc;
 
@@ -87,6 +87,81 @@ pub fn galerkin_product(
     }
 }
 
+/// Reports of one [`GalerkinSession::product`]: the cached right
+/// multiplication and the sessionless left one.
+#[derive(Clone, Copy, Debug)]
+pub struct GalerkinSessionReport {
+    /// `A·R` through the session (fresh vs cache-hit split is meaningful).
+    pub ar: SpgemmReport,
+    /// `Rᵀ·(AR)` (Algorithm 1; `Rᵀ`'s single-entry columns make this fetch
+    /// tiny, as in [`galerkin_product`]'s left multiplication).
+    pub rap: SpgemmReport,
+}
+
+/// Repeated Galerkin products against a stationary fine operator.
+///
+/// Adaptive AMG setups recompute `RᵀAR` with an updated `R` every cycle
+/// while `A` stays fixed. [`galerkin_product`] associates left-first
+/// (`(RᵀA)·R`), which makes the *changing* `Rᵀ` the fetched operand — cheap
+/// once, but nothing carries over between cycles. This session associates
+/// **right-first** (`Rᵀ·(A·R)`) so the stationary `A` is the fetched
+/// operand of a persistent [`SpgemmSession`]: the first product pays the
+/// full fetch, later products hit the cache for every `A` column any
+/// earlier `R` already touched, and the cumulative volume flattens (the
+/// `session_cache` bench plots the curve). Both associations produce the
+/// same coarse operator up to floating-point rounding.
+pub struct GalerkinSession {
+    session: SpgemmSession,
+}
+
+impl GalerkinSession {
+    /// Pin the fine operator. Collective.
+    pub fn create(comm: &Comm, a: DistMat1D, plan: Plan1D, cache: CacheConfig) -> GalerkinSession {
+        GalerkinSession {
+            session: SpgemmSession::create(comm, a, plan, cache),
+        }
+    }
+
+    /// The pinned fine operator.
+    pub fn a(&self) -> &DistMat1D {
+        self.session.a()
+    }
+
+    /// Cumulative counters of the cached `A·R` multiplies.
+    pub fn stats(&self) -> &SessionStats {
+        self.session.stats()
+    }
+
+    /// One coarse operator: `Rᵀ·(A·R)` with the `A·R` half served by the
+    /// session cache. Collective.
+    pub fn product(
+        &mut self,
+        comm: &Comm,
+        r_global: &Csc<f64>,
+    ) -> (DistMat1D, GalerkinSessionReport) {
+        assert_eq!(
+            self.session.a().nrows(),
+            r_global.nrows(),
+            "R's fine dimension must match A"
+        );
+        let n_agg = r_global.ncols();
+        let r_offsets = uniform_offsets(n_agg, comm.size());
+        let r_dist = DistMat1D::from_global(comm, r_global, &r_offsets);
+        let (ar, ar_rep) = self.session.multiply(comm, &r_dist);
+        let rt = r_global.transpose();
+        let rt_dist = DistMat1D::from_global(comm, &rt, self.session.a().offsets());
+        let plan = *self.session.plan();
+        let (coarse, rap_rep) = spgemm_1d(comm, &rt_dist, &ar, &plan);
+        (
+            coarse,
+            GalerkinSessionReport {
+                ar: ar_rep,
+                rap: rap_rep,
+            },
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +222,50 @@ mod tests {
         assert!(nc < a.ncols() / 8);
         assert!(nnz > 0);
         assert!((nnz as usize) < a.nnz());
+    }
+
+    #[test]
+    fn session_products_match_serial_and_flatten_traffic() {
+        // an adaptive-AMG-style resetup loop: 4 restriction operators over
+        // the same fine matrix
+        let a = stencil3d(6, 6, 4, true);
+        let rs: Vec<Csc<f64>> = (0..4).map(|s| restriction_operator(&a, s)).collect();
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let plan = Plan1D::default();
+            let mut cached =
+                GalerkinSession::create(comm, da.clone(), plan, CacheConfig::unlimited());
+            let mut uncached = GalerkinSession::create(comm, da, plan, CacheConfig::disabled());
+            let mut coarse = Vec::new();
+            for r in &rs {
+                coarse.push(cached.product(comm, r).0.gather(comm));
+                let _ = uncached.product(comm, r);
+            }
+            // one more product with an already-seen R: fully cache-served
+            let (_c, rep) = cached.product(comm, &rs[0]);
+            (coarse, *cached.stats(), *uncached.stats(), rep)
+        });
+        for (i, r) in rs.iter().enumerate() {
+            let expect = serial_galerkin(r, &a);
+            let coarse = got[0].0[i].as_ref().unwrap();
+            assert!(
+                coarse.max_abs_diff(&expect) < 1e-9,
+                "resetup {i}: diff {}",
+                coarse.max_abs_diff(&expect)
+            );
+        }
+        let cached_fresh: u64 = got.iter().map(|(_, c, _, _)| c.fresh_bytes).sum();
+        let uncached_fresh: u64 = got.iter().map(|(_, _, u, _)| u.fresh_bytes).sum();
+        // 5 cached products vs 4 uncached ones, still far less traffic
+        assert!(
+            cached_fresh < uncached_fresh,
+            "session must flatten cumulative volume ({cached_fresh} vs {uncached_fresh})"
+        );
+        for (_, _, _, rep) in &got {
+            assert_eq!(rep.ar.fresh_bytes, 0, "repeated R is fully cache-served");
+        }
     }
 
     #[test]

@@ -10,10 +10,13 @@
 //! * [`bc`] — batched approximate Brandes betweenness centrality with
 //!   multi-source BFS forward searches and dependency-accumulation backward
 //!   sweeps, each level one distributed SpGEMM (Figs. 13, 14), over the 1D,
-//!   2D, and 3D algorithms.
+//!   2D, and 3D algorithms — plus a session engine
+//!   ([`bc::bc_batches_1d_session`]) whose persistent adjacency fetch cache
+//!   flattens the cumulative communication volume across batches.
 //! * [`triangle`], [`mcl`] — further SpGEMM applications cited in §I
 //!   (triangle counting; Markov clustering), exercising masked products and
-//!   repeated squaring.
+//!   repeated squaring; [`mcl::mcl_1d_session`] fetches only each
+//!   iteration's changed-column delta as the clustering converges.
 
 pub mod bc;
 pub mod galerkin;

@@ -4,7 +4,7 @@
 //! ops) so the squaring benchmarks have their motivating application in the
 //! repository.
 
-use sa_dist::{spgemm_1d, DistMat1D, Plan1D};
+use sa_dist::{CacheConfig, DistMat1D, Plan1D, SessionStats, SpgemmSession};
 use sa_mpisim::Comm;
 use sa_sparse::{Csc, Dcsc, Vidx};
 
@@ -44,13 +44,86 @@ pub fn normalize_columns(m: &mut Csc<f64>) {
     }
 }
 
-/// Inflate (elementwise power) + prune + renormalize a local slice.
-fn inflate_prune(m: &Csc<f64>, inflation: f64, threshold: f64) -> Csc<f64> {
-    let mut powered = m.map(|v| v.powf(inflation));
-    normalize_columns(&mut powered);
-    let mut pruned = powered.filter(|_, _, v| v >= threshold);
-    normalize_columns(&mut pruned);
-    pruned
+/// Inflate (elementwise power) + prune + renormalize one column's values
+/// into `(rows, vals)` output buffers.
+fn inflate_prune_col(
+    rows_in: &[Vidx],
+    vals_in: &[f64],
+    inflation: f64,
+    threshold: f64,
+    rows_out: &mut Vec<Vidx>,
+    vals_out: &mut Vec<f64>,
+) {
+    let start = vals_out.len();
+    let mut sum = 0.0f64;
+    for &v in vals_in {
+        sum += v.powf(inflation);
+    }
+    if sum > 0.0 {
+        for (&r, &v) in rows_in.iter().zip(vals_in) {
+            let x = v.powf(inflation) / sum;
+            if x >= threshold {
+                rows_out.push(r);
+                vals_out.push(x);
+            }
+        }
+    } else {
+        for (&r, &v) in rows_in.iter().zip(vals_in) {
+            let x = v.powf(inflation);
+            if x >= threshold {
+                rows_out.push(r);
+                vals_out.push(x);
+            }
+        }
+    }
+    let kept: f64 = vals_out[start..].iter().sum();
+    if kept > 0.0 {
+        for v in &mut vals_out[start..] {
+            *v /= kept;
+        }
+    }
+}
+
+/// Inflate + prune + renormalize a local slice, column by column. When the
+/// previous iteration's `(expanded, result)` pair is given, columns whose
+/// expanded input is unchanged (identical rows *and* values) reuse the
+/// previous result instead of being recomputed — near MCL convergence most
+/// of the matrix freezes, so most columns skip the `powf` passes entirely.
+/// Returns the slice and the number of skipped (reused) columns.
+fn inflate_prune_incremental(
+    m: &Csc<f64>,
+    prev: Option<(&Csc<f64>, &Csc<f64>)>,
+    inflation: f64,
+    threshold: f64,
+) -> (Csc<f64>, usize) {
+    let mut colptr = vec![0usize; m.ncols() + 1];
+    let mut rowidx: Vec<Vidx> = Vec::with_capacity(m.nnz());
+    let mut vals: Vec<f64> = Vec::with_capacity(m.nnz());
+    let mut skipped = 0usize;
+    for j in 0..m.ncols() {
+        let (rows_in, vals_in) = m.col(j);
+        match prev {
+            Some((prev_in, prev_out)) if prev_in.col(j) == (rows_in, vals_in) => {
+                let (pr, pv) = prev_out.col(j);
+                rowidx.extend_from_slice(pr);
+                vals.extend_from_slice(pv);
+                skipped += 1;
+            }
+            _ => inflate_prune_col(
+                rows_in,
+                vals_in,
+                inflation,
+                threshold,
+                &mut rowidx,
+                &mut vals,
+            ),
+        }
+        colptr[j + 1] = rowidx.len();
+    }
+    (
+        Csc::from_parts(m.nrows(), m.ncols(), colptr, rowidx, vals),
+        skipped,
+    )
 }
 
 /// Extract clusters from a converged MCL matrix: vertices sharing an
@@ -88,7 +161,34 @@ pub fn interpret_clusters(m: &Csc<f64>) -> Vec<u32> {
 /// Run distributed MCL: expansion via sparsity-aware 1D squaring,
 /// inflation locally. Returns the converged matrix slice's clusters
 /// (identical on all ranks) and the number of iterations. Collective.
+///
+/// Expansion runs through a cached [`SpgemmSession`] (unlimited budget) —
+/// see [`mcl_1d_session`] for the cache-aware entry point and its
+/// per-iteration delta semantics.
 pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec<u32>, usize) {
+    let (clusters, iters, _) = mcl_1d_session(comm, a, cfg, plan, CacheConfig::unlimited());
+    (clusters, iters)
+}
+
+/// [`mcl_1d`] with an explicit fetch-cache budget, returning the session
+/// counters. Collective.
+///
+/// The expansion `M ← M²` multiplies a *changing* operand, which a naive
+/// session cannot cache — but MCL converges: more and more columns of `M`
+/// freeze between iterations. After each inflation the session is
+/// re-anchored with [`SpgemmSession::update_a`], which invalidates exactly
+/// the columns whose content changed; every frozen column stays cached, so
+/// the per-iteration fetch volume decays toward zero alongside the
+/// convergence delta (only the *delta* is communicated). The inflation pass
+/// reuses the same diff idea locally: columns whose expanded input is
+/// unchanged skip the inflate/prune recompute.
+pub fn mcl_1d_session(
+    comm: &Comm,
+    a: &Csc<f64>,
+    cfg: &MclConfig,
+    plan: &Plan1D,
+    cache: CacheConfig,
+) -> (Vec<u32>, usize, SessionStats) {
     let n = a.ncols();
     // add self-loops (standard MCL) and normalize
     let mut with_loops = {
@@ -102,14 +202,27 @@ pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec
 
     let offsets = sa_dist::uniform_offsets(n, comm.size());
     let mut current = DistMat1D::from_global(comm, &with_loops, &offsets);
+    let mut session = SpgemmSession::create(comm, current.clone(), *plan, cache);
+    let mut prev_expanded: Option<Csc<f64>> = None;
+    let mut prev_result: Option<Csc<f64>> = None;
     let mut iters = 0usize;
     for _ in 0..cfg.max_iters {
+        if iters > 0 {
+            // re-anchor the session on the inflated matrix: only changed
+            // columns are invalidated (deferred to here so a terminating
+            // iteration never pays a collective + window refresh it will
+            // not use)
+            session.update_a(comm, current.clone());
+        }
         iters += 1;
-        // expansion: M <- M²  (the HipMCL bottleneck)
-        let (expanded, _rep) = spgemm_1d(comm, &current, &current, plan);
-        // inflation + pruning on the local slice
-        let local = inflate_prune(
-            &expanded.into_local_csc(),
+        // expansion: M <- M²  (the HipMCL bottleneck), fetching only
+        // columns the cache lost to invalidation
+        let (expanded, _rep) = session.multiply(comm, &current);
+        let expanded = expanded.into_local_csc();
+        // inflation + pruning on the local slice, skipping frozen columns
+        let (local, _skipped) = inflate_prune_incremental(
+            &expanded,
+            prev_expanded.as_ref().zip(prev_result.as_ref()),
             cfg.inflation,
             cfg.prune_threshold,
         );
@@ -118,6 +231,8 @@ pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec
         let my_prev = current.local().to_csc();
         let delta = my_prev.max_abs_diff(&local);
         let max_delta = comm.allreduce(delta, |x, y| x.max(y));
+        prev_expanded = Some(expanded);
+        prev_result = Some(local);
         current = next;
         if max_delta < 1e-8 {
             break;
@@ -125,7 +240,7 @@ pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec
     }
     let full = current.gather(comm);
     let clusters = comm.bcast_vec(0, full.map(|m| interpret_clusters(&m)));
-    (clusters, iters)
+    (clusters, iters, *session.stats())
 }
 
 #[cfg(test)]
@@ -183,5 +298,82 @@ mod tests {
         for w in got.windows(2) {
             assert_eq!(w[0].0, w[1].0);
         }
+    }
+
+    #[test]
+    fn incremental_inflation_skips_unchanged_columns_and_matches_full() {
+        // iteration 1: full recompute; iteration 2: a few columns change,
+        // the rest must be reused — with a result identical to the full
+        // recompute (the regression the fix is guarding)
+        let mut m1 = sbm(50, 2, 8.0, 1.0, false, 7);
+        normalize_columns(&mut m1);
+        let (r1, skipped1) = inflate_prune_incremental(&m1, None, 2.0, 1e-4);
+        assert_eq!(skipped1, 0, "no previous iteration to reuse");
+        let changed: Vec<usize> = vec![2, 9, 33];
+        let m2 = {
+            let mut m = m1.clone();
+            let colptr = m.colptr().to_vec();
+            let vals = m.vals_mut();
+            for &j in &changed {
+                for v in &mut vals[colptr[j]..colptr[j + 1]] {
+                    *v = (*v + 0.1) / 2.0;
+                }
+            }
+            m
+        };
+        let (full, _) = inflate_prune_incremental(&m2, None, 2.0, 1e-4);
+        let (incr, skipped) = inflate_prune_incremental(&m2, Some((&m1, &r1)), 2.0, 1e-4);
+        assert_eq!(incr, full, "incremental result must equal full recompute");
+        let dirty = changed.iter().filter(|&&j| m1.col_nnz(j) > 0).count();
+        assert_eq!(
+            skipped,
+            m1.ncols() - dirty,
+            "every unchanged column must be skipped"
+        );
+    }
+
+    #[test]
+    fn session_mcl_matches_uncached_and_fetches_only_deltas() {
+        // 4 ranks over 3 planted blocks: the slice boundaries cut across
+        // clusters, so remote column needs persist into MCL's freezing
+        // phase (3 ranks would align with the blocks and the converged
+        // matrix's block-diagonal locality would leave nothing to cache)
+        let a = sbm(90, 3, 12.0, 0.3, false, 2);
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let (c1, i1, cached) = mcl_1d_session(
+                comm,
+                &a,
+                &MclConfig::default(),
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+            );
+            let (c2, i2, uncached) = mcl_1d_session(
+                comm,
+                &a,
+                &MclConfig::default(),
+                &Plan1D::default(),
+                CacheConfig::disabled(),
+            );
+            (c1, i1, cached, c2, i2, uncached)
+        });
+        for (c1, i1, cached, c2, i2, uncached) in &got {
+            assert_eq!(c1, c2, "cache must not change the clustering");
+            assert_eq!(i1, i2, "cache must not change convergence");
+            assert!(
+                cached.fresh_bytes <= uncached.fresh_bytes,
+                "caching can only reduce traffic"
+            );
+        }
+        // MCL freezes as it converges, so some columns must have been
+        // served from cache by the later iterations
+        let hits: u64 = got.iter().map(|(_, _, c, ..)| c.cache_hit_bytes).sum();
+        assert!(hits > 0, "converging MCL must produce cache hits");
+        let fresh_cached: u64 = got.iter().map(|(_, _, c, ..)| c.fresh_bytes).sum();
+        let fresh_uncached: u64 = got.iter().map(|(.., u)| u.fresh_bytes).sum();
+        assert!(
+            fresh_cached < fresh_uncached,
+            "delta fetching must beat refetching ({fresh_cached} vs {fresh_uncached})"
+        );
     }
 }

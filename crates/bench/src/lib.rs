@@ -2,11 +2,21 @@
 //!
 //! Every `cargo bench --bench figN_*` target prints the same series the
 //! paper's figure plots, as a CSV-ish table plus a "paper claim vs measured"
-//! summary line that EXPERIMENTS.md records.
+//! summary line that EXPERIMENTS.md records. Beyond the paper's figures,
+//! `--bench session_cache` plots the cross-iteration fetch-cache curves
+//! (cumulative fetched volume flattening for BC batches / Galerkin resetup /
+//! MCL — the `SpgemmSession` subsystem's claim).
 //!
 //! Environment knobs:
 //! * `SA_SCALE` = `tiny` | `small` (default) | `medium` — dataset sizes;
-//! * `SA_QUICK=1` — fewer rank counts for smoke runs.
+//! * `SA_QUICK=1` — fewer rank counts / iterations for smoke runs;
+//! * `SA_REPS=n` — repetitions per measurement (best kept).
+//!
+//! Harness map: [`plan`]/[`scale`]/[`load`] configure a run,
+//! [`square_1d`] executes the canonical squaring workload,
+//! [`banner`]/[`row`]/[`mb`]/[`ms`] format the output, and
+//! [`model`]/[`modeled_total`]/[`modeled_critical_path`] apply the α–β
+//! network model to the exact metered traffic.
 
 use sa_dist::{
     prepare, spgemm_1d, DistMat1D, FetchMode, Plan1D, PrepResult, SpgemmReport, Strategy,

@@ -15,10 +15,17 @@
 //!   sparsity-oblivious baseline of Figs. 4/5/9.
 //! * [`mat3d`] — the 3D split algorithm: per-layer SUMMA over a column/row
 //!   split of the operands, with a fiber reduce-scatter of the partials.
+//! * [`session`] — cross-iteration extension of Algorithm 1: a persistent
+//!   [`SpgemmSession`] pins the fetched operand (metadata + window exposure
+//!   once), and its [`FetchCache`] keeps remote columns across multiplies so
+//!   iterative workloads (§II-C batched BC / MCL / Galerkin) fetch only the
+//!   per-iteration miss set. [`SessionAnalysis`] is the incremental,
+//!   collective-free counterpart of [`analyze_1d`].
 //! * [`prepare`](crate::prepare::prepare) — the permutation strategies the
 //!   paper compares (natural order, random symmetric, METIS-style
 //!   partitioning) packaged as a preprocessing step.
-//! * [`reference`] — serial oracles the integration tests compare against.
+//! * [`mod@reference`] — serial oracles the integration tests compare
+//!   against.
 
 pub mod dist1d;
 mod fetch;
@@ -26,6 +33,7 @@ pub mod mat3d;
 pub mod outer1d;
 pub mod prepare;
 pub mod reference;
+pub mod session;
 pub mod spgemm1d;
 pub mod summa2d;
 
@@ -33,6 +41,7 @@ pub use dist1d::{uniform_offsets, DistMat1D};
 pub use mat3d::{spgemm_split_3d, DistMat3D, LayerSplit, Owned3DBlock, Split3DReport};
 pub use outer1d::{spgemm_outer_1d, OuterReport};
 pub use prepare::{prepare, PrepResult, Strategy};
+pub use session::{CacheConfig, FetchCache, SessionAnalysis, SessionStats, SpgemmSession};
 pub use spgemm1d::{
     analyze_1d, spgemm_1d, spgemm_1d_overlap, Analysis1D, FetchMode, Plan1D, SpgemmReport,
 };

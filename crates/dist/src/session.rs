@@ -1,0 +1,1131 @@
+//! Cross-iteration fetch caching for iterative SpGEMM workloads.
+//!
+//! The paper's headline applications (batched betweenness centrality §IV-C,
+//! Markov clustering §II-C1, AMG Galerkin products §IV-B) all call
+//! [`spgemm_1d`](crate::spgemm1d::spgemm_1d) in a loop against a stationary
+//! (or slowly changing) fetched operand, yet each sessionless call re-runs
+//! the symbolic pass, re-exposes the windows, and re-fetches every remote
+//! `A` column from scratch. This module makes the needed-column set of
+//! Algorithm 1 a *persistent* object:
+//!
+//! * [`FetchCache`] — a per-rank cache of remote `A` columns, keyed by
+//!   `(owner rank, global column)`, stored as mergeable DCSC column
+//!   segments under a configurable byte budget ([`CacheConfig`]) with
+//!   LRU-ish eviction.
+//! * [`SpgemmSession`] — pins the fetched operand: the metadata allgather
+//!   and the [`PairedWindow`] exposure happen **once** at
+//!   [`SpgemmSession::create`], and every [`SpgemmSession::multiply`] runs
+//!   an *incremental* symbolic pass that diffs the current needed-column
+//!   set against cache contents and issues coalesced gets only for the
+//!   misses. [`SpgemmSession::update_a`] re-anchors the session on a
+//!   changed operand, invalidating exactly the columns whose content
+//!   changed — iterative solvers that converge (MCL) communicate only the
+//!   per-iteration delta.
+//!
+//! Metering stays exact: a session multiply's
+//! [`SpgemmReport::fresh_bytes`](crate::spgemm1d::SpgemmReport::fresh_bytes)
+//! equals the metered window traffic to the byte (the integration tests
+//! assert this across iterations and eviction), while
+//! [`SpgemmReport::cache_hit_bytes`](crate::spgemm1d::SpgemmReport::cache_hit_bytes)
+//! accounts for the needed bytes the cache served instead of the wire.
+
+use crate::dist1d::DistMat1D;
+use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, Interval, RankMeta, ENTRY_BYTES};
+use crate::spgemm1d::{assert_conformal, cv_of, global_volume, FetchMode, Plan1D, SpgemmReport};
+use sa_mpisim::{Breakdown, Comm, PairedWindow};
+use sa_sparse::semiring::PlusTimes;
+use sa_sparse::spgemm::spgemm_kernel;
+use sa_sparse::types::{vidx, Vidx};
+use sa_sparse::{Dcsc, DcscBuilder};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Byte budget for a session's [`FetchCache`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Maximum resident bytes of cached column segments (index + value
+    /// arrays, 12 B per stored entry — the same `u32` + `f64` wire cost the
+    /// reports meter). `0` disables caching entirely; `u64::MAX` (the
+    /// default) never evicts.
+    pub budget_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Cache every fetched column, never evict.
+    pub fn unlimited() -> CacheConfig {
+        CacheConfig {
+            budget_bytes: u64::MAX,
+        }
+    }
+
+    /// Cache under a byte budget with LRU-ish eviction.
+    pub fn budget(budget_bytes: u64) -> CacheConfig {
+        CacheConfig { budget_bytes }
+    }
+
+    /// No caching: every multiply fetches its full needed set fresh. For
+    /// the sparsity-aware modes this is byte-for-byte the traffic of
+    /// repeated sessionless calls — the baseline the bench compares
+    /// against. (Under [`FetchMode::FullMatrix`] a session still skips
+    /// remote slices the multiply needs *nothing* from, where the
+    /// sessionless baseline replicates them unconditionally — see
+    /// [`SpgemmSession`]'s planner note.)
+    pub fn disabled() -> CacheConfig {
+        CacheConfig { budget_bytes: 0 }
+    }
+}
+
+impl Default for CacheConfig {
+    /// Unlimited — callers opt *into* a budget, not out of caching.
+    fn default() -> CacheConfig {
+        CacheConfig::unlimited()
+    }
+}
+
+/// One cached remote column: a DCSC segment (parallel row-id / value
+/// arrays) plus its LRU stamp.
+struct CachedCol {
+    ir: Vec<Vidx>,
+    num: Vec<f64>,
+    last_used: u64,
+}
+
+impl CachedCol {
+    fn bytes(&self) -> u64 {
+        self.ir.len() as u64 * ENTRY_BYTES
+    }
+}
+
+/// Per-rank persistent cache of remote `A` columns (see the module docs).
+///
+/// Eviction is LRU-ish: when an insert would exceed the byte budget,
+/// columns not touched by the current multiply are dropped oldest-first
+/// (ties broken by key for determinism). Columns the current multiply
+/// touched are never evicted mid-iteration, so an assembly can always read
+/// the hits its symbolic pass promised.
+pub struct FetchCache {
+    budget: u64,
+    cols: HashMap<(u32, Vidx), CachedCol>,
+    resident_bytes: u64,
+    /// Monotone multiply counter; entries stamped with the current value
+    /// are immune to eviction.
+    clock: u64,
+    /// Eviction candidates of the current multiply, oldest first, built
+    /// lazily on the first over-budget insert and drained by `cursor` —
+    /// one sort per multiply instead of one per inserted column.
+    victims: Vec<(u64, u32, Vidx)>,
+    victims_clock: u64,
+    victims_cursor: usize,
+    evicted_cols: u64,
+    evicted_bytes: u64,
+    skipped_inserts: u64,
+}
+
+impl FetchCache {
+    fn new(cfg: CacheConfig) -> FetchCache {
+        FetchCache {
+            budget: cfg.budget_bytes,
+            cols: HashMap::new(),
+            resident_bytes: 0,
+            clock: 0,
+            victims: Vec::new(),
+            victims_clock: 0,
+            victims_cursor: 0,
+            evicted_cols: 0,
+            evicted_bytes: 0,
+            skipped_inserts: 0,
+        }
+    }
+
+    /// Bytes of column segments currently resident.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    /// Columns currently resident.
+    pub fn resident_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Columns evicted over the cache's lifetime.
+    pub fn evicted_cols(&self) -> u64 {
+        self.evicted_cols
+    }
+
+    /// Bytes evicted over the cache's lifetime.
+    pub fn evicted_bytes(&self) -> u64 {
+        self.evicted_bytes
+    }
+
+    /// Inserts skipped because the budget could not accommodate them even
+    /// after evicting every stale entry.
+    pub fn skipped_inserts(&self) -> u64 {
+        self.skipped_inserts
+    }
+
+    /// The configured byte budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget
+    }
+
+    fn tick(&mut self) {
+        self.clock += 1;
+    }
+
+    fn contains(&self, owner: usize, col: Vidx) -> bool {
+        self.cols.contains_key(&(owner as u32, col))
+    }
+
+    /// Refresh the LRU stamp of a resident column.
+    fn touch(&mut self, owner: usize, col: Vidx) {
+        if let Some(c) = self.cols.get_mut(&(owner as u32, col)) {
+            c.last_used = self.clock;
+        }
+    }
+
+    /// Borrow a resident column's segment without touching its stamp.
+    fn peek(&self, owner: usize, col: Vidx) -> Option<(&[Vidx], &[f64])> {
+        self.cols
+            .get(&(owner as u32, col))
+            .map(|c| (c.ir.as_slice(), c.num.as_slice()))
+    }
+
+    /// Insert a freshly fetched column, evicting stale entries if the
+    /// budget demands it. No-op if the column is already resident (block
+    /// over-fetch can re-deliver cached columns) or can never fit.
+    fn insert(&mut self, owner: usize, col: Vidx, rows: &[Vidx], vals: &[f64]) {
+        let key = (owner as u32, col);
+        if self.cols.contains_key(&key) {
+            return;
+        }
+        let sz = rows.len() as u64 * ENTRY_BYTES;
+        if sz > self.budget {
+            self.skipped_inserts += 1;
+            return;
+        }
+        if self.resident_bytes + sz > self.budget {
+            // LRU-ish eviction: everything not touched this multiply is a
+            // candidate, oldest (then smallest key) first. The sorted
+            // candidate list is built once per multiply and drained across
+            // inserts; columns inserted this multiply carry the current
+            // stamp and never enter it.
+            if self.victims_clock != self.clock {
+                self.victims = self
+                    .cols
+                    .iter()
+                    .filter(|(_, c)| c.last_used < self.clock)
+                    .map(|(&(o, j), c)| (c.last_used, o, j))
+                    .collect();
+                self.victims.sort_unstable();
+                self.victims_clock = self.clock;
+                self.victims_cursor = 0;
+            }
+            while self.resident_bytes + sz > self.budget {
+                let Some(&(_, o, j)) = self.victims.get(self.victims_cursor) else {
+                    break;
+                };
+                self.victims_cursor += 1;
+                // an entry may have been touched (pinned) after the list
+                // was built; re-check before dropping it
+                if self
+                    .cols
+                    .get(&(o, j))
+                    .is_some_and(|c| c.last_used < self.clock)
+                {
+                    let c = self.cols.remove(&(o, j)).unwrap();
+                    self.resident_bytes -= c.bytes();
+                    self.evicted_cols += 1;
+                    self.evicted_bytes += c.bytes();
+                }
+            }
+            if self.resident_bytes + sz > self.budget {
+                self.skipped_inserts += 1;
+                return;
+            }
+        }
+        self.resident_bytes += sz;
+        self.cols.insert(
+            key,
+            CachedCol {
+                ir: rows.to_vec(),
+                num: vals.to_vec(),
+                last_used: self.clock,
+            },
+        );
+    }
+
+    /// Drop a column (its owner's content changed). Returns whether it was
+    /// resident.
+    fn invalidate(&mut self, owner: usize, col: Vidx) -> bool {
+        match self.cols.remove(&(owner as u32, col)) {
+            Some(c) => {
+                self.resident_bytes -= c.bytes();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// Cumulative counters of a session (sums over all its multiplies).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SessionStats {
+    /// Multiplies executed through the session.
+    pub multiplies: u64,
+    /// Σ wire bytes ([`SpgemmReport::fresh_bytes`]).
+    pub fresh_bytes: u64,
+    /// Σ needed bytes served from cache
+    /// ([`SpgemmReport::cache_hit_bytes`]).
+    pub cache_hit_bytes: u64,
+    /// Σ one-sided messages issued.
+    pub rdma_msgs: u64,
+    /// [`SpgemmSession::update_a`] calls.
+    pub a_updates: u64,
+    /// Cached columns invalidated by those updates.
+    pub invalidated_cols: u64,
+}
+
+/// What the *next* [`SpgemmSession::multiply`] with this operand would do —
+/// the incremental counterpart of [`analyze_1d`](crate::spgemm1d::analyze_1d).
+///
+/// Computed purely from replicated metadata and local cache state: unlike
+/// `analyze_1d` this is **not** collective and moves no data at all.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionAnalysis {
+    /// Bytes the multiply will fetch over the wire (the planned misses,
+    /// including block over-fetch).
+    pub planned_fresh_bytes: u64,
+    /// Ranged fetches it will issue.
+    pub planned_intervals: u64,
+    /// Needed bytes the cache will serve without traffic.
+    pub cache_hit_bytes: u64,
+    /// Bytes the sparsity strictly requires (hits + needed part of the
+    /// misses).
+    pub needed_bytes: u64,
+}
+
+/// Outcome of the incremental symbolic pass: which needed columns the cache
+/// already holds, and the mask of those that must travel.
+struct Survey {
+    /// Global-column mask of needed-but-uncached columns.
+    miss: Vec<bool>,
+    /// Resident needed columns: (owner, global column, owner-storage
+    /// position, entry bytes), ascending by (owner, position).
+    hits: Vec<(usize, Vidx, usize, u64)>,
+    /// Σ entry bytes of `hits`.
+    hit_bytes: u64,
+}
+
+/// Σ bytes of surveyed hits that the miss plan does *not* re-deliver:
+/// block/full-matrix over-fetch can pull a cached column back over the wire
+/// anyway (the assembly then reads the fresh copy), and such columns must
+/// not be reported as traffic the cache avoided. Both lists are ascending
+/// by (owner, position), so one merge walk suffices.
+fn served_hit_bytes(survey: &Survey, fplan: &FetchPlan) -> u64 {
+    let mut iv_iter = fplan.intervals.iter().peekable();
+    let mut served = 0u64;
+    for &(owner, _g, q, bytes) in &survey.hits {
+        // skip intervals entirely before position q (pos.end is exclusive:
+        // an interval with pos.end == q + 1 still covers q)
+        while iv_iter
+            .peek()
+            .is_some_and(|iv| (iv.owner, iv.pos.end) <= (owner, q))
+        {
+            iv_iter.next();
+        }
+        let covered = iv_iter
+            .peek()
+            .is_some_and(|iv| iv.owner == owner && iv.pos.contains(&q));
+        if !covered {
+            served += bytes;
+        }
+    }
+    served
+}
+
+/// A pinned fetched operand for repeated [`spgemm_1d`]-style multiplies.
+///
+/// Created collectively once; afterwards each [`multiply`] fetches only the
+/// columns the cache is missing. See the module docs for the design, and
+/// [`spgemm_1d`] for the sessionless baseline semantics this preserves.
+///
+/// [`spgemm_1d`]: crate::spgemm1d::spgemm_1d
+/// [`multiply`]: SpgemmSession::multiply
+///
+/// ```
+/// use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, Plan1D, SpgemmSession};
+/// use sa_mpisim::Universe;
+/// use sa_sparse::gen::erdos_renyi;
+///
+/// let a = erdos_renyi(60, 60, 3.0, 7);
+/// let reports = Universe::new(3).run(|comm| {
+///     let offsets = uniform_offsets(60, comm.size());
+///     let da = DistMat1D::from_global(comm, &a, &offsets);
+///     let db = da.clone();
+///     let mut session =
+///         SpgemmSession::create(comm, da, Plan1D::default(), CacheConfig::unlimited());
+///     let (_c1, first) = session.multiply(comm, &db);
+///     let (_c2, second) = session.multiply(comm, &db);
+///     (first, second)
+/// });
+/// for (first, second) in reports {
+///     // iteration 2 reuses every column iteration 1 fetched
+///     assert_eq!(second.fresh_bytes, 0);
+///     assert_eq!(second.cache_hit_bytes, first.needed_bytes);
+/// }
+/// ```
+pub struct SpgemmSession {
+    a: DistMat1D,
+    metas: Vec<RankMeta>,
+    win: PairedWindow<Vidx, f64>,
+    plan: Plan1D,
+    cache: FetchCache,
+    stats: SessionStats,
+}
+
+impl SpgemmSession {
+    /// Pin `a` as the session's fetched operand: replicate its nonzero-column
+    /// metadata and expose its entry arrays through a paired window, both
+    /// kept for the session's lifetime. Collective.
+    pub fn create(comm: &Comm, a: DistMat1D, plan: Plan1D, cache: CacheConfig) -> SpgemmSession {
+        let metas = exchange_meta(comm, a.local());
+        let win = PairedWindow::create(comm, a.local().ir().to_vec(), a.local().num().to_vec());
+        SpgemmSession {
+            a,
+            metas,
+            win,
+            plan,
+            cache: FetchCache::new(cache),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The pinned operand.
+    pub fn a(&self) -> &DistMat1D {
+        &self.a
+    }
+
+    /// The session's execution plan.
+    pub fn plan(&self) -> &Plan1D {
+        &self.plan
+    }
+
+    /// Cumulative counters over the session's multiplies.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// The cache (resident/evicted byte counters).
+    pub fn cache(&self) -> &FetchCache {
+        &self.cache
+    }
+
+    /// Incremental symbolic pass: classify every needed remote column as a
+    /// cache hit or a miss.
+    fn survey(&self, me: usize, needed: &[bool]) -> Survey {
+        let offsets = self.a.offsets();
+        let mut miss = vec![false; self.a.ncols()];
+        let mut hits = Vec::new();
+        let mut hit_bytes = 0u64;
+        for (owner, meta) in self.metas.iter().enumerate() {
+            if owner == me {
+                continue;
+            }
+            let base = offsets[owner];
+            for q in 0..meta.nzc() {
+                let g = base + meta.jc[q] as usize;
+                if !needed[g] {
+                    continue;
+                }
+                if self.cache.contains(owner, vidx(g)) {
+                    let bytes = meta.col_entries(q) * ENTRY_BYTES;
+                    hits.push((owner, vidx(g), q, bytes));
+                    hit_bytes += bytes;
+                } else {
+                    miss[g] = true;
+                }
+            }
+        }
+        Survey {
+            miss,
+            hits,
+            hit_bytes,
+        }
+    }
+
+    /// Coalesce the missed columns into ranged fetches. All modes reuse the
+    /// sessionless planner; [`FetchMode::FullMatrix`] keeps its
+    /// all-or-nothing-per-owner semantics but skips owners whose slice the
+    /// cache fully covers (otherwise a cache could never help it).
+    fn plan_misses(&self, me: usize, miss: &[bool]) -> FetchPlan {
+        let offsets = self.a.offsets();
+        if self.plan.fetch_mode != FetchMode::FullMatrix {
+            return plan_fetch(self.plan.fetch_mode, &self.metas, offsets, miss, me);
+        }
+        let mut intervals = Vec::new();
+        let mut fetch_entries = 0u64;
+        let mut needed_entries = 0u64;
+        for (owner, meta) in self.metas.iter().enumerate() {
+            if owner == me || meta.nzc() == 0 {
+                continue;
+            }
+            let base = offsets[owner];
+            let mut any = false;
+            for q in 0..meta.nzc() {
+                if miss[base + meta.jc[q] as usize] {
+                    needed_entries += meta.col_entries(q);
+                    any = true;
+                }
+            }
+            if !any {
+                continue;
+            }
+            fetch_entries += meta.cp[meta.nzc()];
+            intervals.push(Interval {
+                owner,
+                pos: 0..meta.nzc(),
+                entries: 0..meta.cp[meta.nzc()],
+            });
+        }
+        FetchPlan {
+            intervals,
+            fetch_entries,
+            needed_entries,
+        }
+    }
+
+    /// Price the next [`multiply`](SpgemmSession::multiply) with `b` without
+    /// moving any data. Purely local (the metadata is replicated and the
+    /// cache is per-rank): **not** collective, unlike
+    /// [`analyze_1d`](crate::spgemm1d::analyze_1d).
+    ///
+    /// The prediction is exact: an immediately following `multiply` with the
+    /// same `b` meters `planned_fresh_bytes` on the wire and serves
+    /// `cache_hit_bytes` from cache, to the byte.
+    pub fn analyze(&self, comm: &Comm, b: &DistMat1D) -> SessionAnalysis {
+        assert_conformal(&self.a, b);
+        let needed = b.local().row_hit_vector();
+        let survey = self.survey(comm.rank(), &needed);
+        let fplan = self.plan_misses(comm.rank(), &survey.miss);
+        SessionAnalysis {
+            planned_fresh_bytes: fplan.fetch_bytes(),
+            planned_intervals: fplan.intervals.len() as u64,
+            cache_hit_bytes: served_hit_bytes(&survey, &fplan),
+            needed_bytes: survey.hit_bytes + fplan.needed_bytes(),
+        }
+    }
+
+    /// One session multiply: `C = Ã·B_loc` where `Ã` is assembled from the
+    /// local slice, cache hits, and coalesced fetches of the misses (which
+    /// are inserted into the cache for later iterations). Returns `C` in
+    /// `B`'s column layout plus this rank's report. Collective only through
+    /// the window fetches (plus two allreduces when
+    /// [`Plan1D::global_stats`] is set).
+    pub fn multiply(&mut self, comm: &Comm, b: &DistMat1D) -> (DistMat1D, SpgemmReport) {
+        assert_conformal(&self.a, b);
+        let stats0 = comm.stats();
+        let t_call = Instant::now();
+        let me = comm.rank();
+
+        // --- incremental symbolic pass (other) ---
+        self.cache.tick();
+        let needed = b.local().row_hit_vector();
+        let survey = self.survey(me, &needed);
+        // Pin the hits: entries touched at the current clock are immune to
+        // eviction, so inserting fresh columns below cannot drop a column
+        // the assembly is about to read.
+        for &(owner, g, _q, _bytes) in &survey.hits {
+            self.cache.touch(owner, g);
+        }
+        let fplan = self.plan_misses(me, &survey.miss);
+
+        // --- fetch misses + merge with cache into Ã (comm) ---
+        let (atilde, comm_s) = self.assemble(comm, &needed, &survey, &fplan);
+
+        // --- local kernel (comp) ---
+        let t0 = Instant::now();
+        let c_local = comm.install(|| {
+            spgemm_kernel::<PlusTimes<f64>, _, _>(&atilde, b.local(), self.plan.kernel)
+        });
+        let comp_s = t0.elapsed().as_secs_f64();
+        let c = DistMat1D::from_local(
+            self.a.nrows(),
+            b.ncols(),
+            b.offsets().clone(),
+            Dcsc::from_csc(&c_local),
+        );
+
+        // --- exact accounting ---
+        let comm_delta = comm.stats() - stats0;
+        let fetched = fplan.fetch_bytes();
+        debug_assert_eq!(comm_delta.rdma_get_bytes, fetched, "metered == planned");
+        let (fetched_global, cv) = if self.plan.global_stats {
+            let (total, max_fetched, mem_global) = global_volume(comm, fetched, &self.a);
+            (total, cv_of(max_fetched, mem_global))
+        } else {
+            let mem_local = self.a.local().nnz() as u64 * ENTRY_BYTES;
+            (fetched, cv_of(fetched, mem_local))
+        };
+        let total_s = t_call.elapsed().as_secs_f64();
+        let report = SpgemmReport {
+            fetched_bytes: fetched,
+            fresh_bytes: fetched,
+            cache_hit_bytes: served_hit_bytes(&survey, &fplan),
+            needed_bytes: survey.hit_bytes + fplan.needed_bytes(),
+            fetched_bytes_global: fetched_global,
+            rdma_msgs: fplan.rdma_msgs(),
+            cv_over_mem: cv,
+            comm: comm_delta,
+            breakdown: Breakdown {
+                comm_s,
+                comp_s,
+                other_s: (total_s - comm_s - comp_s).max(0.0),
+            },
+        };
+        self.stats.multiplies += 1;
+        self.stats.fresh_bytes += report.fresh_bytes;
+        self.stats.cache_hit_bytes += report.cache_hit_bytes;
+        self.stats.rdma_msgs += report.rdma_msgs;
+        (c, report)
+    }
+
+    /// Assemble `Ã` in ascending global-column order: the local slice
+    /// spliced at its owner position, cache hits read in place, and each
+    /// owner's planned intervals fetched into a staging buffer then merged
+    /// column-by-column (fresh columns — over-fetched ones included, like
+    /// the sessionless path — are inserted into the cache as they pass).
+    fn assemble(
+        &mut self,
+        comm: &Comm,
+        needed: &[bool],
+        survey: &Survey,
+        fplan: &FetchPlan,
+    ) -> (Dcsc<f64>, f64) {
+        let me = comm.rank();
+        let local = self.a.local();
+        let offsets = self.a.offsets().clone();
+        let nzc_est = local.nzc()
+            + survey.hits.len()
+            + fplan.intervals.iter().map(|iv| iv.pos.len()).sum::<usize>();
+        let nnz_est = local.nnz() + (survey.hit_bytes / ENTRY_BYTES + fplan.fetch_entries) as usize;
+        let mut builder =
+            DcscBuilder::with_capacity(self.a.nrows(), self.a.ncols(), nzc_est, nnz_est);
+        let mut comm_s = 0.0f64;
+        let mut iv_iter = fplan.intervals.iter().peekable();
+        let mut stage_ir: Vec<Vidx> = Vec::new();
+        let mut stage_num: Vec<f64> = Vec::new();
+        for owner in 0..comm.size() {
+            if owner == me {
+                let base = offsets[me];
+                for q in 0..local.nzc() {
+                    let (rows, vals) = local.col_by_pos(q);
+                    builder.push_col(vidx(base + local.jc()[q] as usize), rows, vals);
+                }
+                continue;
+            }
+            let meta = &self.metas[owner];
+            let base = offsets[owner];
+            // fetch this owner's intervals into the staging buffers
+            stage_ir.clear();
+            stage_num.clear();
+            let mut fresh: Vec<(&Interval, usize)> = Vec::new();
+            while let Some(iv) = iv_iter.peek() {
+                if iv.owner != owner {
+                    break;
+                }
+                let iv = iv_iter.next().unwrap();
+                let stage_base = stage_ir.len();
+                let t0 = Instant::now();
+                self.win
+                    .get_both_into(
+                        comm,
+                        owner,
+                        iv.entries.start as usize..iv.entries.end as usize,
+                        &mut stage_ir,
+                        &mut stage_num,
+                    )
+                    .expect("fetch interval within exposed window");
+                comm_s += t0.elapsed().as_secs_f64();
+                fresh.push((iv, stage_base));
+            }
+            if fresh.is_empty() && survey.hits.is_empty() {
+                continue;
+            }
+            // merge fresh intervals and cache hits in position order
+            let mut k = 0usize;
+            for q in 0..meta.nzc() {
+                let g = base + meta.jc[q] as usize;
+                while k < fresh.len() && fresh[k].0.pos.end <= q {
+                    k += 1;
+                }
+                if k < fresh.len() && fresh[k].0.pos.contains(&q) {
+                    let (iv, stage_base) = fresh[k];
+                    let off = stage_base + (meta.cp[q] - iv.entries.start) as usize;
+                    let len = meta.col_entries(q) as usize;
+                    let (rows, vals) = (&stage_ir[off..off + len], &stage_num[off..off + len]);
+                    builder.push_col(vidx(g), rows, vals);
+                    self.cache.insert(owner, vidx(g), rows, vals);
+                } else if needed[g] {
+                    let (rows, vals) = self
+                        .cache
+                        .peek(owner, vidx(g))
+                        .expect("surveyed hit still resident (pinned at current clock)");
+                    builder.push_col(vidx(g), rows, vals);
+                }
+            }
+        }
+        (builder.finish(), comm_s)
+    }
+
+    /// Re-anchor the session on a changed operand without discarding the
+    /// cache: each rank diffs its new slice against the old one column by
+    /// column, the changed global-column lists are allgathered (metadata
+    /// traffic, like the symbolic pass), and exactly those columns are
+    /// invalidated everywhere. The metadata and window exposure are
+    /// refreshed. Layout (dimensions and offsets) must be unchanged.
+    /// Collective. Returns the number of globally changed columns.
+    pub fn update_a(&mut self, comm: &Comm, new_a: DistMat1D) -> u64 {
+        assert_eq!(self.a.nrows(), new_a.nrows(), "update_a cannot resize");
+        assert_eq!(self.a.ncols(), new_a.ncols(), "update_a cannot resize");
+        assert_eq!(
+            self.a.offsets(),
+            new_a.offsets(),
+            "update_a cannot relayout"
+        );
+        let me = comm.rank();
+        let changed = changed_columns(self.a.local(), new_a.local());
+        let all_changed = comm.allgatherv(changed);
+        let mut total = 0u64;
+        let mut invalidated = 0u64;
+        for (owner, list) in all_changed.iter().enumerate() {
+            total += list.len() as u64;
+            if owner == me {
+                continue;
+            }
+            let base = self.a.offsets()[owner];
+            for &lc in list {
+                if self.cache.invalidate(owner, vidx(base + lc as usize)) {
+                    invalidated += 1;
+                }
+            }
+        }
+        self.metas = exchange_meta(comm, new_a.local());
+        self.win = PairedWindow::create(
+            comm,
+            new_a.local().ir().to_vec(),
+            new_a.local().num().to_vec(),
+        );
+        self.a = new_a;
+        self.stats.a_updates += 1;
+        self.stats.invalidated_cols += invalidated;
+        total
+    }
+}
+
+/// Local column ids whose content differs between two slices of the same
+/// width (rows or values; columns present in only one count as changed).
+fn changed_columns(old: &Dcsc<f64>, new: &Dcsc<f64>) -> Vec<Vidx> {
+    let mut changed = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.nzc() || j < new.nzc() {
+        let oc = old.jc().get(i).copied();
+        let nc = new.jc().get(j).copied();
+        match (oc, nc) {
+            (Some(a), Some(b)) if a == b => {
+                if old.col_by_pos(i) != new.col_by_pos(j) {
+                    changed.push(a);
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(a), Some(b)) if a < b => {
+                changed.push(a);
+                i += 1;
+            }
+            (Some(_), Some(b)) => {
+                changed.push(b);
+                j += 1;
+            }
+            (Some(a), None) => {
+                changed.push(a);
+                i += 1;
+            }
+            (None, Some(b)) => {
+                changed.push(b);
+                j += 1;
+            }
+            (None, None) => unreachable!(),
+        }
+    }
+    changed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist1d::uniform_offsets;
+    use crate::spgemm1d::spgemm_1d;
+    use sa_sparse::gen::{banded, erdos_renyi};
+    use sa_sparse::Csc;
+
+    fn dist(comm: &Comm, a: &Csc<f64>) -> DistMat1D {
+        DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), comm.size()))
+    }
+
+    #[test]
+    fn session_matches_sessionless_across_modes_and_iterations() {
+        let a = erdos_renyi(72, 72, 3.0, 21);
+        for mode in [
+            FetchMode::FullMatrix,
+            FetchMode::Block(4),
+            FetchMode::ContiguousRuns,
+            FetchMode::ColumnExact,
+        ] {
+            let u = sa_mpisim::Universe::new(3);
+            let got = u.run(|comm| {
+                let da = dist(comm, &a);
+                let db = da.clone();
+                let plan = Plan1D {
+                    fetch_mode: mode,
+                    ..Default::default()
+                };
+                let (c_ref, rep_ref) = spgemm_1d(comm, &da, &db, &plan);
+                let mut s = SpgemmSession::create(comm, da.clone(), plan, CacheConfig::unlimited());
+                let (c1, r1) = s.multiply(comm, &db);
+                let (c2, r2) = s.multiply(comm, &db);
+                (
+                    c_ref.gather(comm),
+                    c1.gather(comm),
+                    c2.gather(comm),
+                    rep_ref,
+                    r1,
+                    r2,
+                )
+            });
+            let (c_ref, c1, c2, rep_ref, r1, r2) = &got[0];
+            assert_eq!(c1, c_ref, "{mode:?}: first session multiply");
+            assert_eq!(c2, c_ref, "{mode:?}: repeated session multiply");
+            assert_eq!(r1.fresh_bytes, rep_ref.fetched_bytes, "{mode:?}");
+            assert_eq!(r1.cache_hit_bytes, 0, "{mode:?}: cold cache has no hits");
+            assert_eq!(r2.fresh_bytes, 0, "{mode:?}: warm cache refetches nothing");
+            assert_eq!(r2.rdma_msgs, 0, "{mode:?}");
+            assert_eq!(
+                r2.cache_hit_bytes, r2.needed_bytes,
+                "{mode:?}: warm iteration fully served from cache"
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_predicts_each_iteration_exactly() {
+        let a = banded(96, 6, 0.9, true, 3);
+        let u = sa_mpisim::Universe::new(4);
+        let ok = u.run(|comm| {
+            let da = dist(comm, &a);
+            let db = da.clone();
+            let mut s = SpgemmSession::create(
+                comm,
+                da,
+                Plan1D {
+                    global_stats: false,
+                    ..Default::default()
+                },
+                CacheConfig::unlimited(),
+            );
+            for _ in 0..3 {
+                let pre = s.analyze(comm, &db);
+                let before = comm.stats();
+                let (_c, rep) = s.multiply(comm, &db);
+                let metered = comm.stats() - before;
+                assert_eq!(pre.planned_fresh_bytes, rep.fresh_bytes);
+                assert_eq!(pre.planned_fresh_bytes, metered.rdma_get_bytes);
+                assert_eq!(pre.planned_intervals * 2, rep.rdma_msgs);
+                assert_eq!(pre.cache_hit_bytes, rep.cache_hit_bytes);
+                assert_eq!(pre.needed_bytes, rep.needed_bytes);
+            }
+            true
+        });
+        assert!(ok.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn budget_forces_eviction_and_refetch() {
+        // Alternate two operands with disjoint row supports (lower vs upper
+        // half): a budget that holds only one working set must evict the
+        // other's columns and refetch them when they come back.
+        let a = erdos_renyi(80, 80, 4.0, 5);
+        // supports interleave across rank boundaries (even vs odd rows) so
+        // each rank's remote working set really alternates
+        let half = |parity: u32| {
+            let mut coo = sa_sparse::Coo::new(80, 80);
+            for j in 0..80u32 {
+                coo.push(2 * (j % 40) + parity, j, 1.0);
+            }
+            coo.to_csc_with(|x: f64, _| x)
+        };
+        let (b_low, b_high) = (half(0), half(1));
+        let u = sa_mpisim::Universe::new(2);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let db_low = dist(comm, &b_low);
+            let db_high = dist(comm, &b_high);
+            let plan = Plan1D {
+                fetch_mode: FetchMode::ColumnExact,
+                global_stats: false,
+                ..Default::default()
+            };
+            let (_c, cold) = {
+                let mut probe =
+                    SpgemmSession::create(comm, da.clone(), plan, CacheConfig::disabled());
+                probe.multiply(comm, &db_low)
+            };
+            // room for roughly one working set, not two
+            let mut s = SpgemmSession::create(
+                comm,
+                da.clone(),
+                plan,
+                CacheConfig::budget(cold.needed_bytes.max(ENTRY_BYTES)),
+            );
+            let mut capped = Vec::new();
+            for b in [&db_low, &db_high, &db_low] {
+                capped.push(s.multiply(comm, b).1.fresh_bytes);
+            }
+            // same schedule, unlimited budget: the third iteration is free
+            let mut u = SpgemmSession::create(comm, da, plan, CacheConfig::unlimited());
+            let mut unlimited = Vec::new();
+            for b in [&db_low, &db_high, &db_low] {
+                unlimited.push(u.multiply(comm, b).1.fresh_bytes);
+            }
+            (
+                cold.needed_bytes,
+                capped,
+                unlimited,
+                s.cache().evicted_cols(),
+            )
+        });
+        for (needed, capped, unlimited, evicted) in got {
+            if needed == 0 {
+                continue; // a rank with a self-contained slice
+            }
+            assert_eq!(capped[0], needed, "cold start fetches everything");
+            assert_eq!(unlimited[2], 0, "unlimited cache keeps both working sets");
+            assert!(evicted > 0, "undersized budget must evict");
+            assert!(
+                capped[2] > 0,
+                "evicted columns must be refetched when they return: {capped:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn disabled_cache_equals_sessionless_traffic_every_iteration() {
+        let a = erdos_renyi(64, 64, 3.0, 9);
+        let u = sa_mpisim::Universe::new(4);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let db = da.clone();
+            let plan = Plan1D::default();
+            let (_c, rep_ref) = spgemm_1d(comm, &da, &db, &plan);
+            let mut s = SpgemmSession::create(comm, da, plan, CacheConfig::disabled());
+            let reps: Vec<u64> = (0..3)
+                .map(|_| s.multiply(comm, &db).1.fresh_bytes)
+                .collect();
+            (rep_ref.fetched_bytes, reps, s.cache().resident_cols())
+        });
+        for (reference, reps, resident) in got {
+            assert!(reps.iter().all(|&f| f == reference), "{reps:?}");
+            assert_eq!(resident, 0, "disabled cache stores nothing");
+        }
+    }
+
+    #[test]
+    fn update_a_invalidates_only_changed_columns() {
+        let a = erdos_renyi(60, 60, 3.0, 13);
+        // change a handful of columns' values
+        let a2 = {
+            let mut m = a.clone();
+            let colptr = m.colptr().to_vec();
+            let vals = m.vals_mut();
+            for j in [3usize, 17, 40, 55] {
+                for v in &mut vals[colptr[j]..colptr[j + 1]] {
+                    *v *= 2.0;
+                }
+            }
+            m
+        };
+        let b = erdos_renyi(60, 60, 2.0, 14);
+        let u = sa_mpisim::Universe::new(3);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let da2 = dist(comm, &a2);
+            let db = dist(comm, &b);
+            let plan = Plan1D {
+                fetch_mode: FetchMode::ColumnExact,
+                global_stats: false,
+                ..Default::default()
+            };
+            let expect = spgemm_1d(comm, &da2, &db, &plan).0.gather(comm);
+            let mut s = SpgemmSession::create(comm, da, plan, CacheConfig::unlimited());
+            let (_c, warm) = s.multiply(comm, &db);
+            let changed = s.update_a(comm, da2);
+            let (c, delta) = s.multiply(comm, &db);
+            (expect, c.gather(comm), warm, delta, changed)
+        });
+        let touched = [3usize, 17, 40, 55]
+            .iter()
+            .filter(|&&j| a.col_nnz(j) > 0)
+            .count() as u64;
+        let (expect, c, warm, delta, changed) = &got[0];
+        assert_eq!(c, expect, "post-update multiply uses the new operand");
+        assert_eq!(*changed, touched, "exactly the touched columns are dirty");
+        assert!(
+            delta.fresh_bytes < warm.fresh_bytes,
+            "delta fetch {} must be below the cold fetch {}",
+            delta.fresh_bytes,
+            warm.fresh_bytes
+        );
+        assert!(
+            delta.fresh_bytes <= 4 * ENTRY_BYTES * 60,
+            "delta fetch bounded by the changed columns"
+        );
+    }
+
+    #[test]
+    fn overfetched_cached_columns_are_not_double_counted() {
+        // every column holds 2 entries (24 B); rank 1 owns cols 20..40
+        let a = {
+            let mut coo = sa_sparse::Coo::new(40, 40);
+            for j in 0..40u32 {
+                coo.push(j, j, 1.0);
+                coo.push((j + 1) % 40, j, 0.5);
+            }
+            coo.to_csc_with(|x: f64, _| x)
+        };
+        // same structure, col 21's values changed (invalidates its cache entry)
+        let a2 = {
+            let mut m = a.clone();
+            let colptr = m.colptr().to_vec();
+            let vals = m.vals_mut();
+            for v in &mut vals[colptr[21]..colptr[22]] {
+                *v *= 2.0;
+            }
+            m
+        };
+        // rank 0's B slice needs A-cols {20, 21}; rank 1's needs nothing
+        let b = {
+            let mut coo = sa_sparse::Coo::new(40, 40);
+            for j in 0..20u32 {
+                coo.push(20 + (j % 2), j, 1.0);
+            }
+            coo.to_csc_with(|x: f64, _| x)
+        };
+        for (mode, want_fresh, want_hit) in [
+            // Block(1): the miss on col 21 re-fetches the whole slice, so
+            // the cached col 20 arrives fresh anyway — it must NOT also be
+            // reported as a cache hit (the double-count regression)
+            (FetchMode::Block(1), 20 * 2 * ENTRY_BYTES, 0),
+            // ColumnExact: only col 21 travels; col 20 is truly served
+            // from cache
+            (FetchMode::ColumnExact, 2 * ENTRY_BYTES, 2 * ENTRY_BYTES),
+        ] {
+            let u = sa_mpisim::Universe::new(2);
+            let got = u.run(|comm| {
+                let da = dist(comm, &a);
+                let da2 = dist(comm, &a2);
+                let db = dist(comm, &b);
+                let plan = Plan1D {
+                    fetch_mode: mode,
+                    global_stats: false,
+                    ..Default::default()
+                };
+                let expect = spgemm_1d(comm, &da2, &db, &plan).0.gather(comm);
+                let mut s = SpgemmSession::create(comm, da, plan, CacheConfig::unlimited());
+                let (_c, _warm) = s.multiply(comm, &db);
+                let changed = s.update_a(comm, da2);
+                let pre = s.analyze(comm, &db);
+                let (c, rep) = s.multiply(comm, &db);
+                (expect, c.gather(comm), changed, pre, rep)
+            });
+            let (expect, c, changed, pre, rep) = &got[0];
+            assert_eq!(c, expect, "{mode:?}: correctness");
+            assert_eq!(*changed, 1, "{mode:?}: only col 21 dirty");
+            assert_eq!(rep.fresh_bytes, want_fresh, "{mode:?}");
+            assert_eq!(rep.cache_hit_bytes, want_hit, "{mode:?}");
+            // needed is hits + needed misses regardless of over-fetch
+            assert_eq!(rep.needed_bytes, 2 * 2 * ENTRY_BYTES, "{mode:?}");
+            assert_eq!(pre.planned_fresh_bytes, rep.fresh_bytes, "{mode:?}");
+            assert_eq!(pre.cache_hit_bytes, rep.cache_hit_bytes, "{mode:?}");
+            assert_eq!(pre.needed_bytes, rep.needed_bytes, "{mode:?}");
+        }
+
+        // a hit at the *last* storage position of a re-fetched interval
+        // (col 39 = position 19 of the full-slice interval 0..20) must also
+        // count as covered — the merge walk's boundary case
+        let b_last = {
+            let mut coo = sa_sparse::Coo::new(40, 40);
+            for j in 0..20u32 {
+                coo.push(21 + 18 * (j % 2), j, 1.0); // rows 21 and 39
+            }
+            coo.to_csc_with(|x: f64, _| x)
+        };
+        let u = sa_mpisim::Universe::new(2);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let da2 = dist(comm, &a2);
+            let db = dist(comm, &b_last);
+            let plan = Plan1D {
+                fetch_mode: FetchMode::FullMatrix,
+                global_stats: false,
+                ..Default::default()
+            };
+            let expect = spgemm_1d(comm, &da2, &db, &plan).0.gather(comm);
+            let mut s = SpgemmSession::create(comm, da, plan, CacheConfig::unlimited());
+            let (_c, _warm) = s.multiply(comm, &db);
+            s.update_a(comm, da2); // dirties col 21; col 39 stays cached
+            let pre = s.analyze(comm, &db);
+            let (c, rep) = s.multiply(comm, &db);
+            (expect, c.gather(comm), pre, rep)
+        });
+        let (expect, c, pre, rep) = &got[0];
+        assert_eq!(c, expect, "last-position: correctness");
+        assert_eq!(rep.fresh_bytes, 20 * 2 * ENTRY_BYTES, "last-position");
+        assert_eq!(
+            rep.cache_hit_bytes, 0,
+            "hit at interval end is re-delivered fresh, not cache-served"
+        );
+        assert_eq!(pre.cache_hit_bytes, rep.cache_hit_bytes);
+    }
+
+    #[test]
+    fn session_stats_accumulate() {
+        let a = erdos_renyi(50, 50, 2.0, 31);
+        let u = sa_mpisim::Universe::new(2);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let db = da.clone();
+            let mut s = SpgemmSession::create(
+                comm,
+                da,
+                Plan1D {
+                    global_stats: false,
+                    ..Default::default()
+                },
+                CacheConfig::unlimited(),
+            );
+            let mut fresh = 0u64;
+            let mut hits = 0u64;
+            for _ in 0..3 {
+                let (_c, rep) = s.multiply(comm, &db);
+                fresh += rep.fresh_bytes;
+                hits += rep.cache_hit_bytes;
+            }
+            let st = *s.stats();
+            (st, fresh, hits)
+        });
+        for (st, fresh, hits) in got {
+            assert_eq!(st.multiplies, 3);
+            assert_eq!(st.fresh_bytes, fresh);
+            assert_eq!(st.cache_hit_bytes, hits);
+        }
+    }
+}

@@ -54,6 +54,23 @@ impl Default for FetchMode {
 }
 
 /// Execution plan for one 1D multiply.
+///
+/// ```
+/// use sa_dist::{FetchMode, Plan1D};
+/// use sa_sparse::spgemm::Kernel;
+///
+/// // defaults: block fetching, hybrid kernel, global volume metrics on
+/// let plan = Plan1D::default();
+/// assert_eq!(plan.fetch_mode, FetchMode::Block(256));
+///
+/// // a per-level inner-loop plan: byte-minimal fetches, local stats only
+/// let inner = Plan1D {
+///     fetch_mode: FetchMode::ColumnExact,
+///     kernel: Kernel::Heap,
+///     global_stats: false,
+/// };
+/// assert!(!inner.global_stats);
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Plan1D {
     pub fetch_mode: FetchMode,
@@ -83,8 +100,18 @@ impl Default for Plan1D {
 pub struct SpgemmReport {
     /// Bytes this rank pulled through the windows (index + value arrays).
     pub fetched_bytes: u64,
+    /// Bytes that actually crossed the wire in this call — always equal to
+    /// `fetched_bytes`; named for symmetry with
+    /// [`Self::cache_hit_bytes`] so session callers can split a multiply's
+    /// column demand into fresh traffic vs cache reuse.
+    pub fresh_bytes: u64,
+    /// Bytes of needed columns served out of a
+    /// [`SpgemmSession`](crate::session::SpgemmSession) fetch cache instead
+    /// of the wire. Always 0 for sessionless calls.
+    pub cache_hit_bytes: u64,
     /// Bytes the sparsity strictly required (`fetched_bytes` minus block
-    /// over-fetch).
+    /// over-fetch; in session multiplies this includes bytes served from
+    /// cache).
     pub needed_bytes: u64,
     /// Σ `fetched_bytes` over all ranks (0 unless `global_stats`).
     pub fetched_bytes_global: u64,
@@ -117,7 +144,7 @@ pub struct Analysis1D {
     pub cv_over_mem: f64,
 }
 
-fn assert_conformal(a: &DistMat1D, b: &DistMat1D) {
+pub(crate) fn assert_conformal(a: &DistMat1D, b: &DistMat1D) {
     assert_eq!(
         a.ncols(),
         b.nrows(),
@@ -137,14 +164,14 @@ fn needed_columns(b: &DistMat1D) -> Vec<bool> {
 
 /// Global-volume reduction shared by execution and analysis: total volume,
 /// per-rank max volume, and the global byte footprint of `A`'s entries.
-fn global_volume(comm: &Comm, local_fetch_bytes: u64, a: &DistMat1D) -> (u64, u64, u64) {
+pub(crate) fn global_volume(comm: &Comm, local_fetch_bytes: u64, a: &DistMat1D) -> (u64, u64, u64) {
     let mem_local = a.local().nnz() as u64 * ENTRY_BYTES;
     comm.allreduce((local_fetch_bytes, local_fetch_bytes, mem_local), |x, y| {
         (x.0 + y.0, x.1.max(y.1), x.2 + y.2)
     })
 }
 
-fn cv_of(max_fetched: u64, mem_global: u64) -> f64 {
+pub(crate) fn cv_of(max_fetched: u64, mem_global: u64) -> f64 {
     if mem_global == 0 {
         0.0
     } else {
@@ -155,6 +182,27 @@ fn cv_of(max_fetched: u64, mem_global: u64) -> f64 {
 /// Price a 1D multiply before communicating: exactly the fetch schedule
 /// [`spgemm_1d`] would execute, as byte/message counts. Collective (one
 /// metadata allgather + one allreduce).
+///
+/// ```
+/// use sa_dist::{analyze_1d, spgemm_1d, uniform_offsets, DistMat1D, FetchMode, Plan1D};
+/// use sa_mpisim::Universe;
+/// use sa_sparse::gen::banded;
+///
+/// let a = banded(120, 4, 0.9, true, 1);
+/// let pairs = Universe::new(4).run(|comm| {
+///     let da = DistMat1D::from_global(comm, &a, &uniform_offsets(120, 4));
+///     let db = da.clone();
+///     let pre = analyze_1d(comm, &da, &db, FetchMode::ColumnExact);
+///     let plan = Plan1D { fetch_mode: FetchMode::ColumnExact, ..Default::default() };
+///     let (_c, rep) = spgemm_1d(comm, &da, &db, &plan);
+///     (pre, rep)
+/// });
+/// for (pre, rep) in pairs {
+///     // the analysis is exact: what it prices is what execution meters
+///     assert_eq!(pre.planned_fetch_bytes, rep.fetched_bytes);
+///     assert_eq!(pre.planned_intervals * 2, rep.rdma_msgs);
+/// }
+/// ```
 pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) -> Analysis1D {
     assert_conformal(a, b);
     let metas = exchange_meta(comm, a.local());
@@ -238,6 +286,24 @@ fn assemble_atilde(
 
 /// The sparsity-aware 1D SpGEMM (Algorithm 1). Returns `C` in `B`'s column
 /// layout plus this rank's [`SpgemmReport`]. Collective.
+///
+/// ```
+/// use sa_dist::{spgemm_1d, uniform_offsets, DistMat1D, Plan1D};
+/// use sa_dist::reference::serial_spgemm;
+/// use sa_mpisim::Universe;
+/// use sa_sparse::gen::erdos_renyi;
+///
+/// let a = erdos_renyi(64, 64, 3.0, 5);
+/// let expect = serial_spgemm(&a, &a);
+/// let got = Universe::new(4).run(|comm| {
+///     let da = DistMat1D::from_global(comm, &a, &uniform_offsets(64, comm.size()));
+///     let db = da.clone();
+///     let (c, report) = spgemm_1d(comm, &da, &db, &Plan1D::default());
+///     assert!(report.fetched_bytes >= report.needed_bytes);
+///     c.gather(comm) // Some(..) on rank 0 only
+/// });
+/// assert_eq!(got[0].as_ref().unwrap(), &expect);
+/// ```
 pub fn spgemm_1d(
     comm: &Comm,
     a: &DistMat1D,
@@ -364,6 +430,8 @@ fn run_1d(
     let total_s = t_call.elapsed().as_secs_f64();
     let report = SpgemmReport {
         fetched_bytes: fetched,
+        fresh_bytes: fetched,
+        cache_hit_bytes: 0,
         needed_bytes: fplan.needed_bytes(),
         fetched_bytes_global: fetched_global,
         rdma_msgs: fplan.rdma_msgs(),

@@ -19,6 +19,19 @@
 //! * `Window::get` is genuinely one-sided: the target rank's thread is not
 //!   involved — the simulation reads the exposed buffer directly, exactly
 //!   like RDMA bypassing the remote CPU.
+//!
+//! Type map (paper § in parentheses):
+//!
+//! * [`Universe`] / [`Comm`] — rank threads, two-sided p2p, collectives.
+//! * [`Window`] / [`PairedWindow`] — passive-target RDMA exposure and
+//!   ranged `get`s (Algorithm 1 lines 1 and 7); a session keeps one
+//!   `PairedWindow` alive across iterative multiplies.
+//! * [`CommStats`] — exact per-rank byte/message counters, split two-sided
+//!   vs one-sided (Figs. 5/6).
+//! * [`CostModel`] — the Hockney α–β network model (§IV setup).
+//! * [`Grid2D`] / [`Grid3D`] — process grids for the 2D/3D baselines.
+//! * [`Timer`] / [`Breakdown`] — the comm/comp/other wall-clock split of
+//!   the figure breakdowns.
 
 mod blackboard;
 mod collectives;

@@ -16,6 +16,18 @@
 //! sparsity-oblivious algorithms need, and the conversion from a partition
 //! vector to a (permutation, 1D column-offset) pair that the distributed
 //! matrices consume.
+//!
+//! Module map (paper § in parentheses):
+//!
+//! * [`Graph`] / [`partition_kway`] — the METIS-class multilevel k-way
+//!   partitioner with squared-degree vertex weights (§III-B).
+//! * [`hypergraph`] — the column-net hypergraph whose connectivity metric
+//!   prices the 1D algorithm's column-exact communication volume exactly
+//!   (the model behind the needed-column set the fetch cache persists).
+//! * [`random_symmetric_perm`] — the §IV baseline permutation.
+//! * [`partition_to_perm`] / [`PartLayout`] — partition vector →
+//!   (permutation, 1D offsets) for the distributed matrices.
+//! * [`metrics`] — edge-cut / connectivity / balance diagnostics.
 
 mod graph;
 pub mod hypergraph;

@@ -7,6 +7,20 @@
 //! and the hybrid dispatcher the paper uses), semiring abstraction, synthetic
 //! dataset generators standing in for the SuiteSparse evaluation matrices,
 //! and Matrix Market I/O.
+//!
+//! Module map (paper § in parentheses):
+//!
+//! * [`coo`] / [`csc`] / [`csr`] / [`dense`] — construction and baseline
+//!   storage formats.
+//! * [`dcsc`] — the hypersparse format of the 1D slices (§II); includes
+//!   [`DcscBuilder`], the ascending-column segment merge the distributed
+//!   fetch path assembles `Ã` with (fresh wire data + cached segments).
+//! * [`mod@spgemm`] — local kernels and the hybrid dispatcher (§II-B, Fig. 3).
+//! * [`semiring`] — plus-times / min-plus / or-and algebras (§II-A).
+//! * [`ewise`], [`permute`], [`stats`] — masked elementwise ops, symmetric
+//!   permutations (§III-B), and distribution summaries.
+//! * [`gen`] — scaled analogs of the Table II evaluation matrices.
+//! * [`io`] — Matrix Market round-tripping.
 
 pub mod coo;
 pub mod csc;
@@ -25,7 +39,7 @@ pub mod types;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
-pub use dcsc::Dcsc;
+pub use dcsc::{Dcsc, DcscBuilder};
 pub use dense::Dense;
 pub use permute::Perm;
 pub use semiring::{MinPlus, OrAnd, PlusTimes, Semiring};

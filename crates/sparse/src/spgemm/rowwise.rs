@@ -1,6 +1,6 @@
 //! Row-wise (Gustavson) SpGEMM on CSR operands.
 //!
-//! The hash-kernel paper the local multiply follows (Nagasaka et al. [30])
+//! The hash-kernel paper the local multiply follows (Nagasaka et al., citation \[30\])
 //! formulates SpGEMM row-wise: `C(i,:) = ⊕_k A(i,k) ⊗ B(k,:)`. The
 //! distributed algorithms in this repository are column-oriented (CSC/DCSC
 //! match the 1D column layout), but the row formulation is the natural one

@@ -95,7 +95,7 @@ impl_tuple_strategy!(A, B, C, D, E);
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Length specification for [`vec`]: a fixed size or a range of sizes.
+    /// Length specification for [`fn@vec`]: a fixed size or a range of sizes.
     pub trait SizeRange {
         fn pick(&self, rng: &mut TestRng) -> usize;
     }

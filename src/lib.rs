@@ -16,7 +16,8 @@
 //!   random symmetric permutation.
 //! * [`dist`] — the paper's contribution: the sparsity-aware 1D SpGEMM
 //!   algorithm with block fetching, plus the 2D sparse SUMMA, 3D split, and
-//!   outer-product 1D baselines.
+//!   outer-product 1D baselines; `SpgemmSession` extends Algorithm 1 across
+//!   iterations with a persistent remote-column fetch cache.
 //! * [`apps`] — evaluation applications: algebraic-multigrid restriction
 //!   (MIS-2 aggregation + Galerkin product) and batched betweenness
 //!   centrality; triangle counting and Markov clustering as extensions.
@@ -51,9 +52,10 @@ pub use sa_sparse as sparse;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use sa_apps::{bc, galerkin, mis2, restriction};
+    pub use sa_apps::{bc, galerkin, mcl, mis2, restriction, triangle};
     pub use sa_dist::{
-        spgemm_1d, uniform_offsets, DistMat1D, DistMat2D, DistMat3D, Plan1D, SpgemmReport,
+        analyze_1d, spgemm_1d, uniform_offsets, CacheConfig, DistMat1D, DistMat2D, DistMat3D,
+        FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
     };
     pub use sa_mpisim::{Comm, CostModel, Phase, Universe};
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
