@@ -20,13 +20,13 @@
 
 use sa_dist::mat3d::{DistMat3D, LayerSplit, Owned3DBlock};
 use sa_dist::{
-    spgemm_1d, spgemm_split_3d, spgemm_summa_2d, uniform_offsets, CacheConfig, DistMat1D,
+    spgemm_1d_ws, spgemm_split_3d, spgemm_summa_2d, uniform_offsets, CacheConfig, DistMat1D,
     DistMat2D, Plan1D, SessionStats, SpgemmSession,
 };
 use sa_mpisim::{Comm, Grid2D, Grid3D};
 use sa_sparse::ewise::{ewise_add, mask_complement};
 use sa_sparse::semiring::PlusTimes;
-use sa_sparse::{Coo, Csc, Dcsc, Vidx};
+use sa_sparse::{Coo, Csc, Dcsc, SpgemmWorkspace, Vidx};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -216,12 +216,15 @@ pub fn bc_batch_1d_offsets(
     let mut stack = vec![fringe.clone()];
     let mut times = BcTimes::default();
     let mut peak = 0u64;
+    // one arena for every per-level multiply of this batch: a BFS runs
+    // 2·levels multiplies whose scratch is shape-compatible level to level
+    let ws = SpgemmWorkspace::new();
 
     // forward search
     loop {
         let t0 = Instant::now();
         let f_dist = DistMat1D::from_local(b, n, n_offsets.clone(), Dcsc::from_csc(&fringe));
-        let (next, rep) = spgemm_1d(comm, &f_dist, &da, plan);
+        let (next, rep) = spgemm_1d_ws(comm, &f_dist, &da, plan, &ws);
         times.forward_s.push(t0.elapsed().as_secs_f64());
         let masked = mask_complement(&next.into_local_csc(), &visited);
         let live = comm.allreduce(masked.nnz() as u64, |x, y| x + y);
@@ -249,7 +252,7 @@ pub fn bc_batch_1d_offsets(
         let w = backward_weights(&stack[l], &delta, &nsp);
         let t0 = Instant::now();
         let w_dist = DistMat1D::from_local(b, n, n_offsets.clone(), Dcsc::from_csc(&w));
-        let (t, _rep) = spgemm_1d(comm, &w_dist, &dat, plan);
+        let (t, _rep) = spgemm_1d_ws(comm, &w_dist, &dat, plan, &ws);
         times.backward_s.push(t0.elapsed().as_secs_f64());
         if l >= 2 {
             let contrib = masked_scale(&t.into_local_csc(), &stack[l - 1], &nsp);

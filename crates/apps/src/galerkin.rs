@@ -9,10 +9,10 @@
 //! confirms) is the better 1D algorithm for that shape.
 
 use sa_dist::outer1d::{spgemm_outer_1d, OuterReport};
-use sa_dist::spgemm1d::{spgemm_1d, Plan1D, SpgemmReport};
+use sa_dist::spgemm1d::{spgemm_1d, spgemm_1d_ws, Plan1D, SpgemmReport};
 use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, SessionStats, SpgemmSession};
 use sa_mpisim::Comm;
-use sa_sparse::Csc;
+use sa_sparse::{Csc, SpgemmWorkspace};
 
 /// Algorithm choice for the right multiplication.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -112,6 +112,10 @@ pub struct GalerkinSessionReport {
 /// same coarse operator up to floating-point rounding.
 pub struct GalerkinSession {
     session: SpgemmSession,
+    /// Arena for the sessionless `Rᵀ·(AR)` multiplies: `Rᵀ` changes every
+    /// resetup so it cannot ride the fetch cache, but its kernel scratch
+    /// and `Ã` assembly buffers carry over cycle to cycle.
+    rap_ws: SpgemmWorkspace<f64>,
 }
 
 impl GalerkinSession {
@@ -119,6 +123,7 @@ impl GalerkinSession {
     pub fn create(comm: &Comm, a: DistMat1D, plan: Plan1D, cache: CacheConfig) -> GalerkinSession {
         GalerkinSession {
             session: SpgemmSession::create(comm, a, plan, cache),
+            rap_ws: SpgemmWorkspace::new(),
         }
     }
 
@@ -151,7 +156,7 @@ impl GalerkinSession {
         let rt = r_global.transpose();
         let rt_dist = DistMat1D::from_global(comm, &rt, self.session.a().offsets());
         let plan = *self.session.plan();
-        let (coarse, rap_rep) = spgemm_1d(comm, &rt_dist, &ar, &plan);
+        let (coarse, rap_rep) = spgemm_1d_ws(comm, &rt_dist, &ar, &plan, &self.rap_ws);
         (
             coarse,
             GalerkinSessionReport {

@@ -36,6 +36,7 @@ fn measured_fetch_bytes(a: &Csc<f64>, offsets: &[usize]) -> u64 {
             fetch_mode: FetchMode::ColumnExact,
             kernel: Kernel::Hybrid,
             global_stats: true,
+            ..Default::default()
         };
         let (_, rep) = spgemm_1d(comm, &da, &da.clone(), &plan);
         rep

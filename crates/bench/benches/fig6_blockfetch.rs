@@ -39,6 +39,7 @@ fn main() {
             fetch_mode: mode,
             kernel: Kernel::Hybrid,
             global_stats: true,
+            ..Default::default()
         };
         let (reps, _) = square_1d(&a, p, Strategy::Original, plan);
         let msgs: u64 = reps.iter().map(|r| r.rdma_msgs).sum();

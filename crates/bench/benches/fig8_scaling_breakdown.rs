@@ -24,6 +24,8 @@ fn main() {
         let (reps, _) = square_1d(&a, p, Strategy::Original, plan());
         let bds: Vec<Breakdown> = reps.iter().map(|r| r.breakdown).collect();
         print_rank_breakdown(&format!("P={p}"), &bds);
+        let phases: Vec<_> = reps.iter().map(|r| r.phases).collect();
+        print_rank_phases(&format!("P={p}"), &phases);
         let totals: Vec<f64> = bds.iter().map(|b| b.total_s()).collect();
         let s = summarize(&totals);
         println!(

@@ -42,6 +42,35 @@ pub fn plan() -> Plan1D {
         fetch_mode: FetchMode::Block(256),
         kernel: Kernel::Hybrid,
         global_stats: true,
+        ..Default::default()
+    }
+}
+
+/// The `SA_THREADS` knob, if set to a positive integer.
+fn sa_threads() -> Option<usize> {
+    std::env::var("SA_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n >= 1)
+}
+
+/// Compute threads per simulated rank (`SA_THREADS`, default 1 — the
+/// paper's rank-dominant end of the `c = p·t` space). Honored by every
+/// bench that spins up a [`Universe`].
+pub fn threads_per_rank() -> usize {
+    sa_threads().unwrap_or(1)
+}
+
+/// Thread counts for the local-kernel scheduling sweep (`sched_compare`):
+/// `SA_THREADS` pins a single count, `SA_QUICK` trims the sweep.
+pub fn thread_sweep() -> Vec<usize> {
+    if let Some(n) = sa_threads() {
+        return vec![n];
+    }
+    if std::env::var("SA_QUICK").is_ok() {
+        vec![1, 4]
+    } else {
+        vec![1, 2, 4, 8]
     }
 }
 
@@ -133,7 +162,7 @@ pub fn square_1d(
 /// [`reps`] runs by critical-path time.
 pub fn run_square_prepared(prep: &PrepResult, p: usize, plan: Plan1D) -> Vec<SpgemmReport> {
     let (_t, best) = best_of(reps(), || {
-        let u = Universe::new(p);
+        let u = Universe::with_threads(p, threads_per_rank());
         let reports = u.run(|comm| {
             let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
             let db = da.clone();
@@ -182,6 +211,29 @@ pub fn print_rank_breakdown(label: &str, reps: &[Breakdown]) {
         ms(st.median),
         ms(st.max)
     );
+}
+
+/// Print the finer four-phase wall-clock split ([`sa_mpisim::PhaseTimes`])
+/// per rank: symbolic / fetch / compute / assemble in ms. Complements
+/// [`print_rank_breakdown`] — the phases attribute the `other` bucket.
+pub fn print_rank_phases(label: &str, phases: &[sa_mpisim::PhaseTimes]) {
+    println!("# per-rank phases: {label}");
+    row(&[
+        "rank".into(),
+        "symbolic_ms".into(),
+        "fetch_ms".into(),
+        "compute_ms".into(),
+        "assemble_ms".into(),
+    ]);
+    for (r, p) in phases.iter().enumerate() {
+        row(&[
+            r.to_string(),
+            ms(p.symbolic_s),
+            ms(p.fetch_s),
+            ms(p.compute_s),
+            ms(p.assemble_s),
+        ]);
+    }
 }
 
 /// The slowest rank's total — the paper's time-to-solution for a phase.

@@ -43,6 +43,7 @@ pub use outer1d::{spgemm_outer_1d, OuterReport};
 pub use prepare::{prepare, PrepResult, Strategy};
 pub use session::{CacheConfig, FetchCache, SessionAnalysis, SessionStats, SpgemmSession};
 pub use spgemm1d::{
-    analyze_1d, spgemm_1d, spgemm_1d_overlap, Analysis1D, FetchMode, Plan1D, SpgemmReport,
+    analyze_1d, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, Analysis1D, FetchMode, Plan1D,
+    SpgemmReport,
 };
 pub use summa2d::{spgemm_summa_2d, DistMat2D, SummaReport};

@@ -32,9 +32,9 @@
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, Interval, RankMeta, ENTRY_BYTES};
 use crate::spgemm1d::{assert_conformal, cv_of, global_volume, FetchMode, Plan1D, SpgemmReport};
-use sa_mpisim::{Breakdown, Comm, PairedWindow};
+use sa_mpisim::{Breakdown, Comm, PairedWindow, PhaseTimes};
 use sa_sparse::semiring::PlusTimes;
-use sa_sparse::spgemm::spgemm_kernel;
+use sa_sparse::spgemm::{spgemm_with, ChunkBuf, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
 use sa_sparse::{Dcsc, DcscBuilder};
 use std::collections::HashMap;
@@ -381,6 +381,11 @@ pub struct SpgemmSession {
     plan: Plan1D,
     cache: FetchCache,
     stats: SessionStats,
+    /// Allocation arena shared by every multiply of this session: kernel
+    /// scratch, fetch staging, and the `Ã` builder's buffers all live
+    /// here, so steady-state iterations allocate nothing on the hot path
+    /// beyond output growth.
+    ws: SpgemmWorkspace<f64>,
 }
 
 impl SpgemmSession {
@@ -397,6 +402,7 @@ impl SpgemmSession {
             plan,
             cache: FetchCache::new(cache),
             stats: SessionStats::default(),
+            ws: SpgemmWorkspace::new(),
         }
     }
 
@@ -418,6 +424,12 @@ impl SpgemmSession {
     /// The cache (resident/evicted byte counters).
     pub fn cache(&self) -> &FetchCache {
         &self.cache
+    }
+
+    /// The session's allocation arena (pool hit/miss counters — the
+    /// steady-state zero-allocation property is asserted through these).
+    pub fn workspace(&self) -> &SpgemmWorkspace<f64> {
+        &self.ws
     }
 
     /// Incremental symbolic pass: classify every needed remote column as a
@@ -527,7 +539,8 @@ impl SpgemmSession {
         let t_call = Instant::now();
         let me = comm.rank();
 
-        // --- incremental symbolic pass (other) ---
+        // --- incremental symbolic pass ---
+        let t_sym = Instant::now();
         self.cache.tick();
         let needed = b.local().row_hit_vector();
         let survey = self.survey(me, &needed);
@@ -538,22 +551,36 @@ impl SpgemmSession {
             self.cache.touch(owner, g);
         }
         let fplan = self.plan_misses(me, &survey.miss);
+        let symbolic_s = t_sym.elapsed().as_secs_f64();
 
-        // --- fetch misses + merge with cache into Ã (comm) ---
+        // --- fetch misses + merge with cache into Ã ---
+        let t_asm = Instant::now();
         let (atilde, comm_s) = self.assemble(comm, &needed, &survey, &fplan);
+        let mut assemble_s = (t_asm.elapsed().as_secs_f64() - comm_s).max(0.0);
 
-        // --- local kernel (comp) ---
+        // --- local kernel ---
         let t0 = Instant::now();
+        let (kernel, schedule, ws) = (self.plan.kernel, self.plan.schedule, &self.ws);
         let c_local = comm.install(|| {
-            spgemm_kernel::<PlusTimes<f64>, _, _>(&atilde, b.local(), self.plan.kernel)
+            spgemm_with::<PlusTimes<f64>, _, _>(&atilde, b.local(), kernel, schedule, ws)
         });
         let comp_s = t0.elapsed().as_secs_f64();
+        let t_wrap = Instant::now();
+        // recycle Ã's buffers for the next iteration's assembly
+        let (jc, cp, ir, num) = atilde.into_parts();
+        self.ws.put_chunk(ChunkBuf {
+            lens: jc,
+            rows: ir,
+            vals: num,
+        });
+        self.ws.put_idx(cp);
         let c = DistMat1D::from_local(
             self.a.nrows(),
             b.ncols(),
             b.offsets().clone(),
             Dcsc::from_csc(&c_local),
         );
+        assemble_s += t_wrap.elapsed().as_secs_f64();
 
         // --- exact accounting ---
         let comm_delta = comm.stats() - stats0;
@@ -581,6 +608,12 @@ impl SpgemmSession {
                 comp_s,
                 other_s: (total_s - comm_s - comp_s).max(0.0),
             },
+            phases: PhaseTimes {
+                symbolic_s,
+                fetch_s: comm_s,
+                compute_s: comp_s,
+                assemble_s,
+            },
         };
         self.stats.multiplies += 1;
         self.stats.fresh_bytes += report.fresh_bytes;
@@ -594,6 +627,8 @@ impl SpgemmSession {
     /// owner's planned intervals fetched into a staging buffer then merged
     /// column-by-column (fresh columns — over-fetched ones included, like
     /// the sessionless path — are inserted into the cache as they pass).
+    /// The builder's arrays and the staging buffers are recycled through
+    /// the session workspace, so steady-state assemblies allocate nothing.
     fn assemble(
         &mut self,
         comm: &Comm,
@@ -608,12 +643,23 @@ impl SpgemmSession {
             + survey.hits.len()
             + fplan.intervals.iter().map(|iv| iv.pos.len()).sum::<usize>();
         let nnz_est = local.nnz() + (survey.hit_bytes / ENTRY_BYTES + fplan.fetch_entries) as usize;
-        let mut builder =
-            DcscBuilder::with_capacity(self.a.nrows(), self.a.ncols(), nzc_est, nnz_est);
+        let bbuf = self.ws.take_chunk();
+        let bcp = self.ws.take_idx();
+        let mut builder = DcscBuilder::from_buffers(
+            self.a.nrows(),
+            self.a.ncols(),
+            bbuf.lens,
+            bcp,
+            bbuf.rows,
+            bbuf.vals,
+        );
+        builder.reserve(nzc_est, nnz_est);
         let mut comm_s = 0.0f64;
         let mut iv_iter = fplan.intervals.iter().peekable();
-        let mut stage_ir: Vec<Vidx> = Vec::new();
-        let mut stage_num: Vec<f64> = Vec::new();
+        let mut stage = self.ws.take_chunk();
+        let stage_ir = &mut stage.rows;
+        let stage_num = &mut stage.vals;
+        let mut fresh: Vec<(&Interval, usize)> = Vec::new();
         for owner in 0..comm.size() {
             if owner == me {
                 let base = offsets[me];
@@ -628,7 +674,7 @@ impl SpgemmSession {
             // fetch this owner's intervals into the staging buffers
             stage_ir.clear();
             stage_num.clear();
-            let mut fresh: Vec<(&Interval, usize)> = Vec::new();
+            fresh.clear();
             while let Some(iv) = iv_iter.peek() {
                 if iv.owner != owner {
                     break;
@@ -641,8 +687,8 @@ impl SpgemmSession {
                         comm,
                         owner,
                         iv.entries.start as usize..iv.entries.end as usize,
-                        &mut stage_ir,
-                        &mut stage_num,
+                        stage_ir,
+                        stage_num,
                     )
                     .expect("fetch interval within exposed window");
                 comm_s += t0.elapsed().as_secs_f64();
@@ -674,6 +720,7 @@ impl SpgemmSession {
                 }
             }
         }
+        self.ws.put_chunk(stage);
         (builder.finish(), comm_s)
     }
 

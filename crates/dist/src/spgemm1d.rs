@@ -22,9 +22,9 @@
 
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, RankMeta, ENTRY_BYTES};
-use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow};
+use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow, PhaseTimes};
 use sa_sparse::semiring::PlusTimes;
-use sa_sparse::spgemm::{spgemm_kernel, Kernel};
+use sa_sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
 use sa_sparse::Dcsc;
 use std::time::Instant;
@@ -68,6 +68,7 @@ impl Default for FetchMode {
 ///     fetch_mode: FetchMode::ColumnExact,
 ///     kernel: Kernel::Heap,
 ///     global_stats: false,
+///     ..Default::default()
 /// };
 /// assert!(!inner.global_stats);
 /// ```
@@ -76,6 +77,10 @@ pub struct Plan1D {
     pub fetch_mode: FetchMode,
     /// Local kernel for `Ã · B_loc`.
     pub kernel: Kernel,
+    /// How the local kernel's column loop is split into parallel work
+    /// items (flop-balanced by default; `Schedule::Fixed(256)` is the
+    /// pre-scheduling behaviour, kept for A/B comparison).
+    pub schedule: Schedule,
     /// Compute the global-volume fields of [`SpgemmReport`] (two extra
     /// allreduces). Disable in per-level inner loops (BC) where only local
     /// counters matter.
@@ -83,13 +88,14 @@ pub struct Plan1D {
 }
 
 impl Default for Plan1D {
-    /// Block fetching at the benches' granularity, hybrid kernel, global
-    /// volume metrics on (written out because `bool::default()` would
-    /// silently turn them off).
+    /// Block fetching at the benches' granularity, hybrid kernel,
+    /// flop-balanced scheduling, global volume metrics on (written out
+    /// because `bool::default()` would silently turn them off).
     fn default() -> Plan1D {
         Plan1D {
             fetch_mode: FetchMode::default(),
             kernel: Kernel::Hybrid,
+            schedule: Schedule::default(),
             global_stats: true,
         }
     }
@@ -125,6 +131,9 @@ pub struct SpgemmReport {
     pub comm: CommStats,
     /// Wall-clock split into the paper's comm/comp/other categories.
     pub breakdown: Breakdown,
+    /// Finer split of the same call: symbolic / fetch / compute /
+    /// assemble seconds (see [`PhaseTimes`] for the stage definitions).
+    pub phases: PhaseTimes,
 }
 
 /// Pre-communication analysis of a 1D multiply (Algorithm 1 lines 1–6
@@ -220,8 +229,9 @@ pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) ->
 
 /// Fetch every planned interval through `win`, appending into `ir`/`num`,
 /// and splice the local slice in at its owner position so the buffers come
-/// out in ascending global column order. Returns (jc, cp) of the
-/// assembled `Ã` and the seconds spent inside window gets.
+/// out in ascending global column order. `jc`/`cp` are filled alongside
+/// (cleared first — pass recycled buffers to keep their capacity). Returns
+/// the seconds spent inside window gets.
 #[allow(clippy::too_many_arguments)]
 fn assemble_atilde(
     comm: &Comm,
@@ -230,16 +240,20 @@ fn assemble_atilde(
     metas: &[RankMeta],
     a: &DistMat1D,
     include_local: bool,
+    jc: &mut Vec<Vidx>,
+    cp: &mut Vec<usize>,
     ir: &mut Vec<Vidx>,
     num: &mut Vec<f64>,
-) -> (Vec<Vidx>, Vec<usize>, f64) {
+) -> f64 {
     let me = comm.rank();
     let offsets = a.offsets();
     let local = a.local();
     let nzc_estimate = plan.intervals.iter().map(|iv| iv.pos.len()).sum::<usize>()
         + if include_local { local.nzc() } else { 0 };
-    let mut jc: Vec<Vidx> = Vec::with_capacity(nzc_estimate);
-    let mut cp: Vec<usize> = Vec::with_capacity(nzc_estimate + 1);
+    jc.clear();
+    jc.reserve(nzc_estimate);
+    cp.clear();
+    cp.reserve(nzc_estimate + 1);
     cp.push(0);
     ir.reserve(plan.fetch_entries as usize + if include_local { local.nnz() } else { 0 });
     num.reserve(plan.fetch_entries as usize + if include_local { local.nnz() } else { 0 });
@@ -281,7 +295,7 @@ fn assemble_atilde(
             }
         }
     }
-    (jc, cp, comm_s)
+    comm_s
 }
 
 /// The sparsity-aware 1D SpGEMM (Algorithm 1). Returns `C` in `B`'s column
@@ -310,7 +324,29 @@ pub fn spgemm_1d(
     b: &DistMat1D,
     plan: &Plan1D,
 ) -> (DistMat1D, SpgemmReport) {
-    run_1d(comm, a, b, plan, false)
+    run_1d(comm, a, b, plan, false, &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_1d`] with a caller-held [`SpgemmWorkspace`]: per-thread kernel
+/// scratch, the `Ã` assembly buffers, and the symbolic arrays are borrowed
+/// from (and returned to) `ws`, so a loop of multiplies reuses the
+/// compute-side allocations. The per-call metadata exchange and window
+/// exposure (which copies the local `A` arrays) still happen every call —
+/// they depend on the fetched operand, which changes between calls for
+/// the drivers this entry point serves (per-batch BC frontiers, the
+/// Galerkin `Rᵀ·(AR)` step). When the fetched operand is stationary, use
+/// a [`SpgemmSession`] instead: it pins those too, and its owned
+/// workspace gets steady-state iterations to zero hot-path allocations.
+///
+/// [`SpgemmSession`]: crate::session::SpgemmSession
+pub fn spgemm_1d_ws(
+    comm: &Comm,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+    ws: &SpgemmWorkspace<f64>,
+) -> (DistMat1D, SpgemmReport) {
+    run_1d(comm, a, b, plan, false, ws)
 }
 
 /// [`spgemm_1d`] with communication/computation overlap: the local partial
@@ -323,7 +359,7 @@ pub fn spgemm_1d_overlap(
     b: &DistMat1D,
     plan: &Plan1D,
 ) -> (DistMat1D, SpgemmReport) {
-    run_1d(comm, a, b, plan, true)
+    run_1d(comm, a, b, plan, true, &SpgemmWorkspace::new())
 }
 
 fn run_1d(
@@ -332,88 +368,131 @@ fn run_1d(
     b: &DistMat1D,
     plan: &Plan1D,
     overlap: bool,
+    ws: &SpgemmWorkspace<f64>,
 ) -> (DistMat1D, SpgemmReport) {
     assert_conformal(a, b);
     let stats0 = comm.stats();
     let t_call = Instant::now();
 
-    // --- symbolic phase: metadata replication + fetch planning (other) ---
+    // --- symbolic phase: metadata replication, needed-column scan, fetch
+    // planning, window exposure ---
+    let t_sym = Instant::now();
     let metas = exchange_meta(comm, a.local());
     let needed = needed_columns(b);
     let fplan = plan_fetch(plan.fetch_mode, &metas, a.offsets(), &needed, comm.rank());
-
-    // --- exposure: both of A's arrays in one paired window (other) ---
     let win = PairedWindow::create(comm, a.local().ir().to_vec(), a.local().num().to_vec());
+    let symbolic_s = t_sym.elapsed().as_secs_f64();
 
     let k = a.ncols();
     let nrows = a.nrows();
-    let (c_local, comm_s, comp_s) = if overlap {
-        // local partial product on a helper thread while we fetch
+    let (c_local, comm_s, comp_s, assemble_s) = if overlap {
+        // local partial product on a helper thread while we fetch; the
+        // overlap path keeps its own buffers (it is not the steady-state
+        // session path the workspace optimizes)
+        let t_asm = Instant::now();
         let local_only = {
+            let (mut jc, mut cp) = (Vec::new(), vec![0usize]);
             let (mut ir, mut num) = (Vec::new(), Vec::new());
             let empty = FetchPlan {
                 intervals: Vec::new(),
                 fetch_entries: 0,
                 needed_entries: 0,
             };
-            let (jc, cp, _) =
-                assemble_atilde(comm, &win, &empty, &metas, a, true, &mut ir, &mut num);
+            assemble_atilde(
+                comm, &win, &empty, &metas, a, true, &mut jc, &mut cp, &mut ir, &mut num,
+            );
             Dcsc::from_parts(nrows, k, jc, cp, ir, num)
         };
+        let mut assemble = t_asm.elapsed().as_secs_f64();
         let b_local = b.local();
         let kernel = plan.kernel;
+        let schedule = plan.schedule;
         let pool = comm.pool();
+        let mut remote_jc: Vec<Vidx> = Vec::new();
+        let mut remote_cp: Vec<usize> = vec![0];
         let mut remote_ir: Vec<Vidx> = Vec::new();
         let mut remote_num: Vec<f64> = Vec::new();
         let mut fetch_s = 0.0f64;
-        let mut jc_cp = (Vec::new(), Vec::new());
+        let mut remote_asm_s = 0.0f64;
         let (c_loc, t_loc) = std::thread::scope(|scope| {
             let handle = scope.spawn(|| {
                 let t0 = Instant::now();
                 let c = pool.install(|| {
-                    spgemm_kernel::<PlusTimes<f64>, _, _>(&local_only, b_local, kernel)
+                    spgemm_with::<PlusTimes<f64>, _, _>(&local_only, b_local, kernel, schedule, ws)
                 });
                 (c, t0.elapsed().as_secs_f64())
             });
-            let (jc, cp, s) = assemble_atilde(
+            let t0 = Instant::now();
+            fetch_s = assemble_atilde(
                 comm,
                 &win,
                 &fplan,
                 &metas,
                 a,
                 false,
+                &mut remote_jc,
+                &mut remote_cp,
                 &mut remote_ir,
                 &mut remote_num,
             );
-            fetch_s = s;
-            jc_cp = (jc, cp);
+            remote_asm_s = (t0.elapsed().as_secs_f64() - fetch_s).max(0.0);
             handle.join().expect("local partial product")
         });
-        let remote = Dcsc::from_parts(nrows, k, jc_cp.0, jc_cp.1, remote_ir, remote_num);
+        assemble += remote_asm_s;
+        let remote = Dcsc::from_parts(nrows, k, remote_jc, remote_cp, remote_ir, remote_num);
         let t0 = Instant::now();
-        let c_rem =
-            comm.install(|| spgemm_kernel::<PlusTimes<f64>, _, _>(&remote, b_local, kernel));
+        let c_rem = comm.install(|| {
+            spgemm_with::<PlusTimes<f64>, _, _>(&remote, b_local, kernel, schedule, ws)
+        });
         let merged = sa_sparse::ewise::ewise_add::<PlusTimes<f64>>(&c_loc, &c_rem);
         let comp = t_loc + t0.elapsed().as_secs_f64();
-        (merged, fetch_s, comp)
+        (merged, fetch_s, comp, assemble)
     } else {
-        let (mut ir, mut num) = (Vec::new(), Vec::new());
-        let (jc, cp, comm_s) =
-            assemble_atilde(comm, &win, &fplan, &metas, a, true, &mut ir, &mut num);
-        let atilde = Dcsc::from_parts(nrows, k, jc, cp, ir, num);
+        // Ã assembly into workspace buffers (a ChunkBuf supplies the
+        // jc/ir/num triple — jc and the chunk `lens` share the u32 layout —
+        // and an index buffer supplies cp).
+        let t_asm = Instant::now();
+        let mut buf = ws.take_chunk();
+        let mut cp = ws.take_idx();
+        let comm_s = assemble_atilde(
+            comm,
+            &win,
+            &fplan,
+            &metas,
+            a,
+            true,
+            &mut buf.lens,
+            &mut cp,
+            &mut buf.rows,
+            &mut buf.vals,
+        );
+        let atilde = Dcsc::from_parts(nrows, k, buf.lens, cp, buf.rows, buf.vals);
+        let assemble = (t_asm.elapsed().as_secs_f64() - comm_s).max(0.0);
         let t0 = Instant::now();
-        let c =
-            comm.install(|| spgemm_kernel::<PlusTimes<f64>, _, _>(&atilde, b.local(), plan.kernel));
-        (c, comm_s, t0.elapsed().as_secs_f64())
+        let c = comm.install(|| {
+            spgemm_with::<PlusTimes<f64>, _, _>(&atilde, b.local(), plan.kernel, plan.schedule, ws)
+        });
+        let comp_s = t0.elapsed().as_secs_f64();
+        // hand Ã's buffers back for the next multiply
+        let (jc, cp, ir, num) = atilde.into_parts();
+        ws.put_chunk(sa_sparse::spgemm::ChunkBuf {
+            lens: jc,
+            rows: ir,
+            vals: num,
+        });
+        ws.put_idx(cp);
+        (c, comm_s, comp_s, assemble)
     };
 
-    // --- wrap the output in B's layout (other) ---
+    // --- wrap the output in B's layout ---
+    let t_wrap = Instant::now();
     let c = DistMat1D::from_local(
         nrows,
         b.ncols(),
         b.offsets().clone(),
         Dcsc::from_csc(&c_local),
     );
+    let assemble_s = assemble_s + t_wrap.elapsed().as_secs_f64();
 
     let comm_delta = comm.stats() - stats0;
     let fetched = fplan.fetch_bytes();
@@ -441,6 +520,12 @@ fn run_1d(
             comm_s,
             comp_s,
             other_s: (total_s - comm_s - comp_s).max(0.0),
+        },
+        phases: PhaseTimes {
+            symbolic_s,
+            fetch_s: comm_s,
+            compute_s: comp_s,
+            assemble_s,
         },
     };
     (c, report)

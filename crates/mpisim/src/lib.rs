@@ -48,6 +48,6 @@ pub use comm::Comm;
 pub use costmodel::CostModel;
 pub use grid::{Grid2D, Grid3D};
 pub use stats::CommStats;
-pub use timer::{Breakdown, Phase, Timer};
+pub use timer::{Breakdown, Phase, PhaseTimes, Timer};
 pub use universe::Universe;
 pub use window::{PairedWindow, Window, WindowError};

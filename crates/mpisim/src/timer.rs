@@ -50,6 +50,46 @@ impl std::ops::Add for Breakdown {
     }
 }
 
+/// Finer wall-clock split of one SpGEMM call than [`Breakdown`]: the four
+/// stages of the sparsity-aware pipeline. `symbolic` is the metadata /
+/// needed-column / fetch-planning work plus window exposure, `fetch` the
+/// one-sided window gets, `assemble` the `Ã` (and output) structure
+/// builds excluding the gets, and `compute` the local kernel. Benches
+/// report these as millis to show where a scheduling or caching change
+/// moved the time.
+///
+/// Relation to [`Breakdown`]: `fetch ≈ comm`, `compute ≈ comp`, and
+/// `symbolic + assemble` make up the bulk of `other` (the breakdown's
+/// `other` also absorbs glue the phases don't attribute). Under
+/// comm/comp overlap the phases are measured per stage and may sum to
+/// more than the call's wall time.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    pub symbolic_s: f64,
+    pub fetch_s: f64,
+    pub compute_s: f64,
+    pub assemble_s: f64,
+}
+
+impl PhaseTimes {
+    /// Σ of the four phases.
+    pub fn total_s(&self) -> f64 {
+        self.symbolic_s + self.fetch_s + self.compute_s + self.assemble_s
+    }
+}
+
+impl std::ops::Add for PhaseTimes {
+    type Output = PhaseTimes;
+    fn add(self, o: PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            symbolic_s: self.symbolic_s + o.symbolic_s,
+            fetch_s: self.fetch_s + o.fetch_s,
+            compute_s: self.compute_s + o.compute_s,
+            assemble_s: self.assemble_s + o.assemble_s,
+        }
+    }
+}
+
 /// Phase accumulator with interior mutability (single-threaded per rank).
 #[derive(Default)]
 pub struct Timer {
@@ -102,6 +142,20 @@ mod tests {
         assert!((b.other_s - 0.1).abs() < 1e-12);
         assert!(b.comp_s >= 0.0);
         assert!(b.total_s() >= 0.6);
+    }
+
+    #[test]
+    fn phase_times_add_and_total() {
+        let p = PhaseTimes {
+            symbolic_s: 0.5,
+            fetch_s: 1.0,
+            compute_s: 2.0,
+            assemble_s: 0.5,
+        };
+        let s = p + p;
+        assert_eq!(s.total_s(), 8.0);
+        assert_eq!(s.fetch_s, 2.0);
+        assert_eq!(PhaseTimes::default().total_s(), 0.0);
     }
 
     #[test]

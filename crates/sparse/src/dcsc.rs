@@ -57,6 +57,14 @@ impl<T: Copy + Send + Sync> Dcsc<T> {
         }
     }
 
+    /// Disassemble into `(jc, cp, ir, num)` — the inverse of
+    /// [`Dcsc::from_parts`]. Iterative callers use this to hand a consumed
+    /// `Ã`'s buffers back to a workspace pool so the next iteration's
+    /// assembly reuses their capacity instead of reallocating.
+    pub fn into_parts(self) -> (Vec<Vidx>, Vec<usize>, Vec<Vidx>, Vec<T>) {
+        (self.jc, self.cp, self.ir, self.num)
+    }
+
     /// An empty matrix.
     pub fn zeros(nrows: usize, ncols: usize) -> Self {
         Dcsc {
@@ -227,6 +235,41 @@ impl<T: Copy + Send + Sync> DcscBuilder<T> {
             ir: Vec::with_capacity(nnz_cap),
             num: Vec::with_capacity(nnz_cap),
         }
+    }
+
+    /// Start a builder on recycled buffers (cleared here; capacity kept).
+    /// Pair with [`Dcsc::into_parts`] to assemble each iteration's `Ã`
+    /// into the same allocations.
+    pub fn from_buffers(
+        nrows: usize,
+        ncols: usize,
+        mut jc: Vec<Vidx>,
+        mut cp: Vec<usize>,
+        mut ir: Vec<Vidx>,
+        mut num: Vec<T>,
+    ) -> Self {
+        jc.clear();
+        cp.clear();
+        cp.push(0);
+        ir.clear();
+        num.clear();
+        DcscBuilder {
+            nrows,
+            ncols,
+            jc,
+            cp,
+            ir,
+            num,
+        }
+    }
+
+    /// Ensure capacity for `nzc_cap` more columns and `nnz_cap` more
+    /// entries (no-op on recycled buffers that are already big enough).
+    pub fn reserve(&mut self, nzc_cap: usize, nnz_cap: usize) {
+        self.jc.reserve(nzc_cap);
+        self.cp.reserve(nzc_cap);
+        self.ir.reserve(nnz_cap);
+        self.num.reserve(nnz_cap);
     }
 
     /// Append one column's segment. `col` must be strictly greater than the

@@ -43,5 +43,7 @@ pub use dcsc::{Dcsc, DcscBuilder};
 pub use dense::Dense;
 pub use permute::Perm;
 pub use semiring::{MinPlus, OrAnd, PlusTimes, Semiring};
-pub use spgemm::{spgemm, spgemm_kernel, Kernel};
+pub use spgemm::{
+    spgemm, spgemm_kernel, spgemm_with, Kernel, Schedule, SpgemmWorkspace, WorkspaceCounters,
+};
 pub use types::Vidx;

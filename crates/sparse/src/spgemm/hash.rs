@@ -10,13 +10,21 @@ use crate::types::Vidx;
 
 const EMPTY: Vidx = Vidx::MAX;
 
-/// Reusable open-addressing accumulator. Capacity is a power of two and
-/// grows geometrically; `keys` uses [`EMPTY`] as the vacant marker.
+/// Reusable open-addressing accumulator. The addressed region is a power
+/// of two sized up front from the column's upper-bound flop count, so the
+/// probe loop masks (never a modulo) and the table can never fill
+/// mid-column (`ub` bounds the distinct keys; load factor stays ≤ 0.5):
+/// there is no rehash path at all. Backing storage grows geometrically
+/// and is retained across columns; a large table reused for a small
+/// column clears (and later scans) only the small column's prefix, so
+/// per-column cost tracks that column's `ub`, not the largest column seen.
 pub struct HashAcc<T> {
     keys: Vec<Vidx>,
     vals: Vec<T>,
     mask: usize,
     len: usize,
+    /// Extraction staging (sorted survivors), reused across columns.
+    pairs: Vec<(Vidx, T)>,
 }
 
 impl<T: Copy> HashAcc<T> {
@@ -26,22 +34,24 @@ impl<T: Copy> HashAcc<T> {
             vals: Vec::new(),
             mask: 0,
             len: 0,
+            pairs: Vec::new(),
         }
     }
 
-    /// Prepare for up to `expected` insertions (load factor ≤ 0.5).
+    /// Prepare for up to `expected` insertions (load factor ≤ 0.5): the
+    /// addressed prefix becomes `next_power_of_two(2·expected)` slots.
     fn reset(&mut self, expected: usize, zero: T) {
         let cap = (expected.max(4) * 2).next_power_of_two();
         if self.keys.len() < cap {
             self.keys = vec![EMPTY; cap];
             self.vals = vec![zero; cap];
         } else {
-            // Reuse allocation; clear only the prefix we will address.
-            for k in &mut self.keys {
+            // Reuse the allocation; clear only the prefix we will address.
+            for k in &mut self.keys[..cap] {
                 *k = EMPTY;
             }
         }
-        self.mask = self.keys.len() - 1;
+        self.mask = cap - 1;
         self.len = 0;
     }
 
@@ -90,9 +100,13 @@ pub fn hash_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
             }
         }
     }
-    // Extract, drop zeros, sort by row id.
-    let mut pairs: Vec<(Vidx, S::T)> = Vec::with_capacity(acc.len);
-    for (i, &k) in acc.keys.iter().enumerate() {
+    // Extract (scanning only the addressed prefix), drop zeros, sort by
+    // row id. The staging vector lives in the accumulator so repeated
+    // columns don't reallocate it.
+    let mut pairs = std::mem::take(&mut acc.pairs);
+    pairs.clear();
+    pairs.reserve(acc.len);
+    for (i, &k) in acc.keys[..=acc.mask].iter().enumerate() {
         if k != EMPTY && !S::is_zero(&acc.vals[i]) {
             pairs.push((k, acc.vals[i]));
         }
@@ -100,6 +114,7 @@ pub fn hash_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     pairs.sort_unstable_by_key(|p| p.0);
     rows_out.extend(pairs.iter().map(|p| p.0));
     vals_out.extend(pairs.iter().map(|p| p.1));
+    acc.pairs = pairs;
 }
 
 #[cfg(test)]
@@ -150,6 +165,33 @@ mod tests {
         v.clear();
         hash_column::<PlusTimes<f64>, _>(&a, &[0], &[1.0], 2, &mut acc, &mut r, &mut v);
         assert_eq!((r, v), first, "stale entries must not leak between columns");
+    }
+
+    #[test]
+    fn large_table_reused_for_small_column_masks_prefix() {
+        // Grow the table with a wide column, then run a small column: the
+        // addressed prefix shrinks back (mask + 1 slots), stale keys
+        // beyond it are never scanned, and results stay exact.
+        let n = 1024;
+        let mut m = Coo::new(n, 2);
+        for i in 0..n as u32 {
+            m.push(i, 0, 1.0);
+        }
+        m.push(3, 1, 5.0);
+        m.push(900, 1, 7.0);
+        let a = m.to_csc();
+        let mut acc = HashAcc::new();
+        let (mut r, mut v) = (Vec::new(), Vec::new());
+        hash_column::<PlusTimes<f64>, _>(&a, &[0], &[1.0], n, &mut acc, &mut r, &mut v);
+        assert_eq!(r.len(), n);
+        let grown = acc.keys.len();
+        r.clear();
+        v.clear();
+        hash_column::<PlusTimes<f64>, _>(&a, &[1], &[2.0], 2, &mut acc, &mut r, &mut v);
+        assert_eq!(acc.keys.len(), grown, "backing storage is retained");
+        assert!(acc.mask + 1 < grown, "small column addresses a prefix");
+        assert_eq!(r, vec![3, 900]);
+        assert_eq!(v, vec![10.0, 14.0]);
     }
 
     #[test]

@@ -15,17 +15,22 @@
 mod hash;
 mod heap;
 pub mod rowwise;
+pub mod schedule;
 mod spa;
 pub mod symbolic;
+pub mod workspace;
 
 use crate::csc::Csc;
 use crate::dcsc::Dcsc;
 use crate::semiring::Semiring;
 use crate::types::Vidx;
 use rayon::prelude::*;
+use workspace::Scratch;
 
 pub use rowwise::spgemm_rowwise;
+pub use schedule::{schedule_items, Schedule};
 pub use symbolic::{upper_bound_flops, upper_bound_flops_per_col};
+pub use workspace::{ChunkBuf, SpgemmWorkspace, WorkspaceCounters};
 
 /// Column access abstraction so kernels run over CSC and DCSC alike.
 pub trait ColSource<T>: Sync {
@@ -82,28 +87,6 @@ pub enum Kernel {
     Hybrid,
 }
 
-/// Per-thread scratch reused across columns (generation-stamped SPA and a
-/// growable hash table) so the hot loop allocates only for output.
-struct Scratch<T> {
-    spa_vals: Vec<T>,
-    spa_gen: Vec<u32>,
-    generation: u32,
-    touched: Vec<Vidx>,
-    hash: hash::HashAcc<T>,
-}
-
-impl<T: Copy> Scratch<T> {
-    fn new(nrows: usize, zero: T) -> Self {
-        Scratch {
-            spa_vals: vec![zero; nrows],
-            spa_gen: vec![0; nrows],
-            generation: 0,
-            touched: Vec::new(),
-            hash: hash::HashAcc::new(),
-        }
-    }
-}
-
 /// Pick a kernel for one output column given B's column nnz and the
 /// upper-bound flop count. Thresholds follow the usual CombBLAS-style
 /// heuristics: tiny columns merge cheaply; columns whose accumulation
@@ -119,10 +102,10 @@ fn choose_kernel(bcol_nnz: usize, ub_flops: usize, nrows: usize) -> Kernel {
     }
 }
 
-/// Compute one output column into `(rows_out, vals_out)` (cleared first).
-/// `ub` is the column's upper-bound flop count, computed once by the caller
-/// and shared by the hybrid dispatch and the hash-table sizing.
-#[allow(clippy::too_many_arguments)]
+/// Compute one output column into the scratch's `col_rows`/`col_vals`
+/// staging (cleared first). `ub` is the column's upper-bound flop count,
+/// computed once per multiply by the caller's symbolic pass and shared by
+/// the hybrid dispatch, the hash-table sizing, and the output pre-sizing.
 fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     a: &A,
     brows: &[Vidx],
@@ -130,11 +113,9 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
     kernel: Kernel,
     ub: usize,
     scratch: &mut Scratch<S::T>,
-    rows_out: &mut Vec<Vidx>,
-    vals_out: &mut Vec<S::T>,
 ) {
-    rows_out.clear();
-    vals_out.clear();
+    scratch.col_rows.clear();
+    scratch.col_vals.clear();
     if brows.is_empty() {
         return;
     }
@@ -145,8 +126,8 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
         for (&r, &x) in ar.iter().zip(av) {
             let v = S::mul(x, b);
             if !S::is_zero(&v) {
-                rows_out.push(r);
-                vals_out.push(v);
+                scratch.col_rows.push(r);
+                scratch.col_vals.push(v);
             }
         }
         return;
@@ -157,40 +138,81 @@ fn compute_column<S: Semiring, A: ColSource<S::T> + ?Sized>(
         kernel
     };
     match kernel {
-        Kernel::Heap => heap::heap_column::<S, A>(a, brows, bvals, rows_out, vals_out),
-        Kernel::Hash => {
-            hash::hash_column::<S, A>(a, brows, bvals, ub, &mut scratch.hash, rows_out, vals_out)
-        }
-        Kernel::Spa => spa::spa_column::<S, A>(
+        Kernel::Heap => heap::heap_column::<S, A>(
             a,
             brows,
             bvals,
-            &mut scratch.spa_vals,
-            &mut scratch.spa_gen,
-            &mut scratch.generation,
-            &mut scratch.touched,
-            rows_out,
-            vals_out,
+            &mut scratch.col_rows,
+            &mut scratch.col_vals,
         ),
+        Kernel::Hash => hash::hash_column::<S, A>(
+            a,
+            brows,
+            bvals,
+            ub,
+            &mut scratch.hash,
+            &mut scratch.col_rows,
+            &mut scratch.col_vals,
+        ),
+        Kernel::Spa => {
+            // The O(nrows) dense arrays are paid only when a column
+            // actually dispatches here (most multiplies never do).
+            scratch.ensure_spa(a.nrows(), S::zero());
+            spa::spa_column::<S, A>(
+                a,
+                brows,
+                bvals,
+                &mut scratch.spa_vals,
+                &mut scratch.spa_gen,
+                &mut scratch.generation,
+                &mut scratch.touched,
+                &mut scratch.col_rows,
+                &mut scratch.col_vals,
+            )
+        }
         Kernel::Hybrid => unreachable!("resolved above"),
     }
 }
 
-/// Columns per parallel work item. Chunking keeps the number of output
-/// allocations at O(ncols / CHUNK) instead of O(ncols): with many ranks
-/// multiplying concurrently, per-column output vectors fault fresh heap
-/// pages under a process-wide lock and dominate the wall time.
-const CHUNK: usize = 256;
-
-/// One chunk's output: per-column lengths plus concatenated rows/values.
-type ChunkOut<T> = (Vec<u32>, Vec<Vidx>, Vec<T>);
-
 /// General SpGEMM `C = A·B` over a semiring with an explicit kernel choice.
 ///
-/// Parallelizes over B's columns on the current Rayon pool (so calling it
-/// inside `pool.install(..)` binds it to a per-rank pool, mirroring
-/// MPI+OpenMP).
+/// Runs [`spgemm_with`] under the default flop-balanced schedule with an
+/// ephemeral workspace. Parallelizes over B's columns on the current Rayon
+/// pool (so calling it inside `pool.install(..)` binds it to a per-rank
+/// pool, mirroring MPI+OpenMP). Iterative callers should hold a
+/// [`SpgemmWorkspace`] and call [`spgemm_with`] so scratch survives
+/// between multiplies.
 pub fn spgemm_kernel<S, A, B>(a: &A, b: &B, kernel: Kernel) -> Csc<S::T>
+where
+    S: Semiring,
+    A: ColSource<S::T> + ?Sized,
+    B: ColSource<S::T> + ?Sized,
+{
+    spgemm_with::<S, A, B>(a, b, kernel, Schedule::default(), &SpgemmWorkspace::new())
+}
+
+/// General SpGEMM `C = A·B` with explicit kernel, [`Schedule`], and
+/// [`SpgemmWorkspace`].
+///
+/// One symbolic pass computes every output column's upper-bound flop count
+/// into a workspace buffer; that single array then drives (1) the work-item
+/// boundaries of the schedule, (2) the hybrid per-column kernel dispatch,
+/// (3) the hash accumulator's table sizing, and (4) the per-item output
+/// pre-sizing (`Σ min(ub, nrows)`), so the hot loop's extends never
+/// reallocate. Per-thread scratch, per-item output buffers, and the
+/// symbolic arrays are all borrowed from `ws` and returned after the
+/// stitch: repeated multiplies through one workspace allocate nothing
+/// beyond output growth (see [`SpgemmWorkspace::counters`]).
+///
+/// The schedule changes only the parallel shape, never the result: output
+/// is bit-identical across schedules and thread counts.
+pub fn spgemm_with<S, A, B>(
+    a: &A,
+    b: &B,
+    kernel: Kernel,
+    schedule: Schedule,
+    ws: &SpgemmWorkspace<S::T>,
+) -> Csc<S::T>
 where
     S: Semiring,
     A: ColSource<S::T> + ?Sized,
@@ -205,65 +227,99 @@ where
     );
     let ncols = b.ncols();
     let nrows = a.nrows();
-    let nchunks = ncols.div_ceil(CHUNK);
-    // Per-chunk results, computed in parallel with per-thread scratch and
-    // per-chunk output accumulation (column lengths + concatenated data).
-    let chunks: Vec<ChunkOut<S::T>> = (0..nchunks)
+    let threads = rayon::current_num_threads();
+    // --- symbolic pass: one upper-bound flop count per output column,
+    // parallelized over fixed segments when a pool is installed (with a
+    // DCSC A every col_nnz is a jc binary search — a serial prefix here
+    // would cap the multi-thread speedup the schedule buys). Segment
+    // buffers come from the idx pool, so steady state stays alloc-free.
+    const SYMBOLIC_SEG: usize = 1024;
+    let mut ubs = ws.take_idx();
+    ubs.reserve(ncols);
+    if threads > 1 && ncols > 2 * SYMBOLIC_SEG {
+        let nseg = ncols.div_ceil(SYMBOLIC_SEG);
+        let mut segs: Vec<Vec<usize>> = (0..nseg)
+            .into_par_iter()
+            .map(|si| {
+                let (j0, j1) = (si * SYMBOLIC_SEG, ((si + 1) * SYMBOLIC_SEG).min(ncols));
+                let mut seg = ws.take_idx();
+                seg.reserve(j1 - j0);
+                for j in j0..j1 {
+                    let (brows, _) = b.col(j);
+                    seg.push(brows.iter().map(|&k| a.col_nnz(k as usize)).sum());
+                }
+                seg
+            })
+            .collect();
+        for seg in segs.drain(..) {
+            ubs.extend_from_slice(&seg);
+            ws.put_idx(seg);
+        }
+    } else {
+        for j in 0..ncols {
+            let (brows, _) = b.col(j);
+            ubs.push(brows.iter().map(|&k| a.col_nnz(k as usize)).sum());
+        }
+    }
+    // --- work items from the same array ---
+    let mut bounds = ws.take_idx();
+    schedule::schedule_bounds_into(&mut bounds, &ubs, schedule, threads);
+    let nitems = bounds.len().saturating_sub(1);
+    // Per-item results, computed in parallel with pooled per-thread
+    // scratch and pooled output buffers (column lengths + concatenated
+    // rows/values).
+    let ubs_ref = &ubs;
+    let bounds_ref = &bounds;
+    let mut chunks: Vec<ChunkBuf<S::T>> = (0..nitems)
         .into_par_iter()
         .map_init(
-            || (Scratch::new(nrows, S::zero()), Vec::new(), Vec::new()),
-            |(scratch, col_rows, col_vals), ci| {
-                let j0 = ci * CHUNK;
-                let j1 = ((ci + 1) * CHUNK).min(ncols);
-                let mut lens: Vec<u32> = Vec::with_capacity(j1 - j0);
-                // One symbolic pass per chunk: the upper bounds drive the
-                // hybrid dispatch, the hash-table sizing, AND the output
-                // pre-sizing (each output column holds at most
-                // min(ub, nrows) entries), so the hot loop's extends never
-                // reallocate.
-                let ubs: Vec<usize> = (j0..j1)
-                    .map(|j| {
-                        let (brows, _) = b.col(j);
-                        brows.iter().map(|&k| a.col_nnz(k as usize)).sum()
-                    })
-                    .collect();
-                let est: usize = ubs.iter().map(|&u| u.min(nrows)).sum();
-                let mut rows: Vec<Vidx> = Vec::with_capacity(est);
-                let mut vals: Vec<S::T> = Vec::with_capacity(est);
-                for (j, &ub) in (j0..j1).zip(&ubs) {
+            || ws.scratch_guard(),
+            |guard, ci| {
+                let scratch = guard.get();
+                let (j0, j1) = (bounds_ref[ci], bounds_ref[ci + 1]);
+                let mut out = ws.take_chunk();
+                out.lens.reserve(j1 - j0);
+                let est: usize = ubs_ref[j0..j1].iter().map(|&u| u.min(nrows)).sum();
+                out.rows.reserve(est);
+                out.vals.reserve(est);
+                for (j, &ub) in (j0..j1).zip(&ubs_ref[j0..j1]) {
                     let (brows, bvals) = b.col(j);
-                    compute_column::<S, A>(
-                        a, brows, bvals, kernel, ub, scratch, col_rows, col_vals,
-                    );
-                    lens.push(col_rows.len() as u32);
-                    rows.extend_from_slice(col_rows);
-                    vals.extend_from_slice(col_vals);
+                    compute_column::<S, A>(a, brows, bvals, kernel, ub, scratch);
+                    out.lens.push(scratch.col_rows.len() as u32);
+                    out.rows.extend_from_slice(&scratch.col_rows);
+                    out.vals.extend_from_slice(&scratch.col_vals);
                 }
-                // Flop-proportional capacity is held by ALL chunks until
-                // the stitch; when the output compresses heavily (many
+                // Flop-proportional capacity is held by ALL items until the
+                // stitch; when the output compresses pathologically (many
                 // k-paths landing on one entry) release the slack so peak
-                // intermediate memory stays output-proportional.
-                if rows.capacity() > 2 * rows.len() {
-                    rows.shrink_to_fit();
-                    vals.shrink_to_fit();
+                // intermediate memory stays output-proportional. The 4×
+                // threshold keeps ordinary multiplies reallocation-free
+                // across workspace reuse.
+                if out.rows.capacity() > 4 * out.rows.len().max(1) {
+                    out.rows.shrink_to_fit();
+                    out.vals.shrink_to_fit();
                 }
-                (lens, rows, vals)
+                out
             },
         )
         .collect();
-    // Stitch chunks (ordered by construction) into one CSC.
-    let nnz: usize = chunks.iter().map(|c| c.1.len()).sum();
+    // Stitch items (ordered by construction) into one CSC, returning the
+    // buffers to the pool as they drain.
+    let nnz: usize = chunks.iter().map(|c| c.rows.len()).sum();
     let mut colptr = Vec::with_capacity(ncols + 1);
     colptr.push(0usize);
     let mut rowidx = Vec::with_capacity(nnz);
     let mut vals = Vec::with_capacity(nnz);
-    for (lens, r, v) in chunks {
-        for l in lens {
+    for buf in chunks.drain(..) {
+        for &l in &buf.lens {
             colptr.push(colptr.last().unwrap() + l as usize);
         }
-        rowidx.extend_from_slice(&r);
-        vals.extend_from_slice(&v);
+        rowidx.extend_from_slice(&buf.rows);
+        vals.extend_from_slice(&buf.vals);
+        ws.put_chunk(buf);
     }
+    ws.put_idx(ubs);
+    ws.put_idx(bounds);
     Csc::from_parts(nrows, ncols, colptr, rowidx, vals)
 }
 
@@ -400,6 +456,98 @@ mod tests {
         let a = random_csc(5, 3, 5, 1);
         let b = random_csc(4, 2, 5, 2);
         let _ = spgemm::<PlusTimes<f64>, _, _>(&a, &b);
+    }
+
+    #[test]
+    fn schedules_are_bit_identical() {
+        let a = random_csc(120, 120, 900, 31);
+        let b = random_csc(120, 120, 900, 32);
+        let ws = SpgemmWorkspace::new();
+        for kernel in [Kernel::Heap, Kernel::Hash, Kernel::Spa, Kernel::Hybrid] {
+            let fixed =
+                spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, kernel, Schedule::Fixed(256), &ws);
+            let fixed7 =
+                spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, kernel, Schedule::Fixed(7), &ws);
+            let bal =
+                spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, kernel, Schedule::FlopBalanced, &ws);
+            assert_eq!(fixed, bal, "{kernel:?}");
+            assert_eq!(fixed7, bal, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_steady_state_allocates_nothing() {
+        // pin to one thread so every counter is deterministic (with more
+        // workers the scratch pool converges within `threads` allocs,
+        // timing-dependent — the integration test covers that bound)
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .expect("test pool");
+        let a = random_csc(200, 200, 2000, 41);
+        let b = random_csc(200, 200, 2000, 42);
+        let ws = SpgemmWorkspace::new();
+        // warm-up populates the pools
+        let first = pool.install(|| {
+            spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Hybrid, Schedule::FlopBalanced, &ws)
+        });
+        let warm = ws.counters();
+        assert!(warm.scratch_allocs >= 1 && warm.chunk_allocs >= 1);
+        for _ in 0..3 {
+            let c = pool.install(|| {
+                spgemm_with::<PlusTimes<f64>, _, _>(
+                    &a,
+                    &b,
+                    Kernel::Hybrid,
+                    Schedule::FlopBalanced,
+                    &ws,
+                )
+            });
+            assert_eq!(c, first);
+        }
+        let steady = ws.counters();
+        assert_eq!(steady.scratch_allocs, warm.scratch_allocs, "no new scratch");
+        assert_eq!(
+            steady.chunk_allocs, warm.chunk_allocs,
+            "no new chunk buffers"
+        );
+        assert_eq!(steady.idx_allocs, warm.idx_allocs, "no new index buffers");
+        assert!(steady.scratch_reuses > warm.scratch_reuses);
+        assert!(steady.chunk_reuses > warm.chunk_reuses);
+    }
+
+    #[test]
+    fn single_heavy_column_and_empty_b() {
+        // B with one hub column carrying every entry plus empty columns on
+        // both sides — the flop-balanced splitter's degenerate case.
+        let a = random_csc(80, 60, 600, 51);
+        let mut coo = Coo::new(60, 40);
+        for k in 0..60u32 {
+            coo.push(k, 20, 1.0);
+        }
+        let b = coo.to_csc_with(|x: f64, _| x);
+        let ws = SpgemmWorkspace::new();
+        let fixed =
+            spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Hybrid, Schedule::Fixed(256), &ws);
+        let bal = spgemm_with::<PlusTimes<f64>, _, _>(
+            &a,
+            &b,
+            Kernel::Hybrid,
+            Schedule::FlopBalanced,
+            &ws,
+        );
+        assert_eq!(fixed, bal);
+        assert_eq!(fixed, reference(&a, &b));
+        // fully empty B
+        let eb: Csc<f64> = Csc::zeros(60, 10);
+        let c = spgemm_with::<PlusTimes<f64>, _, _>(
+            &a,
+            &eb,
+            Kernel::Hybrid,
+            Schedule::FlopBalanced,
+            &ws,
+        );
+        assert_eq!((c.ncols(), c.nnz()), (10, 0));
     }
 
     #[test]

@@ -54,15 +54,15 @@ pub use sa_sparse as sparse;
 pub mod prelude {
     pub use sa_apps::{bc, galerkin, mcl, mis2, restriction, triangle};
     pub use sa_dist::{
-        analyze_1d, spgemm_1d, uniform_offsets, CacheConfig, DistMat1D, DistMat2D, DistMat3D,
-        FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
+        analyze_1d, spgemm_1d, spgemm_1d_ws, uniform_offsets, CacheConfig, DistMat1D, DistMat2D,
+        DistMat3D, FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
     };
-    pub use sa_mpisim::{Comm, CostModel, Phase, Universe};
+    pub use sa_mpisim::{Comm, CostModel, Phase, PhaseTimes, Universe};
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
     pub use sa_sparse as sparse_crate;
     pub use sa_sparse::{
         semiring::{OrAnd, PlusTimes},
-        Coo, Csc, Csr, Dcsc, Perm,
+        Coo, Csc, Csr, Dcsc, Perm, Schedule, SpgemmWorkspace,
     };
     pub use {sa_dist, sa_mpisim, sa_partition, sa_sparse};
 }

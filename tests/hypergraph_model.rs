@@ -27,6 +27,7 @@ fn fetched_nnz(a: &Csc<f64>, offsets: &[usize]) -> u64 {
             fetch_mode: FetchMode::ColumnExact,
             kernel: Kernel::Hybrid,
             global_stats: true,
+            ..Default::default()
         };
         let (_, rep) = spgemm_1d(comm, &da, &da.clone(), &plan);
         rep

@@ -1,0 +1,159 @@
+//! Scheduling must never change results: flop-balanced work splitting
+//! produces bit-identical CSC output to fixed chunking across kernels
+//! (heap/hash/SPA/hybrid), semirings, thread counts, and the degenerate
+//! shapes (empty operands, a single heavy column, long empty runs).
+
+use proptest::prelude::*;
+use saspgemm::sparse::semiring::{OrAnd, PlusTimes, Semiring};
+use saspgemm::sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
+use saspgemm::sparse::{Coo, Csc};
+
+const KERNELS: [Kernel; 4] = [Kernel::Heap, Kernel::Hash, Kernel::Spa, Kernel::Hybrid];
+const SCHEDULES: [Schedule; 4] = [
+    Schedule::Fixed(256),
+    Schedule::Fixed(7),
+    Schedule::Fixed(1),
+    Schedule::FlopBalanced,
+];
+
+fn arb_matrix(nrows: usize, ncols: usize, nnz: usize) -> impl Strategy<Value = Csc<f64>> {
+    proptest::collection::vec((0..nrows as u32, 0..ncols as u32, -3i32..=3), nnz).prop_map(
+        move |tr| {
+            let mut coo = Coo::new(nrows, ncols);
+            for (r, c, v) in tr {
+                if v != 0 {
+                    coo.push(r, c, v as f64);
+                }
+            }
+            coo.to_csc_with(|a, b| a + b).filter(|_, _, v| v != 0.0)
+        },
+    )
+}
+
+/// All schedules, under `threads` workers, must agree bit-for-bit with the
+/// single-threaded fixed-chunk baseline.
+fn assert_schedule_invariant<S: Semiring>(a: &Csc<S::T>, b: &Csc<S::T>, threads: &[usize])
+where
+    S::T: PartialEq + std::fmt::Debug,
+{
+    let ws = SpgemmWorkspace::new();
+    for kernel in KERNELS {
+        let baseline = spgemm_with::<S, _, _>(a, b, kernel, Schedule::Fixed(256), &ws);
+        for &t in threads {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(t)
+                .build()
+                .expect("test pool");
+            for schedule in SCHEDULES {
+                let got = pool.install(|| spgemm_with::<S, _, _>(a, b, kernel, schedule, &ws));
+                assert_eq!(
+                    got, baseline,
+                    "{kernel:?} / {schedule:?} / {t} threads diverged"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn random_products_are_schedule_invariant(
+        a in arb_matrix(40, 35, 140),
+        b in arb_matrix(35, 30, 120),
+    ) {
+        assert_schedule_invariant::<PlusTimes<f64>>(&a, &b, &[1, 2, 4]);
+    }
+}
+
+#[test]
+fn boolean_semiring_is_schedule_invariant() {
+    // reachability squaring over OrAnd — a non-numeric semiring
+    let mut coo = Coo::new(50, 50);
+    for i in 0..49u32 {
+        coo.push(i + 1, i, true);
+        if i % 7 == 0 {
+            coo.push(i, (i * 3) % 50, true);
+        }
+    }
+    let a = coo.to_csc_with(|x, _| x);
+    assert_schedule_invariant::<OrAnd>(&a, &a, &[1, 3]);
+}
+
+#[test]
+fn skewed_single_heavy_column() {
+    // one hub column carries ~all flops; empty columns surround it
+    let mut am = Coo::new(200, 150);
+    for i in 0..200u32 {
+        for k in 0..3u32 {
+            am.push(i, (i * 7 + k) % 150, 1.0 + k as f64);
+        }
+    }
+    let a = am.to_csc_with(|x, y| x + y);
+    let mut bm = Coo::new(150, 90);
+    for k in 0..150u32 {
+        bm.push(k, 40, 0.5); // the hub
+    }
+    bm.push(3, 0, 1.0);
+    bm.push(9, 89, 2.0);
+    let b = bm.to_csc_with(|x, _| x);
+    assert_schedule_invariant::<PlusTimes<f64>>(&a, &b, &[1, 2, 4, 8]);
+}
+
+#[test]
+fn empty_shapes() {
+    let a: Csc<f64> = Csc::zeros(12, 9);
+    let b: Csc<f64> = Csc::zeros(9, 0);
+    let ws = SpgemmWorkspace::new();
+    for schedule in SCHEDULES {
+        let c = spgemm_with::<PlusTimes<f64>, _, _>(&a, &b, Kernel::Hybrid, schedule, &ws);
+        assert_eq!((c.nrows(), c.ncols(), c.nnz()), (12, 0, 0), "{schedule:?}");
+        let b2: Csc<f64> = Csc::zeros(9, 21);
+        let c2 = spgemm_with::<PlusTimes<f64>, _, _>(&a, &b2, Kernel::Hybrid, schedule, &ws);
+        assert_eq!((c2.ncols(), c2.nnz()), (21, 0), "{schedule:?}");
+    }
+}
+
+#[test]
+fn workspace_reuse_across_differing_shapes_is_safe() {
+    // the same arena serves multiplies of different dimensions (the
+    // Galerkin session's RᵀA then (RᵀA)R pattern): SPA arrays and hash
+    // tables sized by the first multiply must not corrupt the second
+    let mut am = Coo::new(300, 60);
+    for i in 0..300u32 {
+        am.push(i, i % 60, 1.0);
+    }
+    let a_big = am.to_csc_with(|x, y| x + y);
+    let mut bm = Coo::new(60, 40);
+    for i in 0..60u32 {
+        bm.push(i, i % 40, 2.0);
+    }
+    let b = bm.to_csc_with(|x, y| x + y);
+    let a_small = {
+        let mut m = Coo::new(20, 60);
+        for i in 0..60u32 {
+            m.push(i % 20, i, 1.0);
+        }
+        m.to_csc_with(|x, y| x + y)
+    };
+    let ws = SpgemmWorkspace::new();
+    let fresh = SpgemmWorkspace::new();
+    for kernel in KERNELS {
+        let big1 =
+            spgemm_with::<PlusTimes<f64>, _, _>(&a_big, &b, kernel, Schedule::FlopBalanced, &ws);
+        let small1 =
+            spgemm_with::<PlusTimes<f64>, _, _>(&a_small, &b, kernel, Schedule::FlopBalanced, &ws);
+        let big2 =
+            spgemm_with::<PlusTimes<f64>, _, _>(&a_big, &b, kernel, Schedule::FlopBalanced, &fresh);
+        let small2 = spgemm_with::<PlusTimes<f64>, _, _>(
+            &a_small,
+            &b,
+            kernel,
+            Schedule::FlopBalanced,
+            &fresh,
+        );
+        assert_eq!(big1, big2, "{kernel:?}");
+        assert_eq!(small1, small2, "{kernel:?}");
+    }
+}
