@@ -20,10 +20,10 @@
 
 use sa_dist::mat3d::{DistMat3D, LayerSplit, Owned3DBlock};
 use sa_dist::{
-    spgemm_1d_ws, spgemm_split_3d, spgemm_summa_2d, uniform_offsets, CacheConfig, DistMat1D,
-    DistMat2D, Plan1D, SessionStats, SpgemmSession,
+    spgemm_1d_ws, spgemm_split_3d_ws, spgemm_summa_2d_ws, uniform_offsets, AlgoChoice, AutoTuner,
+    CacheConfig, DistMat1D, DistMat2D, FetchMode, Plan1D, SessionStats, SpgemmSession,
 };
-use sa_mpisim::{Comm, Grid2D, Grid3D};
+use sa_mpisim::{Comm, CostModel, Grid2D, Grid3D};
 use sa_sparse::ewise::{ewise_add, mask_complement};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::{Coo, Csc, Dcsc, SpgemmWorkspace, Vidx};
@@ -472,6 +472,9 @@ pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
     let mut stack = vec![fringe.clone()];
     let mut times = BcTimes::default();
     let mut peak = 0u64;
+    // one arena for every per-level SUMMA of this batch (like the 1D
+    // engine's), so the oblivious baseline is also alloc-noise-free
+    let ws = SpgemmWorkspace::new();
 
     let wrap = |local: Csc<f64>| {
         DistMat2D::from_parts(n, b, row_offsets.clone(), col_offsets.clone(), local)
@@ -480,7 +483,7 @@ pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
     loop {
         let t0 = Instant::now();
         let f2d = wrap(fringe.clone());
-        let (next, rep) = spgemm_summa_2d(comm, &grid, &dat, &f2d);
+        let (next, rep) = spgemm_summa_2d_ws(comm, &grid, &dat, &f2d, &ws);
         times.forward_s.push(t0.elapsed().as_secs_f64());
         let masked = mask_complement(next.local(), &visited);
         peak = peak.max(
@@ -501,7 +504,7 @@ pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
     for l in (1..stack.len()).rev() {
         let w = backward_weights(&stack[l], &delta, &nsp);
         let t0 = Instant::now();
-        let (t, rep) = spgemm_summa_2d(comm, &grid, &da, &wrap(w));
+        let (t, rep) = spgemm_summa_2d_ws(comm, &grid, &da, &wrap(w), &ws);
         times.backward_s.push(t0.elapsed().as_secs_f64());
         peak = peak.max(rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64);
         if l >= 2 {
@@ -579,6 +582,7 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
     let mut stack = vec![fringe.clone()];
     let mut times = BcTimes::default();
     let mut peak = 0u64;
+    let ws = SpgemmWorkspace::new();
 
     // wrap the local block as a row-split DistMat3D for the multiply
     let wrap = |local: Csc<f64>| -> DistMat3D {
@@ -611,7 +615,7 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
     loop {
         let t0 = Instant::now();
         let f3d = wrap(fringe.clone());
-        let (out, rep) = spgemm_split_3d(comm, &grid, &dat, &f3d);
+        let (out, rep) = spgemm_split_3d_ws(comm, &grid, &dat, &f3d, &ws);
         let next = restore(&out, comm);
         times.forward_s.push(t0.elapsed().as_secs_f64());
         let masked = mask_complement(&next, &visited);
@@ -633,7 +637,7 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
     for l in (1..stack.len()).rev() {
         let w = backward_weights(&stack[l], &delta, &nsp);
         let t0 = Instant::now();
-        let (out, rep) = spgemm_split_3d(comm, &grid, &da, &wrap(w));
+        let (out, rep) = spgemm_split_3d_ws(comm, &grid, &da, &wrap(w), &ws);
         let t = restore(&out, comm);
         times.backward_s.push(t0.elapsed().as_secs_f64());
         peak = peak.max(rep.peak_local_bytes + (delta.mem_bytes() + nsp.mem_bytes()) as u64);
@@ -654,6 +658,76 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
         comm_bytes: (comm.stats() - stats0).injected_bytes(),
         comm_msgs: (comm.stats() - stats0).injected_msgs(),
     }
+}
+
+// ---------------------------------------------------------------------
+// autotuned engine dispatch
+// ---------------------------------------------------------------------
+
+/// Run one BC batch on the engine the [`AutoTuner`] considers cheapest for
+/// this adjacency and rank count. Collective.
+///
+/// The per-level frontier products are too shape-diverse to price one by
+/// one before the traversal exists, so the tuner prices the adjacency
+/// squaring `A·A` — the standard proxy for a graph's SpGEMM communication
+/// structure — and the chosen family (1D / 2D / 3D, Fig. 13/14's axes)
+/// runs the batch. Only candidates a BC engine actually implements are
+/// considered (1D aware, 2D/3D oblivious SUMMA): pricing the aware 2D/3D
+/// variants and then running the oblivious engines would let a rejected
+/// configuration's cheap prediction pick an expensive execution. Returns
+/// the outcome plus the choice, so callers (the benches behind the
+/// `SA_AUTO` flag) can report what was picked.
+pub fn bc_batch_auto(
+    comm: &Comm,
+    a: &Csc<f64>,
+    sources: &[Vidx],
+    model: &CostModel,
+) -> (BcOutcome, AlgoChoice) {
+    // the analysis is deterministic but not free: rank 0 prices the
+    // runnable candidates once and broadcasts the 40-byte pick
+    let payload = (comm.rank() == 0).then(|| {
+        let a01 = a.map(|_| 1.0);
+        let tuner = AutoTuner::analyze(&a01, &a01, comm.size(), &[FetchMode::default()]);
+        tuner
+            .candidates
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.algo,
+                    AlgoChoice::OneD { .. }
+                        | AlgoChoice::TwoDOblivious { .. }
+                        | AlgoChoice::ThreeDOblivious { .. }
+                )
+            })
+            .min_by(|x, y| {
+                x.modeled_time_s(model, tuner.flops_per_s)
+                    .total_cmp(&y.modeled_time_s(model, tuner.flops_per_s))
+            })
+            .expect("the 1D candidate always exists")
+            .algo
+            .encode()
+            .to_vec()
+    });
+    let wire = comm.bcast_vec(0, payload);
+    let words: [u64; 5] = wire[..5].try_into().expect("5-word choice");
+    let choice = AlgoChoice::decode(&words);
+    let outcome = match choice {
+        AlgoChoice::OneD { mode } => bc_batch_1d(
+            comm,
+            a,
+            sources,
+            &Plan1D {
+                fetch_mode: mode,
+                ..Default::default()
+            },
+        ),
+        AlgoChoice::TwoDOblivious { .. } => bc_batch_2d(comm, a, sources),
+        AlgoChoice::ThreeDOblivious { layers, .. } => bc_batch_3d(comm, layers, a, sources),
+        AlgoChoice::TwoDSa { .. } | AlgoChoice::ThreeDSa { .. } => {
+            unreachable!("candidates are filtered to the engines BC implements")
+        }
+    };
+    (outcome, choice)
 }
 
 // ---------------------------------------------------------------------
@@ -770,6 +844,20 @@ mod tests {
         let got = u.run(|comm| bc_batch_3d(comm, 2, &a, &sources));
         for o in got {
             assert!(close(&o.scores, &expect), "3D BC mismatch");
+        }
+    }
+
+    #[test]
+    fn auto_engine_matches_serial_and_agrees_across_ranks() {
+        let a = rmat(6, 6, (0.57, 0.19, 0.19, 0.05), 4);
+        let sources = pick_sources(a.nrows(), 8, 2);
+        let expect = bc_serial(&a, &sources);
+        let u = Universe::new(4);
+        let got = u.run(|comm| bc_batch_auto(comm, &a, &sources, &CostModel::default()));
+        let choice0 = got[0].1;
+        for (o, choice) in &got {
+            assert!(close(&o.scores, &expect), "auto BC mismatch ({choice:?})");
+            assert_eq!(choice, &choice0, "all ranks pick the same engine");
         }
     }
 

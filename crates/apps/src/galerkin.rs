@@ -9,9 +9,11 @@
 //! confirms) is the better 1D algorithm for that shape.
 
 use sa_dist::outer1d::{spgemm_outer_1d, OuterReport};
-use sa_dist::spgemm1d::{spgemm_1d, spgemm_1d_ws, Plan1D, SpgemmReport};
+use sa_dist::spgemm1d::{
+    analyze_1d_modes, spgemm_1d, spgemm_1d_ws, FetchMode, Plan1D, SpgemmReport,
+};
 use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, SessionStats, SpgemmSession};
-use sa_mpisim::Comm;
+use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, SpgemmWorkspace};
 
 /// Algorithm choice for the right multiplication.
@@ -47,17 +49,32 @@ pub fn galerkin_product(
     right: RightAlgo,
     plan: &Plan1D,
 ) -> (DistMat1D, GalerkinReport) {
+    // Rᵀ distributed with A's column offsets (so the k spaces align).
+    let rt = r_global.transpose();
+    let rt_dist = DistMat1D::from_global(comm, &rt, a.offsets());
+    galerkin_product_with(comm, a, &rt_dist, r_global, right, plan)
+}
+
+/// [`galerkin_product`] with a pre-distributed `Rᵀ` (`rt_dist` must be
+/// `r_global.transpose()` under `a`'s column offsets) — lets callers that
+/// already built the distribution, like [`galerkin_auto`]'s mode pricing,
+/// skip a second transpose + scatter.
+pub fn galerkin_product_with(
+    comm: &Comm,
+    a: &DistMat1D,
+    rt_dist: &DistMat1D,
+    r_global: &Csc<f64>,
+    right: RightAlgo,
+    plan: &Plan1D,
+) -> (DistMat1D, GalerkinReport) {
     assert_eq!(
         a.nrows(),
         r_global.nrows(),
         "R's fine dimension must match A"
     );
     let n_agg = r_global.ncols();
-    // Rᵀ distributed with A's column offsets (so the k spaces align).
-    let rt = r_global.transpose();
-    let rt_dist = DistMat1D::from_global(comm, &rt, a.offsets());
     // left: RᵀA — fetches Rᵀ columns, B = A stationary.
-    let (rta, left_rep) = spgemm_1d(comm, &rt_dist, a, plan);
+    let (rta, left_rep) = spgemm_1d(comm, rt_dist, a, plan);
     // right: (RᵀA)·R — R distributed over the coarse dimension.
     let r_offsets = uniform_offsets(n_agg, comm.size());
     let r_dist = DistMat1D::from_global(comm, r_global, &r_offsets);
@@ -85,6 +102,47 @@ pub fn galerkin_product(
             )
         }
     }
+}
+
+/// [`galerkin_product`] with the left multiplication's fetch coalescing
+/// picked by the collective analyzer: every candidate mode is priced in
+/// one [`analyze_1d_modes`] round (one metadata exchange, no numeric
+/// traffic), the per-rank critical paths under the α–β `model` are
+/// max-reduced together, and the cheapest mode drives the product — with
+/// the outer-product right algorithm the paper recommends (Fig. 12).
+/// Returns the coarse operator, the reports, and the mode picked.
+/// Collective.
+pub fn galerkin_auto(
+    comm: &Comm,
+    a: &DistMat1D,
+    r_global: &Csc<f64>,
+    model: &CostModel,
+) -> (DistMat1D, GalerkinReport, FetchMode) {
+    let rt = r_global.transpose();
+    let rt_dist = DistMat1D::from_global(comm, &rt, a.offsets());
+    let modes = [
+        FetchMode::default(),
+        FetchMode::ContiguousRuns,
+        FetchMode::ColumnExact,
+    ];
+    let local_times: Vec<f64> = analyze_1d_modes(comm, &rt_dist, a, &modes)
+        .iter()
+        .map(|pre| model.time_s(pre.planned_intervals * 2, pre.planned_fetch_bytes))
+        .collect();
+    let critical = comm.allreduce_vec(local_times, |x, y| x.max(*y));
+    let best = modes[critical
+        .iter()
+        .enumerate()
+        .min_by(|x, y| x.1.total_cmp(y.1))
+        .expect("non-empty candidate set")
+        .0];
+    let plan = Plan1D {
+        fetch_mode: best,
+        ..Default::default()
+    };
+    let (coarse, report) =
+        galerkin_product_with(comm, a, &rt_dist, r_global, RightAlgo::Outer, &plan);
+    (coarse, report, best)
 }
 
 /// Reports of one [`GalerkinSession::product`]: the cached right
@@ -204,6 +262,25 @@ mod tests {
         let a = stencil3d(5, 5, 4, true);
         check(&a, 4, RightAlgo::Outer);
         check(&a, 3, RightAlgo::Outer);
+    }
+
+    #[test]
+    fn auto_mode_pick_preserves_the_product() {
+        let a = stencil3d(5, 5, 4, true);
+        let r = restriction_operator(&a, 42);
+        let expect = serial_galerkin(&r, &a);
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let (coarse, _, mode) = galerkin_auto(comm, &da, &r, &CostModel::default());
+            (coarse.gather(comm), mode)
+        });
+        let (coarse, mode0) = &got[0];
+        assert!(coarse.as_ref().unwrap().max_abs_diff(&expect) < 1e-9);
+        for (_, mode) in &got {
+            assert_eq!(mode, mode0, "all ranks agree on the fetch mode");
+        }
     }
 
     #[test]

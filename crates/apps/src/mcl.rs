@@ -4,8 +4,11 @@
 //! ops) so the squaring benchmarks have their motivating application in the
 //! repository.
 
-use sa_dist::{CacheConfig, DistMat1D, Plan1D, SessionStats, SpgemmSession};
-use sa_mpisim::Comm;
+use sa_dist::{
+    analyze_1d_offline, AlgoChoice, AutoTuner, CacheConfig, DistMat1D, FetchMode, Plan1D,
+    SessionStats, SpgemmSession,
+};
+use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, Dcsc, Vidx};
 
 /// MCL parameters.
@@ -158,6 +161,66 @@ pub fn interpret_clusters(m: &Csc<f64>) -> Vec<u32> {
     cluster
 }
 
+/// The matrix the first expansion squares: `a` with self-loops added
+/// (standard MCL) and columns normalized — shared by the solver and the
+/// autotuner's offline pricing so both see the same operand.
+fn expansion_seed(a: &Csc<f64>) -> Csc<f64> {
+    let n = a.ncols();
+    let mut coo = a.to_coo();
+    for v in 0..n {
+        coo.push(v as Vidx, v as Vidx, 1.0);
+    }
+    let mut with_loops = coo.to_csc_with(|x, y| x + y);
+    normalize_columns(&mut with_loops);
+    with_loops
+}
+
+/// [`mcl_1d`] with the expansion's fetch mode chosen by the collective-free
+/// analyzer: each candidate coalescing is priced on the first squaring
+/// `M₀²` (the dominant multiply — later iterations only shrink) and the
+/// cheapest one under the α–β model drives the whole run. Rank 0 prices
+/// once and broadcasts the pick (the same pattern as `spgemm_auto` — the
+/// analysis is deterministic but not free). Returns the clusters,
+/// iteration count, session counters, and the mode picked. Collective.
+pub fn mcl_1d_auto(
+    comm: &Comm,
+    a: &Csc<f64>,
+    cfg: &MclConfig,
+    cache: CacheConfig,
+    model: &CostModel,
+) -> (Vec<u32>, usize, SessionStats, FetchMode) {
+    let m0 = expansion_seed(a); // every rank needs the seed to distribute
+    let payload = (comm.rank() == 0).then(|| {
+        let modes = [
+            FetchMode::default(),
+            FetchMode::ContiguousRuns,
+            FetchMode::ColumnExact,
+        ];
+        let best = modes
+            .into_iter()
+            .map(|m| {
+                let t = analyze_1d_offline(&m0, &m0, comm.size(), m)
+                    .modeled_time_s(model, AutoTuner::DEFAULT_FLOPS_PER_S);
+                (t, m)
+            })
+            .min_by(|x, y| x.0.total_cmp(&y.0))
+            .expect("non-empty candidate set")
+            .1;
+        AlgoChoice::OneD { mode: best }.encode().to_vec()
+    });
+    let wire = comm.bcast_vec(0, payload);
+    let words: [u64; 5] = wire[..5].try_into().expect("5-word choice");
+    let AlgoChoice::OneD { mode: best } = AlgoChoice::decode(&words) else {
+        unreachable!("rank 0 encodes a 1D pick")
+    };
+    let plan = Plan1D {
+        fetch_mode: best,
+        ..Default::default()
+    };
+    let (clusters, iters, stats) = mcl_run(comm, m0, cfg, &plan, cache);
+    (clusters, iters, stats, best)
+}
+
 /// Run distributed MCL: expansion via sparsity-aware 1D squaring,
 /// inflation locally. Returns the converged matrix slice's clusters
 /// (identical on all ranks) and the number of iterations. Collective.
@@ -189,17 +252,20 @@ pub fn mcl_1d_session(
     plan: &Plan1D,
     cache: CacheConfig,
 ) -> (Vec<u32>, usize, SessionStats) {
-    let n = a.ncols();
-    // add self-loops (standard MCL) and normalize
-    let mut with_loops = {
-        let mut coo = a.to_coo();
-        for v in 0..n {
-            coo.push(v as Vidx, v as Vidx, 1.0);
-        }
-        coo.to_csc_with(|x, y| x + y)
-    };
-    normalize_columns(&mut with_loops);
+    mcl_run(comm, expansion_seed(a), cfg, plan, cache)
+}
 
+/// The MCL iteration on an already-seeded column-stochastic matrix —
+/// [`mcl_1d_session`] builds the seed itself; [`mcl_1d_auto`] hands over
+/// the one it priced the fetch modes on.
+fn mcl_run(
+    comm: &Comm,
+    with_loops: Csc<f64>,
+    cfg: &MclConfig,
+    plan: &Plan1D,
+    cache: CacheConfig,
+) -> (Vec<u32>, usize, SessionStats) {
+    let n = with_loops.ncols();
     let offsets = sa_dist::uniform_offsets(n, comm.size());
     let mut current = DistMat1D::from_global(comm, &with_loops, &offsets);
     let mut session = SpgemmSession::create(comm, current.clone(), *plan, cache);
@@ -259,6 +325,28 @@ mod tests {
                 let s: f64 = vals.iter().sum();
                 assert!((s - 1.0).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn auto_mode_pick_is_rank_consistent_and_result_preserving() {
+        let a = sbm(60, 3, 8.0, 0.4, false, 5);
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let (auto_clusters, _, _, mode) = mcl_1d_auto(
+                comm,
+                &a,
+                &MclConfig::default(),
+                CacheConfig::unlimited(),
+                &CostModel::default(),
+            );
+            let (fixed_clusters, _) = mcl_1d(comm, &a, &MclConfig::default(), &Plan1D::default());
+            (auto_clusters, fixed_clusters, mode)
+        });
+        let mode0 = got[0].2;
+        for (auto_c, fixed_c, mode) in &got {
+            assert_eq!(mode, &mode0, "all ranks pick the same mode");
+            assert_eq!(auto_c, fixed_c, "fetch mode never changes the result");
         }
     }
 

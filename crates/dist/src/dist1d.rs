@@ -16,6 +16,28 @@ pub fn uniform_offsets(n: usize, p: usize) -> Vec<usize> {
     (0..=p).map(|r| r * n / p).collect()
 }
 
+/// Uniform 2D block layout of `m` over a `pr × pc` grid plus the block at
+/// grid position `(myrow, mycol)` — the offsets-then-extract step shared by
+/// the 2D distribution constructor, the 3D layer splits, and the prepared
+/// layouts, so the cut convention lives in exactly one place.
+pub(crate) fn uniform_block_dist(
+    m: &Csc<f64>,
+    pr: usize,
+    pc: usize,
+    myrow: usize,
+    mycol: usize,
+) -> (Arc<Vec<usize>>, Arc<Vec<usize>>, Csc<f64>) {
+    let row_offsets = Arc::new(uniform_offsets(m.nrows(), pr));
+    let col_offsets = Arc::new(uniform_offsets(m.ncols(), pc));
+    let local = m.extract_block(
+        row_offsets[myrow],
+        row_offsets[myrow + 1],
+        col_offsets[mycol],
+        col_offsets[mycol + 1],
+    );
+    (row_offsets, col_offsets, local)
+}
+
 /// A 1D column-distributed sparse matrix (one rank's view).
 #[derive(Clone)]
 pub struct DistMat1D {

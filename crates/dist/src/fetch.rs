@@ -39,13 +39,46 @@ impl RankMeta {
 
 /// Replicate every rank's (jc, cp) metadata. Collective; metered as
 /// two-sided traffic (it is metadata exchange, not the RDMA fetch path).
+/// Column *lengths* travel as `u32` and the `u64` entry-range prefix is
+/// rebuilt locally — two thirds the wire bytes of shipping the prefix
+/// array itself, which matters once every process row of a 2D grid
+/// replicates its hypersparse block metadata per multiply.
 pub(crate) fn exchange_meta(comm: &Comm, local: &Dcsc<f64>) -> Vec<RankMeta> {
     let jcs = comm.allgatherv(local.jc().to_vec());
-    let cps = comm.allgatherv(local.cp().iter().map(|&x| x as u64).collect::<Vec<u64>>());
+    let lens: Vec<u32> = (0..local.nzc())
+        .map(|q| (local.cp()[q + 1] - local.cp()[q]) as u32)
+        .collect();
+    let lens_all = comm.allgatherv(lens);
     jcs.into_iter()
-        .zip(cps)
-        .map(|(jc, cp)| RankMeta { jc, cp })
+        .zip(lens_all)
+        .map(|(jc, lens)| {
+            let mut cp = Vec::with_capacity(lens.len() + 1);
+            cp.push(0u64);
+            for l in lens {
+                cp.push(cp.last().unwrap() + l as u64);
+            }
+            RankMeta { jc, cp }
+        })
         .collect()
+}
+
+/// Pack a boolean support over `0..len` into `u64` bitmap words — the
+/// fixed-size "compact request bitmap" the 2D exchanges ship instead of
+/// id lists (⌈len/64⌉·8 bytes regardless of support density).
+pub(crate) fn pack_support(bits: impl Iterator<Item = bool>, len: usize) -> Vec<u64> {
+    let mut words = vec![0u64; len.div_ceil(64)];
+    for (i, hit) in bits.enumerate() {
+        if hit {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Test bit `i` of a packed support.
+#[inline]
+pub(crate) fn support_bit(words: &[u64], i: usize) -> bool {
+    words[i / 64] >> (i % 64) & 1 == 1
 }
 
 /// One ranged fetch: positions `pos` of `owner`'s nonzero-column list,

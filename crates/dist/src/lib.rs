@@ -13,8 +13,20 @@
 //!   right multiplication (Fig. 12).
 //! * [`summa2d`] — 2D sparse SUMMA (CombBLAS' default), the
 //!   sparsity-oblivious baseline of Figs. 4/5/9.
+//! * [`summa2d_sa`] — Algorithm 1's needed-set communication on the 2D
+//!   grid: windowed fetches of the needed `A` columns per process row,
+//!   owner-filtered `B` shipping per process column, any `pr × pc` shape
+//!   (`1 × P` degenerates to Algorithm 1 exactly).
 //! * [`mat3d`] — the 3D split algorithm: per-layer SUMMA over a column/row
-//!   split of the operands, with a fiber reduce-scatter of the partials.
+//!   split of the operands, with a fiber reduce-scatter of the partials —
+//!   in oblivious ([`spgemm_split_3d`]) and sparsity-aware
+//!   ([`spgemm_split_3d_sa`]) flavours.
+//! * [`autotune`] — the §V selection criterion generalized: collective-free
+//!   analyses replay every algorithm's symbolic machinery on the global
+//!   operands (predicted == metered, byte for byte) and
+//!   [`AutoTuner::pick`] returns the cheapest `(algorithm, fetch mode,
+//!   grid shape)` under the α–β [`CostModel`](sa_mpisim::CostModel);
+//!   [`spgemm_auto`] runs the winner.
 //! * [`session`] — cross-iteration extension of Algorithm 1: a persistent
 //!   [`SpgemmSession`] pins the fetched operand (metadata + window exposure
 //!   once), and its [`FetchCache`] keeps remote columns across multiplies so
@@ -27,6 +39,7 @@
 //! * [`mod@reference`] — serial oracles the integration tests compare
 //!   against.
 
+pub mod autotune;
 pub mod dist1d;
 mod fetch;
 pub mod mat3d;
@@ -36,14 +49,23 @@ pub mod reference;
 pub mod session;
 pub mod spgemm1d;
 pub mod summa2d;
+pub mod summa2d_sa;
 
+pub use autotune::{
+    analyze_1d_offline, analyze_2d, analyze_3d, spgemm_auto, AlgoChoice, Analysis2D, Analysis3D,
+    AutoReport, AutoTuner, PhaseCost, Prediction,
+};
 pub use dist1d::{uniform_offsets, DistMat1D};
-pub use mat3d::{spgemm_split_3d, DistMat3D, LayerSplit, Owned3DBlock, Split3DReport};
+pub use mat3d::{
+    spgemm_split_3d, spgemm_split_3d_sa, spgemm_split_3d_sa_ws, spgemm_split_3d_ws, DistMat3D,
+    LayerSplit, Owned3DBlock, SaSplit3DReport, Split3DReport,
+};
 pub use outer1d::{spgemm_outer_1d, OuterReport};
 pub use prepare::{prepare, PrepResult, Strategy};
 pub use session::{CacheConfig, FetchCache, SessionAnalysis, SessionStats, SpgemmSession};
 pub use spgemm1d::{
-    analyze_1d, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, Analysis1D, FetchMode, Plan1D,
-    SpgemmReport,
+    analyze_1d, analyze_1d_modes, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, Analysis1D,
+    FetchMode, Plan1D, SpgemmReport,
 };
-pub use summa2d::{spgemm_summa_2d, DistMat2D, SummaReport};
+pub use summa2d::{spgemm_summa_2d, spgemm_summa_2d_ws, DistMat2D, SummaReport};
+pub use summa2d_sa::{grid_shapes, spgemm_summa_2d_sa, spgemm_summa_2d_sa_ws, SaSummaReport};

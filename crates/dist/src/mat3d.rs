@@ -7,8 +7,12 @@
 //! independently with a per-layer SUMMA. A fiber reduce-scatter then sums
 //! the `c` partials and leaves every rank owning a disjoint block of `C`.
 
-use crate::summa2d::{spgemm_summa_2d, DistMat2D, SummaReport};
+use crate::spgemm1d::FetchMode;
+use crate::summa2d::{spgemm_summa_2d_ws, DistMat2D, SummaReport};
+use crate::summa2d_sa::{spgemm_summa_2d_sa_ws, SaSummaReport};
 use sa_mpisim::{Breakdown, Comm, CommStats, Grid3D};
+use sa_sparse::semiring::{PlusTimes, Semiring};
+use sa_sparse::spgemm::SpgemmWorkspace;
 use sa_sparse::types::{vidx, Vidx};
 use sa_sparse::{Coo, Csc};
 use std::sync::Arc;
@@ -35,31 +39,39 @@ pub struct DistMat3D {
 }
 
 impl DistMat3D {
-    /// Split `a`'s columns across layers, then 2D-distribute the slice on
-    /// this rank's layer grid.
-    pub fn from_global_split_cols(grid: &Grid3D, a: &Csc<f64>) -> DistMat3D {
-        let layer_offsets = Arc::new(crate::uniform_offsets(a.ncols(), grid.layers));
-        let slice = a.extract_cols(layer_offsets[grid.mylayer], layer_offsets[grid.mylayer + 1]);
+    /// Split one dimension of `m` across layers (`Cols` for the `A`
+    /// operand, `Rows` for `B`), then 2D-distribute the slice on this
+    /// rank's layer grid — the single cut-then-distribute path behind both
+    /// public constructors.
+    pub fn from_global_split(grid: &Grid3D, m: &Csc<f64>, split: LayerSplit) -> DistMat3D {
+        let dim = match split {
+            LayerSplit::Cols => m.ncols(),
+            LayerSplit::Rows => m.nrows(),
+        };
+        let layer_offsets = Arc::new(crate::uniform_offsets(dim, grid.layers));
+        let (lo, hi) = (layer_offsets[grid.mylayer], layer_offsets[grid.mylayer + 1]);
+        let slice = match split {
+            LayerSplit::Cols => m.extract_cols(lo, hi),
+            LayerSplit::Rows => m.extract_rows(lo, hi),
+        };
         DistMat3D {
-            nrows: a.nrows(),
-            ncols: a.ncols(),
-            split: LayerSplit::Cols,
+            nrows: m.nrows(),
+            ncols: m.ncols(),
+            split,
             layer_offsets,
             within: DistMat2D::from_global(&grid.layer_grid, &slice),
         }
     }
 
+    /// Split `a`'s columns across layers, then 2D-distribute the slice on
+    /// this rank's layer grid.
+    pub fn from_global_split_cols(grid: &Grid3D, a: &Csc<f64>) -> DistMat3D {
+        DistMat3D::from_global_split(grid, a, LayerSplit::Cols)
+    }
+
     /// Split `b`'s rows across layers, then 2D-distribute the slice.
     pub fn from_global_split_rows(grid: &Grid3D, b: &Csc<f64>) -> DistMat3D {
-        let layer_offsets = Arc::new(crate::uniform_offsets(b.nrows(), grid.layers));
-        let slice = b.extract_rows(layer_offsets[grid.mylayer], layer_offsets[grid.mylayer + 1]);
-        DistMat3D {
-            nrows: b.nrows(),
-            ncols: b.ncols(),
-            split: LayerSplit::Rows,
-            layer_offsets,
-            within: DistMat2D::from_global(&grid.layer_grid, &slice),
-        }
+        DistMat3D::from_global_split(grid, b, LayerSplit::Rows)
     }
 
     /// Wrap an already-distributed layer slice (`within` must be this
@@ -151,15 +163,7 @@ pub struct Split3DReport {
     pub breakdown: Breakdown,
 }
 
-/// 3D split SpGEMM `C = A·B` with `A` column-split and `B` row-split
-/// across layers. Collective over `comm` (the communicator `grid` was
-/// built from).
-pub fn spgemm_split_3d(
-    comm: &Comm,
-    grid: &Grid3D,
-    a: &DistMat3D,
-    b: &DistMat3D,
-) -> (Owned3DBlock, Split3DReport) {
+fn assert_conformal_3d(a: &DistMat3D, b: &DistMat3D) {
     assert_eq!(
         a.ncols, b.nrows,
         "dimension mismatch: A is {}x{}, B is {}x{}",
@@ -172,21 +176,23 @@ pub fn spgemm_split_3d(
         b.layer_offsets[..],
         "layer splits of the inner dimension must align"
     );
-    let stats0 = comm.stats();
-    let t_call = Instant::now();
+}
 
-    // --- per-layer partial product (independent SUMMAs) ---
-    let (partial, summa_rep) =
-        spgemm_summa_2d(&grid.layer_comm, &grid.layer_grid, &a.within, &b.within);
-
-    // my partial block's global position
+/// Fiber reduce-scatter of the per-layer partial product: the partial
+/// block's rows are split among the `c` layers, combined across the fiber
+/// with the semiring's `⊕`. Returns this rank's owned `C` block (global
+/// position included) and the seconds spent — the step shared by the
+/// oblivious and sparsity-aware 3D paths.
+fn fiber_reduce_scatter<S: Semiring<T = f64>>(
+    grid: &Grid3D,
+    nrows: usize,
+    ncols: usize,
+    partial: &DistMat2D,
+) -> (Owned3DBlock, f64) {
+    let t0 = Instant::now();
     let row0 = partial.row_offsets()[grid.myrow];
     let col0 = partial.col_offsets()[grid.mycol];
     let block_h = partial.row_offsets()[grid.myrow + 1] - row0;
-    let peak = summa_rep.peak_local_bytes + partial.local().mem_bytes() as u64;
-
-    // --- fiber reduce-scatter: block rows split among the c layers ---
-    let t0 = Instant::now();
     let sub = crate::uniform_offsets(block_h, grid.layers);
     let mut sends: Vec<Vec<(Vidx, Vidx, f64)>> = vec![Vec::new(); grid.layers];
     for (r, c, v) in partial.local().iter() {
@@ -202,18 +208,54 @@ pub fn spgemm_split_3d(
             coo.push(r, c, v);
         }
     }
-    let local = coo.to_csc_with(|x, y| x + y);
-    let reduce_s = t0.elapsed().as_secs_f64();
-
-    let comm_delta = comm.stats() - stats0;
-    let total_s = t_call.elapsed().as_secs_f64();
+    let local = coo.to_csc_with(S::add);
     let block = Owned3DBlock {
-        nrows: a.nrows,
-        ncols: b.ncols,
+        nrows,
+        ncols,
         row0: row0 + sub[grid.mylayer],
         col0,
         local,
     };
+    (block, t0.elapsed().as_secs_f64())
+}
+
+/// 3D split SpGEMM `C = A·B` with `A` column-split and `B` row-split
+/// across layers. Collective over `comm` (the communicator `grid` was
+/// built from).
+pub fn spgemm_split_3d(
+    comm: &Comm,
+    grid: &Grid3D,
+    a: &DistMat3D,
+    b: &DistMat3D,
+) -> (Owned3DBlock, Split3DReport) {
+    spgemm_split_3d_ws(comm, grid, a, b, &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_split_3d`] with a caller-held [`SpgemmWorkspace`] threaded
+/// through the per-layer SUMMA's stage multiplies, so iterative drivers
+/// keep the oblivious baseline's compute path allocation-free too.
+pub fn spgemm_split_3d_ws(
+    comm: &Comm,
+    grid: &Grid3D,
+    a: &DistMat3D,
+    b: &DistMat3D,
+    ws: &SpgemmWorkspace<f64>,
+) -> (Owned3DBlock, Split3DReport) {
+    assert_conformal_3d(a, b);
+    let stats0 = comm.stats();
+    let t_call = Instant::now();
+
+    // --- per-layer partial product (independent SUMMAs) ---
+    let (partial, summa_rep) =
+        spgemm_summa_2d_ws(&grid.layer_comm, &grid.layer_grid, &a.within, &b.within, ws);
+    let peak = summa_rep.peak_local_bytes + partial.local().mem_bytes() as u64;
+
+    // --- fiber reduce-scatter: block rows split among the c layers ---
+    let (block, reduce_s) =
+        fiber_reduce_scatter::<PlusTimes<f64>>(grid, a.nrows, b.ncols, &partial);
+
+    let comm_delta = comm.stats() - stats0;
+    let total_s = t_call.elapsed().as_secs_f64();
     let report = Split3DReport {
         peak_local_bytes: peak,
         summa: summa_rep,
@@ -222,6 +264,80 @@ pub fn spgemm_split_3d(
             comm_s: summa_rep.breakdown.comm_s + reduce_s,
             comp_s: summa_rep.breakdown.comp_s,
             other_s: (total_s - summa_rep.breakdown.total_s() - reduce_s).max(0.0),
+        },
+    };
+    (block, report)
+}
+
+/// What one rank observed during [`spgemm_split_3d_sa`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SaSplit3DReport {
+    /// The per-layer sparsity-aware SUMMA's own report.
+    pub summa: SaSummaReport,
+    /// Bytes this rank sent in the fiber reduce-scatter.
+    pub reduce_bytes: u64,
+    /// Per-layer peak plus this rank's full partial block.
+    pub peak_local_bytes: u64,
+    /// Exact communication-counter delta of this call on this rank.
+    pub comm: CommStats,
+    pub breakdown: Breakdown,
+}
+
+/// Sparsity-aware 3D split SpGEMM: each layer runs the needed-set 2D
+/// SUMMA ([`spgemm_summa_2d_sa`](crate::summa2d_sa::spgemm_summa_2d_sa))
+/// on its slice, then the partials are summed with the same fiber
+/// reduce-scatter the oblivious path uses. Collective.
+pub fn spgemm_split_3d_sa(
+    comm: &Comm,
+    grid: &Grid3D,
+    a: &DistMat3D,
+    b: &DistMat3D,
+    mode: FetchMode,
+) -> (Owned3DBlock, SaSplit3DReport) {
+    spgemm_split_3d_sa_ws::<PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_split_3d_sa`] generic over the semiring, with a caller-held
+/// [`SpgemmWorkspace`] (zero steady-state allocations on the compute and
+/// assembly paths).
+pub fn spgemm_split_3d_sa_ws<S: Semiring<T = f64>>(
+    comm: &Comm,
+    grid: &Grid3D,
+    a: &DistMat3D,
+    b: &DistMat3D,
+    mode: FetchMode,
+    ws: &SpgemmWorkspace<f64>,
+) -> (Owned3DBlock, SaSplit3DReport) {
+    assert_conformal_3d(a, b);
+    let stats0 = comm.stats();
+    let t_call = Instant::now();
+
+    let (partial, summa_rep) = spgemm_summa_2d_sa_ws::<S>(
+        &grid.layer_comm,
+        &grid.layer_grid,
+        &a.within,
+        &b.within,
+        mode,
+        ws,
+    );
+    let peak = summa_rep.peak_local_bytes + partial.local().mem_bytes() as u64;
+
+    let reduce0 = comm.stats();
+    let (block, reduce_s) = fiber_reduce_scatter::<S>(grid, a.nrows, b.ncols, &partial);
+    let reduce_bytes = (comm.stats() - reduce0).sent_bytes;
+
+    let comm_delta = comm.stats() - stats0;
+    let total_s = t_call.elapsed().as_secs_f64();
+    let comm_s = summa_rep.breakdown.comm_s + reduce_s;
+    let report = SaSplit3DReport {
+        summa: summa_rep,
+        reduce_bytes,
+        peak_local_bytes: peak,
+        comm: comm_delta,
+        breakdown: Breakdown {
+            comm_s,
+            comp_s: summa_rep.breakdown.comp_s,
+            other_s: (total_s - comm_s - summa_rep.breakdown.comp_s).max(0.0),
         },
     };
     (block, report)

@@ -227,18 +227,62 @@ pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) ->
     }
 }
 
+/// [`analyze_1d`] for several fetch modes at once: the metadata exchange
+/// and the needed-column scan are mode-independent and run once, each
+/// candidate is then priced locally, and one pair of combined reductions
+/// fills the global fields — a mode sweep costs one collective round
+/// instead of one per mode. Collective.
+pub fn analyze_1d_modes(
+    comm: &Comm,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    modes: &[FetchMode],
+) -> Vec<Analysis1D> {
+    assert_conformal(a, b);
+    let metas = exchange_meta(comm, a.local());
+    let needed = needed_columns(b);
+    let plans: Vec<FetchPlan> = modes
+        .iter()
+        .map(|&m| plan_fetch(m, &metas, a.offsets(), &needed, comm.rank()))
+        .collect();
+    let mem_local = a.local().nnz() as u64 * ENTRY_BYTES;
+    let mut sums: Vec<u64> = vec![mem_local];
+    sums.extend(plans.iter().map(|p| p.fetch_bytes()));
+    let sums = comm.allreduce_vec(sums, |x, y| x + y);
+    let maxes = comm.allreduce_vec(plans.iter().map(|p| p.fetch_bytes()).collect(), |x, y| {
+        (*x).max(*y)
+    });
+    plans
+        .iter()
+        .enumerate()
+        .map(|(i, plan)| Analysis1D {
+            planned_fetch_bytes: plan.fetch_bytes(),
+            planned_intervals: plan.intervals.len() as u64,
+            needed_bytes: plan.needed_bytes(),
+            planned_fetch_bytes_global: sums[i + 1],
+            cv_over_mem: cv_of(maxes[i], sums[0]),
+        })
+        .collect()
+}
+
 /// Fetch every planned interval through `win`, appending into `ir`/`num`,
 /// and splice the local slice in at its owner position so the buffers come
 /// out in ascending global column order. `jc`/`cp` are filled alongside
 /// (cleared first — pass recycled buffers to keep their capacity). Returns
 /// the seconds spent inside window gets.
+///
+/// `offsets[r]` is the global base column of rank `r`'s slice and `local`
+/// this rank's slice — the 1D layout directly, or one process row of a 2D
+/// grid (the sparsity-aware SUMMA assembles its `Ã` through the same path,
+/// with `comm` being the row communicator and `offsets` the stage cuts).
 #[allow(clippy::too_many_arguments)]
-fn assemble_atilde(
+pub(crate) fn assemble_atilde(
     comm: &Comm,
     win: &PairedWindow<Vidx, f64>,
     plan: &FetchPlan,
     metas: &[RankMeta],
-    a: &DistMat1D,
+    offsets: &[usize],
+    local: &Dcsc<f64>,
     include_local: bool,
     jc: &mut Vec<Vidx>,
     cp: &mut Vec<usize>,
@@ -246,8 +290,6 @@ fn assemble_atilde(
     num: &mut Vec<f64>,
 ) -> f64 {
     let me = comm.rank();
-    let offsets = a.offsets();
-    let local = a.local();
     let nzc_estimate = plan.intervals.iter().map(|iv| iv.pos.len()).sum::<usize>()
         + if include_local { local.nzc() } else { 0 };
     jc.clear();
@@ -399,7 +441,17 @@ fn run_1d(
                 needed_entries: 0,
             };
             assemble_atilde(
-                comm, &win, &empty, &metas, a, true, &mut jc, &mut cp, &mut ir, &mut num,
+                comm,
+                &win,
+                &empty,
+                &metas,
+                a.offsets(),
+                a.local(),
+                true,
+                &mut jc,
+                &mut cp,
+                &mut ir,
+                &mut num,
             );
             Dcsc::from_parts(nrows, k, jc, cp, ir, num)
         };
@@ -428,7 +480,8 @@ fn run_1d(
                 &win,
                 &fplan,
                 &metas,
-                a,
+                a.offsets(),
+                a.local(),
                 false,
                 &mut remote_jc,
                 &mut remote_cp,
@@ -459,7 +512,8 @@ fn run_1d(
             &win,
             &fplan,
             &metas,
-            a,
+            a.offsets(),
+            a.local(),
             true,
             &mut buf.lens,
             &mut cp,

@@ -10,7 +10,7 @@
 use sa_mpisim::{Breakdown, Comm, CommStats, Grid2D};
 use sa_sparse::ewise::ewise_add;
 use sa_sparse::semiring::PlusTimes;
-use sa_sparse::spgemm::{spgemm_kernel, Kernel};
+use sa_sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
 use sa_sparse::{Coo, Csc};
 use std::sync::Arc;
@@ -30,14 +30,8 @@ pub struct DistMat2D {
 impl DistMat2D {
     /// Distribute `a` over `grid` with uniform block boundaries.
     pub fn from_global(grid: &Grid2D, a: &Csc<f64>) -> DistMat2D {
-        let row_offsets = Arc::new(crate::uniform_offsets(a.nrows(), grid.pr));
-        let col_offsets = Arc::new(crate::uniform_offsets(a.ncols(), grid.pc));
-        let local = a.extract_block(
-            row_offsets[grid.myrow],
-            row_offsets[grid.myrow + 1],
-            col_offsets[grid.mycol],
-            col_offsets[grid.mycol + 1],
-        );
+        let (row_offsets, col_offsets, local) =
+            crate::dist1d::uniform_block_dist(a, grid.pr, grid.pc, grid.myrow, grid.mycol);
         DistMat2D {
             nrows: a.nrows(),
             ncols: a.ncols(),
@@ -148,6 +142,22 @@ pub fn spgemm_summa_2d(
     a: &DistMat2D,
     b: &DistMat2D,
 ) -> (DistMat2D, SummaReport) {
+    spgemm_summa_2d_ws(comm, grid, a, b, &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_summa_2d`] with a caller-held [`SpgemmWorkspace`]: every stage
+/// multiply borrows its kernel scratch and output buffers from `ws` under
+/// flop-balanced scheduling, so an iterative driver (one SUMMA per BFS
+/// level, per MCL iteration, …) allocates nothing on the compute path once
+/// the pools are warm — the same steady state the sparsity-aware variants
+/// reach, keeping the oblivious baseline's timings free of alloc noise.
+pub fn spgemm_summa_2d_ws(
+    comm: &Comm,
+    grid: &Grid2D,
+    a: &DistMat2D,
+    b: &DistMat2D,
+    ws: &SpgemmWorkspace<f64>,
+) -> (DistMat2D, SummaReport) {
     assert_eq!(
         a.ncols, b.nrows,
         "dimension mismatch: A is {}x{}, B is {}x{}",
@@ -175,8 +185,15 @@ pub fn spgemm_summa_2d(
         let b_blk = bcast_block(&grid.col_comm, s, (grid.myrow == s).then_some(&b.local));
         comm_s += t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let partial =
-            comm.install(|| spgemm_kernel::<PlusTimes<f64>, _, _>(&a_blk, &b_blk, Kernel::Hybrid));
+        let partial = comm.install(|| {
+            spgemm_with::<PlusTimes<f64>, _, _>(
+                &a_blk,
+                &b_blk,
+                Kernel::Hybrid,
+                Schedule::FlopBalanced,
+                ws,
+            )
+        });
         acc = ewise_add::<PlusTimes<f64>>(&acc, &partial);
         comp_s += t0.elapsed().as_secs_f64();
         peak = peak.max((a_blk.mem_bytes() + b_blk.mem_bytes() + acc.mem_bytes()) as u64);

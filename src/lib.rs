@@ -17,7 +17,10 @@
 //! * [`dist`] — the paper's contribution: the sparsity-aware 1D SpGEMM
 //!   algorithm with block fetching, plus the 2D sparse SUMMA, 3D split, and
 //!   outer-product 1D baselines; `SpgemmSession` extends Algorithm 1 across
-//!   iterations with a persistent remote-column fetch cache.
+//!   iterations with a persistent remote-column fetch cache; sparsity-aware
+//!   2D/3D variants bring needed-set communication to the grid layouts, and
+//!   an `AutoTuner` with collective-free cost analyses picks the cheapest
+//!   `(algorithm, fetch mode, grid shape)` per input (`spgemm_auto`).
 //! * [`apps`] — evaluation applications: algebraic-multigrid restriction
 //!   (MIS-2 aggregation + Galerkin product) and batched betweenness
 //!   centrality; triangle counting and Markov clustering as extensions.
@@ -54,8 +57,9 @@ pub use sa_sparse as sparse;
 pub mod prelude {
     pub use sa_apps::{bc, galerkin, mcl, mis2, restriction, triangle};
     pub use sa_dist::{
-        analyze_1d, spgemm_1d, spgemm_1d_ws, uniform_offsets, CacheConfig, DistMat1D, DistMat2D,
-        DistMat3D, FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
+        analyze_1d, spgemm_1d, spgemm_1d_ws, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa,
+        uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, DistMat1D, DistMat2D, DistMat3D,
+        FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
     };
     pub use sa_mpisim::{Comm, CostModel, Phase, PhaseTimes, Universe};
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
