@@ -163,7 +163,7 @@ fn accumulate_col_sums(block: &Csc<f64>, col0: usize, scores: &mut [f64]) {
 /// Both products leave their output in the frontier's own 1D column layout
 /// (conformal with the adjacency's column split), so masking, σ updates and
 /// dependency accumulation are all rank-local.
-pub fn bc_batch_1d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx], plan: &Plan1D) -> BcOutcome {
+pub fn bc_batch_1d<C: Comm>(comm: &C, a: &Csc<f64>, sources: &[Vidx], plan: &Plan1D) -> BcOutcome {
     bc_batch_1d_offsets(
         comm,
         a,
@@ -176,8 +176,8 @@ pub fn bc_batch_1d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx], plan: &Plan1D) -
 /// [`bc_batch_1d`] with explicit 1D column offsets — pass the partitioner's
 /// (uneven) slice boundaries so rank slices align with METIS parts instead
 /// of cutting clusters at uniform boundaries.
-pub fn bc_batch_1d_offsets(
-    comm: &Comm,
+pub fn bc_batch_1d_offsets<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     sources: &[Vidx],
     plan: &Plan1D,
@@ -317,8 +317,8 @@ impl BcSessionStats {
 /// Returns one [`BcOutcome`] per batch plus the cumulative session
 /// counters *after each batch* (the last entry is the final total — its
 /// increments are what the `session_cache` bench plots).
-pub fn bc_batches_1d_session(
-    comm: &Comm,
+pub fn bc_batches_1d_session<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     batches: &[Vec<Vidx>],
     plan: &Plan1D,
@@ -359,8 +359,8 @@ pub fn bc_batches_1d_session(
 /// One batch of the session engine: the column-frontier BC algebra of
 /// [`bc_batch_2d`] on a 1D split of the batch dimension, multiplies routed
 /// through the persistent sessions.
-fn bc_one_batch_sessions(
-    comm: &Comm,
+fn bc_one_batch_sessions<C: Comm>(
+    comm: &C,
     fwd: &mut SpgemmSession,
     bwd: &mut SpgemmSession,
     n: usize,
@@ -442,7 +442,7 @@ fn bc_one_batch_sessions(
 
 /// Run one BC batch with 2D sparse SUMMA. Collective; `comm.size()` must be
 /// a perfect square.
-pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
+pub fn bc_batch_2d<C: Comm>(comm: &C, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
     let grid = Grid2D::square(comm);
     let n = a.nrows();
     let b = sources.len();
@@ -534,7 +534,7 @@ pub fn bc_batch_2d(comm: &Comm, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
 /// multiplies and then redistributes the output back to the row-split 3D
 /// frontier layout (CombBLAS' 3D SpGEMM performs the same layout
 /// conversions internally). Collective.
-pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
+pub fn bc_batch_3d<C: Comm>(comm: &C, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -> BcOutcome {
     let q2 = comm.size() / layers;
     let q = (q2 as f64).sqrt().round() as usize;
     let grid = Grid3D::new(comm, q, layers);
@@ -596,7 +596,7 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
         DistMat3D::from_local_parts(n, b, LayerSplit::Rows, layer_offsets.clone(), within)
     };
     // redistribute a multiply output back into the frontier layout
-    let restore = |out: &Owned3DBlock, comm: &Comm| -> Csc<f64> {
+    let restore = |out: &Owned3DBlock, comm: &C| -> Csc<f64> {
         let mut sends: Vec<Vec<(Vidx, Vidx, f64)>> = vec![Vec::new(); comm.size()];
         for (r, c, v) in out.local.iter() {
             let (gr, gc) = (out.row0 + r as usize, out.col0 + c as usize);
@@ -677,8 +677,8 @@ pub fn bc_batch_3d(comm: &Comm, layers: usize, a: &Csc<f64>, sources: &[Vidx]) -
 /// configuration's cheap prediction pick an expensive execution. Returns
 /// the outcome plus the choice, so callers (the benches behind the
 /// `SA_AUTO` flag) can report what was picked.
-pub fn bc_batch_auto(
-    comm: &Comm,
+pub fn bc_batch_auto<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     sources: &[Vidx],
     model: &CostModel,

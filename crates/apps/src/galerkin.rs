@@ -42,8 +42,8 @@ pub struct GalerkinReport {
 /// operator, conceptually replicated (it is tall-skinny and tiny next to
 /// `A`; CombBLAS also keeps it fully mapped). Returns the coarse operator
 /// (`n_agg × n_agg`, 1D-distributed) and the reports. Collective.
-pub fn galerkin_product(
-    comm: &Comm,
+pub fn galerkin_product<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     r_global: &Csc<f64>,
     right: RightAlgo,
@@ -59,8 +59,8 @@ pub fn galerkin_product(
 /// `r_global.transpose()` under `a`'s column offsets) — lets callers that
 /// already built the distribution, like [`galerkin_auto`]'s mode pricing,
 /// skip a second transpose + scatter.
-pub fn galerkin_product_with(
-    comm: &Comm,
+pub fn galerkin_product_with<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     rt_dist: &DistMat1D,
     r_global: &Csc<f64>,
@@ -112,8 +112,8 @@ pub fn galerkin_product_with(
 /// the outer-product right algorithm the paper recommends (Fig. 12).
 /// Returns the coarse operator, the reports, and the mode picked.
 /// Collective.
-pub fn galerkin_auto(
-    comm: &Comm,
+pub fn galerkin_auto<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     r_global: &Csc<f64>,
     model: &CostModel,
@@ -178,7 +178,12 @@ pub struct GalerkinSession {
 
 impl GalerkinSession {
     /// Pin the fine operator. Collective.
-    pub fn create(comm: &Comm, a: DistMat1D, plan: Plan1D, cache: CacheConfig) -> GalerkinSession {
+    pub fn create<C: Comm>(
+        comm: &C,
+        a: DistMat1D,
+        plan: Plan1D,
+        cache: CacheConfig,
+    ) -> GalerkinSession {
         GalerkinSession {
             session: SpgemmSession::create(comm, a, plan, cache),
             rap_ws: SpgemmWorkspace::new(),
@@ -197,9 +202,9 @@ impl GalerkinSession {
 
     /// One coarse operator: `Rᵀ·(A·R)` with the `A·R` half served by the
     /// session cache. Collective.
-    pub fn product(
+    pub fn product<C: Comm>(
         &mut self,
-        comm: &Comm,
+        comm: &C,
         r_global: &Csc<f64>,
     ) -> (DistMat1D, GalerkinSessionReport) {
         assert_eq!(

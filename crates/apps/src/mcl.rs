@@ -182,8 +182,8 @@ fn expansion_seed(a: &Csc<f64>) -> Csc<f64> {
 /// once and broadcasts the pick (the same pattern as `spgemm_auto` — the
 /// analysis is deterministic but not free). Returns the clusters,
 /// iteration count, session counters, and the mode picked. Collective.
-pub fn mcl_1d_auto(
-    comm: &Comm,
+pub fn mcl_1d_auto<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     cfg: &MclConfig,
     cache: CacheConfig,
@@ -228,7 +228,12 @@ pub fn mcl_1d_auto(
 /// Expansion runs through a cached [`SpgemmSession`] (unlimited budget) —
 /// see [`mcl_1d_session`] for the cache-aware entry point and its
 /// per-iteration delta semantics.
-pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec<u32>, usize) {
+pub fn mcl_1d<C: Comm>(
+    comm: &C,
+    a: &Csc<f64>,
+    cfg: &MclConfig,
+    plan: &Plan1D,
+) -> (Vec<u32>, usize) {
     let (clusters, iters, _) = mcl_1d_session(comm, a, cfg, plan, CacheConfig::unlimited());
     (clusters, iters)
 }
@@ -245,8 +250,8 @@ pub fn mcl_1d(comm: &Comm, a: &Csc<f64>, cfg: &MclConfig, plan: &Plan1D) -> (Vec
 /// convergence delta (only the *delta* is communicated). The inflation pass
 /// reuses the same diff idea locally: columns whose expanded input is
 /// unchanged skip the inflate/prune recompute.
-pub fn mcl_1d_session(
-    comm: &Comm,
+pub fn mcl_1d_session<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     cfg: &MclConfig,
     plan: &Plan1D,
@@ -258,8 +263,8 @@ pub fn mcl_1d_session(
 /// The MCL iteration on an already-seeded column-stochastic matrix —
 /// [`mcl_1d_session`] builds the seed itself; [`mcl_1d_auto`] hands over
 /// the one it priced the fetch modes on.
-fn mcl_run(
-    comm: &Comm,
+fn mcl_run<C: Comm>(
+    comm: &C,
     with_loops: Csc<f64>,
     cfg: &MclConfig,
     plan: &Plan1D,

@@ -28,7 +28,7 @@ pub fn triangles_serial(a: &Csc<f64>) -> u64 {
 
 /// Distributed triangle count with the sparsity-aware 1D algorithm:
 /// `L·L` runs distributed; the mask and reduction are local. Collective.
-pub fn triangles_1d(comm: &Comm, a: &Csc<f64>, plan: &Plan1D) -> u64 {
+pub fn triangles_1d<C: Comm>(comm: &C, a: &Csc<f64>, plan: &Plan1D) -> u64 {
     let l = lower_triangle(a);
     let offsets = uniform_offsets(l.ncols(), comm.size());
     let dl = DistMat1D::from_global(comm, &l, &offsets);

@@ -92,7 +92,7 @@ fn main() {
 
         // 3D split (best c), same permuted operands
         let mut best: Option<(usize, f64)> = None;
-        for c in Grid3D::valid_layer_counts(p) {
+        for c in sa_mpisim::valid_layer_counts(p) {
             if c > 8 && c != p {
                 continue;
             }

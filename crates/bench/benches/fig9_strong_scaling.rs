@@ -68,7 +68,7 @@ fn main() {
 
             // --- 3D split, best layer count ---
             let mut best: Option<(usize, f64)> = None;
-            for c in Grid3D::valid_layer_counts(p) {
+            for c in sa_mpisim::valid_layer_counts(p) {
                 if c > 8 && c != p {
                     continue; // skip silly middle grounds at bench scale
                 }

@@ -10,7 +10,13 @@
 //! Environment knobs:
 //! * `SA_SCALE` = `tiny` | `small` (default) | `medium` — dataset sizes;
 //! * `SA_QUICK=1` — fewer rank counts / iterations for smoke runs;
-//! * `SA_REPS=n` — repetitions per measurement (best kept).
+//! * `SA_REPS=n` — repetitions per measurement (best kept);
+//! * `SA_BACKEND` = `sim` (default) | `threads`, or the `--backend <name>`
+//!   bench argument — which communicator backend executes the simulated
+//!   ranks ([`SimComm`](sa_mpisim::SimComm) serial rank-loop vs
+//!   [`ThreadComm`](sa_mpisim::ThreadComm) truly-parallel threads).
+//!   Metered traffic is byte-identical either way; only wall-clock
+//!   changes. `--bench backends` compares the two directly.
 //!
 //! Harness map: [`plan`]/[`scale`]/[`load`] configure a run,
 //! [`square_1d`] executes the canonical squaring workload,
@@ -21,7 +27,7 @@
 use sa_dist::{
     prepare, spgemm_1d, DistMat1D, FetchMode, Plan1D, PrepResult, SpgemmReport, Strategy,
 };
-use sa_mpisim::{Breakdown, CostModel, Universe};
+use sa_mpisim::{Backend, Breakdown, Comm, CostModel, Universe};
 use sa_sparse::gen::{Dataset, Scale};
 use sa_sparse::spgemm::Kernel;
 use sa_sparse::stats::summarize;
@@ -44,6 +50,25 @@ pub fn plan() -> Plan1D {
         global_stats: true,
         ..Default::default()
     }
+}
+
+/// The communicator backend the benches run on: `--backend <name>` in the
+/// bench arguments wins, then `SA_BACKEND`, then the serial simulator.
+/// Benches that call [`run_square_prepared`] (directly or through
+/// [`square_1d`]) honor both spellings; benches that spin up a
+/// [`Universe`] themselves honor `SA_BACKEND` only (the env knob redirects
+/// `Universe::run`'s scheduler globally — the CLI flag does not reach
+/// them).
+pub fn backend() -> Backend {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--backend" {
+            let v = args.next().expect("--backend requires a value");
+            return Backend::parse(&v)
+                .unwrap_or_else(|| panic!("--backend {v}: expected 'sim' or 'threads'"));
+        }
+    }
+    Backend::from_env()
 }
 
 /// The `SA_THREADS` knob, if set to a positive integer.
@@ -158,28 +183,64 @@ pub fn square_1d(
     (reports, prep.prep_seconds)
 }
 
-/// Squaring on an already-prepared (permuted + offset) matrix; best of
-/// [`reps`] runs by critical-path time.
-pub fn run_square_prepared(prep: &PrepResult, p: usize, plan: Plan1D) -> Vec<SpgemmReport> {
+/// One rank's share of the canonical squaring workload — generic over the
+/// backend so the same code runs on `SimComm` and `ThreadComm`. Returns
+/// the report plus this rank's [`sa_mpisim::rank_active_seconds`] (its
+/// interference-free own-work span under the serial scheduler; 0 under
+/// the parallel one). This is the single definition of the workload the
+/// figure benches and the `backends` comparison bench share.
+pub fn square_rank<C: Comm>(comm: &C, prep: &PrepResult, plan: &Plan1D) -> (SpgemmReport, f64) {
+    let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
+    let db = da.clone();
+    let (_c, rep) = spgemm_1d(comm, &da, &db, plan);
+    (rep, sa_mpisim::rank_active_seconds())
+}
+
+/// Squaring on an already-prepared (permuted + offset) matrix under an
+/// explicit backend; best of [`reps`] runs by whole-universe wall time.
+/// Returns the per-rank reports plus the best run's wall seconds (launch
+/// to join — the number that differs between backends).
+pub fn run_square_prepared_on(
+    be: Backend,
+    prep: &PrepResult,
+    p: usize,
+    plan: Plan1D,
+) -> (Vec<SpgemmReport>, f64) {
     let (_t, best) = best_of(reps(), || {
         let u = Universe::with_threads(p, threads_per_rank());
-        let reports = u.run(|comm| {
-            let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
-            let db = da.clone();
-            let (_c, rep) = spgemm_1d(comm, &da, &db, &plan);
-            rep
-        });
-        let t = reports
-            .iter()
-            .map(|r| r.breakdown.total_s())
-            .fold(0.0f64, f64::max);
-        (t, reports)
+        let t0 = std::time::Instant::now();
+        // launch::<M> pins the scheduler: the explicit `be` argument must
+        // win over any SA_BACKEND in the environment
+        let reports = match be {
+            Backend::Sim => {
+                u.launch::<sa_mpisim::Serial, _, _>(|comm| square_rank(comm, prep, &plan).0)
+            }
+            Backend::Threads => {
+                u.launch::<sa_mpisim::Threads, _, _>(|comm| square_rank(comm, prep, &plan).0)
+            }
+        };
+        let wall = t0.elapsed().as_secs_f64();
+        (wall, (reports, wall))
     });
     best
 }
 
+/// Squaring on an already-prepared (permuted + offset) matrix; best of
+/// [`reps`] runs. Executes on the backend selected by [`backend`] (the
+/// serial simulator unless `SA_BACKEND`/`--backend` overrides).
+pub fn run_square_prepared(prep: &PrepResult, p: usize, plan: Plan1D) -> Vec<SpgemmReport> {
+    run_square_prepared_on(backend(), prep, p, plan).0
+}
+
 /// Print the per-rank breakdown block the paper's Figs. 4/8/10 show:
 /// every rank's comm/comp/other in ms, then a min/median/max summary.
+///
+/// Caveat (see [`sa_mpisim::Breakdown`]): under the default serial
+/// backend the comm column of a rank that *blocked* includes other ranks'
+/// serialized execution — it is "time until the data was ready", not wait
+/// skew. The figure-shape conclusions in the benches therefore rest on
+/// `comp`/modeled columns ([`modeled_total`]), which are
+/// backend-independent.
 pub fn print_rank_breakdown(label: &str, reps: &[Breakdown]) {
     println!("# per-rank breakdown: {label}");
     row(&[

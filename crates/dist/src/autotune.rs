@@ -725,7 +725,7 @@ impl AutoTuner {
                 }
             }
         }
-        for layers in Grid3D::valid_layer_counts(p) {
+        for layers in sa_mpisim::valid_layer_counts(p) {
             if layers == 1 {
                 continue; // covered by the 2D candidates
             }
@@ -778,8 +778,8 @@ pub struct AutoReport {
 /// analysis is deterministic but not free (the 3D pricing multiplies the
 /// per-layer slices serially), so rank 0 runs it once and broadcasts the
 /// 48-byte pick instead of every rank replicating the work.
-pub fn spgemm_auto(
-    comm: &Comm,
+pub fn spgemm_auto<C: Comm>(
+    comm: &C,
     a: &Csc<f64>,
     b: &Csc<f64>,
     model: &CostModel,

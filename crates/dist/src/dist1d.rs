@@ -52,7 +52,7 @@ impl DistMat1D {
     /// Distribute `a` by columns: every rank extracts its own slice from the
     /// (replicated) global matrix. Panics if `offsets` is not a monotone
     /// cover of `a`'s columns with one range per rank.
-    pub fn from_global(comm: &Comm, a: &Csc<f64>, offsets: &[usize]) -> DistMat1D {
+    pub fn from_global<C: Comm>(comm: &C, a: &Csc<f64>, offsets: &[usize]) -> DistMat1D {
         assert!(
             offsets.len() == comm.size() + 1
                 && offsets.first() == Some(&0)
@@ -121,13 +121,13 @@ impl DistMat1D {
     }
 
     /// Total stored entries across ranks. Collective.
-    pub fn global_nnz(&self, comm: &Comm) -> u64 {
+    pub fn global_nnz<C: Comm>(&self, comm: &C) -> u64 {
         comm.allreduce(self.local.nnz() as u64, |x, y| x + y)
     }
 
     /// Reassemble the global matrix at rank 0 (`None` elsewhere),
     /// preserving each column's stored entry order exactly. Collective.
-    pub fn gather(&self, comm: &Comm) -> Option<Csc<f64>> {
+    pub fn gather<C: Comm>(&self, comm: &C) -> Option<Csc<f64>> {
         let me = comm.rank();
         let width = self.offsets[me + 1] - self.offsets[me];
         // per-column lengths, expanded from the compressed index

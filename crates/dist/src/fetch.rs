@@ -43,7 +43,7 @@ impl RankMeta {
 /// rebuilt locally — two thirds the wire bytes of shipping the prefix
 /// array itself, which matters once every process row of a 2D grid
 /// replicates its hypersparse block metadata per multiply.
-pub(crate) fn exchange_meta(comm: &Comm, local: &Dcsc<f64>) -> Vec<RankMeta> {
+pub(crate) fn exchange_meta<C: Comm>(comm: &C, local: &Dcsc<f64>) -> Vec<RankMeta> {
     let jcs = comm.allgatherv(local.jc().to_vec());
     let lens: Vec<u32> = (0..local.nzc())
         .map(|q| (local.cp()[q + 1] - local.cp()[q]) as u32)

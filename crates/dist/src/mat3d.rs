@@ -43,7 +43,11 @@ impl DistMat3D {
     /// operand, `Rows` for `B`), then 2D-distribute the slice on this
     /// rank's layer grid — the single cut-then-distribute path behind both
     /// public constructors.
-    pub fn from_global_split(grid: &Grid3D, m: &Csc<f64>, split: LayerSplit) -> DistMat3D {
+    pub fn from_global_split<C: Comm>(
+        grid: &Grid3D<C>,
+        m: &Csc<f64>,
+        split: LayerSplit,
+    ) -> DistMat3D {
         let dim = match split {
             LayerSplit::Cols => m.ncols(),
             LayerSplit::Rows => m.nrows(),
@@ -65,12 +69,12 @@ impl DistMat3D {
 
     /// Split `a`'s columns across layers, then 2D-distribute the slice on
     /// this rank's layer grid.
-    pub fn from_global_split_cols(grid: &Grid3D, a: &Csc<f64>) -> DistMat3D {
+    pub fn from_global_split_cols<C: Comm>(grid: &Grid3D<C>, a: &Csc<f64>) -> DistMat3D {
         DistMat3D::from_global_split(grid, a, LayerSplit::Cols)
     }
 
     /// Split `b`'s rows across layers, then 2D-distribute the slice.
-    pub fn from_global_split_rows(grid: &Grid3D, b: &Csc<f64>) -> DistMat3D {
+    pub fn from_global_split_rows<C: Comm>(grid: &Grid3D<C>, b: &Csc<f64>) -> DistMat3D {
         DistMat3D::from_global_split(grid, b, LayerSplit::Rows)
     }
 
@@ -127,7 +131,7 @@ pub struct Owned3DBlock {
 
 impl Owned3DBlock {
     /// Reassemble the global product at world rank 0. Collective.
-    pub fn gather(&self, comm: &Comm) -> Option<Csc<f64>> {
+    pub fn gather<C: Comm>(&self, comm: &C) -> Option<Csc<f64>> {
         let triples: Vec<(Vidx, Vidx, f64)> = self
             .local
             .iter()
@@ -183,8 +187,8 @@ fn assert_conformal_3d(a: &DistMat3D, b: &DistMat3D) {
 /// with the semiring's `⊕`. Returns this rank's owned `C` block (global
 /// position included) and the seconds spent — the step shared by the
 /// oblivious and sparsity-aware 3D paths.
-fn fiber_reduce_scatter<S: Semiring<T = f64>>(
-    grid: &Grid3D,
+fn fiber_reduce_scatter<C: Comm, S: Semiring<T = f64>>(
+    grid: &Grid3D<C>,
     nrows: usize,
     ncols: usize,
     partial: &DistMat2D,
@@ -222,9 +226,9 @@ fn fiber_reduce_scatter<S: Semiring<T = f64>>(
 /// 3D split SpGEMM `C = A·B` with `A` column-split and `B` row-split
 /// across layers. Collective over `comm` (the communicator `grid` was
 /// built from).
-pub fn spgemm_split_3d(
-    comm: &Comm,
-    grid: &Grid3D,
+pub fn spgemm_split_3d<C: Comm>(
+    comm: &C,
+    grid: &Grid3D<C>,
     a: &DistMat3D,
     b: &DistMat3D,
 ) -> (Owned3DBlock, Split3DReport) {
@@ -234,9 +238,9 @@ pub fn spgemm_split_3d(
 /// [`spgemm_split_3d`] with a caller-held [`SpgemmWorkspace`] threaded
 /// through the per-layer SUMMA's stage multiplies, so iterative drivers
 /// keep the oblivious baseline's compute path allocation-free too.
-pub fn spgemm_split_3d_ws(
-    comm: &Comm,
-    grid: &Grid3D,
+pub fn spgemm_split_3d_ws<C: Comm>(
+    comm: &C,
+    grid: &Grid3D<C>,
     a: &DistMat3D,
     b: &DistMat3D,
     ws: &SpgemmWorkspace<f64>,
@@ -252,7 +256,7 @@ pub fn spgemm_split_3d_ws(
 
     // --- fiber reduce-scatter: block rows split among the c layers ---
     let (block, reduce_s) =
-        fiber_reduce_scatter::<PlusTimes<f64>>(grid, a.nrows, b.ncols, &partial);
+        fiber_reduce_scatter::<_, PlusTimes<f64>>(grid, a.nrows, b.ncols, &partial);
 
     let comm_delta = comm.stats() - stats0;
     let total_s = t_call.elapsed().as_secs_f64();
@@ -287,22 +291,22 @@ pub struct SaSplit3DReport {
 /// SUMMA ([`spgemm_summa_2d_sa`](crate::summa2d_sa::spgemm_summa_2d_sa))
 /// on its slice, then the partials are summed with the same fiber
 /// reduce-scatter the oblivious path uses. Collective.
-pub fn spgemm_split_3d_sa(
-    comm: &Comm,
-    grid: &Grid3D,
+pub fn spgemm_split_3d_sa<C: Comm>(
+    comm: &C,
+    grid: &Grid3D<C>,
     a: &DistMat3D,
     b: &DistMat3D,
     mode: FetchMode,
 ) -> (Owned3DBlock, SaSplit3DReport) {
-    spgemm_split_3d_sa_ws::<PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
+    spgemm_split_3d_sa_ws::<_, PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
 }
 
 /// [`spgemm_split_3d_sa`] generic over the semiring, with a caller-held
 /// [`SpgemmWorkspace`] (zero steady-state allocations on the compute and
 /// assembly paths).
-pub fn spgemm_split_3d_sa_ws<S: Semiring<T = f64>>(
-    comm: &Comm,
-    grid: &Grid3D,
+pub fn spgemm_split_3d_sa_ws<C: Comm, S: Semiring<T = f64>>(
+    comm: &C,
+    grid: &Grid3D<C>,
     a: &DistMat3D,
     b: &DistMat3D,
     mode: FetchMode,
@@ -312,7 +316,7 @@ pub fn spgemm_split_3d_sa_ws<S: Semiring<T = f64>>(
     let stats0 = comm.stats();
     let t_call = Instant::now();
 
-    let (partial, summa_rep) = spgemm_summa_2d_sa_ws::<S>(
+    let (partial, summa_rep) = spgemm_summa_2d_sa_ws::<_, S>(
         &grid.layer_comm,
         &grid.layer_grid,
         &a.within,
@@ -323,7 +327,7 @@ pub fn spgemm_split_3d_sa_ws<S: Semiring<T = f64>>(
     let peak = summa_rep.peak_local_bytes + partial.local().mem_bytes() as u64;
 
     let reduce0 = comm.stats();
-    let (block, reduce_s) = fiber_reduce_scatter::<S>(grid, a.nrows, b.ncols, &partial);
+    let (block, reduce_s) = fiber_reduce_scatter::<_, S>(grid, a.nrows, b.ncols, &partial);
     let reduce_bytes = (comm.stats() - reduce0).sent_bytes;
 
     let comm_delta = comm.stats() - stats0;

@@ -33,7 +33,11 @@ pub struct OuterReport {
 
 /// Outer-product 1D SpGEMM. Returns `C` in `B`'s column layout plus this
 /// rank's [`OuterReport`]. Collective.
-pub fn spgemm_outer_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D) -> (DistMat1D, OuterReport) {
+pub fn spgemm_outer_1d<C: Comm>(
+    comm: &C,
+    a: &DistMat1D,
+    b: &DistMat1D,
+) -> (DistMat1D, OuterReport) {
     assert_eq!(
         a.ncols(),
         b.nrows(),

@@ -392,7 +392,12 @@ impl SpgemmSession {
     /// Pin `a` as the session's fetched operand: replicate its nonzero-column
     /// metadata and expose its entry arrays through a paired window, both
     /// kept for the session's lifetime. Collective.
-    pub fn create(comm: &Comm, a: DistMat1D, plan: Plan1D, cache: CacheConfig) -> SpgemmSession {
+    pub fn create<C: Comm>(
+        comm: &C,
+        a: DistMat1D,
+        plan: Plan1D,
+        cache: CacheConfig,
+    ) -> SpgemmSession {
         let metas = exchange_meta(comm, a.local());
         let win = PairedWindow::create(comm, a.local().ir().to_vec(), a.local().num().to_vec());
         SpgemmSession {
@@ -514,7 +519,7 @@ impl SpgemmSession {
     /// The prediction is exact: an immediately following `multiply` with the
     /// same `b` meters `planned_fresh_bytes` on the wire and serves
     /// `cache_hit_bytes` from cache, to the byte.
-    pub fn analyze(&self, comm: &Comm, b: &DistMat1D) -> SessionAnalysis {
+    pub fn analyze<C: Comm>(&self, comm: &C, b: &DistMat1D) -> SessionAnalysis {
         assert_conformal(&self.a, b);
         let needed = b.local().row_hit_vector();
         let survey = self.survey(comm.rank(), &needed);
@@ -533,7 +538,7 @@ impl SpgemmSession {
     /// `B`'s column layout plus this rank's report. Collective only through
     /// the window fetches (plus two allreduces when
     /// [`Plan1D::global_stats`] is set).
-    pub fn multiply(&mut self, comm: &Comm, b: &DistMat1D) -> (DistMat1D, SpgemmReport) {
+    pub fn multiply<C: Comm>(&mut self, comm: &C, b: &DistMat1D) -> (DistMat1D, SpgemmReport) {
         assert_conformal(&self.a, b);
         let stats0 = comm.stats();
         let t_call = Instant::now();
@@ -629,9 +634,9 @@ impl SpgemmSession {
     /// the sessionless path — are inserted into the cache as they pass).
     /// The builder's arrays and the staging buffers are recycled through
     /// the session workspace, so steady-state assemblies allocate nothing.
-    fn assemble(
+    fn assemble<C: Comm>(
         &mut self,
-        comm: &Comm,
+        comm: &C,
         needed: &[bool],
         survey: &Survey,
         fplan: &FetchPlan,
@@ -731,7 +736,7 @@ impl SpgemmSession {
     /// invalidated everywhere. The metadata and window exposure are
     /// refreshed. Layout (dimensions and offsets) must be unchanged.
     /// Collective. Returns the number of globally changed columns.
-    pub fn update_a(&mut self, comm: &Comm, new_a: DistMat1D) -> u64 {
+    pub fn update_a<C: Comm>(&mut self, comm: &C, new_a: DistMat1D) -> u64 {
         assert_eq!(self.a.nrows(), new_a.nrows(), "update_a cannot resize");
         assert_eq!(self.a.ncols(), new_a.ncols(), "update_a cannot resize");
         assert_eq!(
@@ -815,7 +820,7 @@ mod tests {
     use sa_sparse::gen::{banded, erdos_renyi};
     use sa_sparse::Csc;
 
-    fn dist(comm: &Comm, a: &Csc<f64>) -> DistMat1D {
+    fn dist<C: Comm>(comm: &C, a: &Csc<f64>) -> DistMat1D {
         DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), comm.size()))
     }
 

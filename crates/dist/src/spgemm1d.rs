@@ -173,7 +173,11 @@ fn needed_columns(b: &DistMat1D) -> Vec<bool> {
 
 /// Global-volume reduction shared by execution and analysis: total volume,
 /// per-rank max volume, and the global byte footprint of `A`'s entries.
-pub(crate) fn global_volume(comm: &Comm, local_fetch_bytes: u64, a: &DistMat1D) -> (u64, u64, u64) {
+pub(crate) fn global_volume<C: Comm>(
+    comm: &C,
+    local_fetch_bytes: u64,
+    a: &DistMat1D,
+) -> (u64, u64, u64) {
     let mem_local = a.local().nnz() as u64 * ENTRY_BYTES;
     comm.allreduce((local_fetch_bytes, local_fetch_bytes, mem_local), |x, y| {
         (x.0 + y.0, x.1.max(y.1), x.2 + y.2)
@@ -212,7 +216,7 @@ pub(crate) fn cv_of(max_fetched: u64, mem_global: u64) -> f64 {
 ///     assert_eq!(pre.planned_intervals * 2, rep.rdma_msgs);
 /// }
 /// ```
-pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) -> Analysis1D {
+pub fn analyze_1d<C: Comm>(comm: &C, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) -> Analysis1D {
     assert_conformal(a, b);
     let metas = exchange_meta(comm, a.local());
     let needed = needed_columns(b);
@@ -232,8 +236,8 @@ pub fn analyze_1d(comm: &Comm, a: &DistMat1D, b: &DistMat1D, mode: FetchMode) ->
 /// candidate is then priced locally, and one pair of combined reductions
 /// fills the global fields — a mode sweep costs one collective round
 /// instead of one per mode. Collective.
-pub fn analyze_1d_modes(
-    comm: &Comm,
+pub fn analyze_1d_modes<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     modes: &[FetchMode],
@@ -276,8 +280,8 @@ pub fn analyze_1d_modes(
 /// grid (the sparsity-aware SUMMA assembles its `Ã` through the same path,
 /// with `comm` being the row communicator and `offsets` the stage cuts).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn assemble_atilde(
-    comm: &Comm,
+pub(crate) fn assemble_atilde<C: Comm>(
+    comm: &C,
     win: &PairedWindow<Vidx, f64>,
     plan: &FetchPlan,
     metas: &[RankMeta],
@@ -360,8 +364,8 @@ pub(crate) fn assemble_atilde(
 /// });
 /// assert_eq!(got[0].as_ref().unwrap(), &expect);
 /// ```
-pub fn spgemm_1d(
-    comm: &Comm,
+pub fn spgemm_1d<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,
@@ -381,8 +385,8 @@ pub fn spgemm_1d(
 /// workspace gets steady-state iterations to zero hot-path allocations.
 ///
 /// [`SpgemmSession`]: crate::session::SpgemmSession
-pub fn spgemm_1d_ws(
-    comm: &Comm,
+pub fn spgemm_1d_ws<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,
@@ -395,8 +399,8 @@ pub fn spgemm_1d_ws(
 /// product `Ã_loc·B` runs on a helper thread while this thread drives the
 /// remote fetches, then the remote partial product is merged in. Identical
 /// traffic to [`spgemm_1d`]; the win is bounded by min(comm, local comp).
-pub fn spgemm_1d_overlap(
-    comm: &Comm,
+pub fn spgemm_1d_overlap<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,
@@ -404,8 +408,8 @@ pub fn spgemm_1d_overlap(
     run_1d(comm, a, b, plan, true, &SpgemmWorkspace::new())
 }
 
-fn run_1d(
-    comm: &Comm,
+fn run_1d<C: Comm>(
+    comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,

@@ -29,7 +29,7 @@ pub struct DistMat2D {
 
 impl DistMat2D {
     /// Distribute `a` over `grid` with uniform block boundaries.
-    pub fn from_global(grid: &Grid2D, a: &Csc<f64>) -> DistMat2D {
+    pub fn from_global<C: Comm>(grid: &Grid2D<C>, a: &Csc<f64>) -> DistMat2D {
         let (row_offsets, col_offsets, local) =
             crate::dist1d::uniform_block_dist(a, grid.pr, grid.pc, grid.myrow, grid.mycol);
         DistMat2D {
@@ -81,7 +81,7 @@ impl DistMat2D {
     }
 
     /// Reassemble the global matrix at world rank 0. Collective.
-    pub fn gather(&self, comm: &Comm, grid: &Grid2D) -> Option<Csc<f64>> {
+    pub fn gather<C: Comm>(&self, comm: &C, grid: &Grid2D<C>) -> Option<Csc<f64>> {
         let r0 = self.row_offsets[grid.myrow];
         let c0 = self.col_offsets[grid.mycol];
         let triples: Vec<(Vidx, Vidx, f64)> = self
@@ -115,7 +115,7 @@ pub struct SummaReport {
 
 /// Broadcast a CSC block from `root` (sub-communicator rank) to the whole
 /// sub-communicator.
-fn bcast_block(comm: &Comm, root: usize, mine: Option<&Csc<f64>>) -> Csc<f64> {
+fn bcast_block<C: Comm>(comm: &C, root: usize, mine: Option<&Csc<f64>>) -> Csc<f64> {
     let dims = comm.bcast_vec(root, mine.map(|m| vec![m.nrows() as u64, m.ncols() as u64]));
     let colptr = comm.bcast_vec(
         root,
@@ -136,9 +136,9 @@ fn bcast_block(comm: &Comm, root: usize, mine: Option<&Csc<f64>>) -> Csc<f64> {
 /// blocking (square grids with uniform offsets satisfy this). Returns `C`
 /// blocked by (`A` rows, `B` cols) plus this rank's report. Collective
 /// over `comm` (which must be the communicator `grid` was built from).
-pub fn spgemm_summa_2d(
-    comm: &Comm,
-    grid: &Grid2D,
+pub fn spgemm_summa_2d<C: Comm>(
+    comm: &C,
+    grid: &Grid2D<C>,
     a: &DistMat2D,
     b: &DistMat2D,
 ) -> (DistMat2D, SummaReport) {
@@ -151,9 +151,9 @@ pub fn spgemm_summa_2d(
 /// level, per MCL iteration, …) allocates nothing on the compute path once
 /// the pools are warm — the same steady state the sparsity-aware variants
 /// reach, keeping the oblivious baseline's timings free of alloc noise.
-pub fn spgemm_summa_2d_ws(
-    comm: &Comm,
-    grid: &Grid2D,
+pub fn spgemm_summa_2d_ws<C: Comm>(
+    comm: &C,
+    grid: &Grid2D<C>,
     a: &DistMat2D,
     b: &DistMat2D,
     ws: &SpgemmWorkspace<f64>,

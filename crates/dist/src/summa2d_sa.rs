@@ -93,23 +93,23 @@ pub struct SaSummaReport {
 /// Sparsity-aware 2D SUMMA `C = A·B` over the arithmetic semiring.
 /// Returns `C` blocked by (`A` rows, `B` cols) plus this rank's report.
 /// Collective over `comm` (the communicator `grid` was built from).
-pub fn spgemm_summa_2d_sa(
-    comm: &Comm,
-    grid: &Grid2D,
+pub fn spgemm_summa_2d_sa<C: Comm>(
+    comm: &C,
+    grid: &Grid2D<C>,
     a: &DistMat2D,
     b: &DistMat2D,
     mode: FetchMode,
 ) -> (DistMat2D, SaSummaReport) {
-    spgemm_summa_2d_sa_ws::<PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
+    spgemm_summa_2d_sa_ws::<_, PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
 }
 
 /// [`spgemm_summa_2d_sa`] generic over the semiring, with a caller-held
 /// [`SpgemmWorkspace`]: the `Ã`/`B̃` assembly buffers and all kernel
 /// scratch are borrowed from `ws`, so iterative drivers reach a
 /// zero-allocation steady state on the compute path.
-pub fn spgemm_summa_2d_sa_ws<S: Semiring<T = f64>>(
-    comm: &Comm,
-    grid: &Grid2D,
+pub fn spgemm_summa_2d_sa_ws<C: Comm, S: Semiring<T = f64>>(
+    comm: &C,
+    grid: &Grid2D<C>,
     a: &DistMat2D,
     b: &DistMat2D,
     mode: FetchMode,

@@ -1,0 +1,402 @@
+//! The backend-neutral communicator contract.
+//!
+//! Every distributed algorithm in this workspace is written against the
+//! [`Comm`] trait, not a concrete runtime. A backend supplies the small
+//! **core surface** (identity, two-sided transport, barrier, split, and the
+//! metering hooks); the collectives are *provided methods* built on that
+//! core, so their byte and message accounting is identical across backends
+//! by construction — the property the equivalence suite asserts per rank.
+//!
+//! Two in-process backends ship with the crate (see `docs/BACKENDS.md` for
+//! the full contract and an extension guide):
+//!
+//! * [`SimComm`](crate::SimComm) — the serial rank-loop **simulator**: one
+//!   rank executes at a time (a global run permit is handed over at
+//!   blocking calls), so per-rank timings are measured interference-free
+//!   and a run's wall-clock is the *sum* of rank work. The default.
+//! * [`ThreadComm`](crate::ThreadComm) — **threads as ranks**: all rank
+//!   threads run concurrently; wall-clock is real parallel execution.
+//!
+//! ```
+//! use sa_mpisim::{Comm, Universe};
+//!
+//! // An algorithm written once against the trait ...
+//! fn ring_sum<C: Comm>(comm: &C) -> u64 {
+//!     comm.allreduce(comm.rank() as u64, |a, b| a + b)
+//! }
+//!
+//! // ... runs on the serial simulator and the threaded backend alike,
+//! // with identical results and identical metered traffic.
+//! let u = Universe::new(4);
+//! let serial = u.run(|comm| (ring_sum(comm), comm.stats()));
+//! let threaded = u.run_threads(|comm| (ring_sum(comm), comm.stats()));
+//! assert_eq!(serial, threaded);
+//! ```
+
+use crate::stats::CommStats;
+use std::any::Any;
+use std::sync::Arc;
+
+/// Internal tag namespace for collectives: high bit set, op id in the middle,
+/// op kind in the low byte. User tags must stay below 2^48.
+fn tag(op: u64, kind: u64) -> u64 {
+    (1 << 63) | (op << 8) | kind
+}
+
+const K_BCAST: u64 = 1;
+const K_GATHER: u64 = 2;
+const K_SCATTER: u64 = 3;
+const K_ALLTOALL: u64 = 4;
+const K_REDUCE: u64 = 5;
+
+/// One rank's handle to a communicator — the backend-neutral analog of an
+/// `MPI_Comm` plus the rank's compute ("OpenMP") pool.
+///
+/// # Contract
+///
+/// A conforming backend must guarantee, for the required methods:
+///
+/// * **Identity.** [`rank`](Comm::rank) is stable and unique in
+///   `0..size()`; every rank of the communicator observes the same
+///   [`size`](Comm::size).
+/// * **Ordering.** Messages between one `(sender, receiver, tag)` triple
+///   are non-overtaking (FIFO), the MPI guarantee the linear collective
+///   algorithms rely on. Messages under different tags are independent.
+/// * **Progress.** [`send_vec`](Comm::send_vec) is eager and never blocks
+///   (unbounded buffering); [`recv_vec`](Comm::recv_vec) blocks until a
+///   matching message arrives. A backend whose ranks share a scheduler
+///   (e.g. the serial simulator) must keep other ranks runnable while one
+///   rank blocks — blocking a rank must never block the *job*.
+/// * **Metering.** Every remote transfer is counted exactly once, on the
+///   initiating side as sent and on the receiving side as received, with
+///   `len * size_of::<T>()` bytes; rank-local transfers are free. The
+///   one-sided hook [`record_get`](Comm::record_get) charges the issuing
+///   rank only. Counters are monotone; [`stats`](Comm::stats) snapshots
+///   them without synchronizing.
+/// * **Collectives.** The provided collectives must not be overridden with
+///   different traffic shapes: their linear (root-relay) decomposition into
+///   `send_vec`/`recv_vec` is what makes metered volume byte-identical
+///   across backends, which the repo's reports and tests assert. A backend
+///   that wants faster collectives must keep the accounting identical.
+pub trait Comm: Sized {
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+
+    /// Number of ranks in this communicator.
+    fn size(&self) -> usize;
+
+    /// Cumulative communication counters of this rank (on this
+    /// communicator and windows created from it).
+    fn stats(&self) -> CommStats;
+
+    /// The rank's compute pool ("OpenMP threads"). Run local kernels inside
+    /// [`Comm::install`] so they use this pool, not the global one.
+    fn pool(&self) -> &rayon::ThreadPool;
+
+    /// Synchronize all ranks of this communicator.
+    fn barrier(&self);
+
+    /// Send a `Vec<T>` to `dst` under `tag` (two-sided, eager, non-blocking).
+    fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>);
+
+    /// Blocking receive of a `Vec<T>` from `(src, tag)`.
+    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T>;
+
+    /// Non-blocking: is a message from `(src, tag)` queued?
+    fn probe(&self, src: usize, tag: u64) -> bool;
+
+    /// Split into sub-communicators by `color`, ranked by `(key, old
+    /// rank)` — the analog of `MPI_Comm_split`. Collective over all ranks.
+    /// Traffic on the sub-communicator still charges this rank's counters
+    /// (one NIC per rank).
+    fn split(&self, color: usize, key: usize) -> Self;
+
+    /// Fresh collective-operation id; identical across ranks because MPI
+    /// semantics require every rank to call collectives in the same order.
+    #[doc(hidden)]
+    fn next_op(&self) -> u64;
+
+    /// Simulation-internal zero-copy all-exchange of `Arc`s (not metered —
+    /// used for window exposure and communicator splits, which move no
+    /// payload bytes; the subsequent `get`s are what's metered). In-process
+    /// backends share the `Arc` directly; a cross-process backend would
+    /// implement window exposure natively instead (see `docs/BACKENDS.md`).
+    #[doc(hidden)]
+    fn exchange_arcs(&self, value: Arc<dyn Any + Send + Sync>) -> Vec<Arc<dyn Any + Send + Sync>>;
+
+    /// Metering hook for one-sided transfers: charge one RDMA get of
+    /// `bytes` to this rank. Called by [`Window::get`](crate::Window) for
+    /// remote fetches only.
+    #[doc(hidden)]
+    fn record_get(&self, bytes: usize);
+
+    /// Execute `f` on this rank's compute pool.
+    fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        self.pool().install(f)
+    }
+
+    /// Broadcast `data` from `root` to every rank; all ranks return the
+    /// payload. Non-roots pass `None`.
+    fn bcast_vec<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        let op = self.next_op();
+        let t = tag(op, K_BCAST);
+        if self.rank() == root {
+            let data = data.expect("root must supply bcast data");
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_vec(dst, t, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv_vec(root, t)
+        }
+    }
+
+    /// Gather each rank's vector at `root`; returns `Some(per-rank vectors)`
+    /// on the root, `None` elsewhere.
+    fn gatherv<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        let op = self.next_op();
+        let t = tag(op, K_GATHER);
+        if self.rank() == root {
+            let mut out: Vec<Option<Vec<T>>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(data);
+            for (src, slot) in out.iter_mut().enumerate() {
+                if src != root {
+                    *slot = Some(self.recv_vec(src, t));
+                }
+            }
+            Some(out.into_iter().map(|v| v.unwrap()).collect())
+        } else {
+            self.send_vec(root, t, data);
+            None
+        }
+    }
+
+    /// Scatter per-destination vectors from `root`; every rank returns its
+    /// piece. Non-roots pass `None`.
+    fn scatterv<T: Send + 'static>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
+        let op = self.next_op();
+        let t = tag(op, K_SCATTER);
+        if self.rank() == root {
+            let mut data = data.expect("root must supply scatter data");
+            assert_eq!(data.len(), self.size());
+            let mine = std::mem::take(&mut data[self.rank()]);
+            for (dst, part) in data.into_iter().enumerate() {
+                if dst != self.rank() {
+                    self.send_vec(dst, t, part);
+                }
+            }
+            mine
+        } else {
+            self.recv_vec(root, t)
+        }
+    }
+
+    /// All ranks receive every rank's vector (gather + bcast volume).
+    fn allgatherv<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        // gather to 0, then broadcast lengths+flat data
+        let gathered = self.gatherv(0, data);
+        let (flat, lens) = if self.rank() == 0 {
+            let parts = gathered.unwrap();
+            let lens: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+            let mut flat = Vec::with_capacity(lens.iter().sum());
+            for p in parts {
+                flat.extend(p);
+            }
+            (Some(flat), Some(lens))
+        } else {
+            (None, None)
+        };
+        let lens = self.bcast_vec(0, lens);
+        let flat = self.bcast_vec(0, flat);
+        let mut out = Vec::with_capacity(lens.len());
+        let mut off = 0usize;
+        for l in lens {
+            out.push(flat[off..off + l].to_vec());
+            off += l;
+        }
+        out
+    }
+
+    /// Personalized all-to-all: `sends[d]` goes to rank `d`; returns what
+    /// each source sent here.
+    fn alltoallv<T: Send + 'static>(&self, mut sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        assert_eq!(sends.len(), self.size());
+        let op = self.next_op();
+        let t = tag(op, K_ALLTOALL);
+        let mine = std::mem::take(&mut sends[self.rank()]);
+        for (dst, part) in sends.into_iter().enumerate() {
+            if dst != self.rank() {
+                self.send_vec(dst, t, part);
+            }
+        }
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(self.size());
+        let mut mine = Some(mine); // self-delivery: no network traffic
+        for src in 0..self.size() {
+            if src == self.rank() {
+                out.push(mine.take().unwrap());
+            } else {
+                out.push(self.recv_vec(src, t));
+            }
+        }
+        out
+    }
+
+    /// Reduce single values to `root` with `op_fn`; `Some` on root only.
+    fn reduce<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        op_fn: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        let op = self.next_op();
+        let t = tag(op, K_REDUCE);
+        if self.rank() == root {
+            let mut acc = value;
+            for src in 0..self.size() {
+                if src != root {
+                    let v = self.recv_vec::<T>(src, t).pop().unwrap();
+                    acc = op_fn(acc, v);
+                }
+            }
+            Some(acc)
+        } else {
+            self.send_vec(root, t, vec![value]);
+            None
+        }
+    }
+
+    /// All-reduce single values (reduce at 0, then broadcast).
+    fn allreduce<T: Clone + Send + 'static>(&self, value: T, op_fn: impl Fn(T, T) -> T) -> T {
+        let reduced = self.reduce(0, value, op_fn);
+        self.bcast_vec(0, reduced.map(|v| vec![v])).pop().unwrap()
+    }
+
+    /// Elementwise all-reduce of equal-length vectors.
+    fn allreduce_vec<T: Clone + Send + 'static>(
+        &self,
+        value: Vec<T>,
+        op_fn: impl Fn(&T, &T) -> T,
+    ) -> Vec<T> {
+        let reduced = self.reduce(0, value, |a, b| {
+            a.iter().zip(b.iter()).map(|(x, y)| op_fn(x, y)).collect()
+        });
+        self.bcast_vec(0, reduced)
+    }
+
+    /// Exclusive prefix "scan" of a single u64 (rank 0 gets 0) plus the
+    /// global total — the common "compute my offset" idiom.
+    fn exscan_sum(&self, value: u64) -> (u64, u64) {
+        let all = self.allgatherv(vec![value]);
+        let mut prefix = 0u64;
+        for (r, v) in all.iter().enumerate() {
+            if r == self.rank() {
+                break;
+            }
+            prefix += v[0];
+        }
+        let total = all.iter().map(|v| v[0]).sum();
+        (prefix, total)
+    }
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for super::Serial {}
+    impl Sealed for super::Threads {}
+}
+
+/// Type-level scheduling mode of the in-process backends: [`Serial`] (the
+/// `SimComm` simulator) or [`Threads`] (the `ThreadComm` parallel backend).
+/// Sealed — a *new* backend implements [`Comm`] directly instead (see
+/// `docs/BACKENDS.md`).
+pub trait Mode: sealed::Sealed + Send + Sync + 'static {
+    /// Backend name as the benches' `--backend` switch spells it.
+    const NAME: &'static str;
+    /// Whether rank execution is serialized by the global run permit.
+    #[doc(hidden)]
+    const SERIAL: bool;
+}
+
+/// Marker for the serial rank-loop simulator ([`SimComm`](crate::SimComm)).
+pub enum Serial {}
+
+/// Marker for the truly-parallel threads-as-ranks backend
+/// ([`ThreadComm`](crate::ThreadComm)).
+pub enum Threads {}
+
+impl Mode for Serial {
+    const NAME: &'static str = "sim";
+    const SERIAL: bool = true;
+}
+
+impl Mode for Threads {
+    const NAME: &'static str = "threads";
+    const SERIAL: bool = false;
+}
+
+/// Runtime backend selector for benches and CLIs (`--backend threads`,
+/// `SA_BACKEND=threads`). The typed entry points are
+/// [`Universe::run`](crate::Universe::run) (sim) and
+/// [`Universe::run_threads`](crate::Universe::run_threads); this enum only
+/// names them for dispatch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Backend {
+    /// Serial rank-loop simulator (`SimComm`) — the default.
+    #[default]
+    Sim,
+    /// Truly-parallel threads-as-ranks backend (`ThreadComm`).
+    Threads,
+}
+
+impl Backend {
+    /// Parse a `--backend` value: `sim` | `serial` | `threads` | `thread`.
+    pub fn parse(s: &str) -> Option<Backend> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "sim" | "serial" => Some(Backend::Sim),
+            "threads" | "thread" => Some(Backend::Threads),
+            _ => None,
+        }
+    }
+
+    /// Backend from the `SA_BACKEND` environment variable (default
+    /// [`Backend::Sim`]; unknown values panic so typos can't silently
+    /// change what a bench measured).
+    pub fn from_env() -> Backend {
+        match std::env::var("SA_BACKEND") {
+            Ok(v) => Backend::parse(&v)
+                .unwrap_or_else(|| panic!("SA_BACKEND={v}: expected 'sim' or 'threads'")),
+            Err(_) => Backend::Sim,
+        }
+    }
+
+    /// The backend's canonical name (`"sim"` / `"threads"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Sim => Serial::NAME,
+            Backend::Threads => Threads::NAME,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_parsing() {
+        assert_eq!(Backend::parse("sim"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("Serial"), Some(Backend::Sim));
+        assert_eq!(Backend::parse("threads"), Some(Backend::Threads));
+        assert_eq!(Backend::parse("THREAD"), Some(Backend::Threads));
+        assert_eq!(Backend::parse("mpi"), None);
+        assert_eq!(Backend::default(), Backend::Sim);
+    }
+
+    #[test]
+    fn mode_names_match_backend_names() {
+        assert_eq!(Backend::Sim.name(), "sim");
+        assert_eq!(Backend::Threads.name(), "threads");
+    }
+}

@@ -6,6 +6,7 @@
 //! registration (exposing a buffer is not a transfer — the `get`s are) and
 //! communicator splits.
 
+use crate::scheduler::Scheduler;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
@@ -33,41 +34,68 @@ impl Blackboard {
     /// Collective all-exchange: rank `rank` of `n` deposits `value` under
     /// `opid`; returns all `n` deposits once complete. Every rank of the
     /// communicator must call with the same `opid` exactly once.
+    ///
+    /// Ranks that must wait for the remaining deposits hand the run permit
+    /// back to `sched` while parked (and reacquire it lock-free on wake),
+    /// so a serial universe's one runnable rank is always one that can
+    /// still make progress.
     pub fn exchange(
         &self,
         opid: u64,
         n: usize,
         rank: usize,
         value: Arc<dyn Any + Send + Sync>,
+        sched: &Scheduler,
     ) -> Vec<Arc<dyn Any + Send + Sync>> {
-        let mut entries = self.entries.lock();
-        let entry = entries.entry(opid).or_insert_with(|| Entry {
-            slots: vec![None; n],
-            deposited: 0,
-            read: 0,
-        });
-        assert!(entry.slots[rank].is_none(), "double deposit at op {opid}");
-        entry.slots[rank] = Some(value);
-        entry.deposited += 1;
-        if entry.deposited == n {
-            self.cv.notify_all();
-        }
-        loop {
-            let entry = entries.get_mut(&opid).expect("entry vanished");
+        {
+            let mut entries = self.entries.lock();
+            let entry = entries.entry(opid).or_insert_with(|| Entry {
+                slots: vec![None; n],
+                deposited: 0,
+                read: 0,
+            });
+            assert!(entry.slots[rank].is_none(), "double deposit at op {opid}");
+            entry.slots[rank] = Some(value);
+            entry.deposited += 1;
             if entry.deposited == n {
-                let out: Vec<_> = entry
-                    .slots
-                    .iter()
-                    .map(|s| s.as_ref().expect("deposited slot").clone())
-                    .collect();
-                entry.read += 1;
-                if entry.read == n {
-                    entries.remove(&opid);
-                }
-                return out;
+                // Last depositor completes the op without yielding.
+                self.cv.notify_all();
+                return Self::take(&mut entries, opid, n);
             }
-            self.cv.wait(&mut entries);
         }
+        sched.release();
+        let out = {
+            let mut entries = self.entries.lock();
+            loop {
+                if entries.get(&opid).expect("entry vanished").deposited == n {
+                    break Self::take(&mut entries, opid, n);
+                }
+                self.cv.wait(&mut entries);
+            }
+        };
+        sched.acquire();
+        out
+    }
+
+    /// Read all slots of a completed entry and retire it once every rank
+    /// has read. Caller must hold the entries lock and have checked
+    /// completeness.
+    fn take(
+        entries: &mut HashMap<u64, Entry>,
+        opid: u64,
+        n: usize,
+    ) -> Vec<Arc<dyn Any + Send + Sync>> {
+        let entry = entries.get_mut(&opid).expect("entry vanished");
+        let out: Vec<_> = entry
+            .slots
+            .iter()
+            .map(|s| s.as_ref().expect("deposited slot").clone())
+            .collect();
+        entry.read += 1;
+        if entry.read == n {
+            entries.remove(&opid);
+        }
+        out
     }
 }
 
@@ -82,7 +110,7 @@ mod tests {
             .map(|r| {
                 let bb = bb.clone();
                 std::thread::spawn(move || {
-                    let got = bb.exchange(1, 4, r, Arc::new(r * 10));
+                    let got = bb.exchange(1, 4, r, Arc::new(r * 10), &Scheduler::parallel());
                     got.iter()
                         .map(|a| *a.clone().downcast::<usize>().unwrap())
                         .collect::<Vec<_>>()
@@ -101,7 +129,7 @@ mod tests {
             .map(|r| {
                 let bb = bb.clone();
                 std::thread::spawn(move || {
-                    bb.exchange(9, 2, r, Arc::new(()));
+                    bb.exchange(9, 2, r, Arc::new(()), &Scheduler::parallel());
                 })
             })
             .collect();
@@ -120,7 +148,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let op = (i / 2) as u64 + 100;
                     let rank = i % 2;
-                    let got = bb.exchange(op, 2, rank, Arc::new(i));
+                    let got = bb.exchange(op, 2, rank, Arc::new(i), &Scheduler::parallel());
                     got.len()
                 })
             })

@@ -1,58 +1,99 @@
-//! The per-rank communicator handle.
+//! The per-rank communicator handles of the two in-process backends.
+//!
+//! [`RankComm<M>`] is one implementation shared by both backends — the
+//! transport (mailbox hub), collective rendezvous (blackboard) and window
+//! machinery are identical; the [`Mode`] parameter only selects how rank
+//! *execution* is scheduled (see [`crate::scheduler`]):
+//!
+//! * [`SimComm`] (= `RankComm<Serial>`) — the serial rank-loop simulator.
+//! * [`ThreadComm`] (= `RankComm<Threads>`) — truly-parallel threads.
+//!
+//! Because the data path is shared, the two backends are byte-identical in
+//! everything the paper measures; they differ only in wall-clock.
 
+use crate::backend::{Comm, Mode, Serial, Threads};
 use crate::blackboard::Blackboard;
 use crate::p2p::{Envelope, Hub};
+use crate::scheduler::{RankBarrier, Scheduler};
 use crate::stats::{CommStats, StatsCell};
 use std::any::Any;
 use std::cell::Cell;
+use std::marker::PhantomData;
 use std::rc::Rc;
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 
 /// State shared by all ranks of one communicator.
 pub(crate) struct Shared {
     pub hub: Hub,
-    pub barrier: Barrier,
+    pub barrier: RankBarrier,
     pub board: Blackboard,
+    /// The job-wide execution scheduler: one per [`crate::Universe`] launch,
+    /// shared by every communicator split from the world (the serial run
+    /// permit must be global, or two sub-communicators could run two ranks
+    /// at once).
+    pub sched: Arc<Scheduler>,
 }
 
 impl Shared {
-    pub fn new(n: usize) -> Arc<Shared> {
+    pub fn new(n: usize, sched: Arc<Scheduler>) -> Arc<Shared> {
         Arc::new(Shared {
             hub: Hub::new(n),
-            barrier: Barrier::new(n),
+            barrier: RankBarrier::new(n),
             board: Blackboard::new(),
+            sched,
         })
     }
 }
 
-/// One rank's handle to a communicator — the analog of an `MPI_Comm` plus
-/// the rank's OpenMP pool. Lives on exactly one thread (neither `Send` nor
-/// `Sync`: the stats counter models the rank's NIC and is shared by `Rc`
-/// across communicators split from this one, so traffic on a row/column
-/// sub-communicator still charges this rank).
-pub struct Comm {
+/// One rank's handle to a communicator on an in-process backend — the
+/// analog of an `MPI_Comm` plus the rank's OpenMP pool. Lives on exactly
+/// one thread (neither `Send` nor `Sync`: the stats counter models the
+/// rank's NIC and is shared by `Rc` across communicators split from this
+/// one, so traffic on a row/column sub-communicator still charges this
+/// rank).
+///
+/// Use it through the [`Comm`] trait (algorithms) or the inherent mirror
+/// methods (closures handed to [`crate::Universe::run`]); the two are the
+/// same methods.
+pub struct RankComm<M: Mode> {
     rank: usize,
     size: usize,
     pub(crate) shared: Arc<Shared>,
     pub(crate) stats: Rc<StatsCell>,
     pub(crate) op_counter: Cell<u64>,
     pool: Arc<rayon::ThreadPool>,
+    _mode: PhantomData<M>,
 }
 
-impl Comm {
+/// The serial rank-loop **simulator** backend (the default): exactly one
+/// rank executes at any instant; the run permit is handed over at blocking
+/// communication calls. Wall-clock is the *sum* of rank work — fiction as
+/// a time-to-solution, but per-rank timings are interference-free and all
+/// metering is exact. Created by [`crate::Universe::run`].
+pub type SimComm = RankComm<Serial>;
+
+/// The truly-parallel **threads-as-ranks** backend: P OS threads sharing
+/// one process, windows as `Arc`-shared read-only slices (gets are
+/// memcpys), collectives on the same metered transport as [`SimComm`].
+/// Wall-clock is real concurrent execution. Created by
+/// [`crate::Universe::run_threads`].
+pub type ThreadComm = RankComm<Threads>;
+
+impl<M: Mode> RankComm<M> {
     pub(crate) fn new(
         rank: usize,
         size: usize,
         shared: Arc<Shared>,
         pool: Arc<rayon::ThreadPool>,
-    ) -> Comm {
-        Comm {
+    ) -> RankComm<M> {
+        RankComm {
             rank,
             size,
             shared,
             stats: Rc::new(StatsCell::default()),
             op_counter: Cell::new(0),
             pool,
+            _mode: PhantomData,
         }
     }
 
@@ -62,59 +103,41 @@ impl Comm {
         shared: Arc<Shared>,
         pool: Arc<rayon::ThreadPool>,
         stats: Rc<StatsCell>,
-    ) -> Comm {
-        Comm {
+    ) -> RankComm<M> {
+        RankComm {
             rank,
             size,
             shared,
             stats,
             op_counter: Cell::new(0),
             pool,
+            _mode: PhantomData,
         }
     }
+}
 
-    /// This rank's id in `0..size()`.
-    pub fn rank(&self) -> usize {
+impl<M: Mode> Comm for RankComm<M> {
+    fn rank(&self) -> usize {
         self.rank
     }
 
-    /// Number of ranks in this communicator.
-    pub fn size(&self) -> usize {
+    fn size(&self) -> usize {
         self.size
     }
 
-    /// Cumulative communication counters of this rank (on this
-    /// communicator and windows created from it).
-    pub fn stats(&self) -> CommStats {
+    fn stats(&self) -> CommStats {
         self.stats.snapshot()
     }
 
-    /// The rank's compute pool ("OpenMP threads"). Run local kernels inside
-    /// [`Comm::install`] so they use this pool, not the global one.
-    pub fn pool(&self) -> &rayon::ThreadPool {
+    fn pool(&self) -> &rayon::ThreadPool {
         &self.pool
     }
 
-    /// Execute `f` on this rank's compute pool.
-    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        self.pool.install(f)
+    fn barrier(&self) {
+        self.shared.barrier.wait(&self.shared.sched);
     }
 
-    /// Synchronize all ranks of this communicator.
-    pub fn barrier(&self) {
-        self.shared.barrier.wait();
-    }
-
-    /// Fresh collective-operation id; identical across ranks because MPI
-    /// semantics require every rank to call collectives in the same order.
-    pub(crate) fn next_op(&self) -> u64 {
-        let id = self.op_counter.get();
-        self.op_counter.set(id + 1);
-        id
-    }
-
-    /// Send a `Vec<T>` to `dst` under `tag` (two-sided, eager, non-blocking).
-    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+    fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
         assert!(dst < self.size, "send to rank {dst} of {}", self.size);
         let bytes = data.len() * std::mem::size_of::<T>();
         if dst != self.rank {
@@ -131,9 +154,11 @@ impl Comm {
         );
     }
 
-    /// Blocking receive of a `Vec<T>` from `(src, tag)`.
-    pub fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        let env = self.shared.hub.recv(self.rank, src, tag);
+    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let env = self
+            .shared
+            .hub
+            .recv(self.rank, src, tag, &self.shared.sched);
         if src != self.rank {
             self.stats.record_recv(env.bytes);
         }
@@ -142,27 +167,31 @@ impl Comm {
             .expect("message type mismatch: recv_vec::<T> on a different payload")
     }
 
-    /// Non-blocking: is a message from `(src, tag)` queued?
-    pub fn probe(&self, src: usize, tag: u64) -> bool {
+    fn probe(&self, src: usize, tag: u64) -> bool {
         self.shared.hub.probe(self.rank, src, tag)
     }
 
-    /// Simulation-internal zero-copy all-exchange of `Arc`s (not metered;
-    /// see blackboard docs). Collective.
-    pub(crate) fn exchange_arcs(
-        &self,
-        value: Arc<dyn Any + Send + Sync>,
-    ) -> Vec<Arc<dyn Any + Send + Sync>> {
-        let op = self.next_op() | (1 << 62); // namespace apart from p2p tags
-        self.shared.board.exchange(op, self.size, self.rank, value)
+    fn next_op(&self) -> u64 {
+        let id = self.op_counter.get();
+        self.op_counter.set(id + 1);
+        id
     }
 
-    /// Split into sub-communicators by `color`, ranked by `(key, old
-    /// rank)` — the analog of `MPI_Comm_split`. Collective over all ranks.
-    pub fn split(&self, color: usize, key: usize) -> Comm {
+    fn exchange_arcs(&self, value: Arc<dyn Any + Send + Sync>) -> Vec<Arc<dyn Any + Send + Sync>> {
+        let op = self.next_op() | (1 << 62); // namespace apart from p2p tags
+        self.shared
+            .board
+            .exchange(op, self.size, self.rank, value, &self.shared.sched)
+    }
+
+    fn record_get(&self, bytes: usize) {
+        self.stats.record_get(bytes);
+    }
+
+    fn split(&self, color: usize, key: usize) -> RankComm<M> {
         // Round 1: learn everyone's (color, key).
         let mine = Arc::new((color, key, self.rank));
-        let all = self.exchange_arcs(mine);
+        let all = Comm::exchange_arcs(self, mine);
         let infos: Vec<(usize, usize, usize)> = all
             .into_iter()
             .map(|a| *a.downcast::<(usize, usize, usize)>().unwrap())
@@ -182,11 +211,14 @@ impl Comm {
 
         // Round 2: each color's leader publishes the new Shared.
         let deposit: Arc<dyn Any + Send + Sync> = if self.rank == leader {
-            Arc::new(Some((color, Shared::new(group_size))))
+            Arc::new(Some((
+                color,
+                Shared::new(group_size, self.shared.sched.clone()),
+            )))
         } else {
             Arc::new(None::<(usize, Arc<Shared>)>)
         };
-        let published = self.exchange_arcs(deposit);
+        let published = Comm::exchange_arcs(self, deposit);
         let mut my_shared: Option<Arc<Shared>> = None;
         for p in published {
             if let Some((c, s)) = p
@@ -199,12 +231,127 @@ impl Comm {
                 }
             }
         }
-        Comm::with_stats(
+        RankComm::with_stats(
             new_rank,
             group_size,
             my_shared.expect("leader published shared state"),
             self.pool.clone(),
             self.stats.clone(), // one NIC per rank: sub-comm traffic counts here
         )
+    }
+}
+
+/// Inherent mirrors of the [`Comm`] trait surface, so closures handed to
+/// [`crate::Universe::run`] can call `comm.rank()` etc. without importing
+/// the trait. Each method delegates to the trait implementation above.
+impl<M: Mode> RankComm<M> {
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        Comm::size(self)
+    }
+
+    /// Cumulative communication counters of this rank (on this
+    /// communicator and windows created from it).
+    pub fn stats(&self) -> CommStats {
+        Comm::stats(self)
+    }
+
+    /// The rank's compute pool ("OpenMP threads"). See [`Comm::pool`].
+    pub fn pool(&self) -> &rayon::ThreadPool {
+        Comm::pool(self)
+    }
+
+    /// Execute `f` on this rank's compute pool.
+    pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
+        Comm::install(self, f)
+    }
+
+    /// Synchronize all ranks of this communicator.
+    pub fn barrier(&self) {
+        Comm::barrier(self)
+    }
+
+    /// Send a `Vec<T>` to `dst` under `tag` (two-sided, eager, non-blocking).
+    pub fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        Comm::send_vec(self, dst, tag, data)
+    }
+
+    /// Blocking receive of a `Vec<T>` from `(src, tag)`.
+    pub fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        Comm::recv_vec(self, src, tag)
+    }
+
+    /// Non-blocking: is a message from `(src, tag)` queued?
+    pub fn probe(&self, src: usize, tag: u64) -> bool {
+        Comm::probe(self, src, tag)
+    }
+
+    /// Split into sub-communicators by `color`, ranked by `(key, old
+    /// rank)`. See [`Comm::split`].
+    pub fn split(&self, color: usize, key: usize) -> RankComm<M> {
+        Comm::split(self, color, key)
+    }
+
+    /// Broadcast from `root`; see [`Comm::bcast_vec`].
+    pub fn bcast_vec<T: Clone + Send + 'static>(
+        &self,
+        root: usize,
+        data: Option<Vec<T>>,
+    ) -> Vec<T> {
+        Comm::bcast_vec(self, root, data)
+    }
+
+    /// Gather at `root`; see [`Comm::gatherv`].
+    pub fn gatherv<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        Comm::gatherv(self, root, data)
+    }
+
+    /// Scatter from `root`; see [`Comm::scatterv`].
+    pub fn scatterv<T: Send + 'static>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
+        Comm::scatterv(self, root, data)
+    }
+
+    /// All ranks receive every rank's vector; see [`Comm::allgatherv`].
+    pub fn allgatherv<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        Comm::allgatherv(self, data)
+    }
+
+    /// Personalized all-to-all; see [`Comm::alltoallv`].
+    pub fn alltoallv<T: Send + 'static>(&self, sends: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        Comm::alltoallv(self, sends)
+    }
+
+    /// Reduce to `root`; see [`Comm::reduce`].
+    pub fn reduce<T: Send + 'static>(
+        &self,
+        root: usize,
+        value: T,
+        op_fn: impl Fn(T, T) -> T,
+    ) -> Option<T> {
+        Comm::reduce(self, root, value, op_fn)
+    }
+
+    /// All-reduce single values; see [`Comm::allreduce`].
+    pub fn allreduce<T: Clone + Send + 'static>(&self, value: T, op_fn: impl Fn(T, T) -> T) -> T {
+        Comm::allreduce(self, value, op_fn)
+    }
+
+    /// Elementwise all-reduce; see [`Comm::allreduce_vec`].
+    pub fn allreduce_vec<T: Clone + Send + 'static>(
+        &self,
+        value: Vec<T>,
+        op_fn: impl Fn(&T, &T) -> T,
+    ) -> Vec<T> {
+        Comm::allreduce_vec(self, value, op_fn)
+    }
+
+    /// Exclusive prefix sum + total; see [`Comm::exscan_sum`].
+    pub fn exscan_sum(&self, value: u64) -> (u64, u64) {
+        Comm::exscan_sum(self, value)
     }
 }

@@ -1,24 +1,25 @@
 //! Process grids: the 2D `√P × √P` layout of sparse SUMMA and the
 //! `√(P/c) × √(P/c) × c` layout of the 3D split algorithm.
 
-use crate::comm::Comm;
+use crate::backend::Comm;
 
-/// A 2D process grid with row and column sub-communicators.
+/// A 2D process grid with row and column sub-communicators, generic over
+/// the communicator backend.
 ///
 /// Rank `r` sits at `(row, col) = (r / pc, r % pc)`; SUMMA broadcasts A
 /// blocks along `row_comm` and B blocks along `col_comm`.
-pub struct Grid2D {
+pub struct Grid2D<C: Comm> {
     pub pr: usize,
     pub pc: usize,
     pub myrow: usize,
     pub mycol: usize,
-    pub row_comm: Comm,
-    pub col_comm: Comm,
+    pub row_comm: C,
+    pub col_comm: C,
 }
 
-impl Grid2D {
+impl<C: Comm> Grid2D<C> {
     /// Build a `pr × pc` grid over `comm` (requires `pr·pc == comm.size()`).
-    pub fn new(comm: &Comm, pr: usize, pc: usize) -> Grid2D {
+    pub fn new(comm: &C, pr: usize, pc: usize) -> Grid2D<C> {
         assert_eq!(
             pr * pc,
             comm.size(),
@@ -41,7 +42,7 @@ impl Grid2D {
 
     /// Square grid of `comm.size()` (must be a perfect square — the
     /// CombBLAS convention the paper follows).
-    pub fn square(comm: &Comm) -> Grid2D {
+    pub fn square(comm: &C) -> Grid2D<C> {
         let p = comm.size();
         let s = (p as f64).sqrt().round() as usize;
         assert_eq!(s * s, p, "{p} ranks is not a perfect square");
@@ -61,24 +62,25 @@ impl Grid2D {
 
 /// A 3D process grid: `c` layers, each a 2D `q × q` grid, plus "fiber"
 /// communicators linking the same (row, col) position across layers.
-pub struct Grid3D {
+/// Generic over the communicator backend like [`Grid2D`].
+pub struct Grid3D<C: Comm> {
     pub q: usize,
     pub layers: usize,
     pub mylayer: usize,
     pub myrow: usize,
     pub mycol: usize,
     /// Communicator spanning this rank's layer (the grid's "world").
-    pub layer_comm: Comm,
+    pub layer_comm: C,
     /// 2D grid within this rank's layer.
-    pub layer_grid: Grid2D,
+    pub layer_grid: Grid2D<C>,
     /// Ranks sharing (row, col) across layers.
-    pub fiber_comm: Comm,
+    pub fiber_comm: C,
 }
 
-impl Grid3D {
+impl<C: Comm> Grid3D<C> {
     /// Build `q × q × layers` over `comm` (requires `q²·layers ==
     /// comm.size()`). Layer-major rank order.
-    pub fn new(comm: &Comm, q: usize, layers: usize) -> Grid3D {
+    pub fn new(comm: &C, q: usize, layers: usize) -> Grid3D<C> {
         assert_eq!(
             q * q * layers,
             comm.size(),
@@ -103,20 +105,22 @@ impl Grid3D {
             fiber_comm,
         }
     }
+}
 
-    /// Valid layer counts for `p` ranks: `c` such that `p/c` is a perfect
-    /// square (the paper sweeps these and reports the best).
-    pub fn valid_layer_counts(p: usize) -> Vec<usize> {
-        (1..=p)
-            .filter(|c| {
-                p.is_multiple_of(*c) && {
-                    let q2 = p / c;
-                    let q = (q2 as f64).sqrt().round() as usize;
-                    q * q == q2
-                }
-            })
-            .collect()
-    }
+/// Valid layer counts for a 3D grid over `p` ranks: `c` such that `p/c` is
+/// a perfect square (the paper sweeps these and reports the best).
+/// Free-standing (not an associated function) so callers need not name a
+/// backend type parameter.
+pub fn valid_layer_counts(p: usize) -> Vec<usize> {
+    (1..=p)
+        .filter(|c| {
+            p.is_multiple_of(*c) && {
+                let q2 = p / c;
+                let q = (q2 as f64).sqrt().round() as usize;
+                q * q == q2
+            }
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -174,8 +178,8 @@ mod tests {
 
     #[test]
     fn layer_count_enumeration() {
-        assert_eq!(Grid3D::valid_layer_counts(16), vec![1, 4, 16]);
-        assert_eq!(Grid3D::valid_layer_counts(36), vec![1, 4, 9, 36]);
-        assert_eq!(Grid3D::valid_layer_counts(8), vec![2, 8]);
+        assert_eq!(valid_layer_counts(16), vec![1, 4, 16]);
+        assert_eq!(valid_layer_counts(36), vec![1, 4, 9, 36]);
+        assert_eq!(valid_layer_counts(8), vec![2, 8]);
     }
 }

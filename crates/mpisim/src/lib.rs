@@ -8,10 +8,15 @@
 //!
 //! Fidelity notes:
 //! * **Volume and message counts are exact**, not modeled — they are the
-//!   quantities the paper's analysis (Figures 5 and 6) is about.
-//! * **Wall-clock is real**: data is really copied between address regions
-//!   and local compute really runs on per-rank Rayon pools (`p × t` =
-//!   MPI ranks × OpenMP threads).
+//!   quantities the paper's analysis (Figures 5 and 6) is about, and they
+//!   are byte-identical across backends by construction (the collectives
+//!   are provided [`Comm`] methods over the metered two-sided core).
+//! * **Two execution backends** share one data path and differ only in
+//!   scheduling: [`SimComm`] is the serial rank-loop simulator (one rank
+//!   executes at a time — per-rank timings are interference-free, a run's
+//!   wall-clock is the sum of rank work), [`ThreadComm`] runs all rank
+//!   threads concurrently (real parallel wall-clock). See
+//!   `docs/BACKENDS.md` for the contract and an extension guide.
 //! * A Hockney **α–β model** ([`CostModel`]) converts the metered traffic
 //!   into network-time estimates with Slingshot-like constants, for the
 //!   figures whose shape depends on network latency/bandwidth rather than
@@ -22,31 +27,40 @@
 //!
 //! Type map (paper § in parentheses):
 //!
-//! * [`Universe`] / [`Comm`] — rank threads, two-sided p2p, collectives.
+//! * [`Comm`] — the backend-neutral communicator trait every distributed
+//!   algorithm is written against.
+//! * [`Universe`] — launches a job on a backend: [`Universe::run`]
+//!   ([`SimComm`]), [`Universe::run_threads`] ([`ThreadComm`]), or the
+//!   generic [`Universe::launch`]; [`Backend`] names them for runtime
+//!   dispatch (`--backend threads`, `SA_BACKEND`).
 //! * [`Window`] / [`PairedWindow`] — passive-target RDMA exposure and
 //!   ranged `get`s (Algorithm 1 lines 1 and 7); a session keeps one
-//!   `PairedWindow` alive across iterative multiplies.
+//!   `PairedWindow` alive across iterative multiplies. Backend-neutral.
 //! * [`CommStats`] — exact per-rank byte/message counters, split two-sided
 //!   vs one-sided (Figs. 5/6).
 //! * [`CostModel`] — the Hockney α–β network model (§IV setup).
-//! * [`Grid2D`] / [`Grid3D`] — process grids for the 2D/3D baselines.
+//! * [`Grid2D`] / [`Grid3D`] — process grids for the 2D/3D baselines,
+//!   generic over the backend.
 //! * [`Timer`] / [`Breakdown`] — the comm/comp/other wall-clock split of
 //!   the figure breakdowns.
 
+mod backend;
 mod blackboard;
-mod collectives;
 mod comm;
 mod costmodel;
 mod grid;
 mod p2p;
+mod scheduler;
 mod stats;
 mod timer;
 mod universe;
 mod window;
 
-pub use comm::Comm;
+pub use backend::{Backend, Comm, Mode, Serial, Threads};
+pub use comm::{RankComm, SimComm, ThreadComm};
 pub use costmodel::CostModel;
-pub use grid::{Grid2D, Grid3D};
+pub use grid::{valid_layer_counts, Grid2D, Grid3D};
+pub use scheduler::rank_active_seconds;
 pub use stats::CommStats;
 pub use timer::{Breakdown, Phase, PhaseTimes, Timer};
 pub use universe::Universe;

@@ -4,6 +4,7 @@
 //! message arrives — MPI's eager-protocol semantics, which is what the
 //! linear collective algorithms built on top assume for deadlock freedom.
 
+use crate::scheduler::Scheduler;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -52,19 +53,40 @@ impl Hub {
     }
 
     /// Block until a message from `(src, tag)` is available for `me`.
-    pub fn recv(&self, me: usize, src: usize, tag: u64) -> Envelope {
+    ///
+    /// While waiting, the run permit is handed back to `sched` so that in a
+    /// serial universe the sender can execute; it is reacquired (with no
+    /// locks held, so a permit-holding sender can't deadlock against this
+    /// mailbox's mutex) before the message is popped. Only rank `me`'s own
+    /// thread receives from its mailbox, so a message observed before the
+    /// reacquisition is still there after it.
+    pub fn recv(&self, me: usize, src: usize, tag: u64, sched: &Scheduler) -> Envelope {
         let mbox = &self.boxes[me];
-        let mut inner = mbox.inner.lock();
         loop {
-            if let Some(q) = inner.queues.get_mut(&(src, tag)) {
-                if let Some(env) = q.pop_front() {
-                    if q.is_empty() {
-                        inner.queues.remove(&(src, tag));
+            {
+                let mut inner = mbox.inner.lock();
+                if let Some(q) = inner.queues.get_mut(&(src, tag)) {
+                    if let Some(env) = q.pop_front() {
+                        if q.is_empty() {
+                            inner.queues.remove(&(src, tag));
+                        }
+                        return env;
                     }
-                    return env;
                 }
             }
-            mbox.cv.wait(&mut inner);
+            sched.release();
+            {
+                let mut inner = mbox.inner.lock();
+                while inner
+                    .queues
+                    .get(&(src, tag))
+                    .map(|q| q.is_empty())
+                    .unwrap_or(true)
+                {
+                    mbox.cv.wait(&mut inner);
+                }
+            }
+            sched.acquire();
         }
     }
 
@@ -84,6 +106,10 @@ mod tests {
     use super::*;
     use std::sync::Arc;
 
+    fn sched() -> Arc<Scheduler> {
+        Scheduler::parallel()
+    }
+
     fn env<T: Send + 'static>(v: T, bytes: usize) -> Envelope {
         Envelope {
             bytes,
@@ -95,7 +121,7 @@ mod tests {
     fn send_then_recv_same_thread() {
         let hub = Hub::new(2);
         hub.send(0, 1, 7, env(vec![1u64, 2, 3], 24));
-        let got = hub.recv(1, 0, 7);
+        let got = hub.recv(1, 0, 7, &sched());
         assert_eq!(got.bytes, 24);
         let v = got.payload.downcast::<Vec<u64>>().unwrap();
         assert_eq!(*v, vec![1, 2, 3]);
@@ -106,9 +132,9 @@ mod tests {
         let hub = Hub::new(2);
         hub.send(0, 1, 1, env(10i32, 4));
         hub.send(0, 1, 2, env(20i32, 4));
-        let b = hub.recv(1, 0, 2);
+        let b = hub.recv(1, 0, 2, &sched());
         assert_eq!(*b.payload.downcast::<i32>().unwrap(), 20);
-        let a = hub.recv(1, 0, 1);
+        let a = hub.recv(1, 0, 1, &sched());
         assert_eq!(*a.payload.downcast::<i32>().unwrap(), 10);
     }
 
@@ -117,8 +143,20 @@ mod tests {
         let hub = Hub::new(1);
         hub.send(0, 0, 0, env(1i32, 4));
         hub.send(0, 0, 0, env(2i32, 4));
-        assert_eq!(*hub.recv(0, 0, 0).payload.downcast::<i32>().unwrap(), 1);
-        assert_eq!(*hub.recv(0, 0, 0).payload.downcast::<i32>().unwrap(), 2);
+        assert_eq!(
+            *hub.recv(0, 0, 0, &sched())
+                .payload
+                .downcast::<i32>()
+                .unwrap(),
+            1
+        );
+        assert_eq!(
+            *hub.recv(0, 0, 0, &sched())
+                .payload
+                .downcast::<i32>()
+                .unwrap(),
+            2
+        );
     }
 
     #[test]
@@ -126,7 +164,7 @@ mod tests {
         let hub = Arc::new(Hub::new(2));
         let h2 = hub.clone();
         let t = std::thread::spawn(move || {
-            let e = h2.recv(1, 0, 5);
+            let e = h2.recv(1, 0, 5, &sched());
             *e.payload.downcast::<&'static str>().unwrap()
         });
         std::thread::sleep(std::time::Duration::from_millis(30));
@@ -140,7 +178,7 @@ mod tests {
         assert!(!hub.probe(1, 0, 3));
         hub.send(0, 1, 3, env((), 0));
         assert!(hub.probe(1, 0, 3));
-        let _ = hub.recv(1, 0, 3);
+        let _ = hub.recv(1, 0, 3, &sched());
         assert!(!hub.probe(1, 0, 3));
     }
 }

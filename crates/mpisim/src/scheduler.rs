@@ -1,0 +1,294 @@
+//! Rank-execution scheduling: the one thing the two in-process backends do
+//! differently.
+//!
+//! Both [`SimComm`](crate::SimComm) and [`ThreadComm`](crate::ThreadComm)
+//! run every rank on its own OS thread — what differs is whether those
+//! threads may *run concurrently*:
+//!
+//! * [`Scheduler::Parallel`] (the `ThreadComm` backend) never gates
+//!   execution: all rank threads run whenever the OS lets them, so
+//!   wall-clock reflects real parallel execution.
+//! * [`Scheduler::Serial`] (the `SimComm` backend) holds a single global
+//!   **run permit**: exactly one rank executes at any instant, and a rank
+//!   hands the permit over only while it is blocked in a communication
+//!   call (receive, barrier, collective rendezvous). This is the classic
+//!   serial rank-loop simulator — wall-clock is the *sum* of per-rank work
+//!   (fiction as a time-to-solution, but per-rank timings are measured
+//!   interference-free), while bytes and message counts are exact and
+//!   byte-identical to the parallel backend.
+//!
+//! The permit is cooperative, not preemptive: ranks only yield at blocking
+//! communication points. That is safe here because the runtime has no
+//! busy-wait loops — one-sided [`Window`](crate::Window) gets never block
+//! (they read `Arc`-shared buffers directly), and every blocking primitive
+//! in this crate ([`Hub::recv`](crate::p2p::Hub), blackboard exchange,
+//! barrier) releases the permit before sleeping and reacquires it on wake.
+
+use parking_lot::{Condvar, Mutex};
+use std::cell::Cell;
+use std::sync::Arc;
+use std::time::Instant;
+
+thread_local! {
+    /// Seconds this thread has held the serial run permit (accumulated at
+    /// each release), plus the start of the current holding span.
+    static ACTIVE_S: Cell<f64> = const { Cell::new(0.0) };
+    static ACTIVE_SINCE: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// Seconds this rank thread has spent *runnable* — holding the serial
+/// backend's run permit — since it started. Under `SimComm` exactly one
+/// rank runs at a time, so this is the rank's own work (compute, copies,
+/// its side of communication calls), measured with zero interference:
+/// time blocked in receives, barriers or collective rendezvous is *not*
+/// counted. The max over ranks is the critical path a dedicated-core
+/// `ThreadComm` deployment approaches.
+///
+/// Under the parallel backend the permit does not exist and this returns
+/// `0.0` — use wall-clock there; concurrency makes "own time" unmeasurable
+/// from inside anyway.
+pub fn rank_active_seconds() -> f64 {
+    let mut s = ACTIVE_S.with(|c| c.get());
+    if let Some(t0) = ACTIVE_SINCE.with(|c| c.get()) {
+        s += t0.elapsed().as_secs_f64(); // mid-span query
+    }
+    s
+}
+
+/// How a universe schedules its rank threads. See the module docs.
+pub(crate) enum Scheduler {
+    /// All rank threads run concurrently (`ThreadComm`).
+    Parallel,
+    /// A single run permit serializes rank execution (`SimComm`).
+    Serial(Permit),
+}
+
+impl Scheduler {
+    pub fn parallel() -> Arc<Scheduler> {
+        Arc::new(Scheduler::Parallel)
+    }
+
+    pub fn serial() -> Arc<Scheduler> {
+        Arc::new(Scheduler::Serial(Permit::default()))
+    }
+
+    /// Block until this thread holds the run permit (no-op when parallel).
+    pub fn acquire(&self) {
+        if let Scheduler::Serial(p) = self {
+            let mut held = p.held.lock();
+            while *held {
+                p.cv.wait(&mut held);
+            }
+            *held = true;
+            ACTIVE_SINCE.with(|c| c.set(Some(Instant::now())));
+        }
+    }
+
+    /// Hand the run permit to some other runnable rank (no-op when
+    /// parallel). Must only be called by the current holder.
+    pub fn release(&self) {
+        if let Scheduler::Serial(p) = self {
+            if let Some(t0) = ACTIVE_SINCE.with(|c| c.take()) {
+                ACTIVE_S.with(|c| c.set(c.get() + t0.elapsed().as_secs_f64()));
+            }
+            let mut held = p.held.lock();
+            debug_assert!(*held, "releasing a permit this thread does not hold");
+            *held = false;
+            p.cv.notify_one();
+        }
+    }
+
+    /// Acquire the permit for the duration of the returned guard; the guard
+    /// releases it even on unwind, so a panicking rank cannot wedge the
+    /// other ranks of a serial universe.
+    pub fn runner(&self) -> RunGuard<'_> {
+        self.acquire();
+        RunGuard(self)
+    }
+}
+
+/// The serial backend's global run permit.
+#[derive(Default)]
+pub(crate) struct Permit {
+    held: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// RAII holder of the run permit (see [`Scheduler::runner`]).
+pub(crate) struct RunGuard<'a>(&'a Scheduler);
+
+impl Drop for RunGuard<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
+/// A reusable sense-reversing barrier that integrates with the scheduler:
+/// waiters hand the run permit over before sleeping, so a serial universe
+/// cannot deadlock on its own barrier.
+///
+/// (`std::sync::Barrier` cannot be used here: its `wait` offers no hook to
+/// release the permit, so under serial scheduling the first arriver would
+/// sleep while still holding the only permit.)
+pub(crate) struct RankBarrier {
+    state: Mutex<BarrierState>,
+    cv: Condvar,
+    n: usize,
+}
+
+struct BarrierState {
+    arrived: usize,
+    generation: u64,
+}
+
+impl RankBarrier {
+    pub fn new(n: usize) -> RankBarrier {
+        RankBarrier {
+            state: Mutex::new(BarrierState {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            n,
+        }
+    }
+
+    /// Block until all `n` ranks have arrived at this barrier generation.
+    pub fn wait(&self, sched: &Scheduler) {
+        let gen = {
+            let mut s = self.state.lock();
+            s.arrived += 1;
+            if s.arrived == self.n {
+                // Last arriver trips the barrier and keeps the permit.
+                s.arrived = 0;
+                s.generation += 1;
+                self.cv.notify_all();
+                return;
+            }
+            s.generation
+        };
+        sched.release();
+        {
+            let mut s = self.state.lock();
+            while s.generation == gen {
+                self.cv.wait(&mut s);
+            }
+        }
+        sched.acquire();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn serial_permit_admits_one_at_a_time() {
+        let sched = Scheduler::serial();
+        let inside = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let sched = sched.clone();
+                let inside = inside.clone();
+                let peak = peak.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        let _g = sched.runner();
+                        let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        inside.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "serial mode must not overlap ranks"
+        );
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let sched = Scheduler::serial();
+        let s2 = sched.clone();
+        let t = std::thread::spawn(move || {
+            let _g = s2.runner();
+            panic!("rank dies holding the permit");
+        });
+        assert!(t.join().is_err());
+        // If the guard leaked the permit this would hang forever.
+        let _g = sched.runner();
+    }
+
+    #[test]
+    fn barrier_trips_for_all_generations() {
+        let sched = Scheduler::parallel();
+        let bar = Arc::new(RankBarrier::new(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let (bar, sched, count) = (bar.clone(), sched.clone(), count.clone());
+                scope.spawn(move || {
+                    for round in 1..=3 {
+                        count.fetch_add(1, Ordering::SeqCst);
+                        bar.wait(&sched);
+                        assert!(count.load(Ordering::SeqCst) >= 4 * round);
+                        bar.wait(&sched);
+                    }
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 12);
+    }
+
+    #[test]
+    fn active_seconds_accumulate_only_while_permit_held() {
+        let sched = Scheduler::serial();
+        let t = {
+            let sched = sched.clone();
+            std::thread::spawn(move || {
+                assert_eq!(rank_active_seconds(), 0.0, "fresh thread starts at 0");
+                {
+                    let _g = sched.runner();
+                    std::thread::sleep(std::time::Duration::from_millis(5));
+                }
+                let held = rank_active_seconds();
+                assert!(held >= 0.004, "held span must be counted: {held}");
+                // blocked time (permit released) must NOT count
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                let after = rank_active_seconds();
+                assert_eq!(held, after, "time without the permit is not active");
+                held
+            })
+        };
+        t.join().unwrap();
+        // parallel scheduler: no permit, no accounting
+        let par = Scheduler::parallel();
+        let t2 = std::thread::spawn(move || {
+            let _g = par.runner();
+            std::thread::sleep(std::time::Duration::from_millis(3));
+            rank_active_seconds()
+        });
+        assert_eq!(t2.join().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn barrier_under_serial_scheduler_does_not_deadlock() {
+        let sched = Scheduler::serial();
+        let bar = Arc::new(RankBarrier::new(3));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let (bar, sched) = (bar.clone(), sched.clone());
+                scope.spawn(move || {
+                    let _g = sched.runner();
+                    for _ in 0..20 {
+                        bar.wait(&sched);
+                    }
+                });
+            }
+        });
+    }
+}

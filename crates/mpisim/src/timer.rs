@@ -18,6 +18,19 @@ pub enum Phase {
 }
 
 /// Accumulated seconds per phase.
+///
+/// These are wall-clock spans, so the *blocking* phases' meaning depends
+/// on the backend executing the ranks: under `ThreadComm` on dedicated
+/// cores, a span wrapping a blocking call (a receive, a broadcast leg)
+/// measures genuine wait skew; under the serial `SimComm` scheduler the
+/// same span also contains whatever other ranks executed while this rank
+/// held no run permit — up to the whole job, so per-rank `comm_s`/`other_s`
+/// around blocking calls are **not** comparable across backends and are
+/// not a wait-skew measure under `SimComm`. Compute spans (`comp_s`) never
+/// block and are interference-free under `SimComm`. For backend-honest
+/// quantities use `rank_active_seconds` (own work) and the α–β model over
+/// the exact metered traffic (network time) — the convention the benches
+/// print (`sa_bench::modeled_total`).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Breakdown {
     pub comm_s: f64,

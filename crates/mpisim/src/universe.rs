@@ -1,11 +1,20 @@
 //! Launching a simulated job: one thread per rank, one Rayon pool per rank.
 
-use crate::comm::{Comm, Shared};
+use crate::backend::{Backend, Mode};
+use crate::comm::{RankComm, Shared, SimComm, ThreadComm};
+use crate::scheduler::Scheduler;
 use std::sync::Arc;
 
 /// A simulated machine allocation: `nranks` MPI ranks, each with
 /// `threads_per_rank` compute threads (the paper's `c = p · t` Figure 7
 /// configuration space).
+///
+/// The same allocation can be executed by either in-process backend:
+/// [`Universe::run`] uses the serial rank-loop simulator ([`SimComm`] —
+/// exact metering, interference-free per-rank timings, wall-clock = sum of
+/// rank work), [`Universe::run_threads`] the truly-parallel backend
+/// ([`ThreadComm`] — same metering, real concurrent wall-clock). Outputs
+/// and metered traffic are identical across the two; only time differs.
 ///
 /// ```
 /// use sa_mpisim::Universe;
@@ -14,6 +23,9 @@ use std::sync::Arc;
 /// // every rank runs the closure; results come back in rank order
 /// let sums = u.run(|comm| comm.allreduce(comm.rank() as u64, |a, b| a + b));
 /// assert_eq!(sums, vec![6, 6, 6, 6]);
+/// // the threaded backend computes the same thing, in parallel
+/// let t = u.run_threads(|comm| comm.allreduce(comm.rank() as u64, |a, b| a + b));
+/// assert_eq!(t, sums);
 /// ```
 #[derive(Clone, Copy, Debug)]
 pub struct Universe {
@@ -44,14 +56,70 @@ impl Universe {
         self.threads_per_rank
     }
 
-    /// Run `f` once per rank (in parallel) and collect the per-rank results
-    /// in rank order. Panics in any rank propagate.
+    /// Run `f` once per rank on the **serial simulator backend**
+    /// ([`SimComm`]) and collect the per-rank results in rank order. Panics
+    /// in any rank propagate. This is the default backend: deterministic
+    /// metering, one rank executing at a time.
+    ///
+    /// One escape hatch, for exercising existing `run`-based suites under
+    /// concurrency without rewriting them: `SA_BACKEND=threads` in the
+    /// environment upgrades the *scheduling* to free-running (the handle
+    /// type and all metering are unchanged — outputs and traffic are
+    /// backend-identical by contract, which is exactly what makes the
+    /// override safe). CI uses this to re-run the dist integration suites
+    /// under the threaded scheduler. Code that must pin serial execution
+    /// regardless of the environment (the `backends` bench's baseline leg)
+    /// uses [`Universe::launch`], which never consults the environment.
     pub fn run<F, R>(&self, f: F) -> Vec<R>
     where
-        F: Fn(&Comm) -> R + Send + Sync,
+        F: Fn(&SimComm) -> R + Send + Sync,
         R: Send,
     {
-        let shared = Shared::new(self.nranks);
+        let sched = match Backend::from_env() {
+            Backend::Sim => Scheduler::serial(),
+            Backend::Threads => Scheduler::parallel(),
+        };
+        self.launch_sched(sched, f)
+    }
+
+    /// Run `f` once per rank on the **truly-parallel threads backend**
+    /// ([`ThreadComm`]) and collect the per-rank results in rank order.
+    /// Same outputs and metered traffic as [`Universe::run`]; wall-clock is
+    /// real concurrent execution.
+    pub fn run_threads<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&ThreadComm) -> R + Send + Sync,
+        R: Send,
+    {
+        self.launch(f)
+    }
+
+    /// Backend-generic launcher: spawns one OS thread per rank, builds the
+    /// rank's compute pool and communicator handle, and schedules execution
+    /// strictly according to the mode `M` (serial run permit or
+    /// free-running) — unlike [`Universe::run`], the environment is never
+    /// consulted.
+    pub fn launch<M, F, R>(&self, f: F) -> Vec<R>
+    where
+        M: Mode,
+        F: Fn(&RankComm<M>) -> R + Send + Sync,
+        R: Send,
+    {
+        let sched = if M::SERIAL {
+            Scheduler::serial()
+        } else {
+            Scheduler::parallel()
+        };
+        self.launch_sched(sched, f)
+    }
+
+    fn launch_sched<M, F, R>(&self, sched: Arc<Scheduler>, f: F) -> Vec<R>
+    where
+        M: Mode,
+        F: Fn(&RankComm<M>) -> R + Send + Sync,
+        R: Send,
+    {
+        let shared = Shared::new(self.nranks, sched);
         let tpr = self.threads_per_rank;
         let f = &f;
         std::thread::scope(|scope| {
@@ -66,7 +134,11 @@ impl Universe {
                                 .build()
                                 .expect("rank pool"),
                         );
-                        let comm = Comm::new(rank, shared.hub_size(), shared, pool);
+                        let sched = shared.sched.clone();
+                        let comm = RankComm::new(rank, shared.hub_size(), shared, pool);
+                        // Serial mode: hold the run permit whenever this rank
+                        // executes; the guard releases it on return or panic.
+                        let _run = sched.runner();
                         f(&comm)
                     })
                 })
@@ -282,6 +354,82 @@ mod tests {
             sub.rank()
         });
         assert_eq!(got, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn threads_backend_matches_sim_backend() {
+        // Same collectives, same results, same metered traffic on both
+        // backends — the contract the backend-equivalence suite asserts at
+        // algorithm scale.
+        let u = Universe::new(6);
+        fn job<C: crate::Comm>(comm: &C) -> (u64, Vec<Vec<u64>>, crate::CommStats) {
+            let s = comm.allreduce(comm.rank() as u64 + 1, |a, b| a + b);
+            let parts = comm.allgatherv(vec![comm.rank() as u64; comm.rank() + 1]);
+            comm.barrier();
+            (s, parts, comm.stats())
+        }
+        let sim = u.run(job);
+        let thr = u.run_threads(job);
+        assert_eq!(sim, thr);
+    }
+
+    #[test]
+    fn serial_backend_runs_one_rank_at_a_time() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inside = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let u = Universe::new(8);
+        // launch::<Serial> pins serial scheduling regardless of SA_BACKEND
+        u.launch::<crate::Serial, _, _>(|comm| {
+            for _ in 0..5 {
+                let now = inside.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::yield_now(); // invite overlap if scheduling allowed it
+                inside.fetch_sub(1, Ordering::SeqCst);
+                comm.barrier();
+            }
+        });
+        assert_eq!(
+            peak.load(Ordering::SeqCst),
+            1,
+            "SimComm must serialize ranks"
+        );
+    }
+
+    #[test]
+    fn threads_backend_overlaps_ranks() {
+        // All ranks enter a rendezvous region and wait for each other
+        // WITHOUT a comm barrier: only truly-concurrent execution can get
+        // every rank inside the region at once.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let inside = AtomicUsize::new(0);
+        let u = Universe::new(4);
+        u.run_threads(|_comm| {
+            inside.fetch_add(1, Ordering::SeqCst);
+            while inside.load(Ordering::SeqCst) < 4 {
+                std::thread::yield_now();
+            }
+        });
+        assert_eq!(inside.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn threads_backend_p2p_and_windows() {
+        use crate::Window;
+        let u = Universe::new(5);
+        let got = u.run_threads(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_vec(next, 0, vec![comm.rank() as u64]);
+            let from_prev = comm.recv_vec::<u64>(prev, 0)[0];
+            let win = Window::create(comm, vec![comm.rank() as u32; 4]);
+            let fetched = win.get(comm, next, 1..3);
+            (from_prev, fetched)
+        });
+        for (r, (from_prev, fetched)) in got.iter().enumerate() {
+            assert_eq!(*from_prev as usize, (r + 4) % 5);
+            assert_eq!(*fetched, vec![((r + 1) % 5) as u32; 2]);
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! target rank's thread never participates in a `get` — faithful to RDMA
 //! semantics where the NIC serves remote reads.
 
-use crate::comm::Comm;
+use crate::backend::Comm;
 use std::ops::Range;
 use std::sync::Arc;
 
@@ -53,8 +53,9 @@ pub struct Window<T> {
 
 impl<T: Copy + Send + Sync + 'static> Window<T> {
     /// Collectively expose `local` from every rank. The data is frozen for
-    /// the window's lifetime (passive-target exposure epoch).
-    pub fn create(comm: &Comm, local: Vec<T>) -> Window<T> {
+    /// the window's lifetime (passive-target exposure epoch). Works on any
+    /// in-process backend; the window handle itself is backend-neutral.
+    pub fn create<C: Comm>(comm: &C, local: Vec<T>) -> Window<T> {
         let deposits = comm.exchange_arcs(Arc::new(local));
         let bufs = deposits
             .into_iter()
@@ -69,14 +70,14 @@ impl<T: Copy + Send + Sync + 'static> Window<T> {
     }
 
     /// This rank's own exposed buffer (no traffic).
-    pub fn local<'a>(&'a self, comm: &Comm) -> &'a [T] {
+    pub fn local<'a, C: Comm>(&'a self, comm: &C) -> &'a [T] {
         &self.bufs[comm.rank()]
     }
 
     /// One-sided fetch of `range` from `rank`'s buffer into a fresh vector,
     /// metered as one RDMA message. Local gets are free (the paper's ranks
     /// read their own slice directly).
-    pub fn get(&self, comm: &Comm, rank: usize, range: Range<usize>) -> Vec<T> {
+    pub fn get<C: Comm>(&self, comm: &C, rank: usize, range: Range<usize>) -> Vec<T> {
         let mut out = Vec::new();
         self.get_into(comm, rank, range, &mut out).unwrap();
         out
@@ -84,9 +85,9 @@ impl<T: Copy + Send + Sync + 'static> Window<T> {
 
     /// As [`Window::get`], appending into `out`; returns errors instead of
     /// panicking (failure-injection friendly).
-    pub fn get_into(
+    pub fn get_into<C: Comm>(
         &self,
-        comm: &Comm,
+        comm: &C,
         rank: usize,
         range: Range<usize>,
         out: &mut Vec<T>,
@@ -106,8 +107,7 @@ impl<T: Copy + Send + Sync + 'static> Window<T> {
             });
         }
         if rank != comm.rank() {
-            comm.stats
-                .record_get((range.end - range.start) * std::mem::size_of::<T>());
+            comm.record_get((range.end - range.start) * std::mem::size_of::<T>());
         }
         out.extend_from_slice(&buf[range]);
         Ok(())
@@ -139,7 +139,7 @@ where
 {
     /// Collectively expose `(a, b)` from every rank. The arrays must be
     /// parallel (same length); they are frozen for the window's lifetime.
-    pub fn create(comm: &Comm, a: Vec<T>, b: Vec<U>) -> PairedWindow<T, U> {
+    pub fn create<C: Comm>(comm: &C, a: Vec<T>, b: Vec<U>) -> PairedWindow<T, U> {
         assert_eq!(a.len(), b.len(), "paired window arrays must be parallel");
         let deposits = comm.exchange_arcs(Arc::new((a, b)));
         let bufs = deposits
@@ -160,9 +160,9 @@ where
     /// One-sided fetch of `range` from both of `rank`'s arrays, appended to
     /// `out_a`/`out_b`. Metered as two RDMA messages (one per array), like
     /// the two `MPI_Get`s of Algorithm 1 line 7.
-    pub fn get_both_into(
+    pub fn get_both_into<C: Comm>(
         &self,
-        comm: &Comm,
+        comm: &C,
         rank: usize,
         range: Range<usize>,
         out_a: &mut Vec<T>,
@@ -183,10 +183,8 @@ where
             });
         }
         if rank != comm.rank() {
-            comm.stats
-                .record_get((range.end - range.start) * std::mem::size_of::<T>());
-            comm.stats
-                .record_get((range.end - range.start) * std::mem::size_of::<U>());
+            comm.record_get((range.end - range.start) * std::mem::size_of::<T>());
+            comm.record_get((range.end - range.start) * std::mem::size_of::<U>());
         }
         out_a.extend_from_slice(&a[range.clone()]);
         out_b.extend_from_slice(&b[range]);

@@ -61,7 +61,9 @@ pub mod prelude {
         uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, DistMat1D, DistMat2D, DistMat3D,
         FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
     };
-    pub use sa_mpisim::{Comm, CostModel, Phase, PhaseTimes, Universe};
+    pub use sa_mpisim::{
+        Backend, Comm, CostModel, Phase, PhaseTimes, SimComm, ThreadComm, Universe,
+    };
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
     pub use sa_sparse as sparse_crate;
     pub use sa_sparse::{

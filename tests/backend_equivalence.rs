@@ -1,0 +1,271 @@
+//! Backend-equivalence suite (PR 5 acceptance): the serial simulator
+//! (`SimComm`, `Universe::run`) and the truly-parallel threads backend
+//! (`ThreadComm`, `Universe::run_threads`) must be *indistinguishable* in
+//! everything but wall-clock —
+//!
+//! * bit-identical outputs across 1D / 2D / 3D sparsity-aware multiplies ×
+//!   fetch modes × semirings (integer-valued operands make f64 accumulation
+//!   exact, so equality is `==`);
+//! * byte-identical metered traffic, asserted **per rank** through the full
+//!   [`CommStats`] counters (sends, receives, RDMA gets — messages and
+//!   bytes) plus each algorithm's own report fields;
+//! * the same holds through the stateful paths: `SpgemmSession` multiplies
+//!   (fresh vs cache-hit split), `update_a` delta invalidation, and the
+//!   `spgemm_auto` tuner (same pick, same traffic, same product);
+//! * plus a concurrency smoke for the threads backend: repeated runs of
+//!   barrier/window/split/collective churn must terminate (no deadlock,
+//!   no lost wakeup) with correct results every time.
+
+use saspgemm::dist::{
+    analyze_1d, spgemm_1d, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa, uniform_offsets,
+    CacheConfig, DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
+};
+use saspgemm::mpisim::{CommStats, CostModel, Grid2D, Grid3D, Universe, Window};
+use saspgemm::sparse::gen::erdos_renyi;
+use saspgemm::sparse::semiring::MinPlus;
+use saspgemm::sparse::Csc;
+
+/// Run the same closure literal on both backends and assert the per-rank
+/// results are identical. The closure is expanded twice so each copy
+/// infers its own communicator type; it must therefore be written against
+/// the `Comm` trait surface only.
+macro_rules! assert_backends_agree {
+    ($u:expr, $f:expr) => {{
+        // launch::<M> pins each leg's scheduler: unlike `run`, it ignores
+        // the SA_BACKEND escape hatch, so this comparison can never
+        // silently degrade to threads-vs-threads.
+        let sim = $u.launch::<saspgemm::mpisim::Serial, _, _>($f);
+        let thr = $u.launch::<saspgemm::mpisim::Threads, _, _>($f);
+        assert_eq!(sim, thr, "backends diverged (per-rank comparison)");
+        sim
+    }};
+}
+
+/// ER matrix with small-integer values: f64 sums over products of these
+/// are exact, so scheduling cannot perturb results.
+fn int_er(nrows: usize, ncols: usize, deg: f64, seed: u64) -> Csc<f64> {
+    erdos_renyi(nrows, ncols, deg, seed).map(|v| (v * 7.0).round() + 1.0)
+}
+
+const MODES: [FetchMode; 4] = [
+    FetchMode::FullMatrix,
+    FetchMode::Block(4),
+    FetchMode::ContiguousRuns,
+    FetchMode::ColumnExact,
+];
+
+/// The metered-traffic signature of one rank's multiply: the full NIC
+/// counter delta plus the report's own accounting.
+type Traffic = (CommStats, u64, u64, u64);
+
+#[test]
+fn spgemm_1d_identical_outputs_and_traffic_per_rank() {
+    let a = int_er(48, 48, 4.0, 11);
+    for mode in MODES {
+        let u = Universe::new(4);
+        let got = assert_backends_agree!(u, |comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let plan = Plan1D {
+                fetch_mode: mode,
+                ..Default::default()
+            };
+            let before = comm.stats();
+            let (c, rep) = spgemm_1d(comm, &da, &db, &plan);
+            let traffic: Traffic = (
+                comm.stats() - before,
+                rep.fetched_bytes,
+                rep.rdma_msgs,
+                rep.needed_bytes,
+            );
+            (c.into_local_csc(), traffic)
+        });
+        // and the pre-communication analysis prices both backends alike
+        let analyses = assert_backends_agree!(u, |comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let an = analyze_1d(comm, &da, &da.clone(), mode);
+            (
+                an.planned_fetch_bytes,
+                an.planned_intervals,
+                an.needed_bytes,
+            )
+        });
+        for ((_, (_, fetched, _, _)), (planned, _, _)) in got.iter().zip(&analyses) {
+            assert_eq!(
+                fetched, planned,
+                "{mode:?}: plan == metering on both backends"
+            );
+        }
+    }
+}
+
+#[test]
+fn summa_2d_sa_identical_across_grids_modes_semirings() {
+    let a = int_er(40, 40, 3.5, 21);
+    let b = int_er(40, 40, 2.5, 22);
+    for (pr, pc) in [(2, 2), (1, 4), (4, 1)] {
+        for mode in [FetchMode::Block(4), FetchMode::ColumnExact] {
+            let u = Universe::new(pr * pc);
+            // arithmetic semiring
+            assert_backends_agree!(u, |comm| {
+                let grid = Grid2D::new(comm, pr, pc);
+                let da = DistMat2D::from_global(&grid, &a);
+                let db = DistMat2D::from_global(&grid, &b);
+                let before = comm.stats();
+                let (c, rep) = spgemm_summa_2d_sa(comm, &grid, &da, &db, mode);
+                let traffic: Traffic = (
+                    comm.stats() - before,
+                    rep.a_fetched_bytes,
+                    rep.a_rdma_msgs,
+                    rep.b_shipped_bytes,
+                );
+                (c.gather(comm, &grid), traffic)
+            });
+            // tropical semiring (shortest-path products)
+            assert_backends_agree!(u, |comm| {
+                let grid = Grid2D::new(comm, pr, pc);
+                let da = DistMat2D::from_global(&grid, &a);
+                let db = DistMat2D::from_global(&grid, &b);
+                let ws = saspgemm::sparse::SpgemmWorkspace::new();
+                let before = comm.stats();
+                let (c, _rep) = saspgemm::dist::spgemm_summa_2d_sa_ws::<_, MinPlus>(
+                    comm, &grid, &da, &db, mode, &ws,
+                );
+                (c.gather(comm, &grid), comm.stats() - before)
+            });
+        }
+    }
+}
+
+#[test]
+fn split_3d_sa_identical_across_layer_counts() {
+    let a = int_er(36, 36, 3.0, 31);
+    let b = int_er(36, 36, 3.0, 32);
+    for (q, layers) in [(2, 1), (2, 2), (1, 4)] {
+        let u = Universe::new(q * q * layers);
+        assert_backends_agree!(u, |comm| {
+            let grid = Grid3D::new(comm, q, layers);
+            let da = DistMat3D::from_global_split_cols(&grid, &a);
+            let db = DistMat3D::from_global_split_rows(&grid, &b);
+            let before = comm.stats();
+            let (c, rep) = spgemm_split_3d_sa(comm, &grid, &da, &db, FetchMode::Block(4));
+            let traffic: Traffic = (
+                comm.stats() - before,
+                rep.summa.a_fetched_bytes,
+                rep.reduce_bytes,
+                rep.summa.b_shipped_bytes,
+            );
+            (c.gather(comm), traffic)
+        });
+    }
+}
+
+#[test]
+fn session_cache_behaves_identically_across_backends() {
+    let a = int_er(60, 60, 3.0, 41);
+    let u = Universe::new(4);
+    assert_backends_agree!(u, |comm| {
+        let offsets = uniform_offsets(a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, &a, &offsets);
+        let db = da.clone();
+        let mut session = SpgemmSession::create(
+            comm,
+            da.clone(),
+            Plan1D::default(),
+            CacheConfig::unlimited(),
+        );
+        let (c1, r1) = session.multiply(comm, &db);
+        let (c2, r2) = session.multiply(comm, &db);
+        // converge the operand: session invalidates only the delta
+        let a2 = a.map(|v| v + 1.0);
+        let da2 = DistMat1D::from_global(comm, &a2, &offsets);
+        let invalidated = session.update_a(comm, da2);
+        let (c3, r3) = session.multiply(comm, &db);
+        (
+            c1.into_local_csc(),
+            c2.into_local_csc(),
+            c3.into_local_csc(),
+            (r1.fresh_bytes, r1.cache_hit_bytes, r1.needed_bytes),
+            (r2.fresh_bytes, r2.cache_hit_bytes),
+            (r3.fresh_bytes, r3.cache_hit_bytes),
+            invalidated,
+            comm.stats(),
+        )
+    });
+}
+
+#[test]
+fn autotuner_picks_and_runs_identically_across_backends() {
+    let a = int_er(48, 48, 3.0, 51);
+    let b = int_er(48, 48, 3.0, 52);
+    let u = Universe::new(4);
+    let got = assert_backends_agree!(u, |comm| {
+        let (c, rep) = spgemm_auto(comm, &a, &b, &CostModel::slingshot());
+        (c, format!("{:?}", rep.choice), rep.comm)
+    });
+    assert!(got[0].0.is_some(), "rank 0 gathers the product");
+}
+
+#[test]
+fn threads_backend_concurrency_smoke() {
+    // Repeated runs of barrier/window/split/collective churn on the
+    // parallel backend: must terminate every time with correct results.
+    // This is the deadlock/lost-wakeup regression net for the lightweight
+    // barrier and the scheduler-aware mailbox waits.
+    let u = Universe::new(8);
+    for round in 0..20u64 {
+        let got = u.run_threads(|comm| {
+            let me = comm.rank() as u64;
+            // window churn: expose, cross-read, drop — twice
+            for _ in 0..2 {
+                let win = Window::create(comm, vec![me + round; 8]);
+                let peer = (comm.rank() + 3) % comm.size();
+                let v = win.get(comm, peer, 2..6);
+                assert_eq!(v, vec![peer as u64 + round; 4]);
+                comm.barrier();
+            }
+            // split into even/odd sub-communicators and reduce within
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let sub_sum = sub.allreduce(me, |x, y| x + y);
+            // exchange something through the world alltoall
+            let sends: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![me * 100 + d as u64])
+                .collect();
+            let recvd = comm.alltoallv(sends);
+            comm.barrier();
+            (sub_sum, recvd.len())
+        });
+        for (r, (sub_sum, n)) in got.iter().enumerate() {
+            let expect: u64 = if r % 2 == 0 { 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
+            assert_eq!(*sub_sum, expect, "round {round} rank {r}");
+            assert_eq!(*n, 8);
+        }
+    }
+}
+
+#[test]
+fn serial_backend_is_deterministic_across_runs() {
+    // Two identical SimComm runs must produce identical traffic *and*
+    // identical per-rank results — the property that makes the simulator
+    // the byte-exact baseline the benches diff against.
+    let a = int_er(44, 44, 3.0, 61);
+    // launch::<Serial> pins the serial scheduler even if SA_BACKEND is set
+    let job = |u: &Universe| {
+        u.launch::<saspgemm::mpisim::Serial, _, _>(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let (c, rep) = spgemm_1d(comm, &da, &db, &Plan1D::default());
+            (
+                c.into_local_csc(),
+                rep.fetched_bytes,
+                rep.rdma_msgs,
+                comm.stats(),
+            )
+        })
+    };
+    let u = Universe::new(5);
+    assert_eq!(job(&u), job(&u));
+}

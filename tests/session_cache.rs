@@ -10,7 +10,7 @@ use saspgemm::mpisim::Universe;
 use saspgemm::sparse::gen::{erdos_renyi, rmat};
 use saspgemm::sparse::{Coo, Csc, Vidx};
 
-fn dist(comm: &saspgemm::mpisim::Comm, a: &Csc<f64>) -> DistMat1D {
+fn dist<C: saspgemm::mpisim::Comm>(comm: &C, a: &Csc<f64>) -> DistMat1D {
     DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), comm.size()))
 }
 

@@ -149,8 +149,14 @@ fn aware_2d_and_3d_respect_semirings() {
         let da = DistMat2D::from_global(&grid, &a);
         let db = da.clone();
         let ws = SpgemmWorkspace::new();
-        let (c, _) =
-            spgemm_summa_2d_sa_ws::<MinPlus>(comm, &grid, &da, &db, FetchMode::ContiguousRuns, &ws);
+        let (c, _) = spgemm_summa_2d_sa_ws::<_, MinPlus>(
+            comm,
+            &grid,
+            &da,
+            &db,
+            FetchMode::ContiguousRuns,
+            &ws,
+        );
         c.gather(comm, &grid)
     });
     assert_eq!(got[0].as_ref().unwrap(), &expect, "2D tropical");
@@ -163,7 +169,7 @@ fn aware_2d_and_3d_respect_semirings() {
         let db = DistMat3D::from_global_split_rows(&grid, &a);
         let ws = SpgemmWorkspace::new();
         let (c, _) =
-            spgemm_split_3d_sa_ws::<MinPlus>(comm, &grid, &da, &db, FetchMode::Block(4), &ws);
+            spgemm_split_3d_sa_ws::<_, MinPlus>(comm, &grid, &da, &db, FetchMode::Block(4), &ws);
         c.gather(comm)
     });
     assert_eq!(got[0].as_ref().unwrap(), &expect, "3D tropical");
@@ -305,7 +311,7 @@ fn steady_state_2d_multiplies_allocate_nothing() {
         let aware_ws = SpgemmWorkspace::new();
         let obl_ws = SpgemmWorkspace::new();
         let aware = |ws: &SpgemmWorkspace<f64>| {
-            spgemm_summa_2d_sa_ws::<saspgemm::sparse::semiring::PlusTimes<f64>>(
+            spgemm_summa_2d_sa_ws::<_, saspgemm::sparse::semiring::PlusTimes<f64>>(
                 comm,
                 &grid,
                 &da,
@@ -360,7 +366,7 @@ fn steady_state_3d_multiplies_allocate_nothing() {
         let db = DistMat3D::from_global_split_rows(&grid, &a);
         let ws = SpgemmWorkspace::new();
         let run = || {
-            spgemm_split_3d_sa_ws::<saspgemm::sparse::semiring::PlusTimes<f64>>(
+            spgemm_split_3d_sa_ws::<_, saspgemm::sparse::semiring::PlusTimes<f64>>(
                 comm,
                 &grid,
                 &da,
