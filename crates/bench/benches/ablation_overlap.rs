@@ -9,7 +9,7 @@
 
 use sa_bench::*;
 use sa_dist::{prepare, spgemm_1d, spgemm_1d_overlap, DistMat1D, Strategy};
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::Dataset;
 
 fn main() {
@@ -38,7 +38,7 @@ fn main() {
             let prep = prepare(&a, p, strat);
             let am = prep.a.clone();
             let offsets = prep.offsets.clone();
-            let u = Universe::new(p);
+            let u = universe(p);
             let pl = plan();
             let pairs = u.run(move |comm| {
                 let da = DistMat1D::from_global(comm, &am, &offsets);

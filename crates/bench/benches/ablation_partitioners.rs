@@ -12,7 +12,7 @@
 
 use sa_bench::*;
 use sa_dist::{spgemm_1d, DistMat1D, FetchMode, Plan1D};
-use sa_mpisim::Universe;
+
 use sa_partition::{
     connectivity_volume, hypergraph::hyper_balance, partition_hypergraph, partition_kway,
     partition_to_perm, Graph, HyperConfig, Hypergraph, PartitionConfig,
@@ -27,7 +27,7 @@ use sa_sparse::Csc;
 /// with the given offsets, in column-exact fetch mode.
 fn measured_fetch_bytes(a: &Csc<f64>, offsets: &[usize]) -> u64 {
     let p = offsets.len() - 1;
-    let u = Universe::new(p);
+    let u = universe(p);
     let a = a.clone();
     let offsets = offsets.to_vec();
     let reps = u.run(move |comm| {

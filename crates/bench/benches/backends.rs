@@ -28,7 +28,7 @@
 //! scaling.
 
 use sa_bench::*;
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::Dataset;
 
 fn main() {
@@ -62,7 +62,7 @@ fn main() {
         for &p in ps {
             let prep = sa_dist::prepare(&a, p, Strat::Original);
             let (_t, (ranks_sim, wall_sim)) = best_of(reps(), || {
-                let u = Universe::with_threads(p, threads_per_rank());
+                let u = universe(p);
                 let t0 = std::time::Instant::now();
                 // launch::<M> pins the scheduler regardless of SA_BACKEND: this
                 // bench's two legs must stay serial resp. parallel to mean anything
@@ -72,7 +72,7 @@ fn main() {
                 (wall, (ranks, wall))
             });
             let (_t, (ranks_thr, wall_thr)) = best_of(reps(), || {
-                let u = Universe::with_threads(p, threads_per_rank());
+                let u = universe(p);
                 let t0 = std::time::Instant::now();
                 let ranks =
                     u.launch::<sa_mpisim::Threads, _, _>(|comm| square_rank(comm, &prep, &plan()));

@@ -7,7 +7,7 @@
 use sa_apps::restriction::restriction_operator;
 use sa_bench::*;
 use sa_dist::{prepare, spgemm_1d, DistMat1D, Strategy};
-use sa_mpisim::{Breakdown, Universe};
+use sa_mpisim::Breakdown;
 use sa_sparse::gen::Dataset;
 use sa_sparse::permute::permute;
 
@@ -28,7 +28,7 @@ fn main() {
             None => r.clone(),
         };
         let rt = r_used.transpose();
-        let u = Universe::new(p);
+        let u = universe(p);
         let bds: Vec<Breakdown> = u.run(|comm| {
             let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
             let drt = DistMat1D::from_global(comm, &rt, &prep.offsets);

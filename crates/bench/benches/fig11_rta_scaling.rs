@@ -10,7 +10,7 @@ use sa_apps::restriction::restriction_operator;
 use sa_bench::*;
 use sa_dist::mat3d::DistMat3D;
 use sa_dist::{prepare, spgemm_split_3d, spgemm_summa_2d, DistMat1D, DistMat2D, Strategy};
-use sa_mpisim::{Grid2D, Grid3D, Universe};
+use sa_mpisim::{Grid2D, Grid3D};
 use sa_sparse::gen::Dataset;
 use std::time::Instant;
 
@@ -29,7 +29,7 @@ fn main() {
         let rt = r.transpose();
         for p in rank_counts() {
             let prep = prepare(&a, p, Strategy::Original);
-            let u = Universe::new(p);
+            let u = universe(p);
             let times = u.run(|comm| {
                 let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
                 let drt = DistMat1D::from_global(comm, &rt, &prep.offsets);
@@ -52,7 +52,7 @@ fn main() {
     let r = restriction_operator(&a, 42);
     for p in rank_counts() {
         // 1D (left: Alg.1, right: outer-product per the paper's §III-C)
-        let u = Universe::new(p);
+        let u = universe(p);
         let t1d = u
             .run(|comm| {
                 let offsets = sa_dist::uniform_offsets(a.ncols(), comm.size());
@@ -74,7 +74,7 @@ fn main() {
             &sa_sparse::Perm::identity(r.ncols()),
         );
         let rt_perm = r_perm.transpose();
-        let u = Universe::new(p);
+        let u = universe(p);
         let t2d = u
             .run(|comm| {
                 let grid = Grid2D::square(comm);
@@ -97,7 +97,7 @@ fn main() {
                 continue;
             }
             let q = ((p / c) as f64).sqrt().round() as usize;
-            let u = Universe::new(p);
+            let u = universe(p);
             let t = u
                 .run(|comm| {
                     let grid = Grid3D::new(comm, q, c);

@@ -6,7 +6,7 @@
 use sa_apps::restriction::restriction_operator;
 use sa_bench::*;
 use sa_dist::{spgemm_1d, spgemm_outer_1d, uniform_offsets, DistMat1D};
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::Dataset;
 use std::time::Instant;
 
@@ -28,7 +28,7 @@ fn main() {
         let r = restriction_operator(&a, 42);
         let rt = r.transpose();
         for p in rank_counts() {
-            let u = Universe::new(p);
+            let u = universe(p);
             let pair = u.run(|comm| {
                 let offsets = uniform_offsets(a.ncols(), comm.size());
                 let da = DistMat1D::from_global(comm, &a, &offsets);

@@ -9,7 +9,7 @@
 use sa_apps::bc::{bc_batch_1d_offsets, bc_batch_2d, bc_batch_3d, pick_sources, BcOutcome};
 use sa_bench::*;
 use sa_dist::{prepare, Strategy};
-use sa_mpisim::{CostModel, Universe};
+use sa_mpisim::CostModel;
 use sa_sparse::gen::Dataset;
 
 fn print_iters(label: &str, o: &BcOutcome) {
@@ -57,20 +57,20 @@ fn main() {
         },
     );
     let sources = pick_sources(a.nrows(), batch, 7);
-    let u = Universe::new(p);
+    let u = universe(p);
     let o1 = u
         .run(|comm| bc_batch_1d_offsets(comm, &prep.a, &sources, &plan(), &prep.offsets))
         .remove(0);
     print_iters("1D_metis", &o1);
 
     let prep2 = prepare(&a, p, Strategy::RandomPerm { seed: 2 });
-    let u = Universe::new(p);
+    let u = universe(p);
     let o2 = u
         .run(|comm| bc_batch_2d(comm, &prep2.a, &sources))
         .remove(0);
     print_iters("2D_random", &o2);
 
-    let u = Universe::new(p);
+    let u = universe(p);
     let o3 = u
         .run(|comm| bc_batch_3d(comm, 4, &prep2.a, &sources))
         .remove(0);

@@ -9,7 +9,7 @@
 use sa_apps::bc::{bc_batch_1d, bc_batch_2d, bc_batch_3d, pick_sources, BcOutcome};
 use sa_bench::*;
 use sa_dist::{prepare, Strategy};
-use sa_mpisim::{CostModel, Universe};
+use sa_mpisim::CostModel;
 use sa_sparse::gen::Dataset;
 
 fn total(o: &BcOutcome) -> f64 {
@@ -34,16 +34,16 @@ fn main() {
     println!("# batch size: {batch} sources");
     let sources = pick_sources(a.nrows(), batch, 11);
 
-    let u = Universe::new(p);
+    let u = universe(p);
     let o1 = u
         .run(|comm| bc_batch_1d(comm, &a, &sources, &plan()))
         .remove(0);
 
     let prep = prepare(&a, p, Strategy::RandomPerm { seed: 2 });
-    let u = Universe::new(p);
+    let u = universe(p);
     let o2 = u.run(|comm| bc_batch_2d(comm, &prep.a, &sources)).remove(0);
 
-    let u = Universe::new(p);
+    let u = universe(p);
     let o3 = u
         .run(|comm| bc_batch_3d(comm, 4, &prep.a, &sources))
         .remove(0);

@@ -5,7 +5,7 @@
 
 use sa_bench::*;
 use sa_dist::{analyze_1d, prepare, DistMat1D, FetchMode, Strategy};
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::Dataset;
 
 fn main() {
@@ -25,7 +25,7 @@ fn main() {
     for d in Dataset::ALL {
         let a = load(d);
         let cv_of = |m: &sa_sparse::Csc<f64>, offsets: &[usize]| -> f64 {
-            let u = Universe::new(p);
+            let u = universe(p);
             let mut cvs = u.run(|comm| {
                 let da = DistMat1D::from_global(comm, m, offsets);
                 let db = da.clone();

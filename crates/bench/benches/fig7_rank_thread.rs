@@ -6,7 +6,7 @@
 
 use sa_bench::*;
 use sa_dist::{prepare, spgemm_1d, DistMat1D, Strategy};
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::Dataset;
 
 fn main() {
@@ -29,7 +29,7 @@ fn main() {
     for p in [1usize, 2, 4, 8, 16] {
         let t = budget / p;
         let prep = prepare(&a, p, Strategy::Original);
-        let u = Universe::with_threads(p, t);
+        let u = universe_with_threads(p, t);
         let reps = u.run(|comm| {
             let da = DistMat1D::from_global(comm, &prep.a, &prep.offsets);
             let db = da.clone();

@@ -10,7 +10,7 @@
 use sa_bench::*;
 use sa_dist::mat3d::DistMat3D;
 use sa_dist::{prepare, spgemm_split_3d, spgemm_summa_2d, DistMat2D, Strategy};
-use sa_mpisim::{Grid2D, Grid3D, Universe};
+use sa_mpisim::{Grid2D, Grid3D};
 use sa_sparse::gen::Dataset;
 use std::time::Instant;
 
@@ -46,7 +46,7 @@ fn main() {
 
             // --- 2D SUMMA with random permutation ---
             let prep = prepare(&a, p, Strategy::RandomPerm { seed: 5 });
-            let u = Universe::new(p);
+            let u = universe(p);
             let t2d = {
                 let times = u.run(|comm| {
                     let grid = Grid2D::square(comm);
@@ -74,7 +74,7 @@ fn main() {
                 }
                 let q2 = p / c;
                 let q = (q2 as f64).sqrt().round() as usize;
-                let u = Universe::new(p);
+                let u = universe(p);
                 let times = u.run(|comm| {
                     let grid = Grid3D::new(comm, q, c);
                     let da = DistMat3D::from_global_split_cols(&grid, &prep.a);

@@ -15,7 +15,7 @@ use sa_apps::mcl::{mcl_1d_session, MclConfig};
 use sa_apps::restriction::restriction_operator;
 use sa_bench::*;
 use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, SpgemmSession};
-use sa_mpisim::Universe;
+
 use sa_sparse::gen::{Dataset, Scale};
 use sa_sparse::{Csc, Vidx};
 
@@ -49,7 +49,7 @@ fn print_curves(workload: &str, cached: &[u64], uncached: &[u64]) {
 /// Repeated squaring of a stationary matrix — the distilled session case.
 fn squaring(a: &Csc<f64>, p: usize, iters: usize) -> (Vec<u64>, Vec<u64>) {
     let run = |cache: CacheConfig| -> Vec<u64> {
-        let u = Universe::new(p);
+        let u = universe(p);
         let per_rank = u.run(|comm| {
             let da = DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), comm.size()));
             let db = da.clone();
@@ -69,7 +69,7 @@ fn squaring(a: &Csc<f64>, p: usize, iters: usize) -> (Vec<u64>, Vec<u64>) {
 /// snapshots).
 fn bc(a: &Csc<f64>, p: usize, batches: &[Vec<Vidx>]) -> (Vec<u64>, Vec<u64>) {
     let run = |cache: CacheConfig| -> Vec<u64> {
-        let u = Universe::new(p);
+        let u = universe(p);
         let per_rank = u.run(|comm| {
             let (_outcomes, snapshots) = bc_batches_1d_session(comm, a, batches, &plan(), cache);
             snapshots
@@ -96,7 +96,7 @@ fn bc(a: &Csc<f64>, p: usize, batches: &[Vec<Vidx>]) -> (Vec<u64>, Vec<u64>) {
 /// fetch both configurations pay identically.
 fn galerkin(a: &Csc<f64>, p: usize, rs: &[Csc<f64>]) -> (Vec<u64>, Vec<u64>) {
     let run = |cache: CacheConfig| -> Vec<u64> {
-        let u = Universe::new(p);
+        let u = universe(p);
         let per_rank = u.run(|comm| {
             let da = DistMat1D::from_global(comm, a, &uniform_offsets(a.ncols(), comm.size()));
             let mut s = GalerkinSession::create(comm, da, plan(), cache);
@@ -160,7 +160,7 @@ fn main() {
 
     // 4. MCL (delta shrinks with convergence rather than vanishing)
     let m = Dataset::EukaryaLike.build(Scale::Tiny);
-    let un = Universe::new(4);
+    let un = universe(4);
     let got = un.run(|comm| {
         let (_c1, _i1, cached) = mcl_1d_session(
             comm,

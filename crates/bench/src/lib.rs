@@ -86,6 +86,25 @@ pub fn threads_per_rank() -> usize {
     sa_threads().unwrap_or(1)
 }
 
+/// The [`Universe`] the benches run on: like `Universe::with_threads`,
+/// but with the stall watchdog ON by default (10 minutes), so a deadlocked
+/// or wedged configuration fails typed instead of hanging a sweep
+/// overnight. `SA_WATCHDOG_SECS` still wins when set — including `0` to
+/// disable the deadline.
+pub fn universe_with_threads(p: usize, t: usize) -> Universe {
+    let u = Universe::with_threads(p, t);
+    if u.watchdog().is_some() || std::env::var("SA_WATCHDOG_SECS").is_ok() {
+        u
+    } else {
+        u.with_watchdog(Some(std::time::Duration::from_secs(600)))
+    }
+}
+
+/// [`universe_with_threads`] at the `SA_THREADS` thread count.
+pub fn universe(p: usize) -> Universe {
+    universe_with_threads(p, threads_per_rank())
+}
+
 /// Thread counts for the local-kernel scheduling sweep (`sched_compare`):
 /// `SA_THREADS` pins a single count, `SA_QUICK` trims the sweep.
 pub fn thread_sweep() -> Vec<usize> {
@@ -207,7 +226,7 @@ pub fn run_square_prepared_on(
     plan: Plan1D,
 ) -> (Vec<SpgemmReport>, f64) {
     let (_t, best) = best_of(reps(), || {
-        let u = Universe::with_threads(p, threads_per_rank());
+        let u = universe_with_threads(p, threads_per_rank());
         let t0 = std::time::Instant::now();
         // launch::<M> pins the scheduler: the explicit `be` argument must
         // win over any SA_BACKEND in the environment

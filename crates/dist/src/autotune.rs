@@ -26,6 +26,7 @@
 use crate::dist1d::{uniform_offsets, DistMat1D};
 use crate::fetch::{plan_fetch, RankMeta};
 use crate::mat3d::{spgemm_split_3d, spgemm_split_3d_sa, DistMat3D};
+use crate::shape::ShapeError;
 use crate::spgemm1d::{spgemm_1d, FetchMode, Plan1D};
 use crate::summa2d::{spgemm_summa_2d, DistMat2D};
 use crate::summa2d_sa::spgemm_summa_2d_sa;
@@ -784,6 +785,9 @@ pub fn spgemm_auto<C: Comm>(
     b: &Csc<f64>,
     model: &CostModel,
 ) -> (Option<Csc<f64>>, AutoReport) {
+    if let Err(e) = check_conformal_auto(a, b) {
+        panic!("{e}");
+    }
     let payload = (comm.rank() == 0).then(|| {
         let tuner = AutoTuner::analyze(
             a,
@@ -848,6 +852,24 @@ pub fn spgemm_auto<C: Comm>(
         comm: comm.stats() - stats0,
     };
     (c, report)
+}
+
+/// [`spgemm_auto`] with typed shape validation: non-conformal operands
+/// come back as `Err(`[`ShapeError`]`)` on every rank — the operands are
+/// globally replicated, so the check runs before the analysis broadcast
+/// and every rank agrees without communicating.
+pub fn try_spgemm_auto<C: Comm>(
+    comm: &C,
+    a: &Csc<f64>,
+    b: &Csc<f64>,
+    model: &CostModel,
+) -> Result<(Option<Csc<f64>>, AutoReport), ShapeError> {
+    check_conformal_auto(a, b)?;
+    Ok(spgemm_auto(comm, a, b, model))
+}
+
+fn check_conformal_auto(a: &Csc<f64>, b: &Csc<f64>) -> Result<(), ShapeError> {
+    crate::shape::conformal((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))
 }
 
 #[cfg(test)]

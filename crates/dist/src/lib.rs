@@ -47,13 +47,14 @@ pub mod outer1d;
 pub mod prepare;
 pub mod reference;
 pub mod session;
+pub mod shape;
 pub mod spgemm1d;
 pub mod summa2d;
 pub mod summa2d_sa;
 
 pub use autotune::{
-    analyze_1d_offline, analyze_2d, analyze_3d, spgemm_auto, AlgoChoice, Analysis2D, Analysis3D,
-    AutoReport, AutoTuner, PhaseCost, Prediction,
+    analyze_1d_offline, analyze_2d, analyze_3d, spgemm_auto, try_spgemm_auto, AlgoChoice,
+    Analysis2D, Analysis3D, AutoReport, AutoTuner, PhaseCost, Prediction,
 };
 pub use dist1d::{uniform_offsets, DistMat1D};
 pub use mat3d::{
@@ -63,9 +64,12 @@ pub use mat3d::{
 pub use outer1d::{spgemm_outer_1d, OuterReport};
 pub use prepare::{prepare, PrepResult, Strategy};
 pub use session::{CacheConfig, FetchCache, SessionAnalysis, SessionStats, SpgemmSession};
+pub use shape::ShapeError;
 pub use spgemm1d::{
-    analyze_1d, analyze_1d_modes, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, Analysis1D,
-    FetchMode, Plan1D, SpgemmReport,
+    analyze_1d, analyze_1d_modes, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, try_spgemm_1d,
+    Analysis1D, FetchMode, Plan1D, SpgemmReport,
 };
 pub use summa2d::{spgemm_summa_2d, spgemm_summa_2d_ws, DistMat2D, SummaReport};
-pub use summa2d_sa::{grid_shapes, spgemm_summa_2d_sa, spgemm_summa_2d_sa_ws, SaSummaReport};
+pub use summa2d_sa::{
+    grid_shapes, spgemm_summa_2d_sa, spgemm_summa_2d_sa_ws, try_spgemm_summa_2d_sa, SaSummaReport,
+};

@@ -22,6 +22,7 @@
 
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, RankMeta, ENTRY_BYTES};
+use crate::shape::ShapeError;
 use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow, PhaseTimes};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
@@ -153,16 +154,15 @@ pub struct Analysis1D {
     pub cv_over_mem: f64,
 }
 
+/// Typed conformality check shared by the `try_*` entry points.
+pub(crate) fn check_conformal(a: &DistMat1D, b: &DistMat1D) -> Result<(), ShapeError> {
+    crate::shape::conformal((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))
+}
+
 pub(crate) fn assert_conformal(a: &DistMat1D, b: &DistMat1D) {
-    assert_eq!(
-        a.ncols(),
-        b.nrows(),
-        "dimension mismatch: A is {}x{}, B is {}x{}",
-        a.nrows(),
-        a.ncols(),
-        b.nrows(),
-        b.ncols(),
-    );
+    if let Err(e) = check_conformal(a, b) {
+        panic!("{e}");
+    }
 }
 
 /// Global columns of `A` the local multiply touches: the row support of
@@ -371,6 +371,20 @@ pub fn spgemm_1d<C: Comm>(
     plan: &Plan1D,
 ) -> (DistMat1D, SpgemmReport) {
     run_1d(comm, a, b, plan, false, &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_1d`] with typed shape validation: non-conformal operands come
+/// back as `Err(`[`ShapeError`]`)` on every rank (the check runs before any
+/// communication, on globally-replicated dimensions, so ranks always
+/// agree) instead of an index panic deep in a kernel.
+pub fn try_spgemm_1d<C: Comm>(
+    comm: &C,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+) -> Result<(DistMat1D, SpgemmReport), ShapeError> {
+    check_conformal(a, b)?;
+    Ok(run_1d(comm, a, b, plan, false, &SpgemmWorkspace::new()))
 }
 
 /// [`spgemm_1d`] with a caller-held [`SpgemmWorkspace`]: per-thread kernel

@@ -35,6 +35,7 @@
 //! before any rank is spawned.
 
 use crate::fetch::{exchange_meta, pack_support, plan_fetch, support_bit};
+use crate::shape::ShapeError;
 use crate::spgemm1d::{assemble_atilde, FetchMode};
 use crate::summa2d::DistMat2D;
 use sa_mpisim::{Breakdown, Comm, CommStats, Grid2D, PairedWindow, PhaseTimes};
@@ -103,6 +104,31 @@ pub fn spgemm_summa_2d_sa<C: Comm>(
     spgemm_summa_2d_sa_ws::<_, PlusTimes<f64>>(comm, grid, a, b, mode, &SpgemmWorkspace::new())
 }
 
+/// [`spgemm_summa_2d_sa`] with typed shape validation: non-conformal
+/// operands or operand blocking that disagrees with the grid come back as
+/// `Err(`[`ShapeError`]`)` on every rank (the check runs before any
+/// communication, on globally-replicated dimensions, so ranks always
+/// agree) instead of an index panic deep in a kernel.
+pub fn try_spgemm_summa_2d_sa<C: Comm>(
+    comm: &C,
+    grid: &Grid2D<C>,
+    a: &DistMat2D,
+    b: &DistMat2D,
+    mode: FetchMode,
+) -> Result<(DistMat2D, SaSummaReport), ShapeError> {
+    check_shapes(grid, a, b)?;
+    Ok(spgemm_summa_2d_sa(comm, grid, a, b, mode))
+}
+
+/// Typed validation of the 2D entry-point preconditions.
+fn check_shapes<C: Comm>(grid: &Grid2D<C>, a: &DistMat2D, b: &DistMat2D) -> Result<(), ShapeError> {
+    crate::shape::conformal((a.nrows(), a.ncols()), (b.nrows(), b.ncols()))?;
+    crate::shape::blocking("A", "row", a.row_offsets().len() - 1, grid.pr)?;
+    crate::shape::blocking("A", "col", a.col_offsets().len() - 1, grid.pc)?;
+    crate::shape::blocking("B", "row", b.row_offsets().len() - 1, grid.pr)?;
+    crate::shape::blocking("B", "col", b.col_offsets().len() - 1, grid.pc)
+}
+
 /// [`spgemm_summa_2d_sa`] generic over the semiring, with a caller-held
 /// [`SpgemmWorkspace`]: the `Ã`/`B̃` assembly buffers and all kernel
 /// scratch are borrowed from `ws`, so iterative drivers reach a
@@ -115,19 +141,9 @@ pub fn spgemm_summa_2d_sa_ws<C: Comm, S: Semiring<T = f64>>(
     mode: FetchMode,
     ws: &SpgemmWorkspace<f64>,
 ) -> (DistMat2D, SaSummaReport) {
-    assert_eq!(
-        a.ncols(),
-        b.nrows(),
-        "dimension mismatch: A is {}x{}, B is {}x{}",
-        a.nrows(),
-        a.ncols(),
-        b.nrows(),
-        b.ncols(),
-    );
-    assert_eq!(a.row_offsets().len() - 1, grid.pr, "A row blocking vs grid");
-    assert_eq!(a.col_offsets().len() - 1, grid.pc, "A col blocking vs grid");
-    assert_eq!(b.row_offsets().len() - 1, grid.pr, "B row blocking vs grid");
-    assert_eq!(b.col_offsets().len() - 1, grid.pc, "B col blocking vs grid");
+    if let Err(e) = check_shapes(grid, a, b) {
+        panic!("{e}");
+    }
     let stats0 = comm.stats();
     let t_call = Instant::now();
 

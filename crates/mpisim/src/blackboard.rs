@@ -6,7 +6,8 @@
 //! registration (exposing a buffer is not a transfer — the `get`s are) and
 //! communicator splits.
 
-use crate::scheduler::Scheduler;
+use crate::error::{raise, Primitive};
+use crate::scheduler::{Scheduler, WaitSite};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::HashMap;
@@ -35,10 +36,12 @@ impl Blackboard {
     /// `opid`; returns all `n` deposits once complete. Every rank of the
     /// communicator must call with the same `opid` exactly once.
     ///
-    /// Ranks that must wait for the remaining deposits hand the run permit
-    /// back to `sched` while parked (and reacquire it lock-free on wake),
-    /// so a serial universe's one runnable rank is always one that can
-    /// still make progress.
+    /// Ranks that must wait for the remaining deposits park through
+    /// [`Scheduler::park_until`]: the run permit goes back to `sched` while
+    /// parked (and is reacquired lock-free on wake), so a serial universe's
+    /// one runnable rank is always one that can still make progress — and a
+    /// dead peer or expired watchdog unwinds the waiter with a typed
+    /// [`CommError`](crate::CommError) instead of hanging it.
     pub fn exchange(
         &self,
         opid: u64,
@@ -47,6 +50,7 @@ impl Blackboard {
         value: Arc<dyn Any + Send + Sync>,
         sched: &Scheduler,
     ) -> Vec<Arc<dyn Any + Send + Sync>> {
+        sched.check_healthy(Primitive::Exchange);
         {
             let mut entries = self.entries.lock();
             let entry = entries.entry(opid).or_insert_with(|| Entry {
@@ -63,18 +67,15 @@ impl Blackboard {
                 return Self::take(&mut entries, opid, n);
             }
         }
-        sched.release();
-        let out = {
-            let mut entries = self.entries.lock();
-            loop {
-                if entries.get(&opid).expect("entry vanished").deposited == n {
-                    break Self::take(&mut entries, opid, n);
-                }
-                self.cv.wait(&mut entries);
-            }
-        };
-        sched.acquire();
-        out
+        if let Err(e) = sched.park_until(&self.entries, &self.cv, WaitSite::exchange(opid), |e| {
+            e.get(&opid)
+                .map(|entry| entry.deposited == n)
+                .unwrap_or(false)
+        }) {
+            raise(e);
+        }
+        let mut entries = self.entries.lock();
+        Self::take(&mut entries, opid, n)
     }
 
     /// Read all slots of a completed entry and retire it once every rank
@@ -110,7 +111,7 @@ mod tests {
             .map(|r| {
                 let bb = bb.clone();
                 std::thread::spawn(move || {
-                    let got = bb.exchange(1, 4, r, Arc::new(r * 10), &Scheduler::parallel());
+                    let got = bb.exchange(1, 4, r, Arc::new(r * 10), &Scheduler::parallel(4, None));
                     got.iter()
                         .map(|a| *a.clone().downcast::<usize>().unwrap())
                         .collect::<Vec<_>>()
@@ -129,7 +130,7 @@ mod tests {
             .map(|r| {
                 let bb = bb.clone();
                 std::thread::spawn(move || {
-                    bb.exchange(9, 2, r, Arc::new(()), &Scheduler::parallel());
+                    bb.exchange(9, 2, r, Arc::new(()), &Scheduler::parallel(4, None));
                 })
             })
             .collect();
@@ -148,7 +149,7 @@ mod tests {
                 std::thread::spawn(move || {
                     let op = (i / 2) as u64 + 100;
                     let rank = i % 2;
-                    let got = bb.exchange(op, 2, rank, Arc::new(i), &Scheduler::parallel());
+                    let got = bb.exchange(op, 2, rank, Arc::new(i), &Scheduler::parallel(4, None));
                     got.len()
                 })
             })

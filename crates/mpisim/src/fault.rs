@@ -1,0 +1,266 @@
+//! Deterministic fault injection: a wrapping communicator that kills or
+//! stalls ranks at chosen operation indices.
+//!
+//! [`FaultComm`] wraps any [`Comm`] and counts this rank's communication
+//! calls (its *fault-op* index — a per-rank counter shared across
+//! sub-communicators split from the wrapped handle, so an injection point
+//! is a stable coordinate no matter how the algorithm splits). Before each
+//! potentially-blocking call it consults the [`FaultPlan`]:
+//!
+//! * [`FaultAction::Abort`] — the rank panics ("injected fault: ..."),
+//!   modeling a process crash. The runtime's poison machinery then wakes
+//!   every parked peer with
+//!   [`PeerFailed`](crate::CommError::PeerFailed) naming this rank.
+//! * [`FaultAction::Delay`] — the rank sleeps before proceeding, modeling
+//!   a straggler (under the serial scheduler the sleep stalls the whole
+//!   job, exactly like a slow rank stalls a serial simulation).
+//!
+//! Because the [`Comm`] collectives are *provided* methods, calling them on
+//! the wrapper decomposes into the wrapper's own `send_vec`/`recv_vec` —
+//! so a zero-fault `FaultComm` produces byte-identical traffic to the bare
+//! backend (wrapper neutrality, asserted by `tests/fault_injection.rs`),
+//! and an injected fault can land *inside* a collective, between its
+//! constituent point-to-point calls.
+
+use crate::backend::Comm;
+use crate::stats::CommStats;
+use std::any::Any;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What to inject when a rank reaches a planned fault-op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Kill the rank: panic with an "injected fault" message.
+    Abort,
+    /// Stall the rank for the given time, then proceed normally.
+    Delay(Duration),
+}
+
+/// One planned fault: `rank` triggers `action` at its `at_op`-th
+/// communication call (0-based, counted by the wrapping [`FaultComm`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fault {
+    pub rank: usize,
+    pub at_op: u64,
+    pub action: FaultAction,
+}
+
+/// A deterministic schedule of injected faults, shared by all ranks of a
+/// job (each rank consults only its own entries).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// The empty plan: a `FaultComm` under it is a transparent wrapper.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Kill `rank` at its `at_op`-th communication call.
+    pub fn abort_at(rank: usize, at_op: u64) -> FaultPlan {
+        FaultPlan::none().with(Fault {
+            rank,
+            at_op,
+            action: FaultAction::Abort,
+        })
+    }
+
+    /// Stall `rank` for `delay` at its `at_op`-th communication call.
+    pub fn delay_at(rank: usize, at_op: u64, delay: Duration) -> FaultPlan {
+        FaultPlan::none().with(Fault {
+            rank,
+            at_op,
+            action: FaultAction::Delay(delay),
+        })
+    }
+
+    /// Append one more fault to the plan.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// A pseudo-random single-abort plan: `seed` picks one victim rank in
+    /// `0..nranks` and one abort point in `0..max_op`, reproducibly — the
+    /// same seed always yields the same plan, which is what makes fault
+    /// runs replayable.
+    pub fn seeded(seed: u64, nranks: usize, max_op: u64) -> FaultPlan {
+        let mut state = seed;
+        let rank = (splitmix64(&mut state) % nranks.max(1) as u64) as usize;
+        let at_op = splitmix64(&mut state) % max_op.max(1);
+        FaultPlan::abort_at(rank, at_op)
+    }
+
+    /// The first aborted rank of the plan, if any — the rank every
+    /// survivor's `PeerFailed` should name.
+    pub fn victim(&self) -> Option<usize> {
+        self.faults
+            .iter()
+            .find(|f| f.action == FaultAction::Abort)
+            .map(|f| f.rank)
+    }
+
+    fn lookup(&self, rank: usize, op: u64) -> Option<FaultAction> {
+        self.faults
+            .iter()
+            .find(|f| f.rank == rank && f.at_op == op)
+            .map(|f| f.action)
+    }
+}
+
+/// SplitMix64 step — a tiny, dependency-free PRNG, plenty for picking
+/// injection coordinates.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A [`Comm`] that injects the faults a [`FaultPlan`] schedules for this
+/// rank, and is otherwise transparent. See the module docs.
+pub struct FaultComm<C: Comm> {
+    inner: C,
+    plan: Arc<FaultPlan>,
+    /// The wrapped rank's id in the communicator the wrapper was *created*
+    /// on — the coordinate fault plans are written in, stable across splits.
+    world_rank: usize,
+    /// This rank's fault-op counter, shared (like a NIC) by every
+    /// sub-communicator split from this wrapper.
+    ops: Rc<Cell<u64>>,
+}
+
+impl<C: Comm> FaultComm<C> {
+    /// Wrap `inner`, treating its current rank id as the plan coordinate.
+    pub fn new(inner: C, plan: FaultPlan) -> FaultComm<C> {
+        let world_rank = inner.rank();
+        FaultComm {
+            inner,
+            plan: Arc::new(plan),
+            world_rank,
+            ops: Rc::new(Cell::new(0)),
+        }
+    }
+
+    /// Advance this rank's fault-op counter and trigger any planned fault.
+    fn checkpoint(&self) {
+        let op = self.ops.get();
+        self.ops.set(op + 1);
+        match self.plan.lookup(self.world_rank, op) {
+            Some(FaultAction::Abort) => panic!(
+                "injected fault: rank {} aborted at fault-op {op}",
+                self.world_rank
+            ),
+            Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            None => {}
+        }
+    }
+}
+
+impl<C: Comm> Comm for FaultComm<C> {
+    fn rank(&self) -> usize {
+        self.inner.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.inner.size()
+    }
+
+    fn stats(&self) -> CommStats {
+        self.inner.stats()
+    }
+
+    fn pool(&self) -> &rayon::ThreadPool {
+        self.inner.pool()
+    }
+
+    fn barrier(&self) {
+        self.checkpoint();
+        self.inner.barrier();
+    }
+
+    fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        self.checkpoint();
+        self.inner.send_vec(dst, tag, data);
+    }
+
+    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        self.checkpoint();
+        self.inner.recv_vec(src, tag)
+    }
+
+    fn probe(&self, src: usize, tag: u64) -> bool {
+        self.inner.probe(src, tag)
+    }
+
+    fn split(&self, color: usize, key: usize) -> FaultComm<C> {
+        self.checkpoint();
+        FaultComm {
+            inner: self.inner.split(color, key),
+            plan: self.plan.clone(),
+            world_rank: self.world_rank,
+            ops: self.ops.clone(),
+        }
+    }
+
+    fn next_op(&self) -> u64 {
+        self.inner.next_op()
+    }
+
+    fn exchange_arcs(&self, value: Arc<dyn Any + Send + Sync>) -> Vec<Arc<dyn Any + Send + Sync>> {
+        self.checkpoint();
+        self.inner.exchange_arcs(value)
+    }
+
+    fn record_get(&self, bytes: usize) {
+        self.inner.record_get(bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_reproducible() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let a = FaultPlan::seeded(seed, 6, 100);
+            let b = FaultPlan::seeded(seed, 6, 100);
+            assert_eq!(a, b);
+            let v = a.victim().expect("seeded plan aborts someone");
+            assert!(v < 6);
+        }
+    }
+
+    #[test]
+    fn seeded_plans_vary_with_seed() {
+        let plans: Vec<FaultPlan> = (0..32).map(|s| FaultPlan::seeded(s, 8, 1000)).collect();
+        let distinct: std::collections::HashSet<_> =
+            plans.iter().map(|p| format!("{p:?}")).collect();
+        assert!(distinct.len() > 1, "seeds must actually spread");
+    }
+
+    #[test]
+    fn lookup_matches_rank_and_op() {
+        let plan = FaultPlan::abort_at(2, 5).with(Fault {
+            rank: 1,
+            at_op: 3,
+            action: FaultAction::Delay(Duration::from_millis(1)),
+        });
+        assert_eq!(plan.lookup(2, 5), Some(FaultAction::Abort));
+        assert_eq!(
+            plan.lookup(1, 3),
+            Some(FaultAction::Delay(Duration::from_millis(1)))
+        );
+        assert_eq!(plan.lookup(2, 4), None);
+        assert_eq!(plan.lookup(0, 5), None);
+        assert_eq!(plan.victim(), Some(2));
+        assert_eq!(FaultPlan::none().victim(), None);
+    }
+}

@@ -48,6 +48,8 @@ mod backend;
 mod blackboard;
 mod comm;
 mod costmodel;
+mod error;
+mod fault;
 mod grid;
 mod p2p;
 mod scheduler;
@@ -59,6 +61,8 @@ mod window;
 pub use backend::{Backend, Comm, Mode, Serial, Threads};
 pub use comm::{RankComm, SimComm, ThreadComm};
 pub use costmodel::CostModel;
+pub use error::{CommError, Primitive, RankError, RankOutcome};
+pub use fault::{Fault, FaultAction, FaultComm, FaultPlan};
 pub use grid::{valid_layer_counts, Grid2D, Grid3D};
 pub use scheduler::rank_active_seconds;
 pub use stats::CommStats;

@@ -4,7 +4,8 @@
 //! message arrives — MPI's eager-protocol semantics, which is what the
 //! linear collective algorithms built on top assume for deadlock freedom.
 
-use crate::scheduler::Scheduler;
+use crate::error::{raise, Primitive};
+use crate::scheduler::{Scheduler, WaitSite};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -54,14 +55,17 @@ impl Hub {
 
     /// Block until a message from `(src, tag)` is available for `me`.
     ///
-    /// While waiting, the run permit is handed back to `sched` so that in a
-    /// serial universe the sender can execute; it is reacquired (with no
-    /// locks held, so a permit-holding sender can't deadlock against this
-    /// mailbox's mutex) before the message is popped. Only rank `me`'s own
-    /// thread receives from its mailbox, so a message observed before the
-    /// reacquisition is still there after it.
+    /// Waiting goes through [`Scheduler::park_until`]: the run permit is
+    /// handed back to `sched` so that in a serial universe the sender can
+    /// execute, and reacquired (with no locks held, so a permit-holding
+    /// sender can't deadlock against this mailbox's mutex) before the
+    /// message is popped. Only rank `me`'s own thread receives from its
+    /// mailbox, so a message observed before the reacquisition is still
+    /// there after it. Unwinds with a typed [`CommError`](crate::CommError)
+    /// if a peer dies or the watchdog expires while waiting.
     pub fn recv(&self, me: usize, src: usize, tag: u64, sched: &Scheduler) -> Envelope {
         let mbox = &self.boxes[me];
+        sched.check_healthy(Primitive::Recv);
         loop {
             {
                 let mut inner = mbox.inner.lock();
@@ -74,19 +78,17 @@ impl Hub {
                     }
                 }
             }
-            sched.release();
+            if let Err(e) =
+                sched.park_until(&mbox.inner, &mbox.cv, WaitSite::recv(src, tag), |inner| {
+                    inner
+                        .queues
+                        .get(&(src, tag))
+                        .map(|q| !q.is_empty())
+                        .unwrap_or(false)
+                })
             {
-                let mut inner = mbox.inner.lock();
-                while inner
-                    .queues
-                    .get(&(src, tag))
-                    .map(|q| q.is_empty())
-                    .unwrap_or(true)
-                {
-                    mbox.cv.wait(&mut inner);
-                }
+                raise(e);
             }
-            sched.acquire();
         }
     }
 
@@ -107,7 +109,7 @@ mod tests {
     use std::sync::Arc;
 
     fn sched() -> Arc<Scheduler> {
-        Scheduler::parallel()
+        Scheduler::parallel(2, None)
     }
 
     fn env<T: Send + 'static>(v: T, bytes: usize) -> Envelope {

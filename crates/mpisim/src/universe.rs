@@ -2,8 +2,10 @@
 
 use crate::backend::{Backend, Mode};
 use crate::comm::{RankComm, Shared, SimComm, ThreadComm};
-use crate::scheduler::Scheduler;
+use crate::error::{RankError, RankOutcome};
+use crate::scheduler::{self, PoisonGuard, Scheduler};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// A simulated machine allocation: `nranks` MPI ranks, each with
 /// `threads_per_rank` compute threads (the paper's `c = p · t` Figure 7
@@ -31,6 +33,7 @@ use std::sync::Arc;
 pub struct Universe {
     nranks: usize,
     threads_per_rank: usize,
+    watchdog: Option<Duration>,
 }
 
 impl Universe {
@@ -40,12 +43,27 @@ impl Universe {
     }
 
     /// `nranks` ranks × `threads_per_rank` compute threads.
+    ///
+    /// The stall watchdog starts from `SA_WATCHDOG_SECS` in the environment
+    /// (unset or `0` = off — the default, so tests exercise the no-deadline
+    /// path); [`Universe::with_watchdog`] overrides it per universe.
     pub fn with_threads(nranks: usize, threads_per_rank: usize) -> Universe {
         assert!(nranks >= 1 && threads_per_rank >= 1);
         Universe {
             nranks,
             threads_per_rank,
+            watchdog: watchdog_from_env(),
         }
+    }
+
+    /// Override the stall watchdog: a rank parked in one blocking primitive
+    /// for longer than `deadline` fails the whole job with a typed
+    /// [`CommError::Timeout`](crate::CommError::Timeout) (after printing a
+    /// who-waits-on-whom diagnostic) instead of hanging. `None` disables it.
+    /// No effect when the `watchdog` feature is compiled out.
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Universe {
+        self.watchdog = deadline;
+        self
     }
 
     pub fn nranks(&self) -> usize {
@@ -54,6 +72,11 @@ impl Universe {
 
     pub fn threads_per_rank(&self) -> usize {
         self.threads_per_rank
+    }
+
+    /// The configured watchdog deadline, if any.
+    pub fn watchdog(&self) -> Option<Duration> {
+        self.watchdog
     }
 
     /// Run `f` once per rank on the **serial simulator backend**
@@ -75,11 +98,7 @@ impl Universe {
         F: Fn(&SimComm) -> R + Send + Sync,
         R: Send,
     {
-        let sched = match Backend::from_env() {
-            Backend::Sim => Scheduler::serial(),
-            Backend::Threads => Scheduler::parallel(),
-        };
-        self.launch_sched(sched, f)
+        Self::unwrap_outcomes(self.launch_raw(self.sched_from_env(), f))
     }
 
     /// Run `f` once per rank on the **truly-parallel threads backend**
@@ -94,26 +113,100 @@ impl Universe {
         self.launch(f)
     }
 
-    /// Backend-generic launcher: spawns one OS thread per rank, builds the
-    /// rank's compute pool and communicator handle, and schedules execution
-    /// strictly according to the mode `M` (serial run permit or
-    /// free-running) — unlike [`Universe::run`], the environment is never
-    /// consulted.
+    /// Backend-generic launcher: spawns one OS thread per rank (named
+    /// `sa-rank-{r}` for readable backtraces), builds the rank's compute
+    /// pool and communicator handle, and schedules execution strictly
+    /// according to the mode `M` (serial run permit or free-running) —
+    /// unlike [`Universe::run`], the environment is never consulted.
     pub fn launch<M, F, R>(&self, f: F) -> Vec<R>
     where
         M: Mode,
         F: Fn(&RankComm<M>) -> R + Send + Sync,
         R: Send,
     {
-        let sched = if M::SERIAL {
-            Scheduler::serial()
-        } else {
-            Scheduler::parallel()
-        };
-        self.launch_sched(sched, f)
+        Self::unwrap_outcomes(self.launch_raw(self.sched_for_mode::<M>(), f))
     }
 
-    fn launch_sched<M, F, R>(&self, sched: Arc<Scheduler>, f: F) -> Vec<R>
+    /// Fault-tolerant variant of [`Universe::run`]: joins **all** rank
+    /// threads and returns one [`RankOutcome`] per rank, in rank order,
+    /// instead of re-raising the first panic. A rank that fails poisons the
+    /// job, so its surviving peers unwind out of their blocking primitives
+    /// with [`PeerFailed`](crate::CommError::PeerFailed) naming the victim —
+    /// every rank terminates, none hangs.
+    ///
+    /// ```
+    /// use sa_mpisim::{CommError, RankError, Universe};
+    ///
+    /// let u = Universe::new(3);
+    /// let out = u.try_run(|comm| {
+    ///     if comm.rank() == 1 {
+    ///         panic!("rank 1 dies");
+    ///     }
+    ///     comm.barrier();
+    ///     comm.rank()
+    /// });
+    /// assert!(matches!(out[1], Err(RankError::Panic { .. })));
+    /// for r in [0, 2] {
+    ///     assert!(matches!(
+    ///         out[r],
+    ///         Err(RankError::Comm(CommError::PeerFailed { rank: 1, .. }))
+    ///     ));
+    /// }
+    /// ```
+    pub fn try_run<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        F: Fn(&SimComm) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::classify_outcomes(self.launch_raw(self.sched_from_env(), f))
+    }
+
+    /// Fault-tolerant variant of [`Universe::run_threads`]; see
+    /// [`Universe::try_run`].
+    pub fn try_run_threads<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        F: Fn(&ThreadComm) -> R + Send + Sync,
+        R: Send,
+    {
+        self.try_launch(f)
+    }
+
+    /// Fault-tolerant variant of [`Universe::launch`]; see
+    /// [`Universe::try_run`].
+    pub fn try_launch<M, F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        M: Mode,
+        F: Fn(&RankComm<M>) -> R + Send + Sync,
+        R: Send,
+    {
+        Self::classify_outcomes(self.launch_raw(self.sched_for_mode::<M>(), f))
+    }
+
+    fn sched_from_env(&self) -> Arc<Scheduler> {
+        match Backend::from_env() {
+            Backend::Sim => Scheduler::serial(self.nranks, self.watchdog),
+            Backend::Threads => Scheduler::parallel(self.nranks, self.watchdog),
+        }
+    }
+
+    fn sched_for_mode<M: Mode>(&self) -> Arc<Scheduler> {
+        if M::SERIAL {
+            Scheduler::serial(self.nranks, self.watchdog)
+        } else {
+            Scheduler::parallel(self.nranks, self.watchdog)
+        }
+    }
+
+    /// Spawn, run and join **all** rank threads, returning each rank's raw
+    /// result or panic payload in rank order. Joining everyone (rather than
+    /// bailing at the first failed join) is what the poison machinery
+    /// guarantees is safe: a failed rank wakes every parked peer, so no
+    /// join can hang.
+    fn launch_raw<M, F, R>(
+        &self,
+        sched: Arc<Scheduler>,
+        f: F,
+    ) -> Vec<Result<R, Box<dyn std::any::Any + Send>>>
     where
         M: Mode,
         F: Fn(&RankComm<M>) -> R + Send + Sync,
@@ -126,35 +219,84 @@ impl Universe {
             let handles: Vec<_> = (0..self.nranks)
                 .map(|rank| {
                     let shared = shared.clone();
-                    scope.spawn(move || {
-                        let pool = Arc::new(
-                            rayon::ThreadPoolBuilder::new()
-                                .num_threads(tpr)
-                                .thread_name(move |i| format!("rank{rank}-w{i}"))
-                                .build()
-                                .expect("rank pool"),
-                        );
-                        let sched = shared.sched.clone();
-                        let comm = RankComm::new(rank, shared.hub_size(), shared, pool);
-                        // Serial mode: hold the run permit whenever this rank
-                        // executes; the guard releases it on return or panic.
-                        let _run = sched.runner();
-                        f(&comm)
-                    })
+                    std::thread::Builder::new()
+                        .name(format!("sa-rank-{rank}"))
+                        .spawn_scoped(scope, move || {
+                            scheduler::set_world_rank(rank);
+                            let pool = Arc::new(
+                                rayon::ThreadPoolBuilder::new()
+                                    .num_threads(tpr)
+                                    .thread_name(move |i| format!("rank{rank}-w{i}"))
+                                    .build()
+                                    .expect("rank pool"),
+                            );
+                            let sched = shared.sched.clone();
+                            let comm = RankComm::new(rank, shared.hub_size(), shared, pool);
+                            // Serial mode: hold the run permit whenever this
+                            // rank executes; the guard releases it on return
+                            // or panic. The poison guard is declared second
+                            // so it drops *first* on unwind: peers learn of
+                            // the failure before the permit recirculates.
+                            let _run = sched.runner();
+                            let _poison = PoisonGuard::new(&sched, rank);
+                            f(&comm)
+                        })
+                        .expect("spawn rank thread")
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(r) => r,
-                    // re-raise with the original payload so callers (and
-                    // `#[should_panic(expected = ...)]` tests) see the
-                    // rank's message, not a generic wrapper
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .collect()
+            handles.into_iter().map(|h| h.join()).collect()
         })
     }
+
+    fn classify_outcomes<R>(
+        raw: Vec<Result<R, Box<dyn std::any::Any + Send>>>,
+    ) -> Vec<RankOutcome<R>> {
+        raw.into_iter()
+            .map(|r| r.map_err(|payload| RankError::from_payload(payload.as_ref())))
+            .collect()
+    }
+
+    /// The panicking join: log **every** failed rank (a multi-rank failure
+    /// is debuggable only if the secondary outcomes are not swallowed),
+    /// then re-raise the first failure with its original payload so callers
+    /// (and `#[should_panic(expected = ...)]` tests) see the rank's own
+    /// message, not a generic wrapper.
+    fn unwrap_outcomes<R>(raw: Vec<Result<R, Box<dyn std::any::Any + Send>>>) -> Vec<R> {
+        if raw.iter().all(|r| r.is_ok()) {
+            return raw
+                .into_iter()
+                .map(|r| match r {
+                    Ok(v) => v,
+                    Err(_) => unreachable!("checked ok"),
+                })
+                .collect();
+        }
+        let mut first: Option<Box<dyn std::any::Any + Send>> = None;
+        for (rank, r) in raw.into_iter().enumerate() {
+            if let Err(payload) = r {
+                eprintln!(
+                    "[sa_mpisim] rank {rank} failed: {}",
+                    RankError::from_payload(payload.as_ref())
+                );
+                if first.is_none() {
+                    first = Some(payload);
+                }
+            }
+        }
+        std::panic::resume_unwind(first.expect("at least one failure"))
+    }
+}
+
+/// `SA_WATCHDOG_SECS` from the environment: fractional seconds accepted,
+/// unset / unparsable / `<= 0` = off. Always off when the `watchdog`
+/// feature is compiled out.
+fn watchdog_from_env() -> Option<Duration> {
+    if !cfg!(feature = "watchdog") {
+        return None;
+    }
+    let raw = std::env::var("SA_WATCHDOG_SECS").ok()?;
+    let secs: f64 = raw.trim().parse().ok()?;
+    (secs > 0.0).then(|| Duration::from_secs_f64(secs))
 }
 
 impl Shared {
@@ -430,6 +572,101 @@ mod tests {
             assert_eq!(*from_prev as usize, (r + 4) % 5);
             assert_eq!(*fetched, vec![((r + 1) % 5) as u32; 2]);
         }
+    }
+
+    #[test]
+    fn rank_threads_are_named() {
+        let u = Universe::new(3);
+        let got = u.run(|_comm| std::thread::current().name().map(String::from));
+        for (r, name) in got.iter().enumerate() {
+            assert_eq!(name.as_deref(), Some(format!("sa-rank-{r}").as_str()));
+        }
+    }
+
+    #[test]
+    fn try_run_returns_every_rank_outcome() {
+        use crate::{CommError, RankError};
+        // Rank 2 dies mid-job on both backends; the others must terminate
+        // with PeerFailed naming it, and ranks are joined in order.
+        fn job<M: Mode>(comm: &RankComm<M>) -> usize {
+            if comm.rank() == 2 {
+                panic!("rank 2 gives up");
+            }
+            comm.barrier();
+            comm.rank() * 10
+        }
+        for backend_threads in [false, true] {
+            let u = Universe::new(4);
+            let out = if backend_threads {
+                u.try_launch::<crate::Threads, _, _>(job)
+            } else {
+                u.try_launch::<crate::Serial, _, _>(job)
+            };
+            assert_eq!(out.len(), 4);
+            assert!(matches!(
+                &out[2],
+                Err(RankError::Panic { summary }) if summary.contains("rank 2 gives up")
+            ));
+            for r in [0, 1, 3] {
+                match &out[r] {
+                    Err(RankError::Comm(CommError::PeerFailed { rank, .. })) => {
+                        assert_eq!(*rank, 2, "survivor {r} must name the victim");
+                    }
+                    other => panic!("rank {r}: expected PeerFailed, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn try_run_is_all_ok_on_success() {
+        let u = Universe::new(3);
+        let out = u.try_run(|comm| comm.allreduce(1u64, |a, b| a + b));
+        assert_eq!(
+            out.into_iter().collect::<Result<Vec<_>, _>>().unwrap(),
+            vec![3, 3, 3]
+        );
+    }
+
+    #[cfg(feature = "watchdog")]
+    #[test]
+    fn watchdog_converts_deadlock_into_typed_failure() {
+        use crate::{CommError, RankError};
+        // Both ranks receive a message nobody sends: a certain deadlock.
+        // The watchdog must terminate the job — one rank times out, the
+        // other unwinds with PeerFailed naming it.
+        let u = Universe::new(2).with_watchdog(Some(Duration::from_millis(200)));
+        let out = u.try_run(|comm| {
+            let from = (comm.rank() + 1) % 2;
+            let _: Vec<u8> = comm.recv_vec(from, 0);
+        });
+        let timed_out: Vec<usize> = (0..2)
+            .filter(|&r| matches!(out[r], Err(RankError::Comm(CommError::Timeout { .. }))))
+            .collect();
+        assert_eq!(
+            timed_out.len(),
+            1,
+            "exactly one rank trips the watchdog: {out:?}"
+        );
+        let victim = timed_out[0];
+        assert!(
+            matches!(
+                out[1 - victim],
+                Err(RankError::Comm(CommError::PeerFailed { rank, .. })) if rank == victim
+            ),
+            "peer must name the timed-out rank: {out:?}"
+        );
+    }
+
+    #[test]
+    fn watchdog_env_knob_parses() {
+        // Parsing only — the env var itself is process-global, so don't set
+        // it here; with_watchdog covers the wiring.
+        let u = Universe::new(2).with_watchdog(Some(Duration::from_secs(7)));
+        if cfg!(feature = "watchdog") {
+            assert_eq!(u.watchdog(), Some(Duration::from_secs(7)));
+        }
+        assert_eq!(u.with_watchdog(None).watchdog(), None);
     }
 
     #[test]

@@ -2,54 +2,215 @@
 //! the library on the paper's actual SuiteSparse inputs when they have them.
 //!
 //! Supports `matrix coordinate (real|integer|pattern) (general|symmetric)`.
+//! Parse failures come back as a typed [`MmError`] naming the 1-based line
+//! (and, for token-level faults, byte column) where parsing stopped —
+//! real-world `.mtx` files are large and hand-edited often enough that
+//! "invalid data" without a location is useless.
 
 use crate::coo::Coo;
 use crate::csc::Csc;
 use crate::types::vidx;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 
+/// Why a Matrix Market stream could not be parsed, and where.
+#[derive(Debug)]
+pub struct MmError {
+    /// 1-based line number where parsing stopped; 0 when the stream itself
+    /// is at fault (empty input).
+    pub line: usize,
+    /// 1-based byte column of the offending token; 0 when the whole line
+    /// is at fault.
+    pub column: usize,
+    /// What went wrong there.
+    pub kind: MmErrorKind,
+}
+
+/// The specific parse failure inside an [`MmError`].
+#[derive(Debug)]
+pub enum MmErrorKind {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// The stream ended before the `%%MatrixMarket` banner.
+    EmptyFile,
+    /// The banner line is malformed or advertises an unsupported format.
+    BadHeader(String),
+    /// The `rows cols nnz` size line is malformed or missing.
+    BadSizeLine(String),
+    /// An entry line ended before the named field.
+    MissingField(&'static str),
+    /// A field failed to parse as the named kind of token.
+    BadToken {
+        /// What the token was supposed to be ("row index", "value", ...).
+        what: &'static str,
+        /// The token as it appeared in the stream.
+        token: String,
+    },
+    /// A coordinate fell outside the declared dimensions (or was 0 in the
+    /// 1-based format).
+    IndexOutOfBounds {
+        i: usize,
+        j: usize,
+        nrows: usize,
+        ncols: usize,
+    },
+    /// The size line declared `expected` entries but the stream carried
+    /// `found`.
+    EntryCount { expected: usize, found: usize },
+}
+
+impl MmError {
+    fn at(line: usize, kind: MmErrorKind) -> MmError {
+        MmError {
+            line,
+            column: 0,
+            kind,
+        }
+    }
+
+    fn at_col(line: usize, column: usize, kind: MmErrorKind) -> MmError {
+        MmError { line, column, kind }
+    }
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MatrixMarket: ")?;
+        if self.line > 0 {
+            write!(f, "line {}", self.line)?;
+            if self.column > 0 {
+                write!(f, ", column {}", self.column)?;
+            }
+            write!(f, ": ")?;
+        }
+        match &self.kind {
+            MmErrorKind::Io(e) => write!(f, "read failed: {e}"),
+            MmErrorKind::EmptyFile => write!(f, "empty file"),
+            MmErrorKind::BadHeader(why) => write!(f, "{why}"),
+            MmErrorKind::BadSizeLine(why) => write!(f, "{why}"),
+            MmErrorKind::MissingField(what) => {
+                write!(f, "entry line ends before the {what}")
+            }
+            MmErrorKind::BadToken { what, token } => {
+                write!(f, "'{token}' is not a valid {what}")
+            }
+            MmErrorKind::IndexOutOfBounds { i, j, nrows, ncols } => write!(
+                f,
+                "entry ({i}, {j}) outside the declared {nrows}x{ncols} shape \
+                 (1-based indices expected)"
+            ),
+            MmErrorKind::EntryCount { expected, found } => {
+                write!(
+                    f,
+                    "size line declared {expected} entries, stream carried {found}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for MmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match &self.kind {
+            MmErrorKind::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MmError> for std::io::Error {
+    fn from(e: MmError) -> std::io::Error {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
 /// Parse a Matrix Market stream into CSC (duplicates summed; symmetric
-/// storage expanded).
-pub fn read_matrix_market<R: Read>(reader: R) -> std::io::Result<Csc<f64>> {
+/// storage expanded). Typed-error variant of [`read_matrix_market`].
+pub fn try_read_matrix_market<R: Read>(reader: R) -> Result<Csc<f64>, MmError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty file"))??
-        .to_lowercase();
+    let mut lineno = 1usize;
+
+    let header = match lines.next() {
+        None => return Err(MmError::at(0, MmErrorKind::EmptyFile)),
+        Some(Err(e)) => return Err(MmError::at(1, MmErrorKind::Io(e))),
+        Some(Ok(l)) => l.to_lowercase(),
+    };
     let fields: Vec<&str> = header.split_whitespace().collect();
     if fields.len() < 5 || !fields[0].starts_with("%%matrixmarket") {
-        return Err(bad("missing %%MatrixMarket header"));
+        return Err(MmError::at(
+            lineno,
+            MmErrorKind::BadHeader("missing %%MatrixMarket header".into()),
+        ));
     }
     if fields[1] != "matrix" || fields[2] != "coordinate" {
-        return Err(bad("only coordinate matrices supported"));
+        return Err(MmError::at(
+            lineno,
+            MmErrorKind::BadHeader("only coordinate matrices supported".into()),
+        ));
     }
     let pattern = fields[3] == "pattern";
     if !matches!(fields[3], "real" | "integer" | "pattern") {
-        return Err(bad("unsupported value type"));
+        return Err(MmError::at_col(
+            lineno,
+            col_of(&header, fields[3]),
+            MmErrorKind::BadHeader(format!("unsupported value type '{}'", fields[3])),
+        ));
     }
     let symmetric = match fields[4] {
         "general" => false,
         "symmetric" => true,
-        other => return Err(bad(&format!("unsupported symmetry '{other}'"))),
+        other => {
+            return Err(MmError::at_col(
+                lineno,
+                col_of(&header, other),
+                MmErrorKind::BadHeader(format!("unsupported symmetry '{other}'")),
+            ))
+        }
     };
 
     // size line (skipping comments)
     let mut size_line = String::new();
+    let mut size_lineno = 0usize;
     for line in lines.by_ref() {
-        let line = line?;
+        lineno += 1;
+        let line = line.map_err(|e| MmError::at(lineno, MmErrorKind::Io(e)))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        size_line = t.to_string();
+        size_line = line;
+        size_lineno = lineno;
         break;
     }
-    let dims: Vec<usize> = size_line
-        .split_whitespace()
-        .map(|t| t.parse().map_err(|_| bad("bad size line")))
-        .collect::<Result<_, _>>()?;
-    if dims.len() != 3 {
-        return Err(bad("size line needs 'rows cols nnz'"));
+    if size_lineno == 0 {
+        return Err(MmError::at(
+            lineno,
+            MmErrorKind::BadSizeLine("stream ended before the size line".into()),
+        ));
+    }
+    let mut dims = [0usize; 3];
+    let mut ntok = 0usize;
+    for tok in size_line.split_whitespace() {
+        if ntok == 3 {
+            ntok = 4;
+            break;
+        }
+        dims[ntok] = tok.parse().map_err(|_| {
+            MmError::at_col(
+                size_lineno,
+                col_of(&size_line, tok),
+                MmErrorKind::BadToken {
+                    what: "size",
+                    token: tok.into(),
+                },
+            )
+        })?;
+        ntok += 1;
+    }
+    if ntok != 3 {
+        return Err(MmError::at(
+            size_lineno,
+            MmErrorKind::BadSizeLine("size line needs 'rows cols nnz'".into()),
+        ));
     }
     let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
 
@@ -57,32 +218,37 @@ pub fn read_matrix_market<R: Read>(reader: R) -> std::io::Result<Csc<f64>> {
     m.entries.reserve(if symmetric { nnz * 2 } else { nnz });
     let mut read = 0usize;
     for line in lines {
-        let line = line?;
+        lineno += 1;
+        let line = line.map_err(|e| MmError::at(lineno, MmErrorKind::Io(e)))?;
         let t = line.trim();
         if t.is_empty() || t.starts_with('%') {
             continue;
         }
-        let mut it = t.split_whitespace();
-        let i: usize = it
-            .next()
-            .ok_or_else(|| bad("short entry line"))?
-            .parse()
-            .map_err(|_| bad("bad row index"))?;
-        let j: usize = it
-            .next()
-            .ok_or_else(|| bad("short entry line"))?
-            .parse()
-            .map_err(|_| bad("bad col index"))?;
+        let mut it = line.split_whitespace();
+        let i = parse_index(&mut it, &line, lineno, "row index")?;
+        let j = parse_index(&mut it, &line, lineno, "column index")?;
         let v: f64 = if pattern {
             1.0
         } else {
-            it.next()
-                .ok_or_else(|| bad("missing value"))?
-                .parse()
-                .map_err(|_| bad("bad value"))?
+            let tok = it
+                .next()
+                .ok_or_else(|| MmError::at(lineno, MmErrorKind::MissingField("value")))?;
+            tok.parse().map_err(|_| {
+                MmError::at_col(
+                    lineno,
+                    col_of(&line, tok),
+                    MmErrorKind::BadToken {
+                        what: "value",
+                        token: tok.into(),
+                    },
+                )
+            })?
         };
         if i == 0 || j == 0 || i > nrows || j > ncols {
-            return Err(bad("index out of bounds (1-based expected)"));
+            return Err(MmError::at(
+                lineno,
+                MmErrorKind::IndexOutOfBounds { i, j, nrows, ncols },
+            ));
         }
         m.push(vidx(i - 1), vidx(j - 1), v);
         if symmetric && i != j {
@@ -91,9 +257,22 @@ pub fn read_matrix_market<R: Read>(reader: R) -> std::io::Result<Csc<f64>> {
         read += 1;
     }
     if read != nnz {
-        return Err(bad(&format!("expected {nnz} entries, found {read}")));
+        return Err(MmError::at(
+            lineno,
+            MmErrorKind::EntryCount {
+                expected: nnz,
+                found: read,
+            },
+        ));
     }
     Ok(m.to_csc())
+}
+
+/// Parse a Matrix Market stream into CSC (duplicates summed; symmetric
+/// storage expanded). The typed [`MmError`] is flattened into an
+/// `InvalidData` [`std::io::Error`] whose message carries the line/column.
+pub fn read_matrix_market<R: Read>(reader: R) -> std::io::Result<Csc<f64>> {
+    try_read_matrix_market(reader).map_err(Into::into)
 }
 
 /// Write CSC as `matrix coordinate real general`.
@@ -108,11 +287,31 @@ pub fn write_matrix_market<W: Write>(writer: W, a: &Csc<f64>) -> std::io::Result
     w.flush()
 }
 
-fn bad(msg: &str) -> std::io::Error {
-    std::io::Error::new(
-        std::io::ErrorKind::InvalidData,
-        format!("MatrixMarket: {msg}"),
-    )
+/// 1-based byte column of `tok` inside `line` (`tok` must be a subslice of
+/// `line`, as `split_whitespace` yields).
+fn col_of(line: &str, tok: &str) -> usize {
+    (tok.as_ptr() as usize).saturating_sub(line.as_ptr() as usize) + 1
+}
+
+fn parse_index(
+    it: &mut std::str::SplitWhitespace<'_>,
+    line: &str,
+    lineno: usize,
+    what: &'static str,
+) -> Result<usize, MmError> {
+    let tok = it
+        .next()
+        .ok_or_else(|| MmError::at(lineno, MmErrorKind::MissingField(what)))?;
+    tok.parse().map_err(|_| {
+        MmError::at_col(
+            lineno,
+            col_of(line, tok),
+            MmErrorKind::BadToken {
+                what,
+                token: tok.into(),
+            },
+        )
+    })
 }
 
 #[cfg(test)]
@@ -162,5 +361,49 @@ mod tests {
         );
         let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
         assert!(read_matrix_market(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn errors_carry_line_and_column() {
+        let bad_val =
+            "%%MatrixMarket matrix coordinate real general\n% c\n2 2 2\n1 1 1.0\n2 2 oops\n";
+        let e = try_read_matrix_market(bad_val.as_bytes()).unwrap_err();
+        assert_eq!((e.line, e.column), (5, 5));
+        assert!(matches!(
+            e.kind,
+            MmErrorKind::BadToken { what: "value", .. }
+        ));
+        assert!(e.to_string().contains("line 5, column 5"), "{e}");
+
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let e = try_read_matrix_market(oob.as_bytes()).unwrap_err();
+        assert_eq!((e.line, e.column), (3, 0));
+        assert!(matches!(
+            e.kind,
+            MmErrorKind::IndexOutOfBounds { i: 3, j: 1, .. }
+        ));
+
+        let short = "%%MatrixMarket matrix coordinate real general\n3 3 5\n1 1 1.0\n";
+        let e = try_read_matrix_market(short.as_bytes()).unwrap_err();
+        assert!(matches!(
+            e.kind,
+            MmErrorKind::EntryCount {
+                expected: 5,
+                found: 1
+            }
+        ));
+
+        let bad_size = "%%MatrixMarket matrix coordinate real general\n3 x 5\n";
+        let e = try_read_matrix_market(bad_size.as_bytes()).unwrap_err();
+        assert_eq!((e.line, e.column), (2, 3));
+    }
+
+    #[test]
+    fn typed_errors_flatten_to_io() {
+        let e: std::io::Error = try_read_matrix_market("junk".as_bytes())
+            .unwrap_err()
+            .into();
+        assert_eq!(e.kind(), std::io::ErrorKind::InvalidData);
+        assert!(e.to_string().contains("MatrixMarket"), "{e}");
     }
 }

@@ -2,4 +2,6 @@
 
 pub mod matrix_market;
 
-pub use matrix_market::{read_matrix_market, write_matrix_market};
+pub use matrix_market::{
+    read_matrix_market, try_read_matrix_market, write_matrix_market, MmError, MmErrorKind,
+};

@@ -7,6 +7,7 @@
 
 use std::ops::{Deref, DerefMut};
 use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdGuard};
+use std::time::Duration;
 
 /// Mutual exclusion primitive, poison-free `lock()`.
 #[derive(Default)]
@@ -72,12 +73,44 @@ impl Condvar {
         guard.guard = Some(reacquired);
     }
 
+    /// As [`Condvar::wait`], but give up after `timeout`. Mirrors
+    /// parking_lot's `wait_for`: the result says whether the wait timed out
+    /// (spurious wakeups are possible either way, so callers re-check their
+    /// condition regardless).
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.guard.take().expect("guard present before wait");
+        let (reacquired, res) = self
+            .inner
+            .wait_timeout(std_guard, timeout)
+            .unwrap_or_else(|p| p.into_inner());
+        guard.guard = Some(reacquired);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
     pub fn notify_one(&self) {
         self.inner.notify_one();
     }
 
     pub fn notify_all(&self) {
         self.inner.notify_all();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
     }
 }
 

@@ -62,7 +62,8 @@ pub mod prelude {
         FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
     };
     pub use sa_mpisim::{
-        Backend, Comm, CostModel, Phase, PhaseTimes, SimComm, ThreadComm, Universe,
+        Backend, Comm, CommError, CostModel, FaultComm, FaultPlan, Phase, PhaseTimes, RankError,
+        RankOutcome, SimComm, ThreadComm, Universe,
     };
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
     pub use sa_sparse as sparse_crate;

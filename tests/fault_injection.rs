@@ -1,0 +1,339 @@
+//! Fault-injection acceptance suite (PR 6): the runtime must convert rank
+//! deaths into *typed, attributed, bounded* failures instead of hangs.
+//!
+//! The matrix: every distributed workload (1D / 2D / 3D sparsity-aware
+//! multiply, a cached `SpgemmSession` multiply + `update_a`, and the
+//! `spgemm_auto` tuner pick) × every fault shape (abort at the victim's
+//! first communication call, abort mid-stream inside a collective's
+//! constituent point-to-point calls, and a straggler delay) × both
+//! backends (`launch::<Serial>` / `launch::<Threads>`). In every abort
+//! cell the job must terminate within the watchdog deadline with the
+//! victim reporting its own panic and **every** survivor reporting
+//! [`CommError::PeerFailed`] naming the victim.
+//!
+//! Plus the two supporting properties:
+//! * **wrapper neutrality** — a zero-fault [`FaultComm`] is byte-identical
+//!   to the bare backend (same results, same metered traffic), so the
+//!   harness measures the runtime, not itself;
+//! * **replayability** — the same seeded [`FaultPlan`] yields the same
+//!   surviving-rank error set run after run on the serial backend.
+
+use saspgemm::dist::{
+    spgemm_1d, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa, uniform_offsets, CacheConfig,
+    DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
+};
+use saspgemm::mpisim::{
+    Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D, Grid3D, Mode, RankError, Serial,
+    Threads, Universe,
+};
+use saspgemm::sparse::gen::erdos_renyi;
+use saspgemm::sparse::Csc;
+use std::sync::Once;
+use std::time::Duration;
+
+/// Suppress the default panic banner for the panics this suite *plans*
+/// (injected faults and the typed `CommError` payloads they trigger on
+/// peers); real, unexpected panics still print.
+fn quiet_expected_panics() {
+    static ONCE: Once = Once::new();
+    ONCE.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let p = info.payload();
+            let expected = p.downcast_ref::<CommError>().is_some()
+                || p.downcast_ref::<String>()
+                    .is_some_and(|s| s.contains("injected fault"))
+                || p.downcast_ref::<&str>()
+                    .is_some_and(|s| s.contains("injected fault"));
+            if !expected {
+                default(info);
+            }
+        }));
+    });
+}
+
+/// ER matrix with small-integer values, so f64 accumulation is exact and
+/// fingerprints compare with `==`.
+fn int_er(n: usize, deg: f64, seed: u64) -> Csc<f64> {
+    erdos_renyi(n, n, deg, seed).map(|v| (v * 7.0).round() + 1.0)
+}
+
+/// Position-weighted checksum of a matrix — order-independent, exact for
+/// integer-valued operands.
+fn fp(c: &Csc<f64>) -> String {
+    let mut sum = 0.0f64;
+    for (r, col, v) in c.iter() {
+        sum += v * ((3 * r + 5 * col + 7) as f64);
+    }
+    format!("{}x{} nnz={} sum={}", c.nrows(), c.ncols(), c.nnz(), sum)
+}
+
+fn fp_opt(c: &Option<Csc<f64>>) -> String {
+    match c {
+        Some(c) => fp(c),
+        None => "none".to_string(),
+    }
+}
+
+/// Every workload of the fault matrix, identified by name so one generic
+/// driver can sweep them. Returns a wall-clock-free fingerprint (results +
+/// metered traffic), so a straggler run must fingerprint identically to a
+/// clean one.
+fn workload<C: Comm>(name: &str, comm: &C) -> String {
+    match name {
+        "1d" => {
+            let a = int_er(48, 3.0, 101);
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let before = comm.stats();
+            let (c, rep) = spgemm_1d(comm, &da, &db, &Plan1D::default());
+            format!(
+                "{} {:?} fetched={}",
+                fp(&c.into_local_csc()),
+                comm.stats() - before,
+                rep.fetched_bytes
+            )
+        }
+        "2d" => {
+            let a = int_er(40, 3.0, 102);
+            let b = int_er(40, 2.5, 103);
+            let grid = Grid2D::new(comm, 2, 2);
+            let da = DistMat2D::from_global(&grid, &a);
+            let db = DistMat2D::from_global(&grid, &b);
+            let before = comm.stats();
+            let (c, rep) = spgemm_summa_2d_sa(comm, &grid, &da, &db, FetchMode::Block(4));
+            format!(
+                "{} {:?} shipped={}",
+                fp_opt(&c.gather(comm, &grid)),
+                comm.stats() - before,
+                rep.b_shipped_bytes
+            )
+        }
+        "3d" => {
+            let a = int_er(36, 3.0, 104);
+            let b = int_er(36, 3.0, 105);
+            let grid = Grid3D::new(comm, 2, 1);
+            let da = DistMat3D::from_global_split_cols(&grid, &a);
+            let db = DistMat3D::from_global_split_rows(&grid, &b);
+            let before = comm.stats();
+            let (c, rep) = spgemm_split_3d_sa(comm, &grid, &da, &db, FetchMode::Block(4));
+            format!(
+                "{} {:?} reduced={}",
+                fp_opt(&c.gather(comm)),
+                comm.stats() - before,
+                rep.reduce_bytes
+            )
+        }
+        "session" => {
+            let a = int_er(60, 3.0, 106);
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let mut session = SpgemmSession::create(
+                comm,
+                da.clone(),
+                Plan1D::default(),
+                CacheConfig::unlimited(),
+            );
+            let (c1, r1) = session.multiply(comm, &db);
+            let a2 = a.map(|v| v + 1.0);
+            let invalidated = session.update_a(comm, DistMat1D::from_global(comm, &a2, &offsets));
+            let (c2, r2) = session.multiply(comm, &db);
+            format!(
+                "{} {} inv={} fresh=({},{}) hit=({},{})",
+                fp(&c1.into_local_csc()),
+                fp(&c2.into_local_csc()),
+                invalidated,
+                r1.fresh_bytes,
+                r2.fresh_bytes,
+                r1.cache_hit_bytes,
+                r2.cache_hit_bytes
+            )
+        }
+        "auto" => {
+            let a = int_er(48, 3.0, 107);
+            let b = int_er(48, 3.0, 108);
+            let (c, rep) = spgemm_auto(comm, &a, &b, &CostModel::slingshot());
+            format!("{} {:?} {:?}", fp_opt(&c), rep.choice, rep.comm)
+        }
+        other => panic!("unknown workload {other}"),
+    }
+}
+
+/// All workloads run on 4 ranks (the 3D case as a 2x2 grid x 1 layer).
+const WORKLOADS: [&str; 5] = ["1d", "2d", "3d", "session", "auto"];
+const NRANKS: usize = 4;
+const VICTIM: usize = 1;
+
+/// A long deadline that only fires if failure propagation itself is
+/// broken: a regression hangs for a minute and then fails typed, instead
+/// of hanging the suite forever.
+fn universe() -> Universe {
+    Universe::new(NRANKS).with_watchdog(Some(Duration::from_secs(60)))
+}
+
+/// Run `name` with `plan` injected on every rank; return the per-rank
+/// outcomes.
+fn faulted_run<M: Mode>(name: &'static str, plan: &FaultPlan) -> Vec<Result<String, RankError>> {
+    universe().try_launch::<M, _, _>(|comm| {
+        let fc = FaultComm::new(comm.split(0, comm.rank()), plan.clone());
+        workload(name, &fc)
+    })
+}
+
+/// The abort half of the matrix: victim dies at `at_op`, every survivor
+/// must fail typed, naming the victim.
+fn assert_abort_matrix<M: Mode>(at_op: u64) {
+    quiet_expected_panics();
+    for name in WORKLOADS {
+        let plan = FaultPlan::abort_at(VICTIM, at_op);
+        let out = faulted_run::<M>(name, &plan);
+        assert_eq!(out.len(), NRANKS);
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                Ok(res) => panic!(
+                    "{name} at_op={at_op}: rank {r} finished ({res}) despite the injected fault"
+                ),
+                Err(RankError::Panic { summary }) => {
+                    assert_eq!(
+                        r, VICTIM,
+                        "{name} at_op={at_op}: non-victim rank {r} panicked: {summary}"
+                    );
+                    assert!(
+                        summary.contains("injected fault"),
+                        "{name} at_op={at_op}: victim died of something else: {summary}"
+                    );
+                }
+                Err(RankError::Comm(CommError::PeerFailed { rank, primitive })) => {
+                    assert_ne!(r, VICTIM, "{name} at_op={at_op}: victim saw a peer failure");
+                    assert_eq!(
+                        *rank, VICTIM,
+                        "{name} at_op={at_op}: rank {r} blamed rank {rank} (in {primitive}) instead of the victim"
+                    );
+                }
+                Err(e) => panic!("{name} at_op={at_op}: rank {r} failed untyped: {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn abort_at_first_op_fails_every_survivor_typed_serial() {
+    assert_abort_matrix::<Serial>(0);
+}
+
+#[test]
+fn abort_at_first_op_fails_every_survivor_typed_threads() {
+    assert_abort_matrix::<Threads>(0);
+}
+
+#[test]
+fn abort_mid_collective_fails_every_survivor_typed_serial() {
+    assert_abort_matrix::<Serial>(5);
+}
+
+#[test]
+fn abort_mid_collective_fails_every_survivor_typed_threads() {
+    assert_abort_matrix::<Threads>(5);
+}
+
+/// The straggler half of the matrix: a delayed rank stalls the job but
+/// every rank still completes, with results and metered traffic identical
+/// to a clean run.
+fn assert_straggler_matrix<M: Mode>() {
+    quiet_expected_panics();
+    for name in WORKLOADS {
+        let clean = faulted_run::<M>(name, &FaultPlan::none());
+        let slow = faulted_run::<M>(
+            name,
+            &FaultPlan::delay_at(VICTIM, 3, Duration::from_millis(30)),
+        );
+        for (r, (c, s)) in clean.iter().zip(&slow).enumerate() {
+            let c = c
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}: clean run failed on rank {r}: {e:?}"));
+            let s = s
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}: straggler run failed on rank {r}: {e:?}"));
+            assert_eq!(
+                c, s,
+                "{name}: a straggler changed rank {r}'s results/traffic"
+            );
+        }
+    }
+}
+
+#[test]
+fn straggler_stalls_but_completes_identically_serial() {
+    assert_straggler_matrix::<Serial>();
+}
+
+#[test]
+fn straggler_stalls_but_completes_identically_threads() {
+    assert_straggler_matrix::<Threads>();
+}
+
+/// Wrapper neutrality: a zero-fault `FaultComm` must be indistinguishable
+/// from the bare backend on the backend-equivalence surface — same
+/// results, same metered traffic, per rank, on both backends.
+#[test]
+fn zero_fault_wrapper_is_byte_identical_to_bare_backend() {
+    for name in WORKLOADS {
+        let u = universe();
+        let bare = u.launch::<Serial, _, _>(|comm| workload(name, comm));
+        let wrapped = u.launch::<Serial, _, _>(|comm| {
+            workload(
+                name,
+                &FaultComm::new(comm.split(0, comm.rank()), FaultPlan::none()),
+            )
+        });
+        assert_eq!(
+            bare, wrapped,
+            "{name}: wrapper perturbed the serial backend"
+        );
+        let bare_t = u.launch::<Threads, _, _>(|comm| workload(name, comm));
+        let wrapped_t = u.launch::<Threads, _, _>(|comm| {
+            workload(
+                name,
+                &FaultComm::new(comm.split(0, comm.rank()), FaultPlan::none()),
+            )
+        });
+        assert_eq!(
+            bare_t, wrapped_t,
+            "{name}: wrapper perturbed the threads backend"
+        );
+        assert_eq!(bare, bare_t, "{name}: backends diverged");
+    }
+}
+
+/// Replayability: the same seeded plan must produce the same
+/// surviving-rank error set on the deterministic serial backend, run
+/// after run — what makes a red fault run debuggable.
+#[test]
+fn seeded_fault_runs_are_replayable() {
+    quiet_expected_panics();
+    for seed in [1u64, 7, 99] {
+        let plan = FaultPlan::seeded(seed, NRANKS, 8);
+        let victim = plan.victim().expect("seeded plan kills someone");
+        let shape = |out: &[Result<String, RankError>]| -> Vec<String> {
+            out.iter()
+                .map(|o| match o {
+                    Ok(_) => "ok".to_string(),
+                    Err(RankError::Panic { .. }) => "panic".to_string(),
+                    Err(RankError::Comm(CommError::PeerFailed { rank, .. })) => {
+                        format!("peer-failed({rank})")
+                    }
+                    Err(e) => format!("{e:?}"),
+                })
+                .collect()
+        };
+        let first = shape(&faulted_run::<Serial>("1d", &plan));
+        let second = shape(&faulted_run::<Serial>("1d", &plan));
+        assert_eq!(first, second, "seed {seed}: fault run not replayable");
+        assert_eq!(
+            first[victim], "panic",
+            "seed {seed}: victim {victim} survived"
+        );
+    }
+}
