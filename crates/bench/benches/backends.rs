@@ -1,6 +1,7 @@
 //! Backend comparison: the serial rank-loop simulator (`SimComm`) vs the
-//! truly-parallel threads-as-ranks backend (`ThreadComm`) on the 1D claim
-//! suite (squaring the Table II scaling set).
+//! truly-parallel threads-as-ranks backend (`ThreadComm`) vs the
+//! process-per-rank socket backend (`ProcComm`) on the 1D claim suite
+//! (squaring the Table II scaling set).
 //!
 //! What this bench establishes, per matrix and rank count:
 //!
@@ -13,6 +14,10 @@
 //!   multi-rank time-to-solution.
 //! * **Threaded wall** (`wall_threads`): launch-to-join under
 //!   `ThreadComm`, i.e. real concurrent execution on this host's cores.
+//! * **Process wall** (`wall_procs`): launch-to-join under `ProcComm` —
+//!   fork, TCP mesh bring-up, the multiply with every byte crossing
+//!   localhost sockets, and result collection. The gap to `wall_threads`
+//!   is the real cost of process isolation + serialization.
 //! * **Critical path** (`tts`): the slowest rank's *active* time —
 //!   [`sa_mpisim::rank_active_seconds`], the span each rank holds the
 //!   serial backend's run permit. Blocked time (receives, barriers,
@@ -34,7 +39,7 @@ use sa_sparse::gen::Dataset;
 fn main() {
     banner(
         "backends",
-        "SimComm (serial rank-loop) vs ThreadComm (threads-as-ranks), 1D claim suite",
+        "SimComm (serial rank-loop) vs ThreadComm (threads-as-ranks) vs ProcComm (process-per-rank sockets), 1D claim suite",
         ">=2x speedup over the serial simulator at P>=8 once ranks run concurrently",
     );
     let cores = std::thread::available_parallelism()
@@ -52,6 +57,7 @@ fn main() {
         "fetched_MB_total".into(),
         "wall_sim_ms".into(),
         "wall_threads_ms".into(),
+        "wall_procs_ms".into(),
         "tts_ms".into(),
         "sum_rank_ms".into(),
         "speedup_wall".into(),
@@ -80,12 +86,28 @@ fn main() {
                 (wall, (ranks, wall))
             });
 
+            let (_t, (ranks_proc, wall_proc)) = best_of(reps(), || {
+                let u = universe(p);
+                let t0 = std::time::Instant::now();
+                // real OS processes; each rank's report returns over a socket
+                let ranks = u.run_procs(|comm| square_rank(comm, &prep, &plan()));
+                let wall = t0.elapsed().as_secs_f64();
+                (wall, (ranks, wall))
+            });
+
             // The backends must be indistinguishable on the wire, rank by
             // rank, before their times mean anything.
             for (r, ((s, _), (t, _))) in ranks_sim.iter().zip(&ranks_thr).enumerate() {
                 assert_eq!(s.comm, t.comm, "{d:?} P={p} rank {r}: traffic diverged");
                 assert_eq!(s.fetched_bytes, t.fetched_bytes, "{d:?} P={p} rank {r}");
                 assert_eq!(s.rdma_msgs, t.rdma_msgs, "{d:?} P={p} rank {r}");
+            }
+            for (r, ((s, _), (q, _))) in ranks_sim.iter().zip(&ranks_proc).enumerate() {
+                assert_eq!(
+                    s.comm, q.comm,
+                    "{d:?} P={p} rank {r}: procs traffic diverged from sim"
+                );
+                assert_eq!(s.fetched_bytes, q.fetched_bytes, "{d:?} P={p} rank {r}");
             }
 
             let total_fetched: u64 = ranks_sim.iter().map(|(r, _)| r.fetched_bytes).sum();
@@ -99,6 +121,7 @@ fn main() {
                 mb(total_fetched),
                 ms(wall_sim),
                 ms(wall_thr),
+                ms(wall_proc),
                 ms(tts),
                 ms(sum),
                 format!("{:.2}", wall_sim / wall_thr),
@@ -106,5 +129,7 @@ fn main() {
             ]);
         }
     }
-    println!("# traffic: byte-identical across backends on every row (asserted per rank)");
+    println!(
+        "# traffic: byte-identical across all three backends on every row (asserted per rank)"
+    );
 }

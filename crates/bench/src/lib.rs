@@ -11,12 +11,14 @@
 //! * `SA_SCALE` = `tiny` | `small` (default) | `medium` — dataset sizes;
 //! * `SA_QUICK=1` — fewer rank counts / iterations for smoke runs;
 //! * `SA_REPS=n` — repetitions per measurement (best kept);
-//! * `SA_BACKEND` = `sim` (default) | `threads`, or the `--backend <name>`
-//!   bench argument — which communicator backend executes the simulated
-//!   ranks ([`SimComm`](sa_mpisim::SimComm) serial rank-loop vs
-//!   [`ThreadComm`](sa_mpisim::ThreadComm) truly-parallel threads).
-//!   Metered traffic is byte-identical either way; only wall-clock
-//!   changes. `--bench backends` compares the two directly.
+//! * `SA_BACKEND` = `sim` (default) | `threads` | `procs`, or the
+//!   `--backend <name>` bench argument — which communicator backend
+//!   executes the simulated ranks ([`SimComm`](sa_mpisim::SimComm) serial
+//!   rank-loop, [`ThreadComm`](sa_mpisim::ThreadComm) truly-parallel
+//!   threads, or [`ProcComm`](sa_mpisim::ProcComm) one OS process per rank
+//!   over localhost sockets). Metered traffic is byte-identical across all
+//!   three; only wall-clock changes. `--bench backends` compares them
+//!   directly.
 //!
 //! Harness map: [`plan`]/[`scale`]/[`load`] configure a run,
 //! [`square_1d`] executes the canonical squaring workload,
@@ -55,17 +57,20 @@ pub fn plan() -> Plan1D {
 /// The communicator backend the benches run on: `--backend <name>` in the
 /// bench arguments wins, then `SA_BACKEND`, then the serial simulator.
 /// Benches that call [`run_square_prepared`] (directly or through
-/// [`square_1d`]) honor both spellings; benches that spin up a
-/// [`Universe`] themselves honor `SA_BACKEND` only (the env knob redirects
-/// `Universe::run`'s scheduler globally — the CLI flag does not reach
-/// them).
+/// [`square_1d`]) honor both spellings on all three backends (the procs
+/// leg dispatches through `Universe::run_procs`). Benches that spin up a
+/// [`Universe`] themselves and call `Universe::run` honor `SA_BACKEND`
+/// only, and only for the *in-process* schedulers — under
+/// `SA_BACKEND=procs` those entry points fail fast with a typed panic
+/// naming `run_procs` (an in-process closure cannot cross a process
+/// boundary), rather than silently falling back to the simulator.
 pub fn backend() -> Backend {
     let mut args = std::env::args();
     while let Some(a) = args.next() {
         if a == "--backend" {
             let v = args.next().expect("--backend requires a value");
             return Backend::parse(&v)
-                .unwrap_or_else(|| panic!("--backend {v}: expected 'sim' or 'threads'"));
+                .unwrap_or_else(|| panic!("--backend {v}: expected 'sim', 'threads', or 'procs'"));
         }
     }
     Backend::from_env()
@@ -237,6 +242,8 @@ pub fn run_square_prepared_on(
             Backend::Threads => {
                 u.launch::<sa_mpisim::Threads, _, _>(|comm| square_rank(comm, prep, &plan).0)
             }
+            // one OS process per rank; the report crosses back over a socket
+            Backend::Procs => u.run_procs(|comm| square_rank(comm, prep, &plan).0),
         };
         let wall = t0.elapsed().as_secs_f64();
         (wall, (reports, wall))

@@ -23,7 +23,7 @@
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, RankMeta, ENTRY_BYTES};
 use crate::shape::ShapeError;
-use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow, PhaseTimes};
+use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow, PhaseTimes, Wire, WireError};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
@@ -135,6 +135,44 @@ pub struct SpgemmReport {
     /// Finer split of the same call: symbolic / fetch / compute /
     /// assemble seconds (see [`PhaseTimes`] for the stage definitions).
     pub phases: PhaseTimes,
+}
+
+/// Wire encoding so per-rank reports can cross a process boundary — the
+/// `procs` backend returns each rank's result over a socket. Field order is
+/// declaration order; floats travel bit-exact (`f64::to_bits`), so an
+/// encoded report round-trips to an `==`-identical struct.
+impl Wire for SpgemmReport {
+    fn put(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.fetched_bytes,
+            self.fresh_bytes,
+            self.cache_hit_bytes,
+            self.needed_bytes,
+            self.fetched_bytes_global,
+            self.rdma_msgs,
+        ] {
+            v.put(out);
+        }
+        self.cv_over_mem.put(out);
+        self.comm.put(out);
+        self.breakdown.put(out);
+        self.phases.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SpgemmReport {
+            fetched_bytes: u64::get(buf)?,
+            fresh_bytes: u64::get(buf)?,
+            cache_hit_bytes: u64::get(buf)?,
+            needed_bytes: u64::get(buf)?,
+            fetched_bytes_global: u64::get(buf)?,
+            rdma_msgs: u64::get(buf)?,
+            cv_over_mem: f64::get(buf)?,
+            comm: CommStats::get(buf)?,
+            // `<_ as Wire>` sidesteps Breakdown's inherent `get(&self, Phase)`
+            breakdown: <Breakdown as Wire>::get(buf)?,
+            phases: PhaseTimes::get(buf)?,
+        })
+    }
 }
 
 /// Pre-communication analysis of a 1D multiply (Algorithm 1 lines 1–6

@@ -34,6 +34,7 @@
 //! ```
 
 use crate::stats::CommStats;
+use crate::window::{Exposure, WindowSpec};
 use std::any::Any;
 use std::sync::Arc;
 
@@ -129,6 +130,18 @@ pub trait Comm: Sized {
     /// remote fetches only.
     #[doc(hidden)]
     fn record_get(&self, bytes: usize);
+
+    /// Collective window exposure (`MPI_Win_create`). The default routes
+    /// through [`exchange_arcs`](Comm::exchange_arcs) — zero-copy sharing,
+    /// correct for any in-process backend. A cross-process backend overrides
+    /// this to register the deposit with its progress engine and return an
+    /// [`Exposure::Remote`] transport instead; like `exchange_arcs`, the
+    /// exposure itself is unmetered (the subsequent `get`s are what's
+    /// metered).
+    #[doc(hidden)]
+    fn expose(&self, spec: WindowSpec) -> Exposure {
+        Exposure::Shared(self.exchange_arcs(spec.arc))
+    }
 
     /// Execute `f` on this rank's compute pool.
     fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
@@ -348,14 +361,19 @@ pub enum Backend {
     Sim,
     /// Truly-parallel threads-as-ranks backend (`ThreadComm`).
     Threads,
+    /// Process-per-rank localhost-socket backend
+    /// ([`ProcComm`](crate::ProcComm)).
+    Procs,
 }
 
 impl Backend {
-    /// Parse a `--backend` value: `sim` | `serial` | `threads` | `thread`.
+    /// Parse a `--backend` value: `sim` | `serial` | `threads` | `thread` |
+    /// `procs` | `proc` | `process`.
     pub fn parse(s: &str) -> Option<Backend> {
         match s.trim().to_ascii_lowercase().as_str() {
             "sim" | "serial" => Some(Backend::Sim),
             "threads" | "thread" => Some(Backend::Threads),
+            "procs" | "proc" | "process" => Some(Backend::Procs),
             _ => None,
         }
     }
@@ -366,17 +384,27 @@ impl Backend {
     pub fn from_env() -> Backend {
         match std::env::var("SA_BACKEND") {
             Ok(v) => Backend::parse(&v)
-                .unwrap_or_else(|| panic!("SA_BACKEND={v}: expected 'sim' or 'threads'")),
+                .unwrap_or_else(|| panic!("SA_BACKEND={v}: expected 'sim', 'threads', or 'procs'")),
             Err(_) => Backend::Sim,
         }
     }
 
-    /// The backend's canonical name (`"sim"` / `"threads"`).
+    /// The backend's canonical name (`"sim"` / `"threads"` / `"procs"`).
     pub fn name(self) -> &'static str {
         match self {
             Backend::Sim => Serial::NAME,
             Backend::Threads => Threads::NAME,
+            Backend::Procs => "procs",
         }
+    }
+
+    /// Whether this backend executes ranks inside the calling process
+    /// (thread-per-rank) rather than as separate OS processes. In-process
+    /// backends share one address space, so tests that reach across ranks
+    /// through shared memory (or rely on a shared panic hook) only work
+    /// when this is true.
+    pub fn in_process(self) -> bool {
+        !matches!(self, Backend::Procs)
     }
 }
 
@@ -390,6 +418,8 @@ mod tests {
         assert_eq!(Backend::parse("Serial"), Some(Backend::Sim));
         assert_eq!(Backend::parse("threads"), Some(Backend::Threads));
         assert_eq!(Backend::parse("THREAD"), Some(Backend::Threads));
+        assert_eq!(Backend::parse("procs"), Some(Backend::Procs));
+        assert_eq!(Backend::parse("Process"), Some(Backend::Procs));
         assert_eq!(Backend::parse("mpi"), None);
         assert_eq!(Backend::default(), Backend::Sim);
     }
@@ -398,5 +428,9 @@ mod tests {
     fn mode_names_match_backend_names() {
         assert_eq!(Backend::Sim.name(), "sim");
         assert_eq!(Backend::Threads.name(), "threads");
+        assert_eq!(Backend::Procs.name(), "procs");
+        assert!(Backend::Sim.in_process());
+        assert!(Backend::Threads.in_process());
+        assert!(!Backend::Procs.in_process());
     }
 }

@@ -221,6 +221,16 @@ impl<C: Comm> Comm for FaultComm<C> {
     fn record_get(&self, bytes: usize) {
         self.inner.record_get(bytes);
     }
+
+    fn expose(&self, spec: crate::window::WindowSpec) -> crate::window::Exposure {
+        // Explicit, not inherited: the default would route through *this*
+        // wrapper's `exchange_arcs` (fine in-process, panics on a remote
+        // backend). One checkpoint here keeps the fault-op numbering of a
+        // window exposure identical to the pre-`expose` era, so existing
+        // plans' injection coordinates don't shift.
+        self.checkpoint();
+        self.inner.expose(spec)
+    }
 }
 
 #[cfg(test)]

@@ -52,11 +52,13 @@ mod error;
 mod fault;
 mod grid;
 mod p2p;
+mod proc;
 mod scheduler;
 mod stats;
 mod timer;
 mod universe;
 mod window;
+mod wire;
 
 pub use backend::{Backend, Comm, Mode, Serial, Threads};
 pub use comm::{RankComm, SimComm, ThreadComm};
@@ -64,8 +66,12 @@ pub use costmodel::CostModel;
 pub use error::{CommError, Primitive, RankError, RankOutcome};
 pub use fault::{Fault, FaultAction, FaultComm, FaultPlan};
 pub use grid::{valid_layer_counts, Grid2D, Grid3D};
+pub use proc::{kill_self_with_sigkill, ProcComm};
 pub use scheduler::rank_active_seconds;
 pub use stats::CommStats;
 pub use timer::{Breakdown, Phase, PhaseTimes, Timer};
-pub use universe::Universe;
-pub use window::{PairedWindow, Window, WindowError};
+pub use universe::{RankJob, Universe};
+pub use window::{
+    Exposure, PairedWindow, PartSpec, RemoteWindow, WinElem, Window, WindowError, WindowSpec,
+};
+pub use wire::{Frame, Wire, WireError, MAX_FRAME};

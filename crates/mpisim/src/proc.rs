@@ -1,0 +1,1219 @@
+//! Process-per-rank backend: one OS process per rank over localhost TCP.
+//!
+//! The in-process backends ([`SimComm`](crate::SimComm),
+//! [`ThreadComm`](crate::ThreadComm)) share one address space, which makes
+//! wall-clock numbers thread-shared and window gets zero-copy. `ProcComm`
+//! is the backend that makes multi-core measurements honest: every rank is
+//! a forked OS process with its own heap, and all communication crosses a
+//! real socket using the [`wire`](crate::wire) framing.
+//!
+//! # Architecture
+//!
+//! * **Bootstrap.** The parent binds a rendezvous listener, forks `n`
+//!   children, then accepts one connection per child. Each child binds its
+//!   own mesh listener, connects to the parent, and sends
+//!   [`Frame::Hello`] with its rank and mesh port; the parent answers with
+//!   [`Frame::Table`] (every rank's port). Children then build a full
+//!   peer-to-peer mesh: rank `r` dials every `s < r` (announcing itself
+//!   with [`Frame::Peer`]) and accepts from every `s > r`.
+//! * **Progress engine.** Per peer, each child runs a *reader* thread
+//!   (drains the socket: data into the inbox, get-responses into the
+//!   response map, get-requests onto a service queue, failure frames into
+//!   the scheduler poison) and a *responder* thread (services queued
+//!   [`Frame::GetReq`]s against the window registry and writes
+//!   [`Frame::GetResp`]). Readers never write and responders never read,
+//!   so every socket always has an active drain — the classic two-sided
+//!   TCP flow-control deadlock cannot form.
+//! * **Blocking.** The rank's main thread blocks only through
+//!   [`Scheduler::park_until`], the same single parking point as the
+//!   in-process backends — so poison wake-ups ([`CommError::PeerFailed`])
+//!   and the stall watchdog ([`CommError::Timeout`] plus the wait-table
+//!   dump) work identically. A dead socket poisons the job: the reader
+//!   that sees an unexpected EOF names that peer as the victim.
+//! * **Windows.** [`Comm::expose`] registers the deposit with the local
+//!   progress engine and allgathers `(window id, lengths)`; gets travel as
+//!   `GetReq`/`GetResp` byte ranges served by the *target's responder
+//!   thread* — the rank's own main thread is never involved, preserving
+//!   the passive-target contract. After its closure finishes, a rank keeps
+//!   serving gets until every peer has sent [`Frame::Bye`] (the shutdown
+//!   rendezvous), so no get can race a peer's exit.
+//! * **Outcomes.** Each child reports a serialized
+//!   [`RankOutcome`](crate::RankOutcome) to the parent over its bootstrap
+//!   socket and `_exit`s. A child that dies without reporting (e.g.
+//!   `kill -9`) is classified from its `waitpid` status.
+//!
+//! Accounting is byte-identical to `SimComm` by construction: `send_vec` /
+//! `recv_vec` meter `len * size_of::<T>()` exactly like
+//! [`RankComm`](crate::RankComm) (self-sends free, control-plane frames
+//! unmetered, window gets charged to the issuer only), and all nine
+//! collectives are provided [`Comm`] methods over that metered core. The
+//! backend-conformance suite asserts the identity per rank.
+
+use crate::backend::Comm;
+use crate::error::{raise, CommError, Primitive, RankError, RankOutcome};
+use crate::scheduler::{self, PoisonGuard, Scheduler, WaitSite};
+use crate::stats::{CommStats, StatsCell};
+use crate::window::{Exposure, PartSpec, RemoteWindow, WindowSpec};
+use crate::wire::{vec_codec, Frame, Wire, MAX_FRAME};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::ops::Range;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Minimal libc surface for process management — declared directly so the
+/// offline build needs no `libc` crate.
+pub(crate) mod sys {
+    extern "C" {
+        pub fn fork() -> i32;
+        pub fn waitpid(pid: i32, status: *mut i32, options: i32) -> i32;
+        pub fn kill(pid: i32, sig: i32) -> i32;
+        pub fn getpid() -> i32;
+        pub fn _exit(code: i32) -> !;
+    }
+
+    /// `WIFEXITED`/`WEXITSTATUS`: normal exit code, if any.
+    pub fn exit_code(status: i32) -> Option<i32> {
+        ((status & 0x7f) == 0).then_some((status >> 8) & 0xff)
+    }
+
+    /// `WIFSIGNALED`/`WTERMSIG`: fatal signal number, if any.
+    pub fn term_signal(status: i32) -> Option<i32> {
+        let sig = status & 0x7f;
+        (sig != 0 && sig != 0x7f).then_some(sig)
+    }
+}
+
+/// Kill the calling process with SIGKILL — no unwinding, no atexit, no
+/// chance to say goodbye. The real "power cord pulled" failure mode for
+/// the fault matrix; survivors must detect it from the dead socket alone.
+pub fn kill_self_with_sigkill() -> ! {
+    unsafe {
+        sys::kill(sys::getpid(), 9);
+    }
+    // SIGKILL is not deliverable to a stopped clock, but is to us; if the
+    // kernel somehow let us get here, exit hard anyway.
+    unsafe { sys::_exit(137) }
+}
+
+// ---------------------------------------------------------------------------
+// Socket framing helpers
+// ---------------------------------------------------------------------------
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let body = frame.to_bytes();
+    debug_assert!(body.len() <= MAX_FRAME);
+    let mut msg = Vec::with_capacity(4 + body.len());
+    (body.len() as u32).put(&mut msg);
+    msg.extend_from_slice(&body);
+    stream.write_all(&msg)
+}
+
+fn read_frame(stream: &mut impl Read) -> std::io::Result<Frame> {
+    let mut len4 = [0u8; 4];
+    stream.read_exact(&mut len4)?;
+    let len = u32::from_le_bytes(len4) as usize;
+    if len > MAX_FRAME {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body)?;
+    Frame::from_bytes(&body)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Per-process shared state (one ProcNode per child process)
+// ---------------------------------------------------------------------------
+
+/// Inbox key: (communicator id, sender's rank *in that communicator*, tag).
+type MsgKey = (u64, u64, u64);
+
+/// A queued two-sided message: self-sends stay as their live `Vec<T>` (no
+/// serialization inside one process), peer messages arrive as wire bytes.
+enum InPayload {
+    Local(Box<dyn Any + Send>),
+    Remote {
+        type_fp: u64,
+        count: u64,
+        bytes: Vec<u8>,
+        /// What the receiver must meter, or `None` for control frames.
+        meter_bytes: Option<u64>,
+    },
+}
+
+struct Inbox {
+    map: Mutex<HashMap<MsgKey, VecDeque<InPayload>>>,
+    cv: Condvar,
+}
+
+struct GetRespMap {
+    map: Mutex<HashMap<u64, Vec<u8>>>,
+    cv: Condvar,
+}
+
+struct RegisteredWindow {
+    arc: Arc<dyn Any + Send + Sync>,
+    parts: Vec<PartSpec>,
+    extract: fn(&(dyn Any + Send + Sync), usize, Range<usize>, &mut Vec<u8>),
+}
+
+/// One queued get-request from a specific peer.
+struct GetWork {
+    req_id: u64,
+    win_id: u64,
+    part: u32,
+    start: u64,
+    end: u64,
+}
+
+struct GetQueue {
+    q: Mutex<VecDeque<GetWork>>,
+    cv: Condvar,
+}
+
+/// Everything one rank *process* shares between its main thread and its
+/// per-peer reader/responder threads.
+struct ProcNode {
+    world_rank: usize,
+    world_size: usize,
+    sched: Arc<Scheduler>,
+    /// Write halves of the mesh links, indexed by world rank (`None` at
+    /// our own slot). Locked per write; one frame per `write_all`.
+    links: Vec<Option<Mutex<TcpStream>>>,
+    inbox: Inbox,
+    getresp: GetRespMap,
+    windows: Mutex<HashMap<u64, RegisteredWindow>>,
+    next_win: AtomicU64,
+    next_req: AtomicU64,
+    /// Which peers have finished (Bye, Abort, or EOF) — the shutdown
+    /// rendezvous waits for all of them so our windows outlive their gets.
+    peers_done: Mutex<Vec<bool>>,
+    peers_done_cv: Condvar,
+}
+
+impl ProcNode {
+    fn send_frame(&self, world: usize, frame: &Frame) -> std::io::Result<()> {
+        let link = self.links[world]
+            .as_ref()
+            .expect("no link to self — caller handles self-sends locally");
+        write_frame(&mut link.lock(), frame)
+    }
+
+    /// Best-effort frame to every peer (shutdown/failure notifications).
+    fn send_frame_all(&self, frame: &Frame) {
+        for world in 0..self.world_size {
+            if world != self.world_rank {
+                let _ = self.send_frame(world, frame);
+            }
+        }
+    }
+
+    fn mark_peer_done(&self, world: usize) {
+        let mut done = self.peers_done.lock();
+        done[world] = true;
+        self.peers_done_cv.notify_all();
+    }
+
+    /// Reader thread body for the link to `peer`: drain frames forever.
+    /// Never writes to any socket (deadlock-freedom invariant).
+    fn reader_loop(self: &Arc<Self>, peer: usize, stream: TcpStream, getq: Arc<GetQueue>) {
+        let mut stream = std::io::BufReader::new(stream);
+        let mut clean = false;
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Frame::Data {
+                    comm_id,
+                    src,
+                    tag,
+                    metered,
+                    meter_bytes,
+                    type_fp,
+                    count,
+                    payload,
+                }) => {
+                    let mut map = self.inbox.map.lock();
+                    map.entry((comm_id, src, tag))
+                        .or_default()
+                        .push_back(InPayload::Remote {
+                            type_fp,
+                            count,
+                            bytes: payload,
+                            meter_bytes: metered.then_some(meter_bytes),
+                        });
+                    drop(map);
+                    self.inbox.cv.notify_all();
+                }
+                Ok(Frame::GetReq {
+                    req_id,
+                    win_id,
+                    part,
+                    start,
+                    end,
+                }) => {
+                    let mut q = getq.q.lock();
+                    q.push_back(GetWork {
+                        req_id,
+                        win_id,
+                        part,
+                        start,
+                        end,
+                    });
+                    drop(q);
+                    getq.cv.notify_all();
+                }
+                Ok(Frame::GetResp { req_id, payload }) => {
+                    self.getresp.map.lock().insert(req_id, payload);
+                    self.getresp.cv.notify_all();
+                }
+                Ok(Frame::Abort { victim }) => {
+                    self.sched.poison(victim as usize);
+                    self.mark_peer_done(peer);
+                }
+                Ok(Frame::Bye) => {
+                    clean = true;
+                    self.mark_peer_done(peer);
+                }
+                Ok(_) => {
+                    // Bootstrap frame after bootstrap: protocol corruption.
+                    self.sched.poison(peer);
+                    self.mark_peer_done(peer);
+                    return;
+                }
+                Err(_) => {
+                    // EOF or garbage. After a Bye this is the peer's normal
+                    // exit; before one it is a crash (e.g. kill -9) — the
+                    // dead socket is the failure signal, poison the job.
+                    if !clean {
+                        self.sched.poison(peer);
+                    }
+                    self.mark_peer_done(peer);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Responder thread body: service `peer`'s get-requests against the
+    /// window registry. Writes only `GetResp` frames (to `peer`).
+    fn responder_loop(self: &Arc<Self>, peer: usize, getq: Arc<GetQueue>) {
+        loop {
+            let work = {
+                let mut q = getq.q.lock();
+                loop {
+                    if let Some(w) = q.pop_front() {
+                        break w;
+                    }
+                    getq.cv.wait(&mut q);
+                }
+            };
+            let mut bytes = Vec::new();
+            let served = {
+                let windows = self.windows.lock();
+                match windows.get(&work.win_id) {
+                    Some(win) => {
+                        let part = work.part as usize;
+                        let (start, end) = (work.start as usize, work.end as usize);
+                        if part < win.parts.len() && start <= end && end <= win.parts[part].len {
+                            (win.extract)(win.arc.as_ref(), part, start..end, &mut bytes);
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                }
+            };
+            if !served {
+                // A request for a window we never exposed (or out of
+                // bounds): protocol corruption — fail the job rather than
+                // leave the requester parked until its watchdog.
+                self.sched.poison(self.world_rank);
+                continue;
+            }
+            let frame = Frame::GetResp {
+                req_id: work.req_id,
+                payload: bytes,
+            };
+            // A failed write means the requester died; its own machinery
+            // (EOF reader → poison) handles it.
+            let _ = self.send_frame(peer, &frame);
+        }
+    }
+}
+
+/// The one-sided transport handed to [`Window`](crate::Window) /
+/// [`PairedWindow`](crate::PairedWindow) by [`ProcComm::expose`].
+struct ProcRemoteWindow {
+    node: Arc<ProcNode>,
+    /// Communicator rank → world rank.
+    members: Arc<Vec<usize>>,
+    /// Communicator rank → that rank's window id in *its* registry.
+    win_ids: Vec<u64>,
+}
+
+impl RemoteWindow for ProcRemoteWindow {
+    fn get_bytes(&self, rank: usize, part: usize, range: Range<usize>, out: &mut Vec<u8>) {
+        let world = self.members[rank];
+        let req_id = self.node.next_req.fetch_add(1, Ordering::SeqCst);
+        let frame = Frame::GetReq {
+            req_id,
+            win_id: self.win_ids[rank],
+            part: part as u32,
+            start: range.start as u64,
+            end: range.end as u64,
+        };
+        if self.node.send_frame(world, &frame).is_err() {
+            self.node.sched.poison(world);
+        }
+        let site = WaitSite::recv(world, req_id);
+        match self
+            .node
+            .sched
+            .park_until(&self.node.getresp.map, &self.node.getresp.cv, site, |m| {
+                m.contains_key(&req_id)
+            }) {
+            Ok(()) => {
+                let bytes = self
+                    .node
+                    .getresp
+                    .map
+                    .lock()
+                    .remove(&req_id)
+                    .expect("park_until observed the response");
+                out.extend_from_slice(&bytes);
+            }
+            Err(e) => raise(e),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The communicator
+// ---------------------------------------------------------------------------
+
+/// Control-plane tag namespace: bit 62 set, sequence number below. User
+/// tags stay under 2^48 and collective tags set bit 63, so the spaces are
+/// disjoint.
+const CTRL: u64 = 1 << 62;
+
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One rank's handle on the **process-per-rank socket backend**.
+///
+/// Obtained inside [`Universe::run_procs`](crate::Universe::run_procs) /
+/// [`Universe::try_run_procs`](crate::Universe::try_run_procs) closures
+/// (or via `SA_BACKEND=procs` through
+/// [`Universe::run_backend`](crate::Universe::run_backend)); cannot be
+/// constructed directly. Implements the full [`Comm`] contract with
+/// byte-identical accounting to the in-process backends; window exposure
+/// goes through [`Comm::expose`] (this backend has no shared memory, so
+/// [`Comm::exchange_arcs`] panics — no caller outside the in-process
+/// internals uses it).
+pub struct ProcComm {
+    rank: usize,
+    size: usize,
+    comm_id: u64,
+    /// Communicator rank → world rank.
+    members: Arc<Vec<usize>>,
+    node: Arc<ProcNode>,
+    /// Shared across sub-communicators split from this one ("one NIC per
+    /// rank"), like [`RankComm`](crate::RankComm).
+    stats: Rc<StatsCell>,
+    op_counter: Cell<u64>,
+    ctrl_counter: Cell<u64>,
+    pool: Arc<rayon::ThreadPool>,
+}
+
+impl ProcComm {
+    fn world_of(&self, comm_rank: usize) -> usize {
+        self.members[comm_rank]
+    }
+
+    fn next_ctrl(&self) -> u64 {
+        let v = self.ctrl_counter.get();
+        self.ctrl_counter.set(v + 1);
+        v
+    }
+
+    fn push_local(&self, tag: u64, payload: Box<dyn Any + Send>) {
+        let mut map = self.node.inbox.map.lock();
+        map.entry((self.comm_id, self.rank as u64, tag))
+            .or_default()
+            .push_back(InPayload::Local(payload));
+    }
+
+    /// Park until a message under `key` is queued, then pop it. The only
+    /// blocking point of the two-sided path — poison and watchdog flow
+    /// through [`Scheduler::park_until`] exactly as in-process.
+    fn pop_message(&self, key: MsgKey, site: WaitSite) -> InPayload {
+        let ready =
+            |m: &HashMap<MsgKey, VecDeque<InPayload>>| m.get(&key).is_some_and(|q| !q.is_empty());
+        if let Err(e) =
+            self.node
+                .sched
+                .park_until(&self.node.inbox.map, &self.node.inbox.cv, site, ready)
+        {
+            raise(e);
+        }
+        self.node
+            .inbox
+            .map
+            .lock()
+            .get_mut(&key)
+            .and_then(|q| q.pop_front())
+            .expect("park_until observed a queued message")
+    }
+
+    fn send_wire_frame<T: Send + 'static>(
+        &self,
+        dst: usize,
+        tag: u64,
+        data: Vec<T>,
+        metered: bool,
+        meter_bytes: u64,
+    ) {
+        let codec = vec_codec::<T>().unwrap_or_else(|| {
+            panic!(
+                "ProcComm::send_vec::<{}>: element type not in the wire codec \
+                 registry (crates/mpisim/src/wire.rs) — register it there to \
+                 send it across a process boundary",
+                std::any::type_name::<T>()
+            )
+        });
+        let (count, payload) = (codec.encode)(&data as &(dyn Any + Send));
+        let frame = Frame::Data {
+            comm_id: self.comm_id,
+            src: self.rank as u64,
+            tag,
+            metered,
+            meter_bytes,
+            type_fp: codec.fp,
+            count,
+            payload,
+        };
+        let world = self.world_of(dst);
+        if self.node.send_frame(world, &frame).is_err() {
+            // Dead socket: the peer is gone. Name the job's victim and
+            // unwind — a send can no longer be "eager and never blocks"
+            // when the destination no longer exists.
+            self.node.sched.poison(world);
+            let victim = self.node.sched.poison_victim().unwrap_or(world);
+            raise(CommError::PeerFailed {
+                rank: victim,
+                primitive: Primitive::Recv,
+            });
+        }
+    }
+
+    /// Unmetered control-plane send of a `u64` vector (collective
+    /// bookkeeping: barrier, split, expose). Not visible in [`CommStats`] —
+    /// the in-process backends' rendezvous (`exchange_arcs`, barrier
+    /// generations) is equally invisible, which is what keeps the
+    /// accounting byte-identical across backends.
+    fn ctrl_send(&self, dst: usize, seq: u64, data: Vec<u64>) {
+        let tag = CTRL | seq;
+        if dst == self.rank {
+            self.push_local(tag, Box::new(data));
+        } else {
+            self.send_wire_frame(dst, tag, data, false, 0);
+        }
+    }
+
+    fn ctrl_recv(&self, src: usize, seq: u64, site: WaitSite) -> Vec<u64> {
+        let key = (self.comm_id, src as u64, CTRL | seq);
+        match self.pop_message(key, site) {
+            InPayload::Local(any) => *any.downcast::<Vec<u64>>().expect("ctrl payload type"),
+            InPayload::Remote {
+                type_fp,
+                count,
+                bytes,
+                ..
+            } => {
+                let codec = vec_codec::<u64>().expect("u64 codec registered");
+                assert_eq!(type_fp, codec.fp, "ctrl payload type mismatch");
+                *(codec.decode)(count, &bytes)
+                    .expect("ctrl payload decode")
+                    .downcast::<Vec<u64>>()
+                    .expect("ctrl payload type")
+            }
+        }
+    }
+
+    /// Control-plane allgather (linear through communicator rank 0), used
+    /// by `barrier`/`split`/`expose`. Collective: every rank calls it in
+    /// the same order, so one `next_ctrl` pair stays aligned.
+    fn ctrl_allgather(&self, mine: Vec<u64>, site: fn() -> WaitSite) -> Vec<Vec<u64>> {
+        let gather_seq = self.next_ctrl();
+        let release_seq = self.next_ctrl();
+        if self.rank == 0 {
+            let mut all = vec![mine];
+            for src in 1..self.size {
+                all.push(self.ctrl_recv(src, gather_seq, site()));
+            }
+            // Flatten as [len, vals...] per rank for the release broadcast.
+            let mut flat = Vec::new();
+            for v in &all {
+                flat.push(v.len() as u64);
+                flat.extend_from_slice(v);
+            }
+            for dst in 1..self.size {
+                self.ctrl_send(dst, release_seq, flat.clone());
+            }
+            all
+        } else {
+            self.ctrl_send(0, gather_seq, mine);
+            let flat = self.ctrl_recv(0, release_seq, site());
+            let mut all = Vec::with_capacity(self.size);
+            let mut i = 0usize;
+            while i < flat.len() {
+                let len = flat[i] as usize;
+                all.push(flat[i + 1..i + 1 + len].to_vec());
+                i += 1 + len;
+            }
+            assert_eq!(all.len(), self.size, "ctrl allgather shape");
+            all
+        }
+    }
+}
+
+impl Comm for ProcComm {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn size(&self) -> usize {
+        self.size
+    }
+
+    fn stats(&self) -> CommStats {
+        self.stats.snapshot()
+    }
+
+    fn pool(&self) -> &rayon::ThreadPool {
+        &self.pool
+    }
+
+    fn barrier(&self) {
+        self.node.sched.check_healthy(Primitive::Barrier);
+        // Linear rendezvous through communicator rank 0, all control-plane
+        // (unmetered), parking under the barrier wait-site so failures
+        // surface as PeerFailed{primitive: Barrier} like in-process.
+        self.ctrl_allgather(Vec::new(), WaitSite::barrier);
+    }
+
+    fn send_vec<T: Send + 'static>(&self, dst: usize, tag: u64, data: Vec<T>) {
+        assert!(
+            dst < self.size,
+            "send_vec to rank {dst}, communicator has {}",
+            self.size
+        );
+        if dst == self.rank {
+            // Self-sends are free and never serialized (matching RankComm).
+            self.push_local(tag, Box::new(data));
+            return;
+        }
+        let bytes = (data.len() * std::mem::size_of::<T>()) as u64;
+        self.stats.record_send(bytes as usize);
+        self.send_wire_frame(dst, tag, data, true, bytes);
+    }
+
+    fn recv_vec<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        assert!(
+            src < self.size,
+            "recv_vec from rank {src}, communicator has {}",
+            self.size
+        );
+        let key = (self.comm_id, src as u64, tag);
+        let site = WaitSite::recv(self.world_of(src), tag);
+        match self.pop_message(key, site) {
+            InPayload::Local(any) => *any.downcast::<Vec<T>>().expect("message type mismatch"),
+            InPayload::Remote {
+                type_fp,
+                count,
+                bytes,
+                meter_bytes,
+            } => {
+                if let Some(b) = meter_bytes {
+                    self.stats.record_recv(b as usize);
+                }
+                let codec = vec_codec::<T>().unwrap_or_else(|| {
+                    panic!(
+                        "ProcComm::recv_vec::<{}>: element type not in the wire \
+                         codec registry",
+                        std::any::type_name::<T>()
+                    )
+                });
+                assert_eq!(
+                    type_fp, codec.fp,
+                    "message type mismatch: receiver expects {}",
+                    codec.type_name
+                );
+                *(codec.decode)(count, &bytes)
+                    .expect("peer sent an undecodable payload")
+                    .downcast::<Vec<T>>()
+                    .expect("message type mismatch")
+            }
+        }
+    }
+
+    fn probe(&self, src: usize, tag: u64) -> bool {
+        let key = (self.comm_id, src as u64, tag);
+        self.node
+            .inbox
+            .map
+            .lock()
+            .get(&key)
+            .is_some_and(|q| !q.is_empty())
+    }
+
+    fn split(&self, color: usize, key: usize) -> ProcComm {
+        self.node.sched.check_healthy(Primitive::Exchange);
+        let split_seq = self.ctrl_counter.get(); // pre-allgather, aligned across ranks
+        let all = self.ctrl_allgather(vec![color as u64, key as u64], || WaitSite::exchange(0));
+        let mut group: Vec<(u64, usize)> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, ck)| ck[0] == color as u64)
+            .map(|(r, ck)| (ck[1], r))
+            .collect();
+        group.sort(); // by (key, old rank)
+        let new_rank = group
+            .iter()
+            .position(|&(_, r)| r == self.rank)
+            .expect("own rank in own color group");
+        let members: Vec<usize> = group.iter().map(|&(_, r)| self.world_of(r)).collect();
+        let comm_id = mix64(
+            self.comm_id ^ (split_seq << 20) ^ (color as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        ProcComm {
+            rank: new_rank,
+            size: members.len(),
+            comm_id,
+            members: Arc::new(members),
+            node: self.node.clone(),
+            stats: self.stats.clone(),
+            op_counter: Cell::new(0),
+            ctrl_counter: Cell::new(0),
+            pool: self.pool.clone(),
+        }
+    }
+
+    fn next_op(&self) -> u64 {
+        let v = self.op_counter.get();
+        self.op_counter.set(v + 1);
+        v
+    }
+
+    fn exchange_arcs(&self, _value: Arc<dyn Any + Send + Sync>) -> Vec<Arc<dyn Any + Send + Sync>> {
+        panic!(
+            "ProcComm::exchange_arcs: ranks are separate OS processes and cannot \
+             share Arcs; window exposure goes through Comm::expose (which this \
+             backend implements natively) — nothing else should call exchange_arcs"
+        );
+    }
+
+    fn record_get(&self, bytes: usize) {
+        self.stats.record_get(bytes);
+    }
+
+    fn expose(&self, spec: WindowSpec) -> Exposure {
+        self.node.sched.check_healthy(Primitive::Exchange);
+        // Register the deposit with the local progress engine first, so a
+        // fast peer's get (issued right after the allgather releases it)
+        // always finds the window.
+        let win_id = self.node.next_win.fetch_add(1, Ordering::SeqCst);
+        self.node.windows.lock().insert(
+            win_id,
+            RegisteredWindow {
+                arc: spec.arc,
+                parts: spec.parts.clone(),
+                extract: spec.extract,
+            },
+        );
+        let mut mine = vec![win_id];
+        mine.extend(spec.parts.iter().map(|p| p.len as u64));
+        let all = self.ctrl_allgather(mine, || WaitSite::exchange(0));
+        let mut win_ids = Vec::with_capacity(self.size);
+        let mut lens = Vec::with_capacity(self.size);
+        for entry in &all {
+            win_ids.push(entry[0]);
+            lens.push(entry[1..].iter().map(|&l| l as usize).collect::<Vec<_>>());
+        }
+        Exposure::Remote {
+            lens,
+            transport: Arc::new(ProcRemoteWindow {
+                node: self.node.clone(),
+                members: self.members.clone(),
+                win_ids,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Child-side launch
+// ---------------------------------------------------------------------------
+
+/// Build the mesh, run the rank closure, rendezvous, report, `_exit`.
+/// Never returns; never unwinds past this frame.
+fn child_main<F, R>(
+    rank: usize,
+    nranks: usize,
+    threads_per_rank: usize,
+    watchdog: Option<Duration>,
+    parent_addr: SocketAddr,
+    f: &F,
+) -> !
+where
+    F: Fn(&ProcComm) -> R + Send + Sync,
+    R: Wire + Send,
+{
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        child_body(rank, nranks, threads_per_rank, watchdog, parent_addr, f)
+    }));
+    // A panic escaping child_body means bootstrap itself failed (sockets,
+    // fork siblings dead, ...) — nothing to report on, just die nonzero so
+    // the parent classifies us from waitpid.
+    match outcome {
+        Ok(code) => unsafe { sys::_exit(code) },
+        Err(_) => unsafe { sys::_exit(101) },
+    }
+}
+
+fn child_body<F, R>(
+    rank: usize,
+    nranks: usize,
+    threads_per_rank: usize,
+    watchdog: Option<Duration>,
+    parent_addr: SocketAddr,
+    f: &F,
+) -> i32
+where
+    F: Fn(&ProcComm) -> R + Send + Sync,
+    R: Wire + Send,
+{
+    // --- bootstrap: announce our mesh port, learn everyone's ---
+    let mesh_listener = TcpListener::bind("127.0.0.1:0").expect("bind mesh listener");
+    let mesh_port = mesh_listener.local_addr().expect("mesh addr").port();
+    let mut parent = TcpStream::connect(parent_addr).expect("connect to parent");
+    parent.set_nodelay(true).ok();
+    write_frame(
+        &mut parent,
+        &Frame::Hello {
+            rank: rank as u64,
+            port: mesh_port,
+        },
+    )
+    .expect("send hello");
+    let ports = match read_frame(&mut parent) {
+        Ok(Frame::Table { ports }) => ports,
+        other => panic!("expected port table from parent, got {other:?}"),
+    };
+    assert_eq!(ports.len(), nranks, "port table size");
+
+    // --- mesh: dial lower ranks, accept higher ranks ---
+    let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+    for peer in 0..rank {
+        let mut s = TcpStream::connect(("127.0.0.1", ports[peer])).expect("dial peer");
+        s.set_nodelay(true).ok();
+        write_frame(&mut s, &Frame::Peer { rank: rank as u64 }).expect("announce to peer");
+        streams[peer] = Some(s);
+    }
+    for _ in rank + 1..nranks {
+        let (mut s, _) = mesh_listener.accept().expect("accept peer");
+        s.set_nodelay(true).ok();
+        let peer = match read_frame(&mut s) {
+            Ok(Frame::Peer { rank }) => rank as usize,
+            other => panic!("expected peer announcement, got {other:?}"),
+        };
+        assert!(peer > rank && peer < nranks && streams[peer].is_none());
+        streams[peer] = Some(s);
+    }
+
+    // --- progress engine ---
+    let sched = Scheduler::parallel(nranks, watchdog);
+    scheduler::set_world_rank(rank);
+    let mut read_halves: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+    let mut links: Vec<Option<Mutex<TcpStream>>> = Vec::with_capacity(nranks);
+    for (peer, s) in streams.into_iter().enumerate() {
+        match s {
+            Some(s) => {
+                read_halves[peer] = Some(s.try_clone().expect("clone link"));
+                links.push(Some(Mutex::new(s)));
+            }
+            None => links.push(None),
+        }
+    }
+    let mut peers_done = vec![false; nranks];
+    peers_done[rank] = true;
+    let node = Arc::new(ProcNode {
+        world_rank: rank,
+        world_size: nranks,
+        sched: sched.clone(),
+        links,
+        inbox: Inbox {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        },
+        getresp: GetRespMap {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        },
+        windows: Mutex::new(HashMap::new()),
+        next_win: AtomicU64::new(0),
+        next_req: AtomicU64::new(0),
+        peers_done: Mutex::new(peers_done),
+        peers_done_cv: Condvar::new(),
+    });
+    for (peer, read) in read_halves.into_iter().enumerate() {
+        if let Some(stream) = read {
+            let getq = Arc::new(GetQueue {
+                q: Mutex::new(VecDeque::new()),
+                cv: Condvar::new(),
+            });
+            let n1 = node.clone();
+            let gq1 = getq.clone();
+            std::thread::Builder::new()
+                .name(format!("sa-proc{rank}-rd{peer}"))
+                .spawn(move || n1.reader_loop(peer, stream, gq1))
+                .expect("spawn reader");
+            let n2 = node.clone();
+            std::thread::Builder::new()
+                .name(format!("sa-proc{rank}-rs{peer}"))
+                .spawn(move || n2.responder_loop(peer, getq))
+                .expect("spawn responder");
+        }
+    }
+
+    // --- run the rank closure ---
+    let pool = Arc::new(
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads_per_rank)
+            .thread_name(move |i| format!("rank{rank}-w{i}"))
+            .build()
+            .expect("rank pool"),
+    );
+    let comm = ProcComm {
+        rank,
+        size: nranks,
+        comm_id: 0,
+        members: Arc::new((0..nranks).collect()),
+        node: node.clone(),
+        stats: Rc::new(StatsCell::default()),
+        op_counter: Cell::new(0),
+        ctrl_counter: Cell::new(0),
+        pool,
+    };
+    let result: Result<R, RankError> =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Poisons the job on unwind (during the catch) so the Abort
+            // broadcast below always names a victim — same guard, same
+            // ordering as the in-process rank threads.
+            let _poison = PoisonGuard::new(&sched, rank);
+            f(&comm)
+        })) {
+            Ok(v) => Ok(v),
+            Err(payload) => Err(RankError::from_payload(payload.as_ref())),
+        };
+
+    // --- shutdown ---
+    match &result {
+        Ok(_) => {
+            // Clean finish: say Bye, then keep serving window gets until
+            // every peer has finished too (a rank must not exit while a
+            // peer may still get from its exposed windows; FIFO sockets
+            // guarantee no request follows a peer's Bye).
+            node.send_frame_all(&Frame::Bye);
+            let mut done = node.peers_done.lock();
+            while !done.iter().all(|&d| d) && sched.poison_victim().is_none() {
+                node.peers_done_cv
+                    .wait_for(&mut done, Duration::from_millis(50));
+            }
+        }
+        Err(_) => {
+            // Tell everyone who the victim is (poison already set by the
+            // guard; cascading failures keep naming the original). A peer
+            // that died first (EPIPE on these writes) is ignored.
+            let victim = sched.poison_victim().unwrap_or(rank);
+            node.send_frame_all(&Frame::Abort {
+                victim: victim as u64,
+            });
+        }
+    }
+    let payload = result.to_bytes();
+    let _ = write_frame(&mut parent, &Frame::Outcome { payload });
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Parent-side launch
+// ---------------------------------------------------------------------------
+
+/// Fork one process per rank, run `f` in each, and collect every rank's
+/// typed outcome. Called by
+/// [`Universe::try_run_procs`](crate::Universe::try_run_procs).
+pub(crate) fn launch_procs<F, R>(
+    nranks: usize,
+    threads_per_rank: usize,
+    watchdog: Option<Duration>,
+    f: F,
+) -> Vec<RankOutcome<R>>
+where
+    F: Fn(&ProcComm) -> R + Send + Sync,
+    R: Wire + Send,
+{
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous listener");
+    let addr = listener.local_addr().expect("rendezvous addr");
+
+    let mut pids = Vec::with_capacity(nranks);
+    for rank in 0..nranks {
+        match unsafe { sys::fork() } {
+            0 => child_main(rank, nranks, threads_per_rank, watchdog, addr, &f),
+            pid if pid > 0 => pids.push(pid),
+            _ => panic!("fork failed (rank {rank})"),
+        }
+    }
+
+    // Rendezvous: collect every child's Hello, answer with the port table.
+    let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
+    let mut ports = vec![0u16; nranks];
+    for _ in 0..nranks {
+        let (mut s, _) = listener.accept().expect("accept child");
+        s.set_nodelay(true).ok();
+        match read_frame(&mut s) {
+            Ok(Frame::Hello { rank, port }) => {
+                let rank = rank as usize;
+                assert!(rank < nranks && conns[rank].is_none(), "duplicate hello");
+                ports[rank] = port;
+                conns[rank] = Some(s);
+            }
+            other => panic!("expected hello from child, got {other:?}"),
+        }
+    }
+    let table = Frame::Table {
+        ports: ports.clone(),
+    };
+    for c in conns.iter_mut() {
+        write_frame(c.as_mut().expect("all children connected"), &table).expect("send table");
+    }
+
+    // Collect outcomes concurrently (ranks finish in any order), then reap.
+    let payloads: Vec<Option<Vec<u8>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = conns
+            .into_iter()
+            .map(|c| {
+                let mut c = c.expect("all children connected");
+                scope.spawn(move || loop {
+                    match read_frame(&mut c) {
+                        Ok(Frame::Outcome { payload }) => break Some(payload),
+                        Ok(_) => continue, // tolerate stray frames
+                        Err(_) => break None,
+                    }
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let mut outcomes = Vec::with_capacity(nranks);
+    for (rank, (payload, pid)) in payloads.into_iter().zip(pids).enumerate() {
+        let mut status = 0i32;
+        let r = unsafe { sys::waitpid(pid, &mut status, 0) };
+        outcomes.push(match payload {
+            Some(bytes) => Result::<R, RankError>::from_bytes(&bytes).unwrap_or_else(|e| {
+                Err(RankError::Panic {
+                    summary: format!("rank {rank} sent an undecodable result: {e}"),
+                })
+            }),
+            // Died without reporting: classify from the wait status — this
+            // is the kill -9 / hard-crash path.
+            None => Err(RankError::Panic {
+                summary: if r != pid {
+                    format!("rank {rank} vanished (waitpid failed)")
+                } else if let Some(sig) = sys::term_signal(status) {
+                    format!("rank {rank} killed by signal {sig}")
+                } else {
+                    format!(
+                        "rank {rank} exited with code {} before reporting a result",
+                        sys::exit_code(status).unwrap_or(-1)
+                    )
+                },
+            }),
+        });
+    }
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Universe;
+
+    #[test]
+    fn procs_ring_and_identity() {
+        let u = Universe::new(4);
+        let got = u.run_procs(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            comm.send_vec(next, 7, vec![comm.rank() as u64]);
+            let from_prev = comm.recv_vec::<u64>(prev, 7);
+            (comm.rank(), comm.size(), from_prev)
+        });
+        for (r, (rank, size, from_prev)) in got.iter().enumerate() {
+            assert_eq!(*rank, r);
+            assert_eq!(*size, 4);
+            assert_eq!(from_prev, &vec![((r + 3) % 4) as u64]);
+        }
+    }
+
+    #[test]
+    fn procs_collectives_and_stats_match_sim() {
+        fn workload<C: Comm>(comm: &C) -> (Vec<u64>, Vec<f64>, u64, (u64, u64), CommStats) {
+            let r = comm.rank() as u64;
+            let bcast = comm.bcast_vec(0, (comm.rank() == 0).then(|| vec![5u64, 6, 7]));
+            comm.barrier();
+            let reduced = comm.allreduce_vec(vec![r as f64, 1.0], |a, b| a + b);
+            let all = comm.allgatherv(vec![r; comm.rank() + 1]);
+            let flat: u64 = all.iter().flatten().sum();
+            let scan = comm.exscan_sum(r + 1);
+            let a2a = comm.alltoallv((0..comm.size()).map(|d| vec![r * 10 + d as u64]).collect());
+            let a2a_sum: u64 = a2a.iter().flatten().sum();
+            (bcast, reduced, flat + a2a_sum, scan, comm.stats())
+        }
+        let u = Universe::new(4);
+        let sim = u.run(workload);
+        let procs = u.run_procs(workload);
+        assert_eq!(sim, procs, "outputs and per-rank stats must be identical");
+    }
+
+    #[test]
+    fn procs_self_send_is_free_and_unserialized() {
+        let u = Universe::new(2);
+        let got = u.run_procs(|comm| {
+            let before = comm.stats();
+            // A type with no wire codec: must still work rank-locally.
+            comm.send_vec(comm.rank(), 3, vec![(1u8, String::from("x"))]);
+            let v = comm.recv_vec::<(u8, String)>(comm.rank(), 3);
+            let d = comm.stats() - before;
+            (v.len(), d.sent_msgs + d.recv_msgs + d.sent_bytes)
+        });
+        assert_eq!(got, vec![(1, 0), (1, 0)]);
+    }
+
+    #[test]
+    fn procs_windows_serve_ranged_gets() {
+        use crate::{PairedWindow, Window};
+        let u = Universe::new(3);
+        let got = u.run_procs(|comm| {
+            let data: Vec<u64> = (0..10).map(|i| (comm.rank() * 100 + i) as u64).collect();
+            let win = Window::create(comm, data);
+            let slice = win.get(comm, 1, 2..5);
+            let before = comm.stats();
+            let _ = win.get(comm, (comm.rank() + 1) % 3, 0..4); // remote: 32 B
+            let _ = win.get(comm, comm.rank(), 0..4); // local: free
+            let empty = win.get(comm, (comm.rank() + 1) % 3, 2..2);
+            let d = comm.stats() - before;
+            let pw = PairedWindow::create(
+                comm,
+                vec![comm.rank() as u32; 4],
+                vec![comm.rank() as f64 + 0.5; 4],
+            );
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            pw.get_both_into(comm, (comm.rank() + 2) % 3, 1..3, &mut a, &mut b)
+                .unwrap();
+            comm.barrier();
+            (slice, d, empty.len(), a, b)
+        });
+        for (r, (slice, d, empty_len, a, b)) in got.iter().enumerate() {
+            assert_eq!(slice, &vec![102, 103, 104]);
+            assert_eq!((d.rdma_gets, d.rdma_get_bytes), (2, 32), "rank {r}");
+            assert_eq!(*empty_len, 0);
+            let src = (r + 2) % 3;
+            assert_eq!(a, &vec![src as u32; 2]);
+            assert_eq!(b, &vec![src as f64 + 0.5; 2]);
+        }
+    }
+
+    #[test]
+    fn procs_split_matches_sim() {
+        fn workload<C: Comm>(comm: &C) -> (usize, usize, Vec<u64>, CommStats) {
+            let row = comm.split(comm.rank() / 2, comm.rank());
+            let g = row.allgatherv(vec![comm.rank() as u64]);
+            (
+                row.rank(),
+                row.size(),
+                g.into_iter().flatten().collect(),
+                comm.stats(),
+            )
+        }
+        let u = Universe::new(4);
+        let sim = u.run(workload);
+        let procs = u.run_procs(workload);
+        assert_eq!(sim, procs);
+    }
+
+    #[test]
+    fn procs_abort_terminates_survivors_typed() {
+        use crate::{FaultComm, FaultPlan};
+        let u = Universe::new(3).with_watchdog(Some(Duration::from_secs(30)));
+        let got = u.try_run_procs(|comm| {
+            // Quiet the injected panic inside this child process only.
+            std::panic::set_hook(Box::new(|_| {}));
+            let fc = FaultComm::new(comm.split(0, comm.rank()), FaultPlan::abort_at(1, 2));
+            for round in 0..4u64 {
+                let v = fc.allreduce(round + fc.rank() as u64, |a, b| a + b);
+                let _ = v;
+            }
+            fc.rank()
+        });
+        assert!(got[1].is_err(), "victim must fail: {:?}", got[1]);
+        for r in [0, 2] {
+            match &got[r] {
+                Err(RankError::Comm(CommError::PeerFailed { rank, .. })) => {
+                    assert_eq!(*rank, 1, "survivor {r} must name the victim")
+                }
+                other => panic!("survivor {r}: expected typed PeerFailed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn run_procs_panics_with_typed_payload() {
+        let u = Universe::new(2).with_watchdog(Some(Duration::from_secs(30)));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            u.run_procs(|comm| {
+                std::panic::set_hook(Box::new(|_| {}));
+                if comm.rank() == 1 {
+                    panic!("rank 1 gives up");
+                }
+                comm.barrier();
+            })
+        }))
+        .unwrap_err();
+        let summary = if let Some(s) = err.downcast_ref::<String>() {
+            s.clone()
+        } else if let Some(e) = err.downcast_ref::<CommError>() {
+            e.to_string()
+        } else {
+            panic!("unexpected payload type");
+        };
+        assert!(
+            summary.contains("rank 1") || summary.contains("peer rank 1"),
+            "panic payload must name the failure: {summary}"
+        );
+    }
+}

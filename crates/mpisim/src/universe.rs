@@ -1,11 +1,40 @@
 //! Launching a simulated job: one thread per rank, one Rayon pool per rank.
 
-use crate::backend::{Backend, Mode};
+use crate::backend::{Backend, Comm, Mode};
 use crate::comm::{RankComm, Shared, SimComm, ThreadComm};
 use crate::error::{RankError, RankOutcome};
+use crate::proc::ProcComm;
 use crate::scheduler::{self, PoisonGuard, Scheduler};
+use crate::wire::Wire;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// A backend-generic per-rank workload: the same job can run on any
+/// [`Backend`] via [`Universe::run_backend`]. This is a trait rather than a
+/// closure because the rank body must be generic over the communicator type
+/// (`SimComm`, `ThreadComm`, and [`ProcComm`] are distinct types), which a
+/// closure cannot express. The output crosses a process boundary under the
+/// `procs` backend, hence `Out: Wire`.
+///
+/// ```
+/// use sa_mpisim::{Backend, Comm, RankJob, Universe};
+///
+/// struct Sum;
+/// impl RankJob for Sum {
+///     type Out = u64;
+///     fn run<C: Comm>(&self, comm: &C) -> u64 {
+///         comm.allreduce(comm.rank() as u64, |a, b| a + b)
+///     }
+/// }
+/// let u = Universe::new(3);
+/// assert_eq!(u.run_backend(Backend::Sim, &Sum), vec![3, 3, 3]);
+/// ```
+pub trait RankJob: Sync {
+    /// Per-rank result type.
+    type Out: Wire + Send;
+    /// The rank body, written once against the [`Comm`] trait.
+    fn run<C: Comm>(&self, comm: &C) -> Self::Out;
+}
 
 /// A simulated machine allocation: `nranks` MPI ranks, each with
 /// `threads_per_rank` compute threads (the paper's `c = p · t` Figure 7
@@ -182,10 +211,92 @@ impl Universe {
         Self::classify_outcomes(self.launch_raw(self.sched_for_mode::<M>(), f))
     }
 
+    /// Run `f` once per rank on the **process-per-rank socket backend**
+    /// ([`ProcComm`]): every rank is a forked OS process, all communication
+    /// crosses localhost TCP. Results come back in rank order; any rank
+    /// failure panics (survivor `PeerFailed` payloads stay typed). Unlike
+    /// the in-process backends the closure's result must be wire-encodable
+    /// (`R: Wire`) — it crosses a process boundary.
+    pub fn run_procs<F, R>(&self, f: F) -> Vec<R>
+    where
+        F: Fn(&ProcComm) -> R + Send + Sync,
+        R: Wire + Send,
+    {
+        let outcomes = self.try_run_procs(f);
+        if outcomes.iter().all(|o| o.is_ok()) {
+            return outcomes
+                .into_iter()
+                .map(|o| match o {
+                    Ok(v) => v,
+                    Err(_) => unreachable!("checked ok"),
+                })
+                .collect();
+        }
+        let mut first: Option<RankError> = None;
+        for (rank, o) in outcomes.into_iter().enumerate() {
+            if let Err(e) = o {
+                eprintln!("[sa_mpisim] rank {rank} failed: {e}");
+                if first.is_none() {
+                    first = Some(e);
+                }
+            }
+        }
+        // Re-raise like `unwrap_outcomes`: a typed CommError travels as the
+        // panic payload itself, a plain panic as its summary string — so
+        // `#[should_panic(expected = ...)]` matches the rank's own message.
+        match first.expect("at least one failure") {
+            RankError::Comm(e) => std::panic::panic_any(e),
+            RankError::Panic { summary } => std::panic::panic_any(summary),
+        }
+    }
+
+    /// Fault-tolerant variant of [`Universe::run_procs`]: one
+    /// [`RankOutcome`] per rank. A child process that dies without
+    /// reporting (crash, `kill -9`) is classified from its exit status;
+    /// survivors terminate typed via the poison/watchdog machinery exactly
+    /// as in-process.
+    pub fn try_run_procs<F, R>(&self, f: F) -> Vec<RankOutcome<R>>
+    where
+        F: Fn(&ProcComm) -> R + Send + Sync,
+        R: Wire + Send,
+    {
+        crate::proc::launch_procs(self.nranks, self.threads_per_rank, self.watchdog, f)
+    }
+
+    /// Run a backend-generic [`RankJob`] on the given [`Backend`] —
+    /// panicking join. This is the dispatch point suites use to execute
+    /// one workload identically on `sim`, `threads`, and `procs`.
+    pub fn run_backend<J: RankJob>(&self, backend: Backend, job: &J) -> Vec<J::Out> {
+        match backend {
+            Backend::Sim => self.launch::<crate::Serial, _, _>(|c| job.run(c)),
+            Backend::Threads => self.launch::<crate::Threads, _, _>(|c| job.run(c)),
+            Backend::Procs => self.run_procs(|c| job.run(c)),
+        }
+    }
+
+    /// Fault-tolerant variant of [`Universe::run_backend`].
+    pub fn try_run_backend<J: RankJob>(
+        &self,
+        backend: Backend,
+        job: &J,
+    ) -> Vec<RankOutcome<J::Out>> {
+        match backend {
+            Backend::Sim => self.try_launch::<crate::Serial, _, _>(|c| job.run(c)),
+            Backend::Threads => self.try_launch::<crate::Threads, _, _>(|c| job.run(c)),
+            Backend::Procs => self.try_run_procs(|c| job.run(c)),
+        }
+    }
+
     fn sched_from_env(&self) -> Arc<Scheduler> {
         match Backend::from_env() {
             Backend::Sim => Scheduler::serial(self.nranks, self.watchdog),
             Backend::Threads => Scheduler::parallel(self.nranks, self.watchdog),
+            Backend::Procs => panic!(
+                "SA_BACKEND=procs: Universe::run/try_run execute the in-process \
+                 backends only; this entry point takes a `SimComm` closure that \
+                 cannot cross a process boundary. Use Universe::run_procs (or the \
+                 backend-generic Universe::run_backend with a RankJob) instead."
+            ),
         }
     }
 

@@ -8,8 +8,124 @@
 //! semantics where the NIC serves remote reads.
 
 use crate::backend::Comm;
+use crate::wire::Wire;
+use std::any::Any;
 use std::ops::Range;
 use std::sync::Arc;
+
+/// An element type a window can expose: fixed-size, byte-serializable.
+///
+/// In-process backends never serialize (they share the exposed `Arc`), but
+/// a cross-process backend serves ranged gets as little-endian bytes, so
+/// window elements must have a wire form. The set of implementors mirrors
+/// the primitive types windows actually carry in this workspace.
+pub trait WinElem: Wire + Copy + Send + Sync + 'static {}
+
+impl WinElem for u8 {}
+impl WinElem for u16 {}
+impl WinElem for u32 {}
+impl WinElem for u64 {}
+impl WinElem for i32 {}
+impl WinElem for i64 {}
+impl WinElem for f32 {}
+impl WinElem for f64 {}
+
+/// One exposed array of a window: element count and size, plus enough for
+/// a remote backend to compute byte offsets. A plain [`Window`] has one
+/// part, a [`PairedWindow`] two.
+#[derive(Clone, Copy, Debug)]
+pub struct PartSpec {
+    /// Elements in this rank's exposed array.
+    pub len: usize,
+    /// Bytes per element on the wire (= `size_of::<T>()` for all `WinElem`s).
+    pub elem_size: usize,
+}
+
+/// What one rank contributes to a collective window exposure — the typed
+/// deposit (for in-process sharing) plus untyped byte extractors (for a
+/// backend that must serve ranged gets over a socket).
+pub struct WindowSpec {
+    /// The deposit the in-process backends exchange zero-copy.
+    pub arc: Arc<dyn Any + Send + Sync>,
+    /// Shape of each exposed array.
+    pub parts: Vec<PartSpec>,
+    /// Serialize elements `range` of part `part` of `arc` as little-endian
+    /// bytes appended to `out`. Monomorphized per window element type; a
+    /// remote backend's progress engine calls this to answer peers' gets.
+    pub extract: fn(&(dyn Any + Send + Sync), usize, Range<usize>, &mut Vec<u8>),
+}
+
+/// The one-sided fetch transport a non-shared-memory backend returns from
+/// [`Comm::expose`]: fetches raw bytes from a peer's exposed array. Called
+/// only for remote ranks (local reads never leave the process) and only
+/// with in-bounds ranges (the window validates first). On peer failure the
+/// implementation raises the typed [`CommError`](crate::CommError) by
+/// unwinding, like every blocking primitive — it does not return errors.
+pub trait RemoteWindow: Send + Sync {
+    /// Append elements `range` of `rank`'s part `part` to `out`.
+    fn get_bytes(&self, rank: usize, part: usize, range: Range<usize>, out: &mut Vec<u8>);
+}
+
+/// Result of [`Comm::expose`]: either every rank's deposit shared directly
+/// (in-process backends) or per-rank lengths plus a byte-fetch transport
+/// (cross-process backends).
+pub enum Exposure {
+    /// Zero-copy: deposit `r` is rank `r`'s exposed data.
+    Shared(Vec<Arc<dyn Any + Send + Sync>>),
+    /// One-sided transport: `lens[r][p]` is the element count of rank `r`'s
+    /// part `p`; `transport` fetches the bytes.
+    Remote {
+        lens: Vec<Vec<usize>>,
+        transport: Arc<dyn RemoteWindow>,
+    },
+}
+
+fn extract_vec<T: WinElem>(
+    any: &(dyn Any + Send + Sync),
+    part: usize,
+    range: Range<usize>,
+    out: &mut Vec<u8>,
+) {
+    debug_assert_eq!(part, 0);
+    let v = any.downcast_ref::<Vec<T>>().expect("window deposit type");
+    for x in &v[range] {
+        x.put(out);
+    }
+}
+
+fn extract_pair<T: WinElem, U: WinElem>(
+    any: &(dyn Any + Send + Sync),
+    part: usize,
+    range: Range<usize>,
+    out: &mut Vec<u8>,
+) {
+    let (a, b) = any
+        .downcast_ref::<(Vec<T>, Vec<U>)>()
+        .expect("paired window deposit type");
+    match part {
+        0 => {
+            for x in &a[range] {
+                x.put(out);
+            }
+        }
+        1 => {
+            for x in &b[range] {
+                x.put(out);
+            }
+        }
+        _ => unreachable!("paired window has two parts"),
+    }
+}
+
+/// Decode `bytes` (little-endian, validated length) appending to `out`.
+fn decode_elems<T: WinElem>(bytes: &[u8], count: usize, out: &mut Vec<T>) {
+    let mut buf = bytes;
+    out.reserve(count);
+    for _ in 0..count {
+        out.push(T::get(&mut buf).expect("window payload decode"));
+    }
+    assert!(buf.is_empty(), "window payload had trailing bytes");
+}
 
 /// Errors a one-sided access can produce.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -44,34 +160,101 @@ impl std::fmt::Display for WindowError {
 
 impl std::error::Error for WindowError {}
 
+enum WinInner<T> {
+    /// In-process: every rank's exposed buffer shared zero-copy.
+    Shared { bufs: Vec<Arc<Vec<T>>> },
+    /// Cross-process: own buffer held locally, peers' served over a
+    /// byte-fetch transport.
+    Remote {
+        me: usize,
+        local: Arc<Vec<T>>,
+        lens: Vec<usize>,
+        transport: Arc<dyn RemoteWindow>,
+    },
+}
+
+impl<T> Clone for WinInner<T> {
+    fn clone(&self) -> Self {
+        match self {
+            WinInner::Shared { bufs } => WinInner::Shared { bufs: bufs.clone() },
+            WinInner::Remote {
+                me,
+                local,
+                lens,
+                transport,
+            } => WinInner::Remote {
+                me: *me,
+                local: local.clone(),
+                lens: lens.clone(),
+                transport: transport.clone(),
+            },
+        }
+    }
+}
+
 /// A window over per-rank exposed buffers of `T`.
 ///
 /// The handle is cheap to clone (it holds `Arc`s of the exposed buffers).
 pub struct Window<T> {
-    bufs: Vec<Arc<Vec<T>>>,
+    inner: WinInner<T>,
 }
 
-impl<T: Copy + Send + Sync + 'static> Window<T> {
+impl<T: WinElem> Window<T> {
     /// Collectively expose `local` from every rank. The data is frozen for
     /// the window's lifetime (passive-target exposure epoch). Works on any
-    /// in-process backend; the window handle itself is backend-neutral.
+    /// backend; the window handle itself is backend-neutral.
     pub fn create<C: Comm>(comm: &C, local: Vec<T>) -> Window<T> {
-        let deposits = comm.exchange_arcs(Arc::new(local));
-        let bufs = deposits
-            .into_iter()
-            .map(|a| a.downcast::<Vec<T>>().expect("window type mismatch"))
-            .collect();
-        Window { bufs }
+        let len = local.len();
+        let arc: Arc<dyn Any + Send + Sync> = Arc::new(local);
+        let spec = WindowSpec {
+            arc: arc.clone(),
+            parts: vec![PartSpec {
+                len,
+                elem_size: std::mem::size_of::<T>(),
+            }],
+            extract: extract_vec::<T>,
+        };
+        let inner = match comm.expose(spec) {
+            Exposure::Shared(deposits) => WinInner::Shared {
+                bufs: deposits
+                    .into_iter()
+                    .map(|a| a.downcast::<Vec<T>>().expect("window type mismatch"))
+                    .collect(),
+            },
+            Exposure::Remote { lens, transport } => WinInner::Remote {
+                me: comm.rank(),
+                local: arc.downcast::<Vec<T>>().expect("window type mismatch"),
+                lens: lens.into_iter().map(|l| l[0]).collect(),
+                transport,
+            },
+        };
+        Window { inner }
     }
 
     /// Length of `rank`'s exposed buffer.
     pub fn len_of(&self, rank: usize) -> usize {
-        self.bufs[rank].len()
+        match &self.inner {
+            WinInner::Shared { bufs } => bufs[rank].len(),
+            WinInner::Remote { lens, .. } => lens[rank],
+        }
+    }
+
+    fn nranks(&self) -> usize {
+        match &self.inner {
+            WinInner::Shared { bufs } => bufs.len(),
+            WinInner::Remote { lens, .. } => lens.len(),
+        }
     }
 
     /// This rank's own exposed buffer (no traffic).
     pub fn local<'a, C: Comm>(&'a self, comm: &C) -> &'a [T] {
-        &self.bufs[comm.rank()]
+        match &self.inner {
+            WinInner::Shared { bufs } => &bufs[comm.rank()],
+            WinInner::Remote { me, local, .. } => {
+                debug_assert_eq!(*me, comm.rank());
+                local
+            }
+        }
     }
 
     /// One-sided fetch of `range` from `rank`'s buffer into a fresh vector,
@@ -92,24 +275,40 @@ impl<T: Copy + Send + Sync + 'static> Window<T> {
         range: Range<usize>,
         out: &mut Vec<T>,
     ) -> Result<(), WindowError> {
-        if rank >= self.bufs.len() {
+        if rank >= self.nranks() {
             return Err(WindowError::BadRank {
                 rank,
-                size: self.bufs.len(),
+                size: self.nranks(),
             });
         }
-        let buf = &self.bufs[rank];
-        if range.end > buf.len() {
+        if range.end > self.len_of(rank) {
             return Err(WindowError::OutOfRange {
                 rank,
                 requested_end: range.end,
-                exposed_len: buf.len(),
+                exposed_len: self.len_of(rank),
             });
         }
         if rank != comm.rank() {
             comm.record_get((range.end - range.start) * std::mem::size_of::<T>());
         }
-        out.extend_from_slice(&buf[range]);
+        match &self.inner {
+            WinInner::Shared { bufs } => out.extend_from_slice(&bufs[rank][range]),
+            WinInner::Remote {
+                me,
+                local,
+                transport,
+                ..
+            } => {
+                if rank == *me {
+                    out.extend_from_slice(&local[range]);
+                } else {
+                    let count = range.end - range.start;
+                    let mut bytes = Vec::with_capacity(count * std::mem::size_of::<T>());
+                    transport.get_bytes(rank, 0, range, &mut bytes);
+                    decode_elems(&bytes, count, out);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -117,7 +316,7 @@ impl<T: Copy + Send + Sync + 'static> Window<T> {
 impl<T> Clone for Window<T> {
     fn clone(&self) -> Self {
         Window {
-            bufs: self.bufs.clone(),
+            inner: self.inner.clone(),
         }
     }
 }
@@ -129,32 +328,96 @@ impl<T> Clone for Window<T> {
 /// rendezvous count, which matters when a multiply is issued per BFS level
 /// (betweenness centrality) rather than once per application run.
 pub struct PairedWindow<T, U> {
-    bufs: Vec<Arc<(Vec<T>, Vec<U>)>>,
+    inner: PairedInner<T, U>,
 }
 
-impl<T, U> PairedWindow<T, U>
-where
-    T: Copy + Send + Sync + 'static,
-    U: Copy + Send + Sync + 'static,
-{
+enum PairedInner<T, U> {
+    Shared {
+        bufs: Vec<Arc<(Vec<T>, Vec<U>)>>,
+    },
+    Remote {
+        me: usize,
+        local: Arc<(Vec<T>, Vec<U>)>,
+        lens: Vec<usize>,
+        transport: Arc<dyn RemoteWindow>,
+    },
+}
+
+impl<T, U> Clone for PairedInner<T, U> {
+    fn clone(&self) -> Self {
+        match self {
+            PairedInner::Shared { bufs } => PairedInner::Shared { bufs: bufs.clone() },
+            PairedInner::Remote {
+                me,
+                local,
+                lens,
+                transport,
+            } => PairedInner::Remote {
+                me: *me,
+                local: local.clone(),
+                lens: lens.clone(),
+                transport: transport.clone(),
+            },
+        }
+    }
+}
+
+impl<T: WinElem, U: WinElem> PairedWindow<T, U> {
     /// Collectively expose `(a, b)` from every rank. The arrays must be
     /// parallel (same length); they are frozen for the window's lifetime.
     pub fn create<C: Comm>(comm: &C, a: Vec<T>, b: Vec<U>) -> PairedWindow<T, U> {
         assert_eq!(a.len(), b.len(), "paired window arrays must be parallel");
-        let deposits = comm.exchange_arcs(Arc::new((a, b)));
-        let bufs = deposits
-            .into_iter()
-            .map(|d| {
-                d.downcast::<(Vec<T>, Vec<U>)>()
-                    .expect("paired window type")
-            })
-            .collect();
-        PairedWindow { bufs }
+        let len = a.len();
+        let arc: Arc<dyn Any + Send + Sync> = Arc::new((a, b));
+        let spec = WindowSpec {
+            arc: arc.clone(),
+            parts: vec![
+                PartSpec {
+                    len,
+                    elem_size: std::mem::size_of::<T>(),
+                },
+                PartSpec {
+                    len,
+                    elem_size: std::mem::size_of::<U>(),
+                },
+            ],
+            extract: extract_pair::<T, U>,
+        };
+        let inner = match comm.expose(spec) {
+            Exposure::Shared(deposits) => PairedInner::Shared {
+                bufs: deposits
+                    .into_iter()
+                    .map(|d| {
+                        d.downcast::<(Vec<T>, Vec<U>)>()
+                            .expect("paired window type")
+                    })
+                    .collect(),
+            },
+            Exposure::Remote { lens, transport } => PairedInner::Remote {
+                me: comm.rank(),
+                local: arc
+                    .downcast::<(Vec<T>, Vec<U>)>()
+                    .expect("paired window type"),
+                lens: lens.into_iter().map(|l| l[0]).collect(),
+                transport,
+            },
+        };
+        PairedWindow { inner }
     }
 
     /// Length of `rank`'s exposed arrays.
     pub fn len_of(&self, rank: usize) -> usize {
-        self.bufs[rank].0.len()
+        match &self.inner {
+            PairedInner::Shared { bufs } => bufs[rank].0.len(),
+            PairedInner::Remote { lens, .. } => lens[rank],
+        }
+    }
+
+    fn nranks(&self) -> usize {
+        match &self.inner {
+            PairedInner::Shared { bufs } => bufs.len(),
+            PairedInner::Remote { lens, .. } => lens.len(),
+        }
     }
 
     /// One-sided fetch of `range` from both of `rank`'s arrays, appended to
@@ -168,26 +431,50 @@ where
         out_a: &mut Vec<T>,
         out_b: &mut Vec<U>,
     ) -> Result<(), WindowError> {
-        if rank >= self.bufs.len() {
+        if rank >= self.nranks() {
             return Err(WindowError::BadRank {
                 rank,
-                size: self.bufs.len(),
+                size: self.nranks(),
             });
         }
-        let (a, b) = &*self.bufs[rank];
-        if range.end > a.len() {
+        if range.end > self.len_of(rank) {
             return Err(WindowError::OutOfRange {
                 rank,
                 requested_end: range.end,
-                exposed_len: a.len(),
+                exposed_len: self.len_of(rank),
             });
         }
         if rank != comm.rank() {
             comm.record_get((range.end - range.start) * std::mem::size_of::<T>());
             comm.record_get((range.end - range.start) * std::mem::size_of::<U>());
         }
-        out_a.extend_from_slice(&a[range.clone()]);
-        out_b.extend_from_slice(&b[range]);
+        match &self.inner {
+            PairedInner::Shared { bufs } => {
+                let (a, b) = &*bufs[rank];
+                out_a.extend_from_slice(&a[range.clone()]);
+                out_b.extend_from_slice(&b[range]);
+            }
+            PairedInner::Remote {
+                me,
+                local,
+                transport,
+                ..
+            } => {
+                if rank == *me {
+                    let (a, b) = &**local;
+                    out_a.extend_from_slice(&a[range.clone()]);
+                    out_b.extend_from_slice(&b[range]);
+                } else {
+                    let count = range.end - range.start;
+                    let mut bytes = Vec::with_capacity(count * std::mem::size_of::<T>());
+                    transport.get_bytes(rank, 0, range.clone(), &mut bytes);
+                    decode_elems(&bytes, count, out_a);
+                    bytes.clear();
+                    transport.get_bytes(rank, 1, range, &mut bytes);
+                    decode_elems(&bytes, count, out_b);
+                }
+            }
+        }
         Ok(())
     }
 }
@@ -195,7 +482,7 @@ where
 impl<T, U> Clone for PairedWindow<T, U> {
     fn clone(&self) -> Self {
         PairedWindow {
-            bufs: self.bufs.clone(),
+            inner: self.inner.clone(),
         }
     }
 }

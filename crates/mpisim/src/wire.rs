@@ -1,0 +1,965 @@
+//! Length-delimited manual serialization for the cross-process backend.
+//!
+//! The in-process backends move payloads as `Arc`s and `Box<dyn Any>`; the
+//! process-per-rank backend ([`ProcComm`](crate::ProcComm)) has to put the
+//! same values on a socket. This module is the whole wire story:
+//!
+//! * [`Wire`] — put/get of the closed set of value types the runtime
+//!   ships (primitives, tuples, `Vec`s, the error/stats/timing types).
+//!   Encoding is little-endian and bit-exact (`f64` travels as its bit
+//!   pattern, so outputs stay *bit-identical* across backends). Decoding
+//!   **never panics**: every malformed input returns a typed
+//!   [`WireError`], a property `tests/wire_props.rs` fuzzes.
+//! * [`Frame`] — the framed messages of the socket protocol (bootstrap
+//!   handshake, two-sided data, one-sided window gets, failure
+//!   notifications, per-rank results). On the socket every frame is
+//!   `[u32 little-endian length][kind byte][body]`.
+//! * A `TypeId → codec` registry ([`vec_codec`]) so the untyped transport
+//!   can serialize `Comm::send_vec::<T>` payloads for every element type
+//!   that actually crosses rank boundaries in this workspace. Sending an
+//!   unregistered type panics with instructions, at the send site, rather
+//!   than corrupting a stream.
+//!
+//! Everything here is deliberately dependency-free (no serde/bincode: the
+//! build container is offline) and endian-pinned so the format does not
+//! depend on the host — although today both ends are always the same
+//! binary (the backend forks its ranks).
+
+use crate::error::{CommError, Primitive, RankError};
+use crate::stats::CommStats;
+use crate::timer::{Breakdown, PhaseTimes};
+use std::any::{Any, TypeId};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Hard cap on one frame's encoded size (body + kind byte). Large enough
+/// for any test/bench matrix slice, small enough that a corrupt length
+/// prefix cannot ask the reader to allocate the address space.
+pub const MAX_FRAME: usize = 1 << 30;
+
+/// Why a decode failed. Decoding is total: corrupt or truncated input maps
+/// to one of these, never a panic or an unbounded allocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value did.
+    Truncated { needed: usize, have: usize },
+    /// A field held an impossible value (bad bool byte, invalid UTF-8,
+    /// nanoseconds ≥ 10⁹, length that cannot fit the remaining input...).
+    Malformed { what: &'static str },
+    /// An enum discriminant no variant claims.
+    BadTag { what: &'static str, tag: u64 },
+    /// A frame length prefix above [`MAX_FRAME`].
+    FrameTooLarge { len: usize },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, have } => {
+                write!(f, "truncated: needed {needed} more bytes, have {have}")
+            }
+            WireError::Malformed { what } => write!(f, "malformed {what}"),
+            WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
+            WireError::FrameTooLarge { len } => {
+                write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Truncated {
+            needed: n - buf.len(),
+            have: buf.len(),
+        });
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Ok(head)
+}
+
+/// Manual little-endian serialization of one value type.
+///
+/// `get` consumes from the front of `buf`; [`Wire::from_bytes`] adds the
+/// "input fully consumed" check used at message boundaries.
+pub trait Wire: Sized {
+    /// Append this value's encoding to `out`.
+    fn put(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it.
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.put(&mut out);
+        out
+    }
+
+    /// Decode a value that must span exactly `bytes`.
+    fn from_bytes(mut bytes: &[u8]) -> Result<Self, WireError> {
+        let v = Self::get(&mut bytes)?;
+        if !bytes.is_empty() {
+            return Err(WireError::Malformed {
+                what: "trailing bytes after value",
+            });
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! wire_int {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn put(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+                let b = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(b.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+wire_int!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Wire for usize {
+    fn put(&self, out: &mut Vec<u8>) {
+        (*self as u64).put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        usize::try_from(u64::get(buf)?).map_err(|_| WireError::Malformed {
+            what: "usize out of range",
+        })
+    }
+}
+
+impl Wire for f64 {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.to_bits().put(out); // bit-exact: NaN payloads and -0.0 survive
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(f64::from_bits(u64::get(buf)?))
+    }
+}
+
+impl Wire for f32 {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.to_bits().put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(f32::from_bits(u32::get(buf)?))
+    }
+}
+
+impl Wire for bool {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed { what: "bool byte" }),
+        }
+    }
+}
+
+impl Wire for () {
+    fn put(&self, _out: &mut Vec<u8>) {}
+    fn get(_buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(())
+    }
+}
+
+impl Wire for String {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = checked_len(buf)?;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Malformed {
+            what: "string utf-8",
+        })
+    }
+}
+
+/// Read a collection length and reject anything the remaining input cannot
+/// possibly hold — the guard that makes corrupt length fields return
+/// [`WireError::Truncated`] instead of attempting a huge allocation.
+/// (Consequence: collections of zero-sized `Wire` types are unsupported.)
+fn checked_len(buf: &mut &[u8]) -> Result<usize, WireError> {
+    let len = usize::get(buf)?;
+    if len > buf.len() {
+        return Err(WireError::Truncated {
+            needed: len - buf.len(),
+            have: buf.len(),
+        });
+    }
+    Ok(len)
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).put(out);
+        for x in self {
+            x.put(out);
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = checked_len(buf)?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::get(buf)?);
+        }
+        Ok(v)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.put(out);
+            }
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::get(buf)?)),
+            t => Err(WireError::BadTag {
+                what: "Option",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+macro_rules! wire_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Wire),+> Wire for ($($name,)+) {
+            fn put(&self, out: &mut Vec<u8>) {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                $($name.put(out);)+
+            }
+            fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+                Ok(($($name::get(buf)?,)+))
+            }
+        }
+    };
+}
+wire_tuple!(A);
+wire_tuple!(A, B);
+wire_tuple!(A, B, C);
+wire_tuple!(A, B, C, D);
+wire_tuple!(A, B, C, D, E);
+
+impl Wire for Duration {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.as_secs().put(out);
+        self.subsec_nanos().put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let secs = u64::get(buf)?;
+        let nanos = u32::get(buf)?;
+        if nanos >= 1_000_000_000 {
+            return Err(WireError::Malformed {
+                what: "duration nanos",
+            });
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl Wire for CommStats {
+    fn put(&self, out: &mut Vec<u8>) {
+        for v in [
+            self.sent_msgs,
+            self.sent_bytes,
+            self.recv_msgs,
+            self.recv_bytes,
+            self.rdma_gets,
+            self.rdma_get_bytes,
+        ] {
+            v.put(out);
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(CommStats {
+            sent_msgs: u64::get(buf)?,
+            sent_bytes: u64::get(buf)?,
+            recv_msgs: u64::get(buf)?,
+            recv_bytes: u64::get(buf)?,
+            rdma_gets: u64::get(buf)?,
+            rdma_get_bytes: u64::get(buf)?,
+        })
+    }
+}
+
+impl Wire for Breakdown {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.comm_s.put(out);
+        self.comp_s.put(out);
+        self.other_s.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Breakdown {
+            comm_s: f64::get(buf)?,
+            comp_s: f64::get(buf)?,
+            other_s: f64::get(buf)?,
+        })
+    }
+}
+
+impl Wire for PhaseTimes {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.symbolic_s.put(out);
+        self.fetch_s.put(out);
+        self.compute_s.put(out);
+        self.assemble_s.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(PhaseTimes {
+            symbolic_s: f64::get(buf)?,
+            fetch_s: f64::get(buf)?,
+            compute_s: f64::get(buf)?,
+            assemble_s: f64::get(buf)?,
+        })
+    }
+}
+
+impl Wire for Primitive {
+    fn put(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Primitive::Recv => 0,
+            Primitive::Barrier => 1,
+            Primitive::Exchange => 2,
+        });
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(Primitive::Recv),
+            1 => Ok(Primitive::Barrier),
+            2 => Ok(Primitive::Exchange),
+            t => Err(WireError::BadTag {
+                what: "Primitive",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl Wire for CommError {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            CommError::PeerFailed { rank, primitive } => {
+                out.push(0);
+                rank.put(out);
+                primitive.put(out);
+            }
+            CommError::Timeout { primitive, waited } => {
+                out.push(1);
+                primitive.put(out);
+                waited.put(out);
+            }
+            CommError::Poisoned => out.push(2),
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(CommError::PeerFailed {
+                rank: usize::get(buf)?,
+                primitive: Primitive::get(buf)?,
+            }),
+            1 => Ok(CommError::Timeout {
+                primitive: Primitive::get(buf)?,
+                waited: Duration::get(buf)?,
+            }),
+            2 => Ok(CommError::Poisoned),
+            t => Err(WireError::BadTag {
+                what: "CommError",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl Wire for RankError {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            RankError::Comm(e) => {
+                out.push(0);
+                e.put(out);
+            }
+            RankError::Panic { summary } => {
+                out.push(1);
+                summary.put(out);
+            }
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(RankError::Comm(CommError::get(buf)?)),
+            1 => Ok(RankError::Panic {
+                summary: String::get(buf)?,
+            }),
+            t => Err(WireError::BadTag {
+                what: "RankError",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+impl<T: Wire, E: Wire> Wire for Result<T, E> {
+    fn put(&self, out: &mut Vec<u8>) {
+        match self {
+            Ok(v) => {
+                out.push(0);
+                v.put(out);
+            }
+            Err(e) => {
+                out.push(1);
+                e.put(out);
+            }
+        }
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::get(buf)? {
+            0 => Ok(Ok(T::get(buf)?)),
+            1 => Ok(Err(E::get(buf)?)),
+            t => Err(WireError::BadTag {
+                what: "Result",
+                tag: t as u64,
+            }),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed payload codecs for the untyped transport
+// ---------------------------------------------------------------------------
+
+/// FNV-1a of a type name: the fingerprint stamped on every data frame so a
+/// `recv_vec::<T>` against a differently-typed message fails loudly instead
+/// of reinterpreting bytes.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Serializer/deserializer for `Vec<T>` payloads of one concrete `T`,
+/// stored behind `dyn Any` so [`ProcComm`](crate::ProcComm)'s untyped
+/// transport can dispatch on [`TypeId`].
+pub(crate) type DecodeFn = fn(u64, &[u8]) -> Result<Box<dyn Any + Send>, WireError>;
+
+pub(crate) struct VecCodec {
+    pub fp: u64,
+    pub type_name: &'static str,
+    pub encode: fn(&(dyn Any + Send)) -> (u64, Vec<u8>),
+    pub decode: DecodeFn,
+}
+
+fn enc_vec<T: Wire + Send + 'static>(any: &(dyn Any + Send)) -> (u64, Vec<u8>) {
+    let v = any
+        .downcast_ref::<Vec<T>>()
+        .expect("codec invoked on matching TypeId");
+    let mut out = Vec::new();
+    for x in v {
+        x.put(&mut out);
+    }
+    (v.len() as u64, out)
+}
+
+fn dec_vec<T: Wire + Send + 'static>(
+    count: u64,
+    bytes: &[u8],
+) -> Result<Box<dyn Any + Send>, WireError> {
+    let mut buf = bytes;
+    let n = usize::try_from(count).map_err(|_| WireError::Malformed {
+        what: "element count",
+    })?;
+    let mut v: Vec<T> = Vec::with_capacity(n.min(bytes.len().max(1)));
+    for _ in 0..n {
+        v.push(T::get(&mut buf)?);
+    }
+    if !buf.is_empty() {
+        return Err(WireError::Malformed {
+            what: "trailing bytes after payload",
+        });
+    }
+    Ok(Box::new(v))
+}
+
+macro_rules! register_codecs {
+    ($map:ident, $($t:ty),* $(,)?) => {$(
+        $map.insert(TypeId::of::<$t>(), VecCodec {
+            fp: fnv1a(std::any::type_name::<$t>()),
+            type_name: std::any::type_name::<$t>(),
+            encode: enc_vec::<$t>,
+            decode: dec_vec::<$t>,
+        });
+    )*};
+}
+
+fn registry() -> &'static HashMap<TypeId, VecCodec> {
+    static REGISTRY: OnceLock<HashMap<TypeId, VecCodec>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        let mut m = HashMap::new();
+        // The closed set of element types that cross rank boundaries in
+        // this workspace (audited over crates/dist, crates/apps, the test
+        // tree, and the benches). `Vec<u64>`/`Vec<f64>` appear because the
+        // provided reduce/allreduce_vec collectives send vectors-of-vectors.
+        register_codecs!(
+            m,
+            u8,
+            u16,
+            u32,
+            u64,
+            usize,
+            i32,
+            i64,
+            f32,
+            f64,
+            (u32, u32),
+            (u64, u64),
+            (u32, u32, f64),
+            (u64, u64, u64),
+            (f64, u64),
+            Vec<u8>,
+            Vec<u32>,
+            Vec<u64>,
+            Vec<f32>,
+            Vec<f64>,
+        );
+        m
+    })
+}
+
+/// The codec for element type `T`, if `T` is in the registered wire set.
+pub(crate) fn vec_codec<T: Send + 'static>() -> Option<&'static VecCodec> {
+    registry().get(&TypeId::of::<T>())
+}
+
+// ---------------------------------------------------------------------------
+// Socket frames
+// ---------------------------------------------------------------------------
+
+/// One framed message of the cross-process protocol. On a socket each frame
+/// travels as `[u32 LE length][kind byte][body]`; [`Frame::to_bytes`] /
+/// [`Frame::from_bytes`] cover the `[kind][body]` part, the transport adds
+/// the length prefix.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// Child → parent bootstrap: "rank `rank` listens on `port`".
+    Hello { rank: u64, port: u16 },
+    /// Parent → child bootstrap: every rank's listen port, in rank order.
+    Table { ports: Vec<u16> },
+    /// First frame on a freshly connected mesh link: who is calling.
+    Peer { rank: u64 },
+    /// A two-sided `send_vec` payload (or an unmetered control-plane
+    /// message when `metered` is false). `src` is the sender's rank *in
+    /// the communicator* `comm_id`; `count` elements of the type
+    /// fingerprinted by `type_fp` are encoded in `payload`.
+    Data {
+        comm_id: u64,
+        src: u64,
+        tag: u64,
+        metered: bool,
+        meter_bytes: u64,
+        type_fp: u64,
+        count: u64,
+        payload: Vec<u8>,
+    },
+    /// One-sided ranged get against part `part` of exposed window
+    /// `win_id`, element range `start..end`.
+    GetReq {
+        req_id: u64,
+        win_id: u64,
+        part: u32,
+        start: u64,
+        end: u64,
+    },
+    /// Raw bytes answering [`Frame::GetReq`] `req_id`.
+    GetResp { req_id: u64, payload: Vec<u8> },
+    /// "Rank `victim` failed" — poisons the receiver's job.
+    Abort { victim: u64 },
+    /// Clean goodbye: the sender's rank closure has finished; it will keep
+    /// serving window gets until every peer has said the same.
+    Bye,
+    /// Child → parent: the rank's final [`RankOutcome`](crate::RankOutcome),
+    /// pre-encoded (the result type is generic, so the frame carries bytes).
+    Outcome { payload: Vec<u8> },
+}
+
+const K_HELLO: u8 = 1;
+const K_TABLE: u8 = 2;
+const K_PEER: u8 = 3;
+const K_DATA: u8 = 4;
+const K_GETREQ: u8 = 5;
+const K_GETRESP: u8 = 6;
+const K_ABORT: u8 = 7;
+const K_BYE: u8 = 8;
+const K_OUTCOME: u8 = 9;
+
+impl Frame {
+    /// Encode as `[kind][body]` (no length prefix).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Frame::Hello { rank, port } => {
+                out.push(K_HELLO);
+                rank.put(&mut out);
+                port.put(&mut out);
+            }
+            Frame::Table { ports } => {
+                out.push(K_TABLE);
+                ports.put(&mut out);
+            }
+            Frame::Peer { rank } => {
+                out.push(K_PEER);
+                rank.put(&mut out);
+            }
+            Frame::Data {
+                comm_id,
+                src,
+                tag,
+                metered,
+                meter_bytes,
+                type_fp,
+                count,
+                payload,
+            } => {
+                out.push(K_DATA);
+                comm_id.put(&mut out);
+                src.put(&mut out);
+                tag.put(&mut out);
+                metered.put(&mut out);
+                meter_bytes.put(&mut out);
+                type_fp.put(&mut out);
+                count.put(&mut out);
+                payload.put(&mut out);
+            }
+            Frame::GetReq {
+                req_id,
+                win_id,
+                part,
+                start,
+                end,
+            } => {
+                out.push(K_GETREQ);
+                req_id.put(&mut out);
+                win_id.put(&mut out);
+                part.put(&mut out);
+                start.put(&mut out);
+                end.put(&mut out);
+            }
+            Frame::GetResp { req_id, payload } => {
+                out.push(K_GETRESP);
+                req_id.put(&mut out);
+                payload.put(&mut out);
+            }
+            Frame::Abort { victim } => {
+                out.push(K_ABORT);
+                victim.put(&mut out);
+            }
+            Frame::Bye => out.push(K_BYE),
+            Frame::Outcome { payload } => {
+                out.push(K_OUTCOME);
+                payload.put(&mut out);
+            }
+        }
+        out
+    }
+
+    /// Decode a `[kind][body]` buffer produced by [`Frame::to_bytes`].
+    /// Total: truncated or corrupt input yields a typed error.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Frame, WireError> {
+        if bytes.len() > MAX_FRAME {
+            return Err(WireError::FrameTooLarge { len: bytes.len() });
+        }
+        let mut buf = bytes;
+        let kind = u8::get(&mut buf)?;
+        let frame = match kind {
+            K_HELLO => Frame::Hello {
+                rank: u64::get(&mut buf)?,
+                port: u16::get(&mut buf)?,
+            },
+            K_TABLE => Frame::Table {
+                ports: Vec::<u16>::get(&mut buf)?,
+            },
+            K_PEER => Frame::Peer {
+                rank: u64::get(&mut buf)?,
+            },
+            K_DATA => Frame::Data {
+                comm_id: u64::get(&mut buf)?,
+                src: u64::get(&mut buf)?,
+                tag: u64::get(&mut buf)?,
+                metered: bool::get(&mut buf)?,
+                meter_bytes: u64::get(&mut buf)?,
+                type_fp: u64::get(&mut buf)?,
+                count: u64::get(&mut buf)?,
+                payload: Vec::<u8>::get(&mut buf)?,
+            },
+            K_GETREQ => Frame::GetReq {
+                req_id: u64::get(&mut buf)?,
+                win_id: u64::get(&mut buf)?,
+                part: u32::get(&mut buf)?,
+                start: u64::get(&mut buf)?,
+                end: u64::get(&mut buf)?,
+            },
+            K_GETRESP => Frame::GetResp {
+                req_id: u64::get(&mut buf)?,
+                payload: Vec::<u8>::get(&mut buf)?,
+            },
+            K_ABORT => Frame::Abort {
+                victim: u64::get(&mut buf)?,
+            },
+            K_BYE => Frame::Bye,
+            K_OUTCOME => Frame::Outcome {
+                payload: Vec::<u8>::get(&mut buf)?,
+            },
+            t => {
+                return Err(WireError::BadTag {
+                    what: "Frame",
+                    tag: t as u64,
+                })
+            }
+        };
+        if !buf.is_empty() {
+            return Err(WireError::Malformed {
+                what: "trailing bytes after frame",
+            });
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(u16::MAX);
+        round_trip(u32::MAX - 1);
+        round_trip(u64::MAX);
+        round_trip(-7i32);
+        round_trip(i64::MIN);
+        round_trip(usize::MAX);
+        round_trip(1.5f32);
+        round_trip(-0.0f64);
+        round_trip(f64::NAN.to_bits()); // NaN itself is != NaN; compare bits
+        assert_eq!(
+            f64::from_bytes(&f64::NAN.to_bytes()).unwrap().to_bits(),
+            f64::NAN.to_bits()
+        );
+        round_trip(true);
+        round_trip(false);
+        round_trip(());
+    }
+
+    #[test]
+    fn composites_round_trip() {
+        round_trip(String::from("héllo wörld"));
+        round_trip(vec![1u64, 2, 3]);
+        round_trip(Vec::<u32>::new());
+        round_trip(vec![vec![1.0f64], vec![], vec![2.0, 3.0]]);
+        round_trip(Some(42u32));
+        round_trip(None::<String>);
+        round_trip((1u32, 2u32, 3.5f64));
+        round_trip((u64::MAX, 0u64, 1u64));
+        round_trip(Duration::from_millis(1234));
+        round_trip(CommStats {
+            sent_msgs: 1,
+            sent_bytes: 2,
+            recv_msgs: 3,
+            recv_bytes: 4,
+            rdma_gets: 5,
+            rdma_get_bytes: 6,
+        });
+        round_trip(Breakdown {
+            comm_s: 0.25,
+            comp_s: 1.5,
+            other_s: 0.0,
+        });
+        round_trip(PhaseTimes {
+            symbolic_s: 1.0,
+            fetch_s: 2.0,
+            compute_s: 3.0,
+            assemble_s: 4.0,
+        });
+    }
+
+    #[test]
+    fn error_types_round_trip() {
+        round_trip(RankError::Comm(CommError::PeerFailed {
+            rank: 3,
+            primitive: Primitive::Barrier,
+        }));
+        round_trip(RankError::Comm(CommError::Timeout {
+            primitive: Primitive::Recv,
+            waited: Duration::from_secs_f64(1.75),
+        }));
+        round_trip(RankError::Comm(CommError::Poisoned));
+        round_trip(RankError::Panic {
+            summary: "boom".into(),
+        });
+        round_trip(Ok::<u64, RankError>(99));
+        round_trip(Err::<u64, RankError>(RankError::Panic {
+            summary: "x".into(),
+        }));
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = (vec![1u64, 2, 3], String::from("tail")).to_bytes();
+        for cut in 0..bytes.len() {
+            let err = <(Vec<u64>, String)>::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated { .. }),
+                "cut at {cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate() {
+        // A length field claiming 2^60 elements must be rejected up front.
+        let mut bytes = Vec::new();
+        (1u64 << 60).put(&mut bytes);
+        bytes.extend_from_slice(&[0u8; 16]);
+        assert!(matches!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+        assert!(matches!(
+            String::from_bytes(&bytes),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 7u32.to_bytes();
+        bytes.push(0);
+        assert!(matches!(
+            u32::from_bytes(&bytes),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_tags_are_typed() {
+        assert!(matches!(
+            Option::<u8>::from_bytes(&[9, 0]),
+            Err(WireError::BadTag { what: "Option", .. })
+        ));
+        assert!(matches!(
+            Primitive::from_bytes(&[77]),
+            Err(WireError::BadTag { .. })
+        ));
+        assert!(matches!(
+            bool::from_bytes(&[2]),
+            Err(WireError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let frames = vec![
+            Frame::Hello {
+                rank: 3,
+                port: 40111,
+            },
+            Frame::Table {
+                ports: vec![1000, 2000, 3000],
+            },
+            Frame::Peer { rank: 2 },
+            Frame::Data {
+                comm_id: 7,
+                src: 1,
+                tag: (1 << 63) | 42,
+                metered: true,
+                meter_bytes: 800,
+                type_fp: 0xdead_beef,
+                count: 100,
+                payload: vec![1, 2, 3, 4],
+            },
+            Frame::GetReq {
+                req_id: 9,
+                win_id: 2,
+                part: 1,
+                start: 10,
+                end: 20,
+            },
+            Frame::GetResp {
+                req_id: 9,
+                payload: vec![0; 80],
+            },
+            Frame::Abort { victim: 1 },
+            Frame::Bye,
+            Frame::Outcome {
+                payload: Ok::<u64, RankError>(5).to_bytes(),
+            },
+        ];
+        for f in frames {
+            let bytes = f.to_bytes();
+            assert_eq!(Frame::from_bytes(&bytes).unwrap(), f, "frame {f:?}");
+            // every prefix of a valid frame is a typed error, not a panic
+            for cut in 0..bytes.len() {
+                assert!(Frame::from_bytes(&bytes[..cut]).is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_frame_kind_is_typed() {
+        assert!(matches!(
+            Frame::from_bytes(&[200, 1, 2, 3]),
+            Err(WireError::BadTag { what: "Frame", .. })
+        ));
+        assert!(matches!(
+            Frame::from_bytes(&[]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn codec_registry_covers_the_audited_set_and_rejects_strangers() {
+        assert!(vec_codec::<u64>().is_some());
+        assert!(vec_codec::<(u32, u32, f64)>().is_some());
+        assert!(vec_codec::<Vec<f64>>().is_some());
+        assert!(vec_codec::<std::net::TcpStream>().is_none());
+
+        let v: Vec<u64> = vec![10, 20, 30];
+        let codec = vec_codec::<u64>().unwrap();
+        let (count, bytes) = (codec.encode)(&v as &(dyn Any + Send));
+        assert_eq!(count, 3);
+        let back = (codec.decode)(count, &bytes).unwrap();
+        assert_eq!(*back.downcast::<Vec<u64>>().unwrap(), v);
+        // corrupt payload: typed error, not a panic
+        assert!((codec.decode)(count, &bytes[..bytes.len() - 1]).is_err());
+        assert!((codec.decode)(count + 1, &bytes).is_err());
+    }
+}

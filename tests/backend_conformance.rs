@@ -1,0 +1,463 @@
+//! Backend conformance suite (PR 7): every [`Comm`] backend must be
+//! *indistinguishable* from the serial simulator in everything but
+//! wall-clock. The suite is backend-parametric — each cell is a
+//! [`RankJob`] run twice, once on the pinned `SimComm` baseline and once
+//! on the backend `SA_BACKEND` selects — so the same binary proves:
+//!
+//! * `SA_BACKEND` unset / `sim`: the simulator is deterministic (two
+//!   independent runs agree bit-for-bit);
+//! * `SA_BACKEND=threads`: the truly-parallel in-process backend conforms;
+//! * `SA_BACKEND=procs`: the process-per-rank socket backend conforms —
+//!   every result below crosses a real OS-process boundary and comes back
+//!   bit-identical, and the metered [`CommStats`] (sends, receives, RDMA
+//!   gets — messages *and* bytes, per rank) match the simulator exactly
+//!   even though the bytes now travel through TCP frames.
+//!
+//! Coverage: the 1D sparsity-aware multiply under all four fetch modes
+//! (plus its pre-communication analysis), 2D SUMMA across grid shapes and
+//! semirings, the 3D split algorithm across layer counts, the stateful
+//! `SpgemmSession` fresh-vs-cache split with delta invalidation, the
+//! `spgemm_auto` tuner, and a pure-runtime cell that exercises every
+//! collective, point-to-point patterns, windows, and splits directly.
+//!
+//! Outputs are fingerprinted with `f64::to_bits` (integer-valued operands
+//! make the sums exact), so equality is exact equality, not tolerance.
+
+use saspgemm::dist::{
+    analyze_1d, spgemm_1d, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa, uniform_offsets,
+    CacheConfig, DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
+};
+use saspgemm::mpisim::{
+    Backend, Comm, CommStats, CostModel, Grid2D, Grid3D, RankJob, Universe, Window,
+};
+use saspgemm::sparse::gen::erdos_renyi;
+use saspgemm::sparse::semiring::MinPlus;
+use saspgemm::sparse::Csc;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// ER matrix with small-integer values: f64 sums over products of these
+/// are exact, so scheduling cannot perturb results.
+fn int_er(nrows: usize, ncols: usize, deg: f64, seed: u64) -> Csc<f64> {
+    erdos_renyi(nrows, ncols, deg, seed).map(|v| (v * 7.0).round() + 1.0)
+}
+
+/// Bit-exact fingerprint of a sparse matrix: dims + every (row, col,
+/// value-bits) triple in storage order.
+fn fp_csc(c: &Csc<f64>) -> String {
+    let mut s = format!("{}x{}#{}:", c.nrows(), c.ncols(), c.nnz());
+    for (i, j, v) in c.iter() {
+        write!(s, "{i},{j},{:x};", v.to_bits()).unwrap();
+    }
+    s
+}
+
+fn fp_opt(c: &Option<Csc<f64>>) -> String {
+    match c {
+        Some(c) => fp_csc(c),
+        None => "-".into(),
+    }
+}
+
+/// The backend under test: whatever `SA_BACKEND` names (the simulator when
+/// unset). CI runs this suite once per backend value.
+fn backend_under_test() -> Backend {
+    Backend::from_env()
+}
+
+/// One conformance cell's verdict: a bit-exact output fingerprint plus the
+/// rank's full NIC counter delta for the cell.
+type Verdict = (String, CommStats);
+
+/// The driver: run `job` on the pinned serial simulator, then on the
+/// backend under test, and require per-rank identical fingerprints and
+/// byte-identical traffic. Returns the verdicts for extra assertions.
+fn run_conformance<J: RankJob<Out = Verdict>>(nranks: usize, job: &J, what: &str) -> Vec<Verdict> {
+    // Watchdog on: a conformance bug on a remote backend must fail typed,
+    // not hang the suite.
+    let u = Universe::new(nranks).with_watchdog(Some(Duration::from_secs(120)));
+    let baseline = u.run_backend(Backend::Sim, job);
+    let be = backend_under_test();
+    let got = u.run_backend(be, job);
+    assert_eq!(baseline.len(), got.len(), "{what}: rank count");
+    for (rank, (base, g)) in baseline.iter().zip(&got).enumerate() {
+        assert_eq!(
+            base.0,
+            g.0,
+            "{what}: rank {rank} output diverged on backend '{}'",
+            be.name()
+        );
+        assert_eq!(
+            base.1,
+            g.1,
+            "{what}: rank {rank} metered traffic diverged on backend '{}'",
+            be.name()
+        );
+    }
+    got
+}
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+/// Pure-runtime cell: every provided collective, p2p rings, windows
+/// (plain + ranged), and a split sub-communicator — no algorithm on top,
+/// so a conformance failure here localizes to the runtime itself.
+struct RuntimeChurn;
+
+impl RankJob for RuntimeChurn {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let me = comm.rank();
+        let n = comm.size();
+        let before = comm.stats();
+        let mut s = String::new();
+
+        // p2p ring with payload types of several widths
+        comm.send_vec((me + 1) % n, 7, vec![me as u64, 100 + me as u64]);
+        let from_left: Vec<u64> = comm.recv_vec((me + n - 1) % n, 7);
+        write!(s, "ring:{from_left:?};").unwrap();
+        comm.send_vec(
+            (me + 1) % n,
+            8,
+            vec![(me as u32, me as u32, me as f64 + 0.5)],
+        );
+        let tup: Vec<(u32, u32, f64)> = comm.recv_vec((me + n - 1) % n, 8);
+        write!(s, "tup:{}:{};", tup[0].0, tup[0].2.to_bits()).unwrap();
+
+        // every provided collective
+        let b = comm.bcast_vec(0, (me == 0).then(|| vec![3u64, 1, 4, 1, 5]));
+        let g = comm.gatherv(0, vec![me as u64; me + 1]);
+        let sc = comm.scatterv(
+            0,
+            (me == 0).then(|| (0..n).map(|r| vec![r as u64 * 10]).collect()),
+        );
+        let ag = comm.allgatherv(vec![me as u64 * 2]);
+        let a2a = comm.alltoallv((0..n).map(|d| vec![(me * 100 + d) as u64]).collect());
+        let red = comm.reduce(0, me as u64 + 1, |x, y| x + y);
+        let ar = comm.allreduce(me as u64 + 1, |x, y| x + y);
+        let arv = comm.allreduce_vec(vec![me as f64, 1.0], |x, y| x + y);
+        let ex = comm.exscan_sum(me as u64 + 1);
+        write!(
+            s,
+            "coll:{b:?}|{g:?}|{sc:?}|{ag:?}|{a2a:?}|{red:?}|{ar}|{:?}|{ex:?};",
+            arv.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        )
+        .unwrap();
+        comm.barrier();
+
+        // windows: whole-slice and ranged one-sided gets
+        let win = Window::create(comm, vec![me as u64; 6]);
+        let peer = (me + n / 2) % n;
+        let got = win.get(comm, peer, 1..4);
+        write!(s, "win:{got:?};").unwrap();
+        comm.barrier();
+
+        // split into even/odd and reduce within
+        let sub = comm.split(me % 2, me);
+        let sub_sum = sub.allreduce(me as u64, |x, y| x + y);
+        write!(s, "split:{}/{}:{sub_sum};", sub.rank(), sub.size()).unwrap();
+        comm.barrier();
+
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn runtime_churn_conforms() {
+    for n in [2, 4, 5] {
+        run_conformance(n, &RuntimeChurn, &format!("runtime churn p={n}"));
+    }
+}
+
+/// The 1D sparsity-aware multiply under one fetch mode, plus its
+/// pre-communication analysis — the analysis must price exactly what the
+/// execution meters, on every backend.
+struct Spgemm1D<'a> {
+    a: &'a Csc<f64>,
+    mode: FetchMode,
+}
+
+impl RankJob for Spgemm1D<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let offsets = uniform_offsets(self.a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, self.a, &offsets);
+        let db = da.clone();
+        let an = analyze_1d(comm, &da, &db, self.mode);
+        let plan = Plan1D {
+            fetch_mode: self.mode,
+            ..Default::default()
+        };
+        let before = comm.stats();
+        let (c, rep) = spgemm_1d(comm, &da, &db, &plan);
+        let traffic = comm.stats() - before;
+        assert_eq!(
+            rep.fetched_bytes, an.planned_fetch_bytes,
+            "plan == metering"
+        );
+        let s = format!(
+            "{}|fetched={} msgs={} needed={} global={} cv={:x}|planned={}/{}",
+            fp_csc(&c.into_local_csc()),
+            rep.fetched_bytes,
+            rep.rdma_msgs,
+            rep.needed_bytes,
+            rep.fetched_bytes_global,
+            rep.cv_over_mem.to_bits(),
+            an.planned_fetch_bytes,
+            an.planned_intervals,
+        );
+        (s, traffic)
+    }
+}
+
+#[test]
+fn spgemm_1d_conforms_across_fetch_modes() {
+    let a = int_er(48, 48, 4.0, 11);
+    for mode in [
+        FetchMode::FullMatrix,
+        FetchMode::Block(4),
+        FetchMode::ContiguousRuns,
+        FetchMode::ColumnExact,
+    ] {
+        run_conformance(4, &Spgemm1D { a: &a, mode }, &format!("1D {mode:?}"));
+    }
+}
+
+/// 2D SUMMA on one grid shape, arithmetic or tropical semiring.
+struct Summa2D<'a> {
+    a: &'a Csc<f64>,
+    b: &'a Csc<f64>,
+    pr: usize,
+    pc: usize,
+    mode: FetchMode,
+    tropical: bool,
+}
+
+impl RankJob for Summa2D<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let grid = Grid2D::new(comm, self.pr, self.pc);
+        let da = DistMat2D::from_global(&grid, self.a);
+        let db = DistMat2D::from_global(&grid, self.b);
+        let before = comm.stats();
+        let s = if self.tropical {
+            let ws = saspgemm::sparse::SpgemmWorkspace::new();
+            let (c, _rep) = saspgemm::dist::spgemm_summa_2d_sa_ws::<_, MinPlus>(
+                comm, &grid, &da, &db, self.mode, &ws,
+            );
+            fp_opt(&c.gather(comm, &grid))
+        } else {
+            let (c, rep) = spgemm_summa_2d_sa(comm, &grid, &da, &db, self.mode);
+            format!(
+                "{}|af={} am={} bs={}",
+                fp_opt(&c.gather(comm, &grid)),
+                rep.a_fetched_bytes,
+                rep.a_rdma_msgs,
+                rep.b_shipped_bytes,
+            )
+        };
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn summa_2d_conforms_across_grids_and_semirings() {
+    let a = int_er(40, 40, 3.5, 21);
+    let b = int_er(40, 40, 2.5, 22);
+    for (pr, pc) in [(2, 2), (1, 4), (4, 1)] {
+        for mode in [FetchMode::Block(4), FetchMode::ColumnExact] {
+            for tropical in [false, true] {
+                let job = Summa2D {
+                    a: &a,
+                    b: &b,
+                    pr,
+                    pc,
+                    mode,
+                    tropical,
+                };
+                let what = format!("2D {pr}x{pc} {mode:?} tropical={tropical}");
+                run_conformance(pr * pc, &job, &what);
+            }
+        }
+    }
+}
+
+/// The 3D split algorithm on one layer configuration.
+struct Split3D<'a> {
+    a: &'a Csc<f64>,
+    b: &'a Csc<f64>,
+    q: usize,
+    layers: usize,
+}
+
+impl RankJob for Split3D<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let grid = Grid3D::new(comm, self.q, self.layers);
+        let da = DistMat3D::from_global_split_cols(&grid, self.a);
+        let db = DistMat3D::from_global_split_rows(&grid, self.b);
+        let before = comm.stats();
+        let (c, rep) = spgemm_split_3d_sa(comm, &grid, &da, &db, FetchMode::Block(4));
+        let s = format!(
+            "{}|af={} rb={} bs={}",
+            fp_opt(&c.gather(comm)),
+            rep.summa.a_fetched_bytes,
+            rep.reduce_bytes,
+            rep.summa.b_shipped_bytes,
+        );
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn split_3d_conforms_across_layer_counts() {
+    let a = int_er(36, 36, 3.0, 31);
+    let b = int_er(36, 36, 3.0, 32);
+    for (q, layers) in [(2, 1), (2, 2), (1, 4)] {
+        let job = Split3D {
+            a: &a,
+            b: &b,
+            q,
+            layers,
+        };
+        run_conformance(q * q * layers, &job, &format!("3D q={q} l={layers}"));
+    }
+}
+
+/// The stateful session path: fresh vs cache-hit byte split across
+/// repeated multiplies and an `update_a` delta invalidation.
+struct SessionCell<'a> {
+    a: &'a Csc<f64>,
+}
+
+impl RankJob for SessionCell<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let before = comm.stats();
+        let offsets = uniform_offsets(self.a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, self.a, &offsets);
+        let db = da.clone();
+        let mut session = SpgemmSession::create(
+            comm,
+            da.clone(),
+            Plan1D::default(),
+            CacheConfig::unlimited(),
+        );
+        let (c1, r1) = session.multiply(comm, &db);
+        let (c2, r2) = session.multiply(comm, &db);
+        let a2 = self.a.map(|v| v + 1.0);
+        let da2 = DistMat1D::from_global(comm, &a2, &offsets);
+        let invalidated = session.update_a(comm, da2);
+        let (c3, r3) = session.multiply(comm, &db);
+        let s = format!(
+            "{}|{}|{}|r1={}/{}/{} r2={}/{} r3={}/{} inv={invalidated}",
+            fp_csc(&c1.into_local_csc()),
+            fp_csc(&c2.into_local_csc()),
+            fp_csc(&c3.into_local_csc()),
+            r1.fresh_bytes,
+            r1.cache_hit_bytes,
+            r1.needed_bytes,
+            r2.fresh_bytes,
+            r2.cache_hit_bytes,
+            r3.fresh_bytes,
+            r3.cache_hit_bytes,
+        );
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn session_cache_conforms() {
+    let a = int_er(60, 60, 3.0, 41);
+    run_conformance(4, &SessionCell { a: &a }, "session fresh-vs-cache");
+}
+
+/// The autotuner: same pick, same traffic, same product on every backend.
+struct AutoCell<'a> {
+    a: &'a Csc<f64>,
+    b: &'a Csc<f64>,
+}
+
+impl RankJob for AutoCell<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let before = comm.stats();
+        let (c, rep) = spgemm_auto(comm, self.a, self.b, &CostModel::slingshot());
+        let s = format!("{}|choice={:?}|{:?}", fp_opt(&c), rep.choice, rep.comm);
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn autotuner_conforms() {
+    let a = int_er(48, 48, 3.0, 51);
+    let b = int_er(48, 48, 3.0, 52);
+    let got = run_conformance(4, &AutoCell { a: &a, b: &b }, "spgemm_auto");
+    assert!(got[0].0.starts_with("48x48"), "rank 0 gathers the product");
+}
+
+// ---------------------------------------------------------------------------
+// Backend-specific regression nets (pinned backends — these intentionally
+// do NOT follow SA_BACKEND; they guard properties of one backend each).
+// ---------------------------------------------------------------------------
+
+#[test]
+fn threads_backend_concurrency_smoke() {
+    // Repeated runs of barrier/window/split/collective churn on the
+    // parallel in-process backend: must terminate every time with correct
+    // results. This is the deadlock/lost-wakeup regression net for the
+    // lightweight barrier and the scheduler-aware mailbox waits.
+    let u = Universe::new(8);
+    for round in 0..20u64 {
+        let got = u.launch::<saspgemm::mpisim::Threads, _, _>(|comm| {
+            let me = comm.rank() as u64;
+            for _ in 0..2 {
+                let win = Window::create(comm, vec![me + round; 8]);
+                let peer = (comm.rank() + 3) % comm.size();
+                let v = win.get(comm, peer, 2..6);
+                assert_eq!(v, vec![peer as u64 + round; 4]);
+                comm.barrier();
+            }
+            let sub = comm.split(comm.rank() % 2, comm.rank());
+            let sub_sum = sub.allreduce(me, |x, y| x + y);
+            let sends: Vec<Vec<u64>> = (0..comm.size())
+                .map(|d| vec![me * 100 + d as u64])
+                .collect();
+            let recvd = comm.alltoallv(sends);
+            comm.barrier();
+            (sub_sum, recvd.len())
+        });
+        for (r, (sub_sum, n)) in got.iter().enumerate() {
+            let expect: u64 = if r % 2 == 0 { 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
+            assert_eq!(*sub_sum, expect, "round {round} rank {r}");
+            assert_eq!(*n, 8);
+        }
+    }
+}
+
+#[test]
+fn serial_backend_is_deterministic_across_runs() {
+    // Two identical pinned-SimComm runs must produce identical traffic
+    // *and* identical per-rank results — the property that makes the
+    // simulator the byte-exact baseline every conformance cell diffs
+    // against.
+    let a = int_er(44, 44, 3.0, 61);
+    let job = |u: &Universe| {
+        u.launch::<saspgemm::mpisim::Serial, _, _>(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let (c, rep) = spgemm_1d(comm, &da, &db, &Plan1D::default());
+            (
+                c.into_local_csc(),
+                rep.fetched_bytes,
+                rep.rdma_msgs,
+                comm.stats(),
+            )
+        })
+    };
+    let u = Universe::new(5);
+    assert_eq!(job(&u), job(&u));
+}

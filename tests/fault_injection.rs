@@ -5,11 +5,21 @@
 //! multiply, a cached `SpgemmSession` multiply + `update_a`, and the
 //! `spgemm_auto` tuner pick) × every fault shape (abort at the victim's
 //! first communication call, abort mid-stream inside a collective's
-//! constituent point-to-point calls, and a straggler delay) × both
-//! backends (`launch::<Serial>` / `launch::<Threads>`). In every abort
-//! cell the job must terminate within the watchdog deadline with the
-//! victim reporting its own panic and **every** survivor reporting
-//! [`CommError::PeerFailed`] naming the victim.
+//! constituent point-to-point calls, and a straggler delay) × all three
+//! backends (`launch::<Serial>` / `launch::<Threads>` /
+//! `try_run_procs`). In every abort cell the job must terminate within
+//! the watchdog deadline with the victim reporting its own panic and
+//! **every** survivor reporting [`CommError::PeerFailed`] naming the
+//! victim.
+//!
+//! The `procs` backend adds the fault shapes only real processes can
+//! exhibit: a rank destroyed by `SIGKILL` mid-job (no unwinding, no abort
+//! broadcast — survivors detect the dead socket, the parent classifies
+//! the corpse from `waitpid`), and a cross-process deadlock where each
+//! process's *own* watchdog must convert the stall into a typed
+//! [`CommError::Timeout`] (unlike in-process backends there is one
+//! watchdog per process, so several ranks may time out — see
+//! docs/BACKENDS.md's porting log).
 //!
 //! Plus the two supporting properties:
 //! * **wrapper neutrality** — a zero-fault [`FaultComm`] is byte-identical
@@ -23,8 +33,8 @@ use saspgemm::dist::{
     DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
 };
 use saspgemm::mpisim::{
-    Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D, Grid3D, Mode, RankError, Serial,
-    Threads, Universe,
+    kill_self_with_sigkill, Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D, Grid3D, Mode,
+    Primitive, RankError, Serial, Threads, Universe,
 };
 use saspgemm::sparse::gen::erdos_renyi;
 use saspgemm::sparse::Csc;
@@ -305,6 +315,151 @@ fn zero_fault_wrapper_is_byte_identical_to_bare_backend() {
         );
         assert_eq!(bare, bare_t, "{name}: backends diverged");
     }
+}
+
+// ---------------------------------------------------------------------------
+// The procs backend: the same matrix across real process boundaries, plus
+// the fault shapes only OS processes can exhibit.
+// ---------------------------------------------------------------------------
+
+/// [`faulted_run`] on the process-per-rank backend: every rank is a forked
+/// OS process, the injected panic unwinds inside the child, and the typed
+/// outcome crosses back over a socket.
+fn faulted_run_procs(name: &'static str, plan: &FaultPlan) -> Vec<Result<String, RankError>> {
+    universe().try_run_procs(|comm| {
+        let fc = FaultComm::new(comm.split(0, comm.rank()), plan.clone());
+        workload(name, &fc)
+    })
+}
+
+/// The abort matrix on procs: identical acceptance to the in-process
+/// backends — victim panics "injected fault", every survivor fails
+/// `PeerFailed` naming the victim (the victim's Abort broadcast, not a
+/// guessed-at socket EOF, carries the attribution).
+fn assert_abort_matrix_procs(at_op: u64) {
+    quiet_expected_panics();
+    for name in WORKLOADS {
+        let plan = FaultPlan::abort_at(VICTIM, at_op);
+        let out = faulted_run_procs(name, &plan);
+        assert_eq!(out.len(), NRANKS);
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                Ok(res) => panic!(
+                    "{name} at_op={at_op}: rank {r} finished ({res}) despite the injected fault"
+                ),
+                Err(RankError::Panic { summary }) => {
+                    assert_eq!(
+                        r, VICTIM,
+                        "{name} at_op={at_op}: non-victim rank {r} panicked: {summary}"
+                    );
+                    assert!(
+                        summary.contains("injected fault"),
+                        "{name} at_op={at_op}: victim died of something else: {summary}"
+                    );
+                }
+                Err(RankError::Comm(CommError::PeerFailed { rank, primitive })) => {
+                    assert_ne!(r, VICTIM, "{name} at_op={at_op}: victim saw a peer failure");
+                    assert_eq!(
+                        *rank, VICTIM,
+                        "{name} at_op={at_op}: rank {r} blamed rank {rank} (in {primitive}) instead of the victim"
+                    );
+                }
+                Err(e) => panic!("{name} at_op={at_op}: rank {r} failed untyped: {e:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn abort_at_first_op_fails_every_survivor_typed_procs() {
+    assert_abort_matrix_procs(0);
+}
+
+#[test]
+fn abort_mid_collective_fails_every_survivor_typed_procs() {
+    assert_abort_matrix_procs(5);
+}
+
+#[test]
+fn straggler_stalls_but_completes_identically_procs() {
+    quiet_expected_panics();
+    for name in WORKLOADS {
+        let clean = faulted_run_procs(name, &FaultPlan::none());
+        let slow = faulted_run_procs(
+            name,
+            &FaultPlan::delay_at(VICTIM, 3, Duration::from_millis(30)),
+        );
+        for (r, (c, s)) in clean.iter().zip(&slow).enumerate() {
+            let c = c
+                .as_ref()
+                .unwrap_or_else(|e| panic!("{name}: clean procs run failed on rank {r}: {e:?}"));
+            let s = s.as_ref().unwrap_or_else(|e| {
+                panic!("{name}: straggler procs run failed on rank {r}: {e:?}")
+            });
+            assert_eq!(
+                c, s,
+                "{name}: a straggler changed rank {r}'s results/traffic"
+            );
+        }
+    }
+}
+
+/// The fault no in-process backend can model: a rank destroyed by
+/// `SIGKILL`. Nothing unwinds, no Abort is broadcast — survivors must
+/// detect the dead sockets (EOF without a Bye poisons the job naming the
+/// vanished peer) and the parent must classify the corpse from `waitpid`.
+#[test]
+fn sigkill_mid_job_fails_every_survivor_typed_procs() {
+    quiet_expected_panics();
+    let out = universe().try_run_procs(|comm| {
+        if comm.rank() == VICTIM {
+            kill_self_with_sigkill();
+        }
+        workload("1d", comm)
+    });
+    assert_eq!(out.len(), NRANKS);
+    for (r, o) in out.iter().enumerate() {
+        match o {
+            Err(RankError::Panic { summary }) if r == VICTIM => assert!(
+                summary.contains("signal 9"),
+                "victim's corpse misclassified: {summary}"
+            ),
+            Err(RankError::Comm(CommError::PeerFailed { rank, .. })) if r != VICTIM => {
+                assert_eq!(*rank, VICTIM, "rank {r} blamed rank {rank} for the SIGKILL");
+            }
+            other => panic!("rank {r}: expected typed SIGKILL fallout, got {other:?}"),
+        }
+    }
+}
+
+/// Cross-process stall detection: every process deadlocks in a circular
+/// recv that no one serves; each process's own watchdog must fire and
+/// convert the stall into a typed `Timeout` (or `PeerFailed`, if a peer's
+/// abort broadcast lands first — with one watchdog per process, *several*
+/// ranks may time out, unlike the in-process backends' single shared
+/// scheduler; the porting log in docs/BACKENDS.md records this semantic
+/// difference).
+#[test]
+fn cross_process_deadlock_times_out_typed_procs() {
+    quiet_expected_panics();
+    let out = Universe::new(NRANKS)
+        .with_watchdog(Some(Duration::from_secs(2)))
+        .try_run_procs(|comm| {
+            let v: Vec<u64> = comm.recv_vec((comm.rank() + 1) % comm.size(), 999);
+            format!("{v:?}") // never reached: tag 999 is never sent
+        });
+    let mut timeouts = 0;
+    for (r, o) in out.iter().enumerate() {
+        match o {
+            Err(RankError::Comm(CommError::Timeout { primitive, .. })) => {
+                timeouts += 1;
+                assert_eq!(*primitive, Primitive::Recv, "rank {r} timed out elsewhere");
+            }
+            Err(RankError::Comm(CommError::PeerFailed { .. })) => {}
+            other => panic!("rank {r}: expected Timeout or PeerFailed, got {other:?}"),
+        }
+    }
+    assert!(timeouts >= 1, "no process watchdog fired: {out:?}");
 }
 
 /// Replayability: the same seeded plan must produce the same

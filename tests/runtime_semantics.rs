@@ -1,11 +1,42 @@
 //! Simulated-runtime semantics the distributed algorithms rely on:
 //! paired windows, degenerate 1D layouts, collective algebra, and
 //! failure injection at the crate boundary.
+//!
+//! Backend policy: this suite tests `Universe::run` semantics through
+//! in-process closures, so it honors the `SA_BACKEND` escape hatch for
+//! the two in-process schedulers (`sim`, `threads`) and **explicitly pins
+//! the serial scheduler, saying so once,** when the environment selects a
+//! backend these closures cannot run on (`procs` — its coverage lives in
+//! `backend_conformance.rs` and `fault_injection.rs`). See
+//! [`run_in_process`].
 
 use saspgemm::dist::{spgemm_1d, uniform_offsets, DistMat1D, Plan1D};
-use saspgemm::mpisim::{PairedWindow, Universe, Window};
+use saspgemm::mpisim::{Backend, PairedWindow, Serial, SimComm, Universe, Window};
 use saspgemm::sparse::gen::{banded, erdos_renyi};
 use saspgemm::sparse::{Csc, Dcsc};
+use std::sync::Once;
+
+/// The suite's runner: `Universe::run` when `SA_BACKEND` names an
+/// in-process backend (unset, `sim`, or the `threads` upgrade), otherwise
+/// a pinned `launch::<Serial>` with a one-time notice — never a silent
+/// fallback, and never a panic inside the launcher.
+fn run_in_process<R: Send>(u: &Universe, f: impl Fn(&SimComm) -> R + Send + Sync) -> Vec<R> {
+    let be = Backend::from_env();
+    if be.in_process() {
+        return u.run(f);
+    }
+    static NOTE: Once = Once::new();
+    NOTE.call_once(|| {
+        eprintln!(
+            "[runtime_semantics] SA_BACKEND={} is not an in-process backend; \
+             this suite's closures cannot cross a process boundary, so it pins \
+             the serial reference scheduler instead (procs coverage lives in \
+             backend_conformance.rs and fault_injection.rs)",
+            be.name()
+        );
+    });
+    u.launch::<Serial, _, _>(f)
+}
 
 // ---------------------------------------------------------------------
 // paired windows
@@ -14,7 +45,7 @@ use saspgemm::sparse::{Csc, Dcsc};
 #[test]
 fn paired_window_matches_two_plain_windows() {
     let u = Universe::new(3);
-    let got = u.run(|comm| {
+    let got = run_in_process(&u, |comm| {
         let ir: Vec<u32> = (0..20).map(|i| (comm.rank() * 1000 + i) as u32).collect();
         let num: Vec<f64> = (0..20).map(|i| (comm.rank() * 10 + i) as f64).collect();
         let paired = PairedWindow::create(comm, ir.clone(), num.clone());
@@ -32,7 +63,7 @@ fn paired_window_matches_two_plain_windows() {
 #[test]
 fn paired_window_meters_two_messages_per_get() {
     let u = Universe::new(2);
-    let got = u.run(|comm| {
+    let got = run_in_process(&u, |comm| {
         let win = PairedWindow::create(comm, vec![1u32; 10], vec![2.0f64; 10]);
         let before = comm.stats();
         let (mut a, mut b) = (Vec::new(), Vec::new());
@@ -52,7 +83,7 @@ fn paired_window_meters_two_messages_per_get() {
 #[test]
 fn paired_window_rejects_out_of_range_and_bad_rank() {
     let u = Universe::new(2);
-    let got = u.run(|comm| {
+    let got = run_in_process(&u, |comm| {
         let win = PairedWindow::create(
             comm,
             vec![0u32; comm.rank() * 2],
@@ -70,7 +101,7 @@ fn paired_window_rejects_out_of_range_and_bad_rank() {
 #[should_panic(expected = "parallel")]
 fn paired_window_requires_parallel_arrays() {
     let u = Universe::new(1);
-    u.run(|comm| {
+    run_in_process(&u, |comm| {
         let _ = PairedWindow::create(comm, vec![1u32; 3], vec![1.0f64; 4]);
     });
 }
@@ -86,7 +117,7 @@ fn empty_rank_slices_are_harmless() {
     let expect = saspgemm::dist::reference::serial_spgemm(&a, &a);
     let u = Universe::new(3);
     let a2 = a.clone();
-    let got = u.run(move |comm| {
+    let got = run_in_process(&u, move |comm| {
         let offsets = vec![0usize, 12, 12, 24];
         let da = DistMat1D::from_global(comm, &a2, &offsets);
         let (c, rep) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
@@ -105,7 +136,7 @@ fn more_ranks_than_columns() {
     let expect = saspgemm::dist::reference::serial_spgemm(&a, &a);
     let u = Universe::new(8); // 8 ranks, 6 columns: two ranks idle
     let a2 = a.clone();
-    let got = u.run(move |comm| {
+    let got = run_in_process(&u, move |comm| {
         let offsets = uniform_offsets(6, comm.size());
         let da = DistMat1D::from_global(comm, &a2, &offsets);
         let (c, _) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
@@ -120,7 +151,7 @@ fn single_column_per_rank() {
     let expect = saspgemm::dist::reference::serial_spgemm(&a, &a);
     let u = Universe::new(5);
     let a2 = a.clone();
-    let got = u.run(move |comm| {
+    let got = run_in_process(&u, move |comm| {
         let da = DistMat1D::from_global(comm, &a2, &uniform_offsets(5, 5));
         let (c, _) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
         c.gather(comm)
@@ -136,7 +167,7 @@ fn single_column_per_rank() {
 fn allreduce_tuple_matches_two_scalars() {
     // spgemm_1d's global stats use a tuple allreduce; verify against parts
     let u = Universe::new(4);
-    let got = u.run(|comm| {
+    let got = run_in_process(&u, |comm| {
         let r = comm.rank() as u64;
         let pair = comm.allreduce((r, 10 * r), |x, y| (x.0 + y.0, x.1 + y.1));
         let a = comm.allreduce(r, |x, y| x + y);
@@ -155,11 +186,15 @@ fn concurrent_universes_do_not_interfere() {
     // this implicitly when criterion warms up while another job drains)
     let t1 = std::thread::spawn(|| {
         let u = Universe::new(3);
-        u.run(|comm| comm.allreduce(comm.rank() as u64 + 1, |x, y| x + y))
+        run_in_process(&u, |comm| {
+            comm.allreduce(comm.rank() as u64 + 1, |x, y| x + y)
+        })
     });
     let t2 = std::thread::spawn(|| {
         let u = Universe::new(5);
-        u.run(|comm| comm.allreduce(comm.rank() as u64 + 1, |x, y| x + y))
+        run_in_process(&u, |comm| {
+            comm.allreduce(comm.rank() as u64 + 1, |x, y| x + y)
+        })
     });
     assert!(t1.join().unwrap().iter().all(|&x| x == 6));
     assert!(t2.join().unwrap().iter().all(|&x| x == 15));
@@ -169,7 +204,7 @@ fn concurrent_universes_do_not_interfere() {
 fn stats_deltas_are_monotone_and_additive() {
     let a = banded(60, 4, 1.0, true, 9);
     let u = Universe::new(4);
-    let got = u.run(move |comm| {
+    let got = run_in_process(&u, move |comm| {
         let s0 = comm.stats();
         let da = DistMat1D::from_global(comm, &a, &uniform_offsets(60, 4));
         let (_, rep1) = spgemm_1d(comm, &da, &da.clone(), &Plan1D::default());
@@ -203,7 +238,7 @@ fn exposed_dcsc_arrays_reassemble_to_original_columns() {
     let a = erdos_renyi(30, 40, 2.5, 13);
     let u = Universe::new(4);
     let a2 = a.clone();
-    let got = u.run(move |comm| {
+    let got = run_in_process(&u, move |comm| {
         let offsets = uniform_offsets(40, 4);
         let da = DistMat1D::from_global(comm, &a2, &offsets);
         let local = da.local().clone();
@@ -233,7 +268,7 @@ fn dimension_mismatch_reported_with_shapes() {
     let a = erdos_renyi(10, 12, 2.0, 1);
     let b = erdos_renyi(10, 12, 2.0, 2); // 12 ≠ 10: A·B invalid
     let u = Universe::new(2);
-    u.run(move |comm| {
+    run_in_process(&u, move |comm| {
         let da = DistMat1D::from_global(comm, &a, &uniform_offsets(12, 2));
         let db = DistMat1D::from_global(comm, &b, &uniform_offsets(12, 2));
         let _ = spgemm_1d(comm, &da, &db, &Plan1D::default());
@@ -245,7 +280,7 @@ fn dimension_mismatch_reported_with_shapes() {
 fn offsets_must_cover_all_columns() {
     let a: Csc<f64> = erdos_renyi(8, 8, 2.0, 3);
     let u = Universe::new(2);
-    u.run(move |comm| {
+    run_in_process(&u, move |comm| {
         let _ = DistMat1D::from_global(comm, &a, &[0, 4, 7]); // 7 ≠ 8
     });
 }
