@@ -20,10 +20,11 @@
 
 use sa_dist::mat3d::{DistMat3D, LayerSplit, Owned3DBlock};
 use sa_dist::{
-    spgemm_1d_ws, spgemm_split_3d_ws, spgemm_summa_2d_ws, uniform_offsets, AlgoChoice, AutoTuner,
-    CacheConfig, DistMat1D, DistMat2D, FetchMode, Plan1D, SessionStats, SpgemmSession,
+    agreed_step, load_wire, save_wire, spgemm_1d_ws, spgemm_split_3d_ws, spgemm_summa_2d_ws,
+    uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
+    FetchMode, Plan1D, SessionSnapshot, SessionStats, SpgemmSession,
 };
-use sa_mpisim::{Comm, CostModel, Grid2D, Grid3D};
+use sa_mpisim::{Comm, CostModel, Grid2D, Grid3D, Wire, WireError};
 use sa_sparse::ewise::{ewise_add, mask_complement};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::{Coo, Csc, Dcsc, SpgemmWorkspace, Vidx};
@@ -55,6 +56,40 @@ pub struct BcOutcome {
     /// [`BcOutcome::comm_bytes`]); with `comm_bytes` this feeds the α–β
     /// network model for the Fig. 13/14 comparisons.
     pub comm_msgs: u64,
+}
+
+impl Wire for BcTimes {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.forward_s.put(out);
+        self.backward_s.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BcTimes {
+            forward_s: Wire::get(buf)?,
+            backward_s: Wire::get(buf)?,
+        })
+    }
+}
+
+impl Wire for BcOutcome {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.scores.put(out);
+        self.times.put(out);
+        self.levels.put(out);
+        self.peak_local_bytes.put(out);
+        self.comm_bytes.put(out);
+        self.comm_msgs.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BcOutcome {
+            scores: Wire::get(buf)?,
+            times: Wire::get(buf)?,
+            levels: Wire::get(buf)?,
+            peak_local_bytes: Wire::get(buf)?,
+            comm_bytes: Wire::get(buf)?,
+            comm_msgs: Wire::get(buf)?,
+        })
+    }
 }
 
 /// Choose `batch` distinct sources deterministically.
@@ -298,6 +333,19 @@ impl BcSessionStats {
     }
 }
 
+impl Wire for BcSessionStats {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.forward.put(out);
+        self.backward.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(BcSessionStats {
+            forward: Wire::get(buf)?,
+            backward: Wire::get(buf)?,
+        })
+    }
+}
+
 /// Run several BC batches over *persistent* sparsity-aware 1D sessions.
 /// Collective.
 ///
@@ -353,6 +401,93 @@ pub fn bc_batches_1d_session<C: Comm>(
             backward: *bwd.stats(),
         });
     }
+    (outcomes, snapshots)
+}
+
+/// [`bc_batches_1d_session`] with per-batch checkpointing, for execution
+/// under [`run_recoverable`](sa_mpisim::Universe::run_recoverable).
+/// Collective.
+///
+/// Before each batch, every rank saves `(batches done, outcomes so far,
+/// stats so far, forward snapshot, backward snapshot)` under `(rank, tag)`
+/// in `store`; on entry the ranks agree ([`agreed_step`]) on the last batch
+/// boundary all of them reached and resume there (the adjacency never
+/// changes, so restored cache contents are trivially valid — a restarted
+/// process only re-pays the window exposure). Batches are at-least-once: a
+/// rank killed mid-batch re-runs that batch with the caches exactly as the
+/// fault-free run had them at its start, so the re-run's scores *and*
+/// per-batch traffic counters come out identical. Completed runs remove
+/// their checkpoint.
+pub fn bc_batches_1d_session_recoverable<C: Comm>(
+    comm: &C,
+    a: &Csc<f64>,
+    batches: &[Vec<Vidx>],
+    plan: &Plan1D,
+    cache: CacheConfig,
+    store: &dyn CheckpointStore,
+    tag: &str,
+) -> (Vec<BcOutcome>, Vec<BcSessionStats>) {
+    let me = comm.rank();
+    type BcCkpt = (
+        u64,
+        Vec<BcOutcome>,
+        Vec<BcSessionStats>,
+        SessionSnapshot,
+        SessionSnapshot,
+    );
+    let loaded: Option<BcCkpt> = load_wire(store, me, tag).expect("readable checkpoint store");
+    let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
+    let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
+
+    let n = a.nrows();
+    let a01 = a.map(|_| 1.0);
+    let at01 = a01.transpose();
+    let plan = Plan1D {
+        global_stats: false,
+        ..*plan
+    };
+    let n_offsets = uniform_offsets(n, comm.size());
+    let mut fwd = SpgemmSession::create(
+        comm,
+        DistMat1D::from_global(comm, &at01, &n_offsets),
+        plan,
+        cache,
+    );
+    let mut bwd = SpgemmSession::create(
+        comm,
+        DistMat1D::from_global(comm, &a01, &n_offsets),
+        plan,
+        cache,
+    );
+    let (mut outcomes, mut snapshots, start) = match resume {
+        Some((k, outcomes, snapshots, fs, bs)) => {
+            fwd.restore(&fs);
+            bwd.restore(&bs);
+            (outcomes, snapshots, k as usize)
+        }
+        None => (Vec::new(), Vec::new(), 0),
+    };
+    for sources in batches.iter().skip(start) {
+        save_wire(
+            store,
+            me,
+            tag,
+            &(
+                outcomes.len() as u64,
+                outcomes.clone(),
+                snapshots.clone(),
+                fwd.snapshot(),
+                bwd.snapshot(),
+            ),
+        )
+        .expect("writable checkpoint store");
+        outcomes.push(bc_one_batch_sessions(comm, &mut fwd, &mut bwd, n, sources));
+        snapshots.push(BcSessionStats {
+            forward: *fwd.stats(),
+            backward: *bwd.stats(),
+        });
+    }
+    store.remove(me, tag).expect("removable checkpoint");
     (outcomes, snapshots)
 }
 
@@ -938,6 +1073,47 @@ mod tests {
                 assert!(close(&o.scores, &expect), "session BC batch mismatch");
             }
         }
+    }
+
+    #[test]
+    fn recoverable_session_engine_matches_plain_and_round_trips_wire() {
+        let a = rmat(7, 6, (0.57, 0.19, 0.19, 0.05), 1);
+        let batches: Vec<Vec<Vidx>> = (0..3).map(|s| pick_sources(a.nrows(), 10, s)).collect();
+        let store = sa_dist::MemStore::new();
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let plan = Plan1D::default();
+            let (o1, s1) =
+                bc_batches_1d_session(comm, &a, &batches, &plan, CacheConfig::unlimited());
+            let (o2, s2) = bc_batches_1d_session_recoverable(
+                comm,
+                &a,
+                &batches,
+                &plan,
+                CacheConfig::unlimited(),
+                &store,
+                "bc.test",
+            );
+            (o1, s1, o2, s2)
+        });
+        for (o1, s1, o2, s2) in got {
+            assert_eq!(o1.len(), o2.len());
+            for (x, y) in o1.iter().zip(&o2) {
+                assert_eq!(x.scores, y.scores, "checkpointing must not change scores");
+                assert_eq!(x.levels, y.levels);
+                assert_eq!(x.comm_bytes, y.comm_bytes, "identical per-batch traffic");
+                // wire round-trip of the outcome is lossless (timings too)
+                let back = BcOutcome::from_bytes(&y.to_bytes()).unwrap();
+                assert_eq!(back.scores, y.scores);
+                assert_eq!(back.times.forward_s, y.times.forward_s);
+            }
+            assert_eq!(
+                s1.last().map(|s| (s.forward, s.backward)),
+                s2.last().map(|s| (s.forward, s.backward)),
+                "identical cumulative session counters"
+            );
+        }
+        assert!(store.is_empty(), "completed runs remove their checkpoints");
     }
 
     #[test]

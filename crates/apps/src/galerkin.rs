@@ -12,7 +12,10 @@ use sa_dist::outer1d::{spgemm_outer_1d, OuterReport};
 use sa_dist::spgemm1d::{
     analyze_1d_modes, spgemm_1d, spgemm_1d_ws, FetchMode, Plan1D, SpgemmReport,
 };
-use sa_dist::{uniform_offsets, CacheConfig, DistMat1D, SessionStats, SpgemmSession};
+use sa_dist::{
+    agreed_step, load_wire, save_wire, uniform_offsets, CacheConfig, CheckpointStore, DistMat1D,
+    MatSnapshot, SessionSnapshot, SessionStats, SpgemmSession,
+};
 use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, SpgemmWorkspace};
 
@@ -228,6 +231,80 @@ impl GalerkinSession {
             },
         )
     }
+
+    /// Capture the pinned-`A` session's state (cache + counters) for a
+    /// checkpoint. Purely local — see [`SpgemmSession::snapshot`].
+    pub fn snapshot(&self) -> SessionSnapshot {
+        self.session.snapshot()
+    }
+
+    /// Re-apply a snapshot to a freshly created session on the same fine
+    /// operator — see [`SpgemmSession::restore`]. `A` never changes within
+    /// a Galerkin session, so restored cache contents are always valid.
+    pub fn restore(&mut self, snap: &SessionSnapshot) {
+        self.session.restore(snap)
+    }
+}
+
+/// An adaptive-AMG-style resetup loop — one [`GalerkinSession::product`]
+/// per restriction operator in `rs` — with per-product checkpointing, for
+/// execution under [`run_recoverable`](sa_mpisim::Universe::run_recoverable).
+/// Returns the coarse operators (1D-distributed, in `rs` order) and the
+/// session counters. Collective.
+///
+/// Before each product, every rank saves `(products done, coarse slices so
+/// far, session snapshot)` under `(rank, tag)` in `store`; on entry the
+/// ranks agree ([`agreed_step`]) on the last boundary all of them reached
+/// and resume there. Products are at-least-once: a rank killed mid-product
+/// re-runs it against a cache identical to the fault-free run's at that
+/// boundary, so the recovered coarse operators are bit-identical. Completed
+/// runs remove their checkpoint.
+pub fn galerkin_products_recoverable<C: Comm>(
+    comm: &C,
+    a: &Csc<f64>,
+    rs: &[Csc<f64>],
+    plan: &Plan1D,
+    cache: CacheConfig,
+    store: &dyn CheckpointStore,
+    tag: &str,
+) -> (Vec<DistMat1D>, SessionStats) {
+    let me = comm.rank();
+    let loaded: Option<(u64, Vec<MatSnapshot>, SessionSnapshot)> =
+        load_wire(store, me, tag).expect("readable checkpoint store");
+    let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
+    let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
+
+    let offsets = uniform_offsets(a.ncols(), comm.size());
+    let da = DistMat1D::from_global(comm, a, &offsets);
+    let mut gs = GalerkinSession::create(comm, da, *plan, cache);
+    let (mut coarse_snaps, start) = match resume {
+        Some((k, snaps, session_snap)) => {
+            gs.restore(&session_snap);
+            (snaps, k as usize)
+        }
+        None => (Vec::new(), 0),
+    };
+    for r in rs.iter().skip(start) {
+        save_wire(
+            store,
+            me,
+            tag,
+            &(
+                coarse_snaps.len() as u64,
+                coarse_snaps.clone(),
+                gs.snapshot(),
+            ),
+        )
+        .expect("writable checkpoint store");
+        let (coarse, _rep) = gs.product(comm, r);
+        coarse_snaps.push(MatSnapshot::of(&coarse));
+    }
+    store.remove(me, tag).expect("removable checkpoint");
+    let stats = *gs.stats();
+    (
+        coarse_snaps.iter().map(MatSnapshot::restore).collect(),
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -353,6 +430,40 @@ mod tests {
         for (_, _, _, rep) in &got {
             assert_eq!(rep.ar.fresh_bytes, 0, "repeated R is fully cache-served");
         }
+    }
+
+    #[test]
+    fn recoverable_products_match_plain_session_loop() {
+        let a = stencil3d(6, 6, 4, true);
+        let rs: Vec<Csc<f64>> = (0..3).map(|s| restriction_operator(&a, s)).collect();
+        let store = sa_dist::MemStore::new();
+        let u = Universe::new(4);
+        let got = u.run(|comm| {
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let plan = Plan1D::default();
+            let mut plain = GalerkinSession::create(comm, da, plan, CacheConfig::unlimited());
+            let expect: Vec<_> = rs
+                .iter()
+                .map(|r| plain.product(comm, r).0.gather(comm))
+                .collect();
+            let (coarse, stats) = galerkin_products_recoverable(
+                comm,
+                &a,
+                &rs,
+                &plan,
+                CacheConfig::unlimited(),
+                &store,
+                "rap.test",
+            );
+            let got: Vec<_> = coarse.iter().map(|c| c.gather(comm)).collect();
+            (expect, got, *plain.stats(), stats)
+        });
+        for (expect, got, plain_stats, stats) in got {
+            assert_eq!(expect, got, "checkpointing must not change the products");
+            assert_eq!(plain_stats, stats, "identical session traffic");
+        }
+        assert!(store.is_empty(), "completed runs remove their checkpoints");
     }
 
     #[test]

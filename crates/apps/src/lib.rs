@@ -17,6 +17,14 @@
 //!   (triangle counting; Markov clustering), exercising masked products and
 //!   repeated squaring; [`mcl::mcl_1d_session`] fetches only each
 //!   iteration's changed-column delta as the clustering converges.
+//!
+//! The iterative drivers also come in checkpointed flavours for execution
+//! under [`run_recoverable`](sa_mpisim::Universe::run_recoverable) —
+//! [`bc::bc_batches_1d_session_recoverable`], [`mcl::mcl_1d_checkpointed`],
+//! [`galerkin::galerkin_products_recoverable`] — which save per-rank state
+//! into a [`CheckpointStore`](sa_dist::CheckpointStore) at iteration
+//! boundaries and resume mid-stream after a restart with output identical
+//! to a fault-free run.
 
 pub mod bc;
 pub mod galerkin;

@@ -5,8 +5,9 @@
 //! repository.
 
 use sa_dist::{
-    analyze_1d_offline, AlgoChoice, AutoTuner, CacheConfig, DistMat1D, FetchMode, Plan1D,
-    SessionStats, SpgemmSession,
+    agreed_step, analyze_1d_offline, load_wire, save_wire, AlgoChoice, AutoTuner, CacheConfig,
+    CheckpointStore, DistMat1D, FetchMode, MatSnapshot, Plan1D, SessionSnapshot, SessionStats,
+    SpgemmSession,
 };
 use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, Dcsc, Vidx};
@@ -314,6 +315,97 @@ fn mcl_run<C: Comm>(
     (clusters, iters, *session.stats())
 }
 
+/// [`mcl_1d_session`] with per-iteration checkpointing, for execution under
+/// [`run_recoverable`](sa_mpisim::Universe::run_recoverable). Collective.
+///
+/// At the top of every iteration — *after* the session has been re-anchored
+/// on the current operand, so the snapshotted cache is consistent with it —
+/// each rank saves `(iteration, operand slice, session snapshot)` under
+/// `(rank, tag)` in `store`. On entry the ranks agree collectively
+/// ([`agreed_step`]) on the last iteration **all** of them checkpointed:
+/// unanimity resumes there (skipping the already-applied re-anchor),
+/// anything ragged starts the whole run fresh. Iterations are therefore
+/// at-least-once: a rank killed mid-iteration re-runs that iteration after
+/// restart, with a cache state identical to the fault-free run's at that
+/// boundary, so clusters and iteration count come out identical. Completed
+/// runs remove their checkpoint.
+///
+/// The inflation's cross-iteration memo (`prev_expanded`/`prev_result`) is
+/// deliberately *not* checkpointed: the incremental path produces exactly
+/// the full recompute's output, so a resumed first iteration recomputing
+/// every column changes nothing but local work.
+pub fn mcl_1d_checkpointed<C: Comm>(
+    comm: &C,
+    a: &Csc<f64>,
+    cfg: &MclConfig,
+    plan: &Plan1D,
+    cache: CacheConfig,
+    store: &dyn CheckpointStore,
+    tag: &str,
+) -> (Vec<u32>, usize, SessionStats) {
+    let me = comm.rank();
+    let loaded: Option<(u64, MatSnapshot, SessionSnapshot)> =
+        load_wire(store, me, tag).expect("readable checkpoint store");
+    let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
+    let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
+
+    let (mut current, mut session, mut iters, mut resumed) = match resume {
+        Some((k, mat, snap)) => {
+            let current = mat.restore();
+            let mut session = SpgemmSession::create(comm, current.clone(), *plan, cache);
+            session.restore(&snap);
+            (current, session, k as usize, true)
+        }
+        None => {
+            let with_loops = expansion_seed(a);
+            let offsets = sa_dist::uniform_offsets(with_loops.ncols(), comm.size());
+            let current = DistMat1D::from_global(comm, &with_loops, &offsets);
+            let session = SpgemmSession::create(comm, current.clone(), *plan, cache);
+            (current, session, 0usize, false)
+        }
+    };
+    let n = current.ncols();
+    let mut prev_expanded: Option<Csc<f64>> = None;
+    let mut prev_result: Option<Csc<f64>> = None;
+    while iters < cfg.max_iters {
+        if iters > 0 && !resumed {
+            session.update_a(comm, current.clone());
+        }
+        resumed = false;
+        save_wire(
+            store,
+            me,
+            tag,
+            &(iters as u64, MatSnapshot::of(&current), session.snapshot()),
+        )
+        .expect("writable checkpoint store");
+        iters += 1;
+        let (expanded, _rep) = session.multiply(comm, &current);
+        let expanded = expanded.into_local_csc();
+        let (local, _skipped) = inflate_prune_incremental(
+            &expanded,
+            prev_expanded.as_ref().zip(prev_result.as_ref()),
+            cfg.inflation,
+            cfg.prune_threshold,
+        );
+        let next = DistMat1D::from_local(n, n, current.offsets().clone(), Dcsc::from_csc(&local));
+        let my_prev = current.local().to_csc();
+        let delta = my_prev.max_abs_diff(&local);
+        let max_delta = comm.allreduce(delta, |x, y| x.max(y));
+        prev_expanded = Some(expanded);
+        prev_result = Some(local);
+        current = next;
+        if max_delta < 1e-8 {
+            break;
+        }
+    }
+    let full = current.gather(comm);
+    let clusters = comm.bcast_vec(0, full.map(|m| interpret_clusters(&m)));
+    let stats = *session.stats();
+    store.remove(me, tag).expect("removable checkpoint");
+    (clusters, iters, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -423,6 +515,38 @@ mod tests {
             m1.ncols() - dirty,
             "every unchanged column must be skipped"
         );
+    }
+
+    #[test]
+    fn checkpointed_mcl_matches_plain_session_run() {
+        let a = sbm(60, 3, 8.0, 0.4, false, 5);
+        let store = sa_dist::MemStore::new();
+        let u = Universe::new(3);
+        let got = u.run(|comm| {
+            let (c1, i1, s1) = mcl_1d_session(
+                comm,
+                &a,
+                &MclConfig::default(),
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+            );
+            let (c2, i2, s2) = mcl_1d_checkpointed(
+                comm,
+                &a,
+                &MclConfig::default(),
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+                &store,
+                "mcl.test",
+            );
+            (c1, i1, s1, c2, i2, s2)
+        });
+        for (c1, i1, s1, c2, i2, s2) in got {
+            assert_eq!(c1, c2, "checkpointing must not change the clustering");
+            assert_eq!(i1, i2, "checkpointing must not change convergence");
+            assert_eq!(s1, s2, "checkpointing must not change session traffic");
+        }
+        assert!(store.is_empty(), "completed runs remove their checkpoints");
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Per-rank checkpoint stores for recoverable jobs.
+//!
+//! [`Universe::run_recoverable`](sa_mpisim::Universe) restarts a whole job
+//! when any rank fails; this module supplies the durability layer that lets
+//! a restarted attempt *resume* instead of recomputing from scratch. The
+//! model is deliberately minimal:
+//!
+//! * [`CheckpointStore`] — an object-safe blob store keyed by
+//!   `(rank, key)`. Every rank reads and writes only its own slots, so a
+//!   store needs no cross-rank coordination of its own.
+//! * [`MemStore`] — shared-memory map for the `Sim`/`Threads` backends
+//!   (clones share one map, and restarted rank *threads* see what the
+//!   previous attempt saved).
+//! * [`FileStore`] — one file per `(rank, key)` for the `Procs` backend:
+//!   forked children inherit the directory path, and a write is
+//!   tmp-then-rename so a rank SIGKILLed mid-checkpoint leaves the previous
+//!   complete checkpoint intact, never a torn one.
+//! * [`save_wire`] / [`load_wire`] — typed helpers over the repo's
+//!   [`Wire`] encoding (bit-exact `f64`, so restored operands are
+//!   bit-identical to what was saved).
+//! * [`MatSnapshot`] — a wire-encodable image of a [`DistMat1D`] local
+//!   slice, the operand state the iterative drivers checkpoint.
+//! * [`agreed_step`] — collective agreement on the resume point: restart
+//!   only from a step *every* rank has durably completed, else start fresh.
+//!
+//! Checkpoints give at-least-once execution per iteration: a rank can die
+//! after computing step `k` but before (or while) saving it, in which case
+//! the next attempt re-runs step `k`. Drivers therefore checkpoint only
+//! states that are safe to re-enter (iteration boundaries), and
+//! [`agreed_step`] collapses ragged per-rank progress to the last step all
+//! ranks completed.
+
+use crate::dist1d::DistMat1D;
+use sa_mpisim::{Comm, Wire, WireError};
+use sa_sparse::types::Vidx;
+use sa_sparse::Dcsc;
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// An object-safe per-rank blob store: the durability backend of a
+/// recoverable job. Implementations must tolerate concurrent access from
+/// different ranks (distinct `(rank, key)` slots never alias).
+pub trait CheckpointStore: Send + Sync {
+    /// Durably store `bytes` under `(rank, key)`, replacing any previous
+    /// value. A save must be atomic: a reader (including a restarted rank)
+    /// sees either the old complete value or the new one, never a torn mix.
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()>;
+
+    /// Load the blob under `(rank, key)`, or `None` if never saved.
+    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>>;
+
+    /// Drop the blob under `(rank, key)` (no-op if absent).
+    fn remove(&self, rank: usize, key: &str) -> io::Result<()>;
+}
+
+/// Save a [`Wire`]-encodable value under `(rank, key)`.
+pub fn save_wire<S, T>(store: &S, rank: usize, key: &str, value: &T) -> io::Result<()>
+where
+    S: CheckpointStore + ?Sized,
+    T: Wire,
+{
+    store.save(rank, key, value.to_bytes())
+}
+
+/// Load and decode a [`Wire`]-encodable value from `(rank, key)`. A present
+/// but undecodable blob is an error (`InvalidData`), not a silent fresh
+/// start — a corrupt checkpoint should be loud.
+pub fn load_wire<S, T>(store: &S, rank: usize, key: &str) -> io::Result<Option<T>>
+where
+    S: CheckpointStore + ?Sized,
+    T: Wire,
+{
+    match store.load(rank, key)? {
+        None => Ok(None),
+        Some(bytes) => T::from_bytes(&bytes)
+            .map(Some)
+            .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))),
+    }
+}
+
+/// One `(rank, key)` slot map, shared by every clone of a [`MemStore`].
+type SlotMap = HashMap<(usize, String), Vec<u8>>;
+
+/// In-memory [`CheckpointStore`] for the `Sim` and `Threads` backends.
+/// Clones share one map, so the store handed to a job closure survives
+/// restarts of the rank threads that write through it.
+#[derive(Clone, Default)]
+pub struct MemStore {
+    slots: Arc<Mutex<SlotMap>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    pub fn new() -> MemStore {
+        MemStore::default()
+    }
+
+    /// Number of stored blobs (test/diagnostic aid).
+    pub fn len(&self) -> usize {
+        self.slots.lock().unwrap().len()
+    }
+
+    /// Whether the store holds no blobs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()> {
+        self.slots
+            .lock()
+            .unwrap()
+            .insert((rank, key.to_string()), bytes);
+        Ok(())
+    }
+
+    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>> {
+        Ok(self
+            .slots
+            .lock()
+            .unwrap()
+            .get(&(rank, key.to_string()))
+            .cloned())
+    }
+
+    fn remove(&self, rank: usize, key: &str) -> io::Result<()> {
+        self.slots.lock().unwrap().remove(&(rank, key.to_string()));
+        Ok(())
+    }
+}
+
+/// File-backed [`CheckpointStore`] for the `Procs` backend: one file per
+/// `(rank, key)` under a directory created in the parent *before* forking,
+/// so every child (including re-forked ones of a later attempt) inherits
+/// the same path. Writes go to a temporary file first and are renamed into
+/// place — rename is atomic on POSIX, so a SIGKILL mid-save leaves the
+/// previous complete checkpoint, never a torn one.
+///
+/// `key` becomes part of the file name and must be file-name safe (the
+/// drivers use short alphanumeric keys like `"mcl.state"`).
+#[derive(Clone, Debug)]
+pub struct FileStore {
+    dir: PathBuf,
+}
+
+impl FileStore {
+    /// Open (creating if needed) a store rooted at `dir`.
+    pub fn new(dir: impl Into<PathBuf>) -> io::Result<FileStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(FileStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn slot_path(&self, rank: usize, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.r{rank}.ckpt"))
+    }
+}
+
+impl CheckpointStore for FileStore {
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()> {
+        let path = self.slot_path(rank, key);
+        let tmp = self.dir.join(format!("{key}.r{rank}.tmp"));
+        std::fs::write(&tmp, &bytes)?;
+        std::fs::rename(&tmp, &path)
+    }
+
+    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>> {
+        match std::fs::read(self.slot_path(rank, key)) {
+            Ok(bytes) => Ok(Some(bytes)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    fn remove(&self, rank: usize, key: &str) -> io::Result<()> {
+        match std::fs::remove_file(self.slot_path(rank, key)) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Wire-encodable image of one rank's [`DistMat1D`] slice: global shape,
+/// column offsets, and the local DCSC arrays verbatim. Restoration is
+/// bit-identical (`f64` travels as raw bits).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatSnapshot {
+    nrows: u64,
+    ncols: u64,
+    local_ncols: u64,
+    offsets: Vec<u64>,
+    jc: Vec<Vidx>,
+    cp: Vec<u64>,
+    ir: Vec<Vidx>,
+    num: Vec<f64>,
+}
+
+impl MatSnapshot {
+    /// Capture this rank's slice of `m`.
+    pub fn of(m: &DistMat1D) -> MatSnapshot {
+        let l = m.local();
+        MatSnapshot {
+            nrows: m.nrows() as u64,
+            ncols: m.ncols() as u64,
+            local_ncols: l.ncols() as u64,
+            offsets: m.offsets().iter().map(|&o| o as u64).collect(),
+            jc: l.jc().to_vec(),
+            cp: l.cp().iter().map(|&p| p as u64).collect(),
+            ir: l.ir().to_vec(),
+            num: l.num().to_vec(),
+        }
+    }
+
+    /// Rebuild the distributed slice this snapshot captured.
+    pub fn restore(&self) -> DistMat1D {
+        let offsets: Vec<usize> = self.offsets.iter().map(|&o| o as usize).collect();
+        let local = Dcsc::from_parts(
+            self.nrows as usize,
+            self.local_ncols as usize,
+            self.jc.clone(),
+            self.cp.iter().map(|&p| p as usize).collect(),
+            self.ir.clone(),
+            self.num.clone(),
+        );
+        DistMat1D::from_local(
+            self.nrows as usize,
+            self.ncols as usize,
+            Arc::new(offsets),
+            local,
+        )
+    }
+}
+
+impl Wire for MatSnapshot {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.nrows.put(out);
+        self.ncols.put(out);
+        self.local_ncols.put(out);
+        self.offsets.put(out);
+        self.jc.put(out);
+        self.cp.put(out);
+        self.ir.put(out);
+        self.num.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(MatSnapshot {
+            nrows: Wire::get(buf)?,
+            ncols: Wire::get(buf)?,
+            local_ncols: Wire::get(buf)?,
+            offsets: Wire::get(buf)?,
+            jc: Wire::get(buf)?,
+            cp: Wire::get(buf)?,
+            ir: Wire::get(buf)?,
+            num: Wire::get(buf)?,
+        })
+    }
+}
+
+/// Collective agreement on the resume point. Each rank passes the last
+/// step it finds durably checkpointed (`None` if nothing); the result is
+/// `Some(k)` only when **every** rank reports exactly `k` — any
+/// disagreement (a rank died before saving, a stale or missing file) makes
+/// all ranks start fresh together, so no rank resumes ahead of another.
+pub fn agreed_step<C: Comm>(comm: &C, mine: Option<u64>) -> Option<u64> {
+    let enc = mine.map_or(-1i64, |k| k as i64);
+    let min = comm.allreduce(enc, |a, b| a.min(b));
+    let max = comm.allreduce(enc, |a, b| a.max(b));
+    (min == max && min >= 0).then_some(min as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sa_sparse::gen::erdos_renyi;
+
+    #[test]
+    fn mem_store_round_trips_and_removes() {
+        let s = MemStore::new();
+        assert!(s.is_empty());
+        save_wire(&s, 1, "x", &42u64).unwrap();
+        assert_eq!(load_wire::<_, u64>(&s, 1, "x").unwrap(), Some(42));
+        assert_eq!(load_wire::<_, u64>(&s, 0, "x").unwrap(), None);
+        let clone = s.clone();
+        assert_eq!(load_wire::<_, u64>(&clone, 1, "x").unwrap(), Some(42));
+        s.remove(1, "x").unwrap();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn file_store_round_trips_atomically() {
+        let dir = std::env::temp_dir().join(format!("sa_ckpt_test_{}", std::process::id()));
+        let s = FileStore::new(&dir).unwrap();
+        save_wire(&s, 2, "state", &vec![1.5f64, -0.0, f64::NAN]).unwrap();
+        let back: Vec<f64> = load_wire(&s, 2, "state").unwrap().unwrap();
+        assert_eq!(back[0].to_bits(), 1.5f64.to_bits());
+        assert_eq!(back[1].to_bits(), (-0.0f64).to_bits());
+        assert!(back[2].is_nan());
+        // overwrite replaces, remove clears, absent loads are None
+        save_wire(&s, 2, "state", &7u64).unwrap();
+        assert_eq!(load_wire::<_, u64>(&s, 2, "state").unwrap(), Some(7));
+        s.remove(2, "state").unwrap();
+        assert_eq!(s.load(2, "state").unwrap(), None);
+        // no stray tmp files linger after a completed save
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_loud() {
+        let s = MemStore::new();
+        s.save(0, "k", vec![1, 2, 3]).unwrap();
+        let err = load_wire::<_, u64>(&s, 0, "k").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn mat_snapshot_is_bit_identical() {
+        let a = erdos_renyi(40, 40, 3.0, 11);
+        let got = sa_mpisim::Universe::new(3).run(|comm| {
+            let offsets = crate::dist1d::uniform_offsets(40, comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let snap = MatSnapshot::of(&da);
+            let back = MatSnapshot::from_bytes(&snap.to_bytes()).unwrap().restore();
+            (
+                da.local().num() == back.local().num()
+                    && da.local().ir() == back.local().ir()
+                    && da.local().jc() == back.local().jc()
+                    && da.offsets() == back.offsets(),
+                back.gather(comm),
+            )
+        });
+        for (same, gathered) in got {
+            assert!(same);
+            if let Some(g) = gathered {
+                assert_eq!(g, a);
+            }
+        }
+    }
+
+    #[test]
+    fn agreed_step_requires_unanimity() {
+        let u = sa_mpisim::Universe::new(3);
+        // unanimous
+        let got = u.run(|comm| {
+            let _ = comm;
+            agreed_step(comm, Some(4))
+        });
+        assert!(got.into_iter().all(|s| s == Some(4)));
+        // one rank behind → everyone starts fresh
+        let got = u.run(|comm| {
+            let mine = if comm.rank() == 1 { Some(3) } else { Some(4) };
+            agreed_step(comm, mine)
+        });
+        assert!(got.into_iter().all(|s| s.is_none()));
+        // one rank has nothing → fresh
+        let got = u.run(|comm| {
+            let mine = if comm.rank() == 2 { None } else { Some(9) };
+            agreed_step(comm, mine)
+        });
+        assert!(got.into_iter().all(|s| s.is_none()));
+    }
+}

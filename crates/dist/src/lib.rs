@@ -33,6 +33,12 @@
 //!   iterative workloads (§II-C batched BC / MCL / Galerkin) fetch only the
 //!   per-iteration miss set. [`SessionAnalysis`] is the incremental,
 //!   collective-free counterpart of [`analyze_1d`].
+//! * [`checkpoint`] — per-rank checkpoint stores ([`MemStore`] for
+//!   threads, [`FileStore`] for processes) and [`SessionSnapshot`]
+//!   capture/restore, the durability layer under
+//!   [`run_recoverable`](sa_mpisim::Universe::run_recoverable): restarted
+//!   iterative jobs resume at the last agreed iteration with their fetch
+//!   caches intact.
 //! * [`prepare`](crate::prepare::prepare) — the permutation strategies the
 //!   paper compares (natural order, random symmetric, METIS-style
 //!   partitioning) packaged as a preprocessing step.
@@ -40,6 +46,7 @@
 //!   against.
 
 pub mod autotune;
+pub mod checkpoint;
 pub mod dist1d;
 mod fetch;
 pub mod mat3d;
@@ -56,6 +63,9 @@ pub use autotune::{
     analyze_1d_offline, analyze_2d, analyze_3d, spgemm_auto, try_spgemm_auto, AlgoChoice,
     Analysis2D, Analysis3D, AutoReport, AutoTuner, PhaseCost, Prediction,
 };
+pub use checkpoint::{
+    agreed_step, load_wire, save_wire, CheckpointStore, FileStore, MatSnapshot, MemStore,
+};
 pub use dist1d::{uniform_offsets, DistMat1D};
 pub use mat3d::{
     spgemm_split_3d, spgemm_split_3d_sa, spgemm_split_3d_sa_ws, spgemm_split_3d_ws, DistMat3D,
@@ -63,7 +73,9 @@ pub use mat3d::{
 };
 pub use outer1d::{spgemm_outer_1d, OuterReport};
 pub use prepare::{prepare, PrepResult, Strategy};
-pub use session::{CacheConfig, FetchCache, SessionAnalysis, SessionStats, SpgemmSession};
+pub use session::{
+    CacheConfig, FetchCache, SessionAnalysis, SessionSnapshot, SessionStats, SpgemmSession,
+};
 pub use shape::ShapeError;
 pub use spgemm1d::{
     analyze_1d, analyze_1d_modes, spgemm_1d, spgemm_1d_overlap, spgemm_1d_ws, try_spgemm_1d,

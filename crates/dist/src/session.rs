@@ -32,7 +32,7 @@
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, Interval, RankMeta, ENTRY_BYTES};
 use crate::spgemm1d::{assert_conformal, cv_of, global_volume, FetchMode, Plan1D, SpgemmReport};
-use sa_mpisim::{Breakdown, Comm, PairedWindow, PhaseTimes};
+use sa_mpisim::{Breakdown, Comm, PairedWindow, PhaseTimes, Wire, WireError};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::spgemm::{spgemm_with, ChunkBuf, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
@@ -268,7 +268,7 @@ impl FetchCache {
 }
 
 /// Cumulative counters of a session (sums over all its multiplies).
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Multiplies executed through the session.
     pub multiplies: u64,
@@ -283,6 +283,79 @@ pub struct SessionStats {
     pub a_updates: u64,
     /// Cached columns invalidated by those updates.
     pub invalidated_cols: u64,
+}
+
+impl Wire for SessionStats {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.multiplies.put(out);
+        self.fresh_bytes.put(out);
+        self.cache_hit_bytes.put(out);
+        self.rdma_msgs.put(out);
+        self.a_updates.put(out);
+        self.invalidated_cols.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SessionStats {
+            multiplies: Wire::get(buf)?,
+            fresh_bytes: Wire::get(buf)?,
+            cache_hit_bytes: Wire::get(buf)?,
+            rdma_msgs: Wire::get(buf)?,
+            a_updates: Wire::get(buf)?,
+            invalidated_cols: Wire::get(buf)?,
+        })
+    }
+}
+
+/// Wire-encodable image of one rank's session state, for checkpointing
+/// iterative jobs run under
+/// [`run_recoverable`](sa_mpisim::Universe::run_recoverable): an operand
+/// fingerprint, the cumulative [`SessionStats`], and the [`FetchCache`]
+/// contents. Taken with [`SpgemmSession::snapshot`] and re-applied with
+/// [`SpgemmSession::restore`] after a fresh collective
+/// [`SpgemmSession::create`] on the same operand (a restarted process must
+/// re-expose its windows — only the cache and counters carry over).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SessionSnapshot {
+    /// Pinned operand fingerprint: global shape + this rank's local nnz.
+    nrows: u64,
+    ncols: u64,
+    local_nnz: u64,
+    stats: SessionStats,
+    /// Cached column segments, ascending by `(owner, global column)` so
+    /// snapshot bytes are deterministic (the cache map itself iterates in
+    /// arbitrary order).
+    cols: Vec<(u32, Vidx, Vec<Vidx>, Vec<f64>)>,
+}
+
+impl SessionSnapshot {
+    /// Cached columns captured in this snapshot.
+    pub fn cached_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Cumulative session counters at snapshot time.
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+}
+
+impl Wire for SessionSnapshot {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.nrows.put(out);
+        self.ncols.put(out);
+        self.local_nnz.put(out);
+        self.stats.put(out);
+        self.cols.put(out);
+    }
+    fn get(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(SessionSnapshot {
+            nrows: Wire::get(buf)?,
+            ncols: Wire::get(buf)?,
+            local_nnz: Wire::get(buf)?,
+            stats: Wire::get(buf)?,
+            cols: Wire::get(buf)?,
+        })
+    }
 }
 
 /// What the *next* [`SpgemmSession::multiply`] with this operand would do —
@@ -772,6 +845,53 @@ impl SpgemmSession {
         self.stats.invalidated_cols += invalidated;
         total
     }
+
+    /// Capture this rank's session state for a checkpoint: operand
+    /// fingerprint, cumulative [`SessionStats`], and every cached column
+    /// segment (in deterministic `(owner, column)` order). Purely local —
+    /// no communication.
+    pub fn snapshot(&self) -> SessionSnapshot {
+        let mut cols: Vec<(u32, Vidx, Vec<Vidx>, Vec<f64>)> = self
+            .cache
+            .cols
+            .iter()
+            .map(|(&(o, j), c)| (o, j, c.ir.clone(), c.num.clone()))
+            .collect();
+        cols.sort_unstable_by_key(|t| (t.0, t.1));
+        SessionSnapshot {
+            nrows: self.a.nrows() as u64,
+            ncols: self.a.ncols() as u64,
+            local_nnz: self.a.local().nnz() as u64,
+            stats: self.stats,
+            cols,
+        }
+    }
+
+    /// Re-apply a snapshot to a freshly [`create`](SpgemmSession::create)d
+    /// session on the *same* operand: restores the cumulative counters and
+    /// re-seeds the cache with the snapshotted columns, so the first
+    /// post-restart multiply fetches only what the checkpoint had not yet
+    /// seen. Purely local.
+    ///
+    /// The snapshot's operand fingerprint must match the session's pinned
+    /// operand (panics otherwise — restoring cached columns of a different
+    /// `A` would silently corrupt results). Restored columns carry a fresh
+    /// LRU stamp, so a *budgeted* cache may subsequently evict in a
+    /// different order than the uninterrupted run would have; byte-identity
+    /// guarantees therefore assume an unlimited (or disabled) budget.
+    pub fn restore(&mut self, snap: &SessionSnapshot) {
+        assert_eq!(snap.nrows, self.a.nrows() as u64, "restore: operand nrows");
+        assert_eq!(snap.ncols, self.a.ncols() as u64, "restore: operand ncols");
+        assert_eq!(
+            snap.local_nnz,
+            self.a.local().nnz() as u64,
+            "restore: operand local nnz"
+        );
+        self.stats = snap.stats;
+        for (owner, col, ir, num) in &snap.cols {
+            self.cache.insert(*owner as usize, *col, ir, num);
+        }
+    }
 }
 
 /// Local column ids whose content differs between two slices of the same
@@ -1146,6 +1266,44 @@ mod tests {
             "hit at interval end is re-delivered fresh, not cache-served"
         );
         assert_eq!(pre.cache_hit_bytes, rep.cache_hit_bytes);
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_cache_and_stats() {
+        let a = erdos_renyi(64, 64, 3.0, 17);
+        let u = sa_mpisim::Universe::new(3);
+        let got = u.run(|comm| {
+            let da = dist(comm, &a);
+            let db = da.clone();
+            let plan = Plan1D {
+                global_stats: false,
+                ..Default::default()
+            };
+            let mut s = SpgemmSession::create(comm, da.clone(), plan, CacheConfig::unlimited());
+            let (c1, r1) = s.multiply(comm, &db);
+            let snap = s.snapshot();
+            // wire round-trip is lossless
+            let snap = SessionSnapshot::from_bytes(&snap.to_bytes()).unwrap();
+            assert_eq!(snap, s.snapshot());
+            // a fresh session (as after a process restart) + restore:
+            // warm from the first multiply onward
+            let mut s2 = SpgemmSession::create(comm, da, plan, CacheConfig::unlimited());
+            s2.restore(&snap);
+            assert_eq!(s2.stats(), snap.stats());
+            let (c2, r2) = s2.multiply(comm, &db);
+            (
+                c1.gather(comm),
+                c2.gather(comm),
+                r1.needed_bytes,
+                r2.fresh_bytes,
+                r2.cache_hit_bytes,
+            )
+        });
+        for (c1, c2, needed, fresh, hit) in got {
+            assert_eq!(c1, c2, "restored session multiplies identically");
+            assert_eq!(fresh, 0, "restored cache refetches nothing");
+            assert_eq!(hit, needed, "restored cache serves the full needed set");
+        }
     }
 
     #[test]

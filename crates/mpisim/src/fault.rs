@@ -14,6 +14,18 @@
 //! * [`FaultAction::Delay`] — the rank sleeps before proceeding, modeling
 //!   a straggler (under the serial scheduler the sleep stalls the whole
 //!   job, exactly like a slow rank stalls a serial simulation).
+//! * [`FaultAction::Kill`] — the "power cord pulled" fault: inside a
+//!   forked `ProcComm` child the rank SIGKILLs its own process (no
+//!   unwinding, no abort broadcast — survivors must detect the dead
+//!   socket); on the in-process backends it degrades to an `Abort`-style
+//!   panic, since a thread cannot be SIGKILLed in isolation.
+//!
+//! For recovery scenarios ([`Universe::run_recoverable`]
+//! (crate::Universe::run_recoverable)) a plan can be armed for one attempt
+//! only: [`FaultPlan::on_attempt`] records which attempt it fires on, and
+//! the job calls [`FaultPlan::for_attempt`] each time it is (re-)entered —
+//! the restarted attempt runs clean, which is what "kill-then-recover,
+//! deterministic and replayable" means.
 //!
 //! Because the [`Comm`] collectives are *provided* methods, calling them on
 //! the wrapper decomposes into the wrapper's own `send_vec`/`recv_vec` —
@@ -37,6 +49,10 @@ pub enum FaultAction {
     Abort,
     /// Stall the rank for the given time, then proceed normally.
     Delay(Duration),
+    /// Destroy the rank's whole process with SIGKILL (procs backend); on
+    /// the in-process backends, where a lone thread cannot be SIGKILLed,
+    /// degrades to an `Abort`-style panic.
+    Kill,
 }
 
 /// One planned fault: `rank` triggers `action` at its `at_op`-th
@@ -53,6 +69,10 @@ pub struct Fault {
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+    /// Which [`run_recoverable`](crate::Universe::run_recoverable) attempt
+    /// the plan fires on (see [`FaultPlan::for_attempt`]); 0 — the first
+    /// attempt — unless overridden, so non-recovery uses are unaffected.
+    fire_on_attempt: u32,
 }
 
 impl FaultPlan {
@@ -79,10 +99,41 @@ impl FaultPlan {
         })
     }
 
+    /// SIGKILL `rank`'s process at its `at_op`-th communication call (the
+    /// procs-only hard-crash fault; degrades to a panic in-process).
+    pub fn kill_at(rank: usize, at_op: u64) -> FaultPlan {
+        FaultPlan::none().with(Fault {
+            rank,
+            at_op,
+            action: FaultAction::Kill,
+        })
+    }
+
     /// Append one more fault to the plan.
     pub fn with(mut self, fault: Fault) -> FaultPlan {
         self.faults.push(fault);
         self
+    }
+
+    /// Arm the plan for one specific recovery attempt (0-based). Combined
+    /// with [`FaultPlan::for_attempt`] in the job body, the fault fires on
+    /// that attempt only and every other attempt runs clean — without
+    /// this, a restarted attempt's fresh fault-op counter would re-trigger
+    /// the same fault forever.
+    pub fn on_attempt(mut self, attempt: u32) -> FaultPlan {
+        self.fire_on_attempt = attempt;
+        self
+    }
+
+    /// The plan as seen by recovery attempt `attempt`: the full plan if it
+    /// is armed for that attempt, the empty plan otherwise. Deterministic
+    /// plain data — the whole kill-then-recover scenario replays exactly.
+    pub fn for_attempt(&self, attempt: u32) -> FaultPlan {
+        if attempt == self.fire_on_attempt {
+            self.clone()
+        } else {
+            FaultPlan::none()
+        }
     }
 
     /// A pseudo-random single-abort plan: `seed` picks one victim rank in
@@ -101,7 +152,7 @@ impl FaultPlan {
     pub fn victim(&self) -> Option<usize> {
         self.faults
             .iter()
-            .find(|f| f.action == FaultAction::Abort)
+            .find(|f| matches!(f.action, FaultAction::Abort | FaultAction::Kill))
             .map(|f| f.rank)
     }
 
@@ -158,6 +209,20 @@ impl<C: Comm> FaultComm<C> {
                 self.world_rank
             ),
             Some(FaultAction::Delay(d)) => std::thread::sleep(d),
+            Some(FaultAction::Kill) => {
+                if crate::proc::in_forked_child() {
+                    // The real thing: destroy the whole child process with
+                    // no unwinding and no goodbye — survivors must detect
+                    // the dead socket, the parent classifies the corpse.
+                    crate::proc::kill_self_with_sigkill();
+                }
+                // In-process there is no lone-thread SIGKILL; the closest
+                // honest model is an abort-style panic.
+                panic!(
+                    "injected fault: rank {} killed at fault-op {op}",
+                    self.world_rank
+                )
+            }
             None => {}
         }
     }
@@ -272,5 +337,23 @@ mod tests {
         assert_eq!(plan.lookup(0, 5), None);
         assert_eq!(plan.victim(), Some(2));
         assert_eq!(FaultPlan::none().victim(), None);
+    }
+
+    #[test]
+    fn attempt_gating_arms_one_attempt_only() {
+        let plan = FaultPlan::kill_at(1, 4).on_attempt(0);
+        assert_eq!(plan.victim(), Some(1));
+        // Attempt 0 sees the armed plan, attempt 1 (the restart) runs clean.
+        assert_eq!(plan.for_attempt(0), plan);
+        assert_eq!(plan.for_attempt(1), FaultPlan::none());
+        // Arming for a later attempt leaves earlier attempts clean.
+        let late = FaultPlan::abort_at(0, 2).on_attempt(2);
+        assert_eq!(late.for_attempt(0).victim(), None);
+        assert_eq!(late.for_attempt(2).victim(), Some(0));
+        // Replayable: the gate is plain data, equality is structural.
+        assert_eq!(
+            FaultPlan::kill_at(1, 4).on_attempt(3),
+            FaultPlan::kill_at(1, 4).on_attempt(3)
+        );
     }
 }

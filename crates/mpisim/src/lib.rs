@@ -33,6 +33,11 @@
 //!   ([`SimComm`]), [`Universe::run_threads`] ([`ThreadComm`]), or the
 //!   generic [`Universe::launch`]; [`Backend`] names them for runtime
 //!   dispatch (`--backend threads`, `SA_BACKEND`).
+//! * [`Universe::run_recoverable`] — restart-on-failure execution of a
+//!   [`RecoverableJob`] under a [`RetryPolicy`] (bounded exponential
+//!   backoff, `SA_MAX_RESTARTS`), with a [`RecoveryReport`] recording every
+//!   attempt; composes with checkpoint stores (`sa_dist`) so restarted
+//!   iterative jobs resume mid-stream instead of starting over.
 //! * [`Window`] / [`PairedWindow`] — passive-target RDMA exposure and
 //!   ranged `get`s (Algorithm 1 lines 1 and 7); a session keeps one
 //!   `PairedWindow` alive across iterative multiplies. Backend-neutral.
@@ -53,6 +58,7 @@ mod fault;
 mod grid;
 mod p2p;
 mod proc;
+mod recover;
 mod scheduler;
 mod stats;
 mod timer;
@@ -67,6 +73,7 @@ pub use error::{CommError, Primitive, RankError, RankOutcome};
 pub use fault::{Fault, FaultAction, FaultComm, FaultPlan};
 pub use grid::{valid_layer_counts, Grid2D, Grid3D};
 pub use proc::{kill_self_with_sigkill, ProcComm};
+pub use recover::{AttemptFailure, RecoverableJob, RecoveryReport, RetryPolicy};
 pub use scheduler::rank_active_seconds;
 pub use stats::CommStats;
 pub use timer::{Breakdown, Phase, PhaseTimes, Timer};

@@ -51,6 +51,7 @@
 
 use crate::backend::Comm;
 use crate::error::{raise, CommError, Primitive, RankError, RankOutcome};
+use crate::recover::RetryPolicy;
 use crate::scheduler::{self, PoisonGuard, Scheduler, WaitSite};
 use crate::stats::{CommStats, StatsCell};
 use crate::window::{Exposure, PartSpec, RemoteWindow, WindowSpec};
@@ -63,7 +64,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -90,6 +91,16 @@ pub(crate) mod sys {
     }
 }
 
+/// Set in every forked rank process before anything else runs; lets
+/// backend-agnostic code (e.g. [`FaultAction::Kill`](crate::FaultAction))
+/// ask "am I a ProcComm child, where SIGKILLing myself kills one rank and
+/// not the whole test binary?"
+static IN_FORKED_CHILD: AtomicBool = AtomicBool::new(false);
+
+pub(crate) fn in_forked_child() -> bool {
+    IN_FORKED_CHILD.load(Ordering::Relaxed)
+}
+
 /// Kill the calling process with SIGKILL — no unwinding, no atexit, no
 /// chance to say goodbye. The real "power cord pulled" failure mode for
 /// the fault matrix; survivors must detect it from the dead socket alone.
@@ -113,6 +124,60 @@ fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
     (body.len() as u32).put(&mut msg);
     msg.extend_from_slice(&body);
     stream.write_all(&msg)
+}
+
+/// Whether a dial/accept error is worth retrying during mesh bootstrap: a
+/// freshly forked sibling may not have bound its listener yet (refused /
+/// reset), and a signal can interrupt the syscall (`EINTR`). Anything else
+/// is a real failure.
+fn transient_bootstrap_error(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::ConnectionRefused
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::AddrNotAvailable
+            | std::io::ErrorKind::Interrupted
+    )
+}
+
+/// Dial `addr`, retrying transient refusals under `policy`'s bounded
+/// exponential backoff. Returns the stream and how many retries it took —
+/// surfaced in the bootstrap log line so a flaky mesh formation is visible.
+fn connect_with_retry<A: std::net::ToSocketAddrs>(
+    addr: A,
+    policy: &RetryPolicy,
+) -> std::io::Result<(TcpStream, u32)> {
+    let mut retries = 0u32;
+    loop {
+        match TcpStream::connect(&addr) {
+            Ok(s) => return Ok((s, retries)),
+            Err(e) if transient_bootstrap_error(&e) && retries < policy.max_restarts => {
+                std::thread::sleep(policy.backoff_for(retries));
+                retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// `accept` tolerating `EINTR` (bounded by `policy` against a signal
+/// storm). No backoff: an interrupted accept just re-enters the syscall.
+fn accept_with_retry(
+    listener: &TcpListener,
+    policy: &RetryPolicy,
+) -> std::io::Result<(TcpStream, u32)> {
+    let mut retries = 0u32;
+    loop {
+        match listener.accept() {
+            Ok((s, _)) => return Ok((s, retries)),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::Interrupted && retries < policy.max_restarts =>
+            {
+                retries += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
 }
 
 fn read_frame(stream: &mut impl Read) -> std::io::Result<Frame> {
@@ -782,6 +847,7 @@ where
     F: Fn(&ProcComm) -> R + Send + Sync,
     R: Wire + Send,
 {
+    IN_FORKED_CHILD.store(true, Ordering::Relaxed);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         child_body(rank, nranks, threads_per_rank, watchdog, parent_addr, f)
     }));
@@ -807,9 +873,15 @@ where
     R: Wire + Send,
 {
     // --- bootstrap: announce our mesh port, learn everyone's ---
+    // Transient dial/accept failures (a sibling's listener not bound yet,
+    // EINTR) get a bounded-backoff second chance instead of failing the
+    // whole bootstrap; the total retry count is surfaced below.
+    let transport = RetryPolicy::transport();
+    let mut boot_retries = 0u32;
     let mesh_listener = TcpListener::bind("127.0.0.1:0").expect("bind mesh listener");
     let mesh_port = mesh_listener.local_addr().expect("mesh addr").port();
-    let mut parent = TcpStream::connect(parent_addr).expect("connect to parent");
+    let (mut parent, r) = connect_with_retry(parent_addr, &transport).expect("connect to parent");
+    boot_retries += r;
     parent.set_nodelay(true).ok();
     write_frame(
         &mut parent,
@@ -828,13 +900,16 @@ where
     // --- mesh: dial lower ranks, accept higher ranks ---
     let mut streams: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
     for peer in 0..rank {
-        let mut s = TcpStream::connect(("127.0.0.1", ports[peer])).expect("dial peer");
+        let (mut s, r) = connect_with_retry(("127.0.0.1", ports[peer]), &transport)
+            .unwrap_or_else(|e| panic!("dial peer {peer}: {e}"));
+        boot_retries += r;
         s.set_nodelay(true).ok();
         write_frame(&mut s, &Frame::Peer { rank: rank as u64 }).expect("announce to peer");
         streams[peer] = Some(s);
     }
     for _ in rank + 1..nranks {
-        let (mut s, _) = mesh_listener.accept().expect("accept peer");
+        let (mut s, r) = accept_with_retry(&mesh_listener, &transport).expect("accept peer");
+        boot_retries += r;
         s.set_nodelay(true).ok();
         let peer = match read_frame(&mut s) {
             Ok(Frame::Peer { rank }) => rank as usize,
@@ -842,6 +917,12 @@ where
         };
         assert!(peer > rank && peer < nranks && streams[peer].is_none());
         streams[peer] = Some(s);
+    }
+    if boot_retries > 0 {
+        eprintln!(
+            "[sa_mpisim] rank {rank}: mesh bootstrap completed after \
+             {boot_retries} transport retries"
+        );
     }
 
     // --- progress engine ---
@@ -992,7 +1073,8 @@ where
     let mut conns: Vec<Option<TcpStream>> = (0..nranks).map(|_| None).collect();
     let mut ports = vec![0u16; nranks];
     for _ in 0..nranks {
-        let (mut s, _) = listener.accept().expect("accept child");
+        let (mut s, _) =
+            accept_with_retry(&listener, &RetryPolicy::transport()).expect("accept child");
         s.set_nodelay(true).ok();
         match read_frame(&mut s) {
             Ok(Frame::Hello { rank, port }) => {
@@ -1001,14 +1083,35 @@ where
                 ports[rank] = port;
                 conns[rank] = Some(s);
             }
-            other => panic!("expected hello from child, got {other:?}"),
+            other => {
+                // A child that connected but died (or spoke garbage) before
+                // finishing its Hello. The parent must stay alive for the
+                // survivors — drop the connection; the corpse is classified
+                // from waitpid, and siblings dialing its unset (zero) port
+                // exhaust their transport retries and die typed too.
+                eprintln!(
+                    "[sa_mpisim] bootstrap: dropping a connection with a bad hello: {other:?}"
+                );
+            }
         }
     }
     let table = Frame::Table {
         ports: ports.clone(),
     };
-    for c in conns.iter_mut() {
-        write_frame(c.as_mut().expect("all children connected"), &table).expect("send table");
+    for (rank, c) in conns.iter_mut().enumerate() {
+        // A failed table send means that child is already gone; recovery
+        // needs the parent intact, so propagate by emptying the slot (the
+        // outcome collector then reports `None` and waitpid classifies the
+        // corpse) instead of panicking the parent.
+        let alive = match c.as_mut() {
+            Some(s) => write_frame(s, &table).is_ok(),
+            None => false,
+        };
+        if !alive && c.take().is_some() {
+            eprintln!(
+                "[sa_mpisim] bootstrap: table send to rank {rank} failed; child presumed dead"
+            );
+        }
     }
 
     // Collect outcomes concurrently (ranks finish in any order), then reap.
@@ -1016,17 +1119,27 @@ where
         let handles: Vec<_> = conns
             .into_iter()
             .map(|c| {
-                let mut c = c.expect("all children connected");
-                scope.spawn(move || loop {
-                    match read_frame(&mut c) {
-                        Ok(Frame::Outcome { payload }) => break Some(payload),
-                        Ok(_) => continue, // tolerate stray frames
-                        Err(_) => break None,
+                scope.spawn(move || -> Option<Vec<u8>> {
+                    // `None` (no connection, EOF, or garbage) defers to the
+                    // waitpid classification below — never a parent panic.
+                    let mut c = c?;
+                    loop {
+                        match read_frame(&mut c) {
+                            Ok(Frame::Outcome { payload }) => break Some(payload),
+                            Ok(_) => continue, // tolerate stray frames
+                            Err(_) => break None,
+                        }
                     }
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
+        // A panicked collector thread (it has no panicking path, but the
+        // parent must outlive a recovery attempt regardless) degrades to
+        // `None` → typed waitpid classification, same as a dead socket.
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or(None))
+            .collect()
     });
 
     let mut outcomes = Vec::with_capacity(nranks);

@@ -163,6 +163,11 @@ impl Universe {
     /// with [`PeerFailed`](crate::CommError::PeerFailed) naming the victim —
     /// every rank terminates, none hangs.
     ///
+    /// To *complete* such a job instead of merely observing its typed
+    /// failures, see [`Universe::run_recoverable`], which restarts the
+    /// rank set under a [`RetryPolicy`](crate::RetryPolicy) so a
+    /// checkpointing job resumes where the dying attempt left off.
+    ///
     /// ```
     /// use sa_mpisim::{CommError, RankError, Universe};
     ///

@@ -11,7 +11,8 @@
 //!   semirings, synthetic dataset generators, Matrix Market I/O.
 //! * [`mpisim`] — simulated distributed-memory runtime: rank threads,
 //!   MPI-style collectives, passive-target RDMA windows, exact communication
-//!   accounting and an α–β network cost model.
+//!   accounting and an α–β network cost model; typed failures plus
+//!   `run_recoverable` restart-on-failure execution under a `RetryPolicy`.
 //! * [`partition`] — multilevel k-way graph partitioner (METIS-class) and
 //!   random symmetric permutation.
 //! * [`dist`] — the paper's contribution: the sparsity-aware 1D SpGEMM
@@ -58,12 +59,13 @@ pub mod prelude {
     pub use sa_apps::{bc, galerkin, mcl, mis2, restriction, triangle};
     pub use sa_dist::{
         analyze_1d, spgemm_1d, spgemm_1d_ws, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa,
-        uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, DistMat1D, DistMat2D, DistMat3D,
-        FetchMode, Plan1D, SessionStats, SpgemmReport, SpgemmSession,
+        uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
+        DistMat3D, FetchMode, FileStore, MatSnapshot, MemStore, Plan1D, SessionSnapshot,
+        SessionStats, SpgemmReport, SpgemmSession,
     };
     pub use sa_mpisim::{
         Backend, Comm, CommError, CostModel, FaultComm, FaultPlan, Phase, PhaseTimes, RankError,
-        RankOutcome, SimComm, ThreadComm, Universe,
+        RankOutcome, RecoverableJob, RecoveryReport, RetryPolicy, SimComm, ThreadComm, Universe,
     };
     pub use sa_partition::{partition_kway, random_symmetric_perm, Graph, PartitionConfig};
     pub use sa_sparse as sparse_crate;

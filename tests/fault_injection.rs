@@ -27,14 +27,31 @@
 //!   harness measures the runtime, not itself;
 //! * **replayability** — the same seeded [`FaultPlan`] yields the same
 //!   surviving-rank error set run after run on the serial backend.
+//!
+//! PR 8 extends the suite from *detection* to *recovery*: the same typed
+//! failures, now driven through [`Universe::run_recoverable`] with
+//! checkpointing jobs. The recovery matrix sweeps {cached session
+//! multiply, BC batches, MCL iteration} × {abort at the first op, a
+//! straggler converted to `Timeout` by a short watchdog, `SIGKILL`
+//! mid-iteration on procs} × {`Sim`, `Threads`, `Procs`}, asserting that
+//! every recovered run's output is identical to the fault-free run and
+//! the restart count stays within the [`RetryPolicy`]. The flagship
+//! acceptance test SIGKILLs a rank mid-iteration under procs and checks
+//! the recovered output *and* the post-restart `CommStats` segment
+//! bit-identical against a fault-free continuation from the same
+//! checkpoints; a zero-fault pass through `run_recoverable` must stay
+//! byte-identical to `try_run` on every backend. `SA_FAULT_SEED` narrows
+//! the seeded-replay sweeps to one seed for CI replay jobs.
 
 use saspgemm::dist::{
-    spgemm_1d, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa, uniform_offsets, CacheConfig,
-    DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
+    agreed_step, load_wire, save_wire, spgemm_1d, spgemm_auto, spgemm_split_3d_sa,
+    spgemm_summa_2d_sa, uniform_offsets, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
+    DistMat3D, FetchMode, FileStore, MemStore, Plan1D, SessionSnapshot, SpgemmSession,
 };
 use saspgemm::mpisim::{
-    kill_self_with_sigkill, Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D, Grid3D, Mode,
-    Primitive, RankError, Serial, Threads, Universe,
+    kill_self_with_sigkill, Backend, Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D,
+    Grid3D, Mode, Primitive, RankError, RecoverableJob, RecoveryReport, RetryPolicy, Serial,
+    Threads, Universe,
 };
 use saspgemm::sparse::gen::erdos_renyi;
 use saspgemm::sparse::Csc;
@@ -462,13 +479,23 @@ fn cross_process_deadlock_times_out_typed_procs() {
     assert!(timeouts >= 1, "no process watchdog fired: {out:?}");
 }
 
+/// The seeds the replay tests sweep. CI's seeded-replay job pins one
+/// seed per matrix leg via `SA_FAULT_SEED`; without it the tests sweep
+/// the three fixed seeds.
+fn fault_seeds() -> Vec<u64> {
+    match std::env::var("SA_FAULT_SEED") {
+        Ok(s) => vec![s.trim().parse().expect("SA_FAULT_SEED must be a u64")],
+        Err(_) => vec![1, 7, 99],
+    }
+}
+
 /// Replayability: the same seeded plan must produce the same
 /// surviving-rank error set on the deterministic serial backend, run
 /// after run — what makes a red fault run debuggable.
 #[test]
 fn seeded_fault_runs_are_replayable() {
     quiet_expected_panics();
-    for seed in [1u64, 7, 99] {
+    for seed in fault_seeds() {
         let plan = FaultPlan::seeded(seed, NRANKS, 8);
         let victim = plan.victim().expect("seeded plan kills someone");
         let shape = |out: &[Result<String, RankError>]| -> Vec<String> {
@@ -490,5 +517,479 @@ fn seeded_fault_runs_are_replayable() {
             first[victim], "panic",
             "seed {seed}: victim {victim} survived"
         );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery (PR 8): the typed failures above, driven through
+// `Universe::run_recoverable` with checkpointing jobs — faults become
+// completed runs instead of red outcomes.
+// ---------------------------------------------------------------------------
+
+/// The three checkpointing workloads of the recovery matrix. Each returns
+/// `(logical, segment)`: `logical` is the result fingerprint that must be
+/// identical between a recovered run and a fault-free one (outputs,
+/// iteration counts, cumulative `SessionStats` — all carried through the
+/// checkpoint), `segment` is the final attempt's metered `CommStats`,
+/// which is only comparable between runs that resumed from the same
+/// checkpoint state (the flagship test below exploits exactly that).
+fn recovery_workload<C: Comm>(
+    name: &str,
+    comm: &C,
+    store: &dyn CheckpointStore,
+) -> (String, String) {
+    let me = comm.rank();
+    let logical = match name {
+        // Three cached multiplies with a `SessionSnapshot` checkpoint
+        // before each; a restarted rank resumes with the fetch cache and
+        // cumulative stats of the attempt that died.
+        "session" => {
+            let a = int_er(48, 3.0, 201);
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let tag = "rec.session";
+            let loaded: Option<(u64, Vec<String>, SessionSnapshot)> =
+                load_wire(store, me, tag).expect("readable checkpoint store");
+            let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
+            let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
+            let mut session = SpgemmSession::create(
+                comm,
+                da.clone(),
+                Plan1D::default(),
+                CacheConfig::unlimited(),
+            );
+            let (mut fps, mut k) = match resume {
+                Some((k, fps, snap)) => {
+                    session.restore(&snap);
+                    (fps, k)
+                }
+                None => (Vec::new(), 0),
+            };
+            while k < 3 {
+                save_wire(store, me, tag, &(k, fps.clone(), session.snapshot()))
+                    .expect("writable checkpoint store");
+                let (c, rep) = session.multiply(comm, &db);
+                fps.push(format!(
+                    "{} fresh={} hit={}",
+                    fp(&c.into_local_csc()),
+                    rep.fresh_bytes,
+                    rep.cache_hit_bytes
+                ));
+                k += 1;
+            }
+            store.remove(me, tag).expect("removable checkpoint");
+            format!("{fps:?} {:?}", session.stats())
+        }
+        // Two BC batches through the recoverable session engine.
+        "bc" => {
+            let a = int_er(40, 3.0, 202);
+            let batches: Vec<Vec<u32>> = vec![
+                saspgemm::apps::bc::pick_sources(40, 6, 301),
+                saspgemm::apps::bc::pick_sources(40, 6, 302),
+            ];
+            let (outs, stats) = saspgemm::apps::bc::bc_batches_1d_session_recoverable(
+                comm,
+                &a,
+                &batches,
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+                store,
+                "rec.bc",
+            );
+            let per_batch: Vec<String> = outs
+                .iter()
+                .map(|o| {
+                    format!(
+                        "{:?} lv={} cb={} cm={}",
+                        o.scores, o.levels, o.comm_bytes, o.comm_msgs
+                    )
+                })
+                .collect();
+            format!("{per_batch:?} {:?}", stats.last())
+        }
+        // A bounded MCL run through the checkpointed driver.
+        "mcl" => {
+            let a = int_er(36, 3.0, 203);
+            let cfg = saspgemm::apps::mcl::MclConfig {
+                max_iters: 5,
+                ..Default::default()
+            };
+            let (clusters, iters, stats) = saspgemm::apps::mcl::mcl_1d_checkpointed(
+                comm,
+                &a,
+                &cfg,
+                &Plan1D::default(),
+                CacheConfig::unlimited(),
+                store,
+                "rec.mcl",
+            );
+            format!("{clusters:?} iters={iters} {stats:?}")
+        }
+        other => panic!("unknown recovery workload {other}"),
+    };
+    (logical, format!("{:?}", comm.stats()))
+}
+
+const RECOVERY_WORKLOADS: [&str; 3] = ["session", "bc", "mcl"];
+
+/// A checkpointing workload as a [`RecoverableJob`]: the fault plan arms
+/// itself for one attempt only, so the restarted attempt runs clean and
+/// resumes from whatever the dying attempt checkpointed.
+struct RecoveryJob<'a> {
+    name: &'static str,
+    plan: FaultPlan,
+    store: &'a dyn CheckpointStore,
+}
+
+impl RecoverableJob for RecoveryJob<'_> {
+    type Out = (String, String);
+    fn run<C: Comm>(&self, comm: &C, attempt: u32) -> (String, String) {
+        let fc = FaultComm::new(comm.split(0, comm.rank()), self.plan.for_attempt(attempt));
+        recovery_workload(self.name, &fc, self.store)
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn recoverable_run(
+    backend: Backend,
+    name: &'static str,
+    plan: &FaultPlan,
+    store: &dyn CheckpointStore,
+    policy: &RetryPolicy,
+    watchdog: Duration,
+) -> (Vec<Result<(String, String), RankError>>, RecoveryReport) {
+    let job = RecoveryJob {
+        name,
+        plan: plan.clone(),
+        store,
+    };
+    Universe::new(NRANKS)
+        .with_watchdog(Some(watchdog))
+        .run_recoverable(backend, policy, &job)
+}
+
+/// A fresh on-disk store whose path the procs children inherit through
+/// the fork (created in the parent *before* the launch).
+fn fresh_file_store(label: &str) -> (std::path::PathBuf, FileStore) {
+    let dir = std::env::temp_dir().join(format!("sa_recover_{label}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FileStore::new(&dir).expect("create checkpoint dir");
+    (dir, store)
+}
+
+/// In-memory checkpoints for the in-process backends, per-rank files for
+/// real processes (a `MemStore` clone in a forked child would be invisible
+/// to the parent and to respawned ranks).
+fn make_store(
+    backend: Backend,
+    label: &str,
+) -> (Box<dyn CheckpointStore>, Option<std::path::PathBuf>) {
+    if backend == Backend::Procs {
+        let (dir, store) = fresh_file_store(label);
+        (Box::new(store), Some(dir))
+    } else {
+        (Box::new(MemStore::new()), None)
+    }
+}
+
+/// The recovery matrix: every checkpointing workload × every fault shape
+/// the backend can exhibit, each cell asserting the recovered output is
+/// identical to the fault-free run and the restart count stays within
+/// the policy. A recovered run must also clean up its checkpoints.
+fn assert_recovery_matrix(backend: Backend) {
+    quiet_expected_panics();
+    let policy = RetryPolicy::new(2, Duration::from_millis(5));
+    for name in RECOVERY_WORKLOADS {
+        let (clean_store, clean_dir) = make_store(backend, &format!("clean_{name}"));
+        let (clean, clean_rep) = recoverable_run(
+            backend,
+            name,
+            &FaultPlan::none(),
+            clean_store.as_ref(),
+            &policy,
+            Duration::from_secs(60),
+        );
+        assert!(
+            clean_rep.recovered && clean_rep.restarts == 0,
+            "{name}: fault-free run restarted: {clean_rep:?}"
+        );
+        let clean: Vec<String> = clean
+            .iter()
+            .enumerate()
+            .map(|(r, o)| {
+                o.as_ref()
+                    .unwrap_or_else(|e| panic!("{name}: fault-free rank {r} failed: {e:?}"))
+                    .0
+                    .clone()
+            })
+            .collect();
+
+        // (shape, plan armed for attempt 0 only, watchdog). The straggler
+        // cell runs under a watchdog shorter than the injected delay, so
+        // the stall surfaces as a typed `Timeout` that triggers a restart.
+        let mut shapes: Vec<(&str, FaultPlan, Duration)> = vec![
+            (
+                "abort0",
+                FaultPlan::abort_at(VICTIM, 0).on_attempt(0),
+                Duration::from_secs(60),
+            ),
+            (
+                "straggler",
+                FaultPlan::delay_at(VICTIM, 3, Duration::from_secs(2)).on_attempt(0),
+                Duration::from_millis(500),
+            ),
+        ];
+        if backend == Backend::Procs {
+            shapes.push((
+                "sigkill",
+                FaultPlan::kill_at(VICTIM, 12).on_attempt(0),
+                Duration::from_secs(60),
+            ));
+        }
+        for (shape, plan, watchdog) in shapes {
+            let (store, dir) = make_store(backend, &format!("{shape}_{name}"));
+            let (out, report) =
+                recoverable_run(backend, name, &plan, store.as_ref(), &policy, watchdog);
+            assert!(
+                report.recovered,
+                "{name}/{shape}: not recovered: {report:?}"
+            );
+            assert!(
+                report.restarts <= policy.max_restarts,
+                "{name}/{shape}: restarts exceeded the policy: {report:?}"
+            );
+            if shape != "straggler" {
+                // Aborts and SIGKILLs always fail attempt 0; a straggler
+                // may or may not trip the watchdog depending on backend
+                // scheduling, so only the bound is asserted there.
+                assert!(
+                    report.restarts >= 1,
+                    "{name}/{shape}: the injected fault never fired: {report:?}"
+                );
+            }
+            for (r, o) in out.iter().enumerate() {
+                let got = &o
+                    .as_ref()
+                    .unwrap_or_else(|e| {
+                        panic!("{name}/{shape}: rank {r} failed after recovery: {e:?}")
+                    })
+                    .0;
+                assert_eq!(
+                    got, &clean[r],
+                    "{name}/{shape}: rank {r}'s recovered output diverged from the fault-free run"
+                );
+            }
+            if let Some(d) = dir {
+                let leftover = std::fs::read_dir(&d).map(|it| it.count()).unwrap_or(0);
+                assert_eq!(
+                    leftover, 0,
+                    "{name}/{shape}: recovered run left checkpoints behind"
+                );
+                let _ = std::fs::remove_dir_all(d);
+            }
+        }
+        if let Some(d) = clean_dir {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+}
+
+#[test]
+fn recovery_matrix_sim() {
+    assert_recovery_matrix(Backend::Sim);
+}
+
+#[test]
+fn recovery_matrix_threads() {
+    assert_recovery_matrix(Backend::Threads);
+}
+
+#[test]
+fn recovery_matrix_procs() {
+    assert_recovery_matrix(Backend::Procs);
+}
+
+/// The PR's flagship acceptance test. A rank is destroyed by `SIGKILL`
+/// mid-iteration under the procs backend; `run_recoverable` respawns the
+/// full rank set and the job resumes from its per-rank file checkpoints.
+/// Asserted bit-identical:
+/// * the recovered logical output vs a fault-free run from an empty store;
+/// * the recovered run (output *and* final per-rank `CommStats`, i.e. the
+///   post-restart segment) vs a fault-free run resumed from the exact
+///   checkpoints the killed attempt left behind — restart adds nothing
+///   and loses nothing beyond re-executing the interrupted iteration.
+#[test]
+fn sigkilled_procs_job_recovers_bit_identical_via_run_recoverable() {
+    quiet_expected_panics();
+    let kill = FaultPlan::kill_at(VICTIM, 18).on_attempt(0);
+    let policy = RetryPolicy::new(2, Duration::from_millis(5));
+    let watchdog = Duration::from_secs(60);
+
+    // Fault-free reference from an empty store.
+    let (dir_clean, store_clean) = fresh_file_store("flagship_clean");
+    let (clean, clean_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &FaultPlan::none(),
+        &store_clean,
+        &policy,
+        watchdog,
+    );
+    assert!(clean_rep.recovered && clean_rep.restarts == 0);
+
+    // The kill alone (no restarts budgeted): the job dies mid-iteration
+    // and leaves its checkpoints behind.
+    let (dir_partial, store_partial) = fresh_file_store("flagship_partial");
+    let (dead, dead_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &kill,
+        &store_partial,
+        &RetryPolicy::no_restarts(),
+        watchdog,
+    );
+    assert!(!dead_rep.recovered, "the SIGKILL plan did not fire");
+    assert!(dead.iter().any(|o| o.is_err()));
+    let leftovers = std::fs::read_dir(&dir_partial)
+        .map(|it| it.count())
+        .unwrap_or(0);
+    assert!(
+        leftovers > 0,
+        "SIGKILL landed before the first checkpoint — not mid-iteration; move the fault later"
+    );
+
+    // Fault-free continuation from those exact checkpoints: what the
+    // recovered run's post-restart segment must be bit-identical to.
+    let (cont, cont_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &FaultPlan::none(),
+        &store_partial,
+        &RetryPolicy::no_restarts(),
+        watchdog,
+    );
+    assert!(cont_rep.recovered, "continuation failed: {cont_rep:?}");
+
+    // The real thing: kill and recover end to end.
+    let (dir_rec, store_rec) = fresh_file_store("flagship_recover");
+    let (rec, rec_rep) =
+        recoverable_run(Backend::Procs, "mcl", &kill, &store_rec, &policy, watchdog);
+    assert!(rec_rep.recovered, "not recovered: {rec_rep:?}");
+    assert!(
+        rec_rep.restarts >= 1,
+        "RecoveryReport must record the restart: {rec_rep:?}"
+    );
+    assert_eq!(rec_rep.history.len(), rec_rep.restarts as usize);
+
+    for r in 0..NRANKS {
+        let rec_r = rec[r]
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {r}: {e:?}"));
+        let clean_r = clean[r].as_ref().unwrap();
+        let cont_r = cont[r].as_ref().unwrap();
+        assert_eq!(
+            rec_r.0, clean_r.0,
+            "rank {r}: recovered output diverged from the fault-free run"
+        );
+        assert_eq!(
+            rec_r, cont_r,
+            "rank {r}: post-restart segment (output + CommStats) diverged from the fault-free continuation"
+        );
+    }
+    // A recovered run cleans up its checkpoints.
+    assert_eq!(
+        std::fs::read_dir(&dir_rec)
+            .map(|it| it.count())
+            .unwrap_or(0),
+        0
+    );
+    for d in [dir_clean, dir_partial, dir_rec] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+/// Zero-fault neutrality of the recovery wrapper itself: one pass through
+/// `run_recoverable` with no faults must be byte-identical to `try_run` on
+/// the conformance surface (results + metered traffic), with a trivial
+/// report — on every backend.
+#[test]
+fn zero_fault_run_recoverable_is_byte_identical_to_try_run() {
+    struct PlainJob(&'static str);
+    impl RecoverableJob for PlainJob {
+        type Out = String;
+        fn run<C: Comm>(&self, comm: &C, _attempt: u32) -> String {
+            workload(self.0, comm)
+        }
+    }
+    let u = universe();
+    let policy = RetryPolicy::no_restarts();
+    let trivial = RecoveryReport {
+        attempts: 1,
+        restarts: 0,
+        recovered: true,
+        history: vec![],
+    };
+    for name in WORKLOADS {
+        let (rec, report) = u.run_recoverable(Backend::Sim, &policy, &PlainJob(name));
+        let bare = u.try_launch::<Serial, _, _>(|comm| workload(name, comm));
+        assert_eq!(
+            rec, bare,
+            "{name}: run_recoverable perturbed the serial backend"
+        );
+        assert_eq!(report, trivial, "{name}: zero-fault report not trivial");
+        let (rec_t, report_t) = u.run_recoverable(Backend::Threads, &policy, &PlainJob(name));
+        let bare_t = u.try_launch::<Threads, _, _>(|comm| workload(name, comm));
+        assert_eq!(
+            rec_t, bare_t,
+            "{name}: run_recoverable perturbed the threads backend"
+        );
+        assert_eq!(report_t, trivial, "{name}: zero-fault report not trivial");
+    }
+    let (rec_p, report_p) = u.run_recoverable(Backend::Procs, &policy, &PlainJob("1d"));
+    let bare_p = u.try_run_procs(|comm| workload("1d", comm));
+    assert_eq!(
+        rec_p, bare_p,
+        "1d: run_recoverable perturbed the procs backend"
+    );
+    assert_eq!(report_p, trivial, "1d: zero-fault report not trivial");
+}
+
+/// Seeded fault + recovery replay: the same seeded plan armed for attempt
+/// 0 must produce the same `RecoveryReport` (restart count *and* per-rank
+/// error history) and the same recovered output, run after run, on the
+/// deterministic serial backend. `SA_FAULT_SEED` pins one seed (the CI
+/// replay job runs one seed per matrix leg).
+#[test]
+fn seeded_kill_then_recover_is_replayable() {
+    quiet_expected_panics();
+    let policy = RetryPolicy::new(2, Duration::from_millis(2));
+    for seed in fault_seeds() {
+        let plan = FaultPlan::seeded(seed, NRANKS, 8).on_attempt(0);
+        let run = || {
+            let store = MemStore::new();
+            let out = recoverable_run(
+                Backend::Sim,
+                "session",
+                &plan,
+                &store,
+                &policy,
+                Duration::from_secs(60),
+            );
+            assert!(
+                store.is_empty(),
+                "seed {seed}: recovered run left checkpoints behind"
+            );
+            out
+        };
+        let (o1, r1) = run();
+        let (o2, r2) = run();
+        assert!(r1.recovered, "seed {seed}: not recovered: {r1:?}");
+        assert!(
+            r1.restarts >= 1,
+            "seed {seed}: seeded abort never fired: {r1:?}"
+        );
+        assert_eq!(r1, r2, "seed {seed}: recovery report not replayable");
+        assert_eq!(o1, o2, "seed {seed}: recovered output not replayable");
     }
 }
