@@ -20,9 +20,9 @@
 
 use sa_dist::mat3d::{DistMat3D, LayerSplit, Owned3DBlock};
 use sa_dist::{
-    agreed_step, load_wire, save_wire, spgemm_1d_ws, spgemm_split_3d_ws, spgemm_summa_2d_ws,
-    uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
-    FetchMode, Plan1D, SessionSnapshot, SessionStats, SpgemmSession,
+    agreed_step, load_wire_or_fresh, save_wire, spgemm_1d_ws, spgemm_split_3d_ws,
+    spgemm_summa_2d_ws, uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore,
+    DistMat1D, DistMat2D, FetchMode, Plan1D, SessionSnapshot, SessionStats, SpgemmSession,
 };
 use sa_mpisim::{Comm, CostModel, Grid2D, Grid3D, Wire, WireError};
 use sa_sparse::ewise::{ewise_add, mask_complement};
@@ -435,7 +435,8 @@ pub fn bc_batches_1d_session_recoverable<C: Comm>(
         SessionSnapshot,
         SessionSnapshot,
     );
-    let loaded: Option<BcCkpt> = load_wire(store, me, tag).expect("readable checkpoint store");
+    let loaded: Option<BcCkpt> =
+        load_wire_or_fresh(store, me, tag).expect("readable checkpoint store");
     let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
     let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
 

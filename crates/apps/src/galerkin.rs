@@ -13,8 +13,8 @@ use sa_dist::spgemm1d::{
     analyze_1d_modes, spgemm_1d, spgemm_1d_ws, FetchMode, Plan1D, SpgemmReport,
 };
 use sa_dist::{
-    agreed_step, load_wire, save_wire, uniform_offsets, CacheConfig, CheckpointStore, DistMat1D,
-    MatSnapshot, SessionSnapshot, SessionStats, SpgemmSession,
+    agreed_step, load_wire_or_fresh, save_wire, uniform_offsets, CacheConfig, CheckpointStore,
+    DistMat1D, MatSnapshot, SessionSnapshot, SessionStats, SpgemmSession,
 };
 use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, SpgemmWorkspace};
@@ -270,7 +270,7 @@ pub fn galerkin_products_recoverable<C: Comm>(
 ) -> (Vec<DistMat1D>, SessionStats) {
     let me = comm.rank();
     let loaded: Option<(u64, Vec<MatSnapshot>, SessionSnapshot)> =
-        load_wire(store, me, tag).expect("readable checkpoint store");
+        load_wire_or_fresh(store, me, tag).expect("readable checkpoint store");
     let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
     let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
 

@@ -5,9 +5,9 @@
 //! repository.
 
 use sa_dist::{
-    agreed_step, analyze_1d_offline, load_wire, save_wire, AlgoChoice, AutoTuner, CacheConfig,
-    CheckpointStore, DistMat1D, FetchMode, MatSnapshot, Plan1D, SessionSnapshot, SessionStats,
-    SpgemmSession,
+    agreed_step, analyze_1d_offline, load_wire_or_fresh, save_wire, AlgoChoice, AutoTuner,
+    CacheConfig, CheckpointStore, DistMat1D, FetchMode, MatSnapshot, Plan1D, SessionSnapshot,
+    SessionStats, SpgemmSession,
 };
 use sa_mpisim::{Comm, CostModel};
 use sa_sparse::{Csc, Dcsc, Vidx};
@@ -345,7 +345,7 @@ pub fn mcl_1d_checkpointed<C: Comm>(
 ) -> (Vec<u32>, usize, SessionStats) {
     let me = comm.rank();
     let loaded: Option<(u64, MatSnapshot, SessionSnapshot)> =
-        load_wire(store, me, tag).expect("readable checkpoint store");
+        load_wire_or_fresh(store, me, tag).expect("readable checkpoint store");
     let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
     let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
 

@@ -14,7 +14,10 @@
 //! * [`FileStore`] — one file per `(rank, key)` for the `Procs` backend:
 //!   forked children inherit the directory path, and a write is
 //!   tmp-then-rename so a rank SIGKILLed mid-checkpoint leaves the previous
-//!   complete checkpoint intact, never a torn one.
+//!   complete checkpoint intact, never a torn one. Every slot is framed
+//!   with a versioned header (magic, version, operand fingerprint, payload
+//!   CRC32); damage loads as a typed [`CkptError`] and the file is
+//!   quarantined (`.quarantine`) for forensics.
 //! * [`save_wire`] / [`load_wire`] — typed helpers over the repo's
 //!   [`Wire`] encoding (bit-exact `f64`, so restored operands are
 //!   bit-identical to what was saved).
@@ -31,13 +34,89 @@
 //! ranks completed.
 
 use crate::dist1d::DistMat1D;
-use sa_mpisim::{Comm, Wire, WireError};
+use sa_mpisim::{crc32, Comm, Wire, WireError};
 use sa_sparse::types::Vidx;
 use sa_sparse::Dcsc;
 use std::collections::HashMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+/// Why a checkpoint slot could not be saved or loaded. Integrity failures
+/// ([`Torn`](CkptError::Torn), [`Corrupt`](CkptError::Corrupt),
+/// [`VersionMismatch`](CkptError::VersionMismatch),
+/// [`Decode`](CkptError::Decode)) mean the slot's *contents* are unusable —
+/// [`FileStore`] quarantines the file and [`load_wire_or_fresh`] maps them
+/// to "absent" so recovery falls back to a fresh start instead of resuming
+/// from damaged state. [`Io`](CkptError::Io) means the store itself is
+/// unreachable, which no fresh start can fix.
+#[derive(Debug)]
+pub enum CkptError {
+    /// The underlying storage failed (missing directory, permissions, …).
+    Io(io::Error),
+    /// The slot is shorter than its header claims: `have` bytes present,
+    /// `needed` required. Atomic tmp-then-rename saves make this possible
+    /// only through outside interference, which is exactly why it is typed.
+    Torn { needed: u64, have: u64 },
+    /// The payload (or the header magic) failed its CRC32 / magic check.
+    /// `expected` is the stored value, `got` what the bytes hash to.
+    Corrupt { expected: u32, got: u32 },
+    /// The slot was written by an incompatible format version.
+    VersionMismatch { found: u32, supported: u32 },
+    /// The payload passed its integrity checks but is not a valid [`Wire`]
+    /// encoding of the requested type (wrong type under a reused key).
+    Decode(WireError),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CkptError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CkptError::Torn { needed, have } => {
+                write!(f, "torn checkpoint: need {needed} bytes, have {have}")
+            }
+            CkptError::Corrupt { expected, got } => write!(
+                f,
+                "checkpoint checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+            ),
+            CkptError::VersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint format v{found} unsupported (this build reads v{supported})"
+            ),
+            CkptError::Decode(e) => write!(f, "checkpoint payload undecodable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CkptError::Io(e) => Some(e),
+            CkptError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CkptError {
+    fn from(e: io::Error) -> CkptError {
+        CkptError::Io(e)
+    }
+}
+
+impl From<WireError> for CkptError {
+    fn from(e: WireError) -> CkptError {
+        CkptError::Decode(e)
+    }
+}
+
+impl CkptError {
+    /// Whether this error indicts the slot's *contents* (recoverable by
+    /// starting fresh) rather than the store itself.
+    pub fn is_integrity(&self) -> bool {
+        !matches!(self, CkptError::Io(_))
+    }
+}
 
 /// An object-safe per-rank blob store: the durability backend of a
 /// recoverable job. Implementations must tolerate concurrent access from
@@ -46,17 +125,19 @@ pub trait CheckpointStore: Send + Sync {
     /// Durably store `bytes` under `(rank, key)`, replacing any previous
     /// value. A save must be atomic: a reader (including a restarted rank)
     /// sees either the old complete value or the new one, never a torn mix.
-    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()>;
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> Result<(), CkptError>;
 
     /// Load the blob under `(rank, key)`, or `None` if never saved.
-    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>>;
+    /// Implementations that frame their slots ([`FileStore`]) verify
+    /// integrity here and return the typed failure — never damaged bytes.
+    fn load(&self, rank: usize, key: &str) -> Result<Option<Vec<u8>>, CkptError>;
 
     /// Drop the blob under `(rank, key)` (no-op if absent).
-    fn remove(&self, rank: usize, key: &str) -> io::Result<()>;
+    fn remove(&self, rank: usize, key: &str) -> Result<(), CkptError>;
 }
 
 /// Save a [`Wire`]-encodable value under `(rank, key)`.
-pub fn save_wire<S, T>(store: &S, rank: usize, key: &str, value: &T) -> io::Result<()>
+pub fn save_wire<S, T>(store: &S, rank: usize, key: &str, value: &T) -> Result<(), CkptError>
 where
     S: CheckpointStore + ?Sized,
     T: Wire,
@@ -64,19 +145,44 @@ where
     store.save(rank, key, value.to_bytes())
 }
 
-/// Load and decode a [`Wire`]-encodable value from `(rank, key)`. A present
-/// but undecodable blob is an error (`InvalidData`), not a silent fresh
-/// start — a corrupt checkpoint should be loud.
-pub fn load_wire<S, T>(store: &S, rank: usize, key: &str) -> io::Result<Option<T>>
+/// Load and decode a [`Wire`]-encodable value from `(rank, key)`. Strict:
+/// a present but damaged or undecodable slot is a typed [`CkptError`], not
+/// a silent fresh start — a corrupt checkpoint should be loud. Recovery
+/// paths that *want* corrupt-as-absent semantics use
+/// [`load_wire_or_fresh`].
+pub fn load_wire<S, T>(store: &S, rank: usize, key: &str) -> Result<Option<T>, CkptError>
 where
     S: CheckpointStore + ?Sized,
     T: Wire,
 {
     match store.load(rank, key)? {
         None => Ok(None),
-        Some(bytes) => T::from_bytes(&bytes)
-            .map(Some)
-            .map_err(|e: WireError| io::Error::new(io::ErrorKind::InvalidData, format!("{e:?}"))),
+        Some(bytes) => Ok(Some(T::from_bytes(&bytes)?)),
+    }
+}
+
+/// Recovery-path loader: like [`load_wire`], but an *integrity* failure
+/// (torn, corrupt, version-mismatched, or undecodable slot) is logged and
+/// mapped to `Ok(None)` — the caller's [`agreed_step`] then sees "nothing
+/// durably saved" and every rank starts fresh together, which is exactly
+/// the fallback a damaged checkpoint demands. [`FileStore`] has already
+/// quarantined the damaged file by the time this returns, so the fresh
+/// attempt will not trip over it again. I/O errors still surface: a store
+/// that cannot be read at all is not a fresh-start situation.
+pub fn load_wire_or_fresh<S, T>(store: &S, rank: usize, key: &str) -> Result<Option<T>, CkptError>
+where
+    S: CheckpointStore + ?Sized,
+    T: Wire,
+{
+    match load_wire(store, rank, key) {
+        Err(e) if e.is_integrity() => {
+            eprintln!(
+                "[sa_dist] rank {rank}: checkpoint slot {key:?} unusable ({e}); \
+                 treating as absent — recovery will start fresh"
+            );
+            Ok(None)
+        }
+        other => other,
     }
 }
 
@@ -109,7 +215,7 @@ impl MemStore {
 }
 
 impl CheckpointStore for MemStore {
-    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()> {
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> Result<(), CkptError> {
         self.slots
             .lock()
             .unwrap()
@@ -117,7 +223,7 @@ impl CheckpointStore for MemStore {
         Ok(())
     }
 
-    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>> {
+    fn load(&self, rank: usize, key: &str) -> Result<Option<Vec<u8>>, CkptError> {
         Ok(self
             .slots
             .lock()
@@ -126,10 +232,64 @@ impl CheckpointStore for MemStore {
             .cloned())
     }
 
-    fn remove(&self, rank: usize, key: &str) -> io::Result<()> {
+    fn remove(&self, rank: usize, key: &str) -> Result<(), CkptError> {
         self.slots.lock().unwrap().remove(&(rank, key.to_string()));
         Ok(())
     }
+}
+
+/// Slot-file magic: `"SACK"` little-endian, so a hexdump of a good slot
+/// starts with `4b 43 41 53`.
+const CKPT_MAGIC: u32 = 0x5341_434B;
+/// Current slot-file format version.
+const CKPT_VERSION: u32 = 1;
+/// Header layout: `[magic u32][version u32][fingerprint u64][payload_len
+/// u64][payload_crc u32]`, all little-endian.
+const CKPT_HEADER_LEN: usize = 28;
+
+/// Parse and verify a framed slot file: returns the operand fingerprint and
+/// the borrowed payload, or the typed reason the slot is unusable.
+fn parse_slot(raw: &[u8]) -> Result<(u64, &[u8]), CkptError> {
+    if raw.len() < CKPT_HEADER_LEN {
+        return Err(CkptError::Torn {
+            needed: CKPT_HEADER_LEN as u64,
+            have: raw.len() as u64,
+        });
+    }
+    let word32 = |at: usize| u32::from_le_bytes(raw[at..at + 4].try_into().expect("4 bytes"));
+    let word64 = |at: usize| u64::from_le_bytes(raw[at..at + 8].try_into().expect("8 bytes"));
+    let magic = word32(0);
+    if magic != CKPT_MAGIC {
+        return Err(CkptError::Corrupt {
+            expected: CKPT_MAGIC,
+            got: magic,
+        });
+    }
+    let version = word32(4);
+    if version != CKPT_VERSION {
+        return Err(CkptError::VersionMismatch {
+            found: version,
+            supported: CKPT_VERSION,
+        });
+    }
+    let fingerprint = word64(8);
+    let payload_len = word64(16);
+    let stored_crc = word32(24);
+    let payload = &raw[CKPT_HEADER_LEN..];
+    if payload.len() as u64 != payload_len {
+        return Err(CkptError::Torn {
+            needed: CKPT_HEADER_LEN as u64 + payload_len,
+            have: raw.len() as u64,
+        });
+    }
+    let got = crc32(payload);
+    if got != stored_crc {
+        return Err(CkptError::Corrupt {
+            expected: stored_crc,
+            got,
+        });
+    }
+    Ok((fingerprint, payload))
 }
 
 /// File-backed [`CheckpointStore`] for the `Procs` backend: one file per
@@ -139,19 +299,38 @@ impl CheckpointStore for MemStore {
 /// place — rename is atomic on POSIX, so a SIGKILL mid-save leaves the
 /// previous complete checkpoint, never a torn one.
 ///
+/// Every slot is framed with a versioned header (magic, format version,
+/// operand fingerprint, payload length, payload CRC32). `load` verifies the
+/// frame and returns typed [`CkptError`]s for damage; a damaged file is
+/// renamed to `.quarantine` for forensics so the next attempt does not trip
+/// over it. The fingerprint keys slots to one operand/configuration:
+/// [`FileStore::keyed`] stores see foreign-fingerprint slots as absent, and
+/// [`FileStore::gc_stale`] reclaims them.
+///
 /// `key` becomes part of the file name and must be file-name safe (the
 /// drivers use short alphanumeric keys like `"mcl.state"`).
 #[derive(Clone, Debug)]
 pub struct FileStore {
     dir: PathBuf,
+    fingerprint: u64,
 }
 
 impl FileStore {
-    /// Open (creating if needed) a store rooted at `dir`.
+    /// Open (creating if needed) a store rooted at `dir`, with the default
+    /// (zero) operand fingerprint.
     pub fn new(dir: impl Into<PathBuf>) -> io::Result<FileStore> {
+        FileStore::keyed(dir, 0)
+    }
+
+    /// Open (creating if needed) a store rooted at `dir` whose slots are
+    /// keyed to operand `fingerprint` — slots written under a different
+    /// fingerprint (an earlier run's different operand, a failed attempt of
+    /// another configuration) load as absent and are reclaimable via
+    /// [`FileStore::gc_stale`].
+    pub fn keyed(dir: impl Into<PathBuf>, fingerprint: u64) -> io::Result<FileStore> {
         let dir = dir.into();
         std::fs::create_dir_all(&dir)?;
-        Ok(FileStore { dir })
+        Ok(FileStore { dir, fingerprint })
     }
 
     /// The store's root directory.
@@ -159,32 +338,102 @@ impl FileStore {
         &self.dir
     }
 
+    /// The operand fingerprint this store's slots are keyed to.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
     fn slot_path(&self, rank: usize, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.r{rank}.ckpt"))
+    }
+
+    /// Rename a damaged slot aside (`.quarantine`) so the evidence survives
+    /// for forensics while the recovery path sees the slot as absent.
+    fn quarantine(path: &Path, why: &CkptError) {
+        let aside = path.with_extension("quarantine");
+        match std::fs::rename(path, &aside) {
+            Ok(()) => eprintln!(
+                "[sa_dist] quarantined damaged checkpoint {} -> {} ({why})",
+                path.display(),
+                aside.display()
+            ),
+            Err(e) => eprintln!(
+                "[sa_dist] failed to quarantine damaged checkpoint {} ({why}): {e}",
+                path.display()
+            ),
+        }
+    }
+
+    /// Garbage-collect stale slots: checkpoint files whose fingerprint does
+    /// not match this store's (failed attempts of other operands /
+    /// configurations sharing the directory) and leftover `.tmp` files from
+    /// saves cut down mid-write. Returns how many files were removed.
+    /// Damaged files are left for `load` to quarantine — GC only reclaims
+    /// what it can positively identify as foreign.
+    pub fn gc_stale(&self) -> io::Result<usize> {
+        let mut removed = 0;
+        for entry in std::fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let stale = if name.ends_with(".tmp") {
+                true
+            } else if name.ends_with(".ckpt") {
+                match std::fs::read(&path) {
+                    Ok(raw) => matches!(parse_slot(&raw), Ok((fp, _)) if fp != self.fingerprint),
+                    Err(_) => false,
+                }
+            } else {
+                false
+            };
+            if stale {
+                std::fs::remove_file(&path)?;
+                removed += 1;
+            }
+        }
+        Ok(removed)
     }
 }
 
 impl CheckpointStore for FileStore {
-    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> io::Result<()> {
+    fn save(&self, rank: usize, key: &str, bytes: Vec<u8>) -> Result<(), CkptError> {
         let path = self.slot_path(rank, key);
         let tmp = self.dir.join(format!("{key}.r{rank}.tmp"));
-        std::fs::write(&tmp, &bytes)?;
-        std::fs::rename(&tmp, &path)
+        let mut framed = Vec::with_capacity(CKPT_HEADER_LEN + bytes.len());
+        framed.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        framed.extend_from_slice(&CKPT_VERSION.to_le_bytes());
+        framed.extend_from_slice(&self.fingerprint.to_le_bytes());
+        framed.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        framed.extend_from_slice(&crc32(&bytes).to_le_bytes());
+        framed.extend_from_slice(&bytes);
+        std::fs::write(&tmp, &framed)?;
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
     }
 
-    fn load(&self, rank: usize, key: &str) -> io::Result<Option<Vec<u8>>> {
-        match std::fs::read(self.slot_path(rank, key)) {
-            Ok(bytes) => Ok(Some(bytes)),
-            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
-            Err(e) => Err(e),
+    fn load(&self, rank: usize, key: &str) -> Result<Option<Vec<u8>>, CkptError> {
+        let path = self.slot_path(rank, key);
+        let raw = match std::fs::read(&path) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        match parse_slot(&raw) {
+            Ok((fp, _)) if fp != self.fingerprint => Ok(None), // foreign slot
+            Ok((_, payload)) => Ok(Some(payload.to_vec())),
+            Err(why) => {
+                FileStore::quarantine(&path, &why);
+                Err(why)
+            }
         }
     }
 
-    fn remove(&self, rank: usize, key: &str) -> io::Result<()> {
+    fn remove(&self, rank: usize, key: &str) -> Result<(), CkptError> {
         match std::fs::remove_file(self.slot_path(rank, key)) {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
-            Err(e) => Err(e),
+            Err(e) => Err(e.into()),
         }
     }
 }
@@ -319,7 +568,79 @@ mod tests {
         let s = MemStore::new();
         s.save(0, "k", vec![1, 2, 3]).unwrap();
         let err = load_wire::<_, u64>(&s, 0, "k").unwrap_err();
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, CkptError::Decode(_)), "{err}");
+        assert!(err.is_integrity());
+        // the recovery-path loader maps the same damage to "absent"
+        assert_eq!(load_wire_or_fresh::<_, u64>(&s, 0, "k").unwrap(), None);
+    }
+
+    #[test]
+    fn file_store_detects_damage_and_quarantines() {
+        let dir = std::env::temp_dir().join(format!("sa_ckpt_quar_{}", std::process::id()));
+        let s = FileStore::new(&dir).unwrap();
+        save_wire(&s, 0, "state", &0xDEAD_BEEFu64).unwrap();
+        let path = dir.join("state.r0.ckpt");
+
+        // flip one payload bit on disk → typed Corrupt, file quarantined
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0x01;
+        std::fs::write(&path, &raw).unwrap();
+        let err = s.load(0, "state").unwrap_err();
+        assert!(matches!(err, CkptError::Corrupt { .. }), "{err}");
+        assert!(!path.exists(), "damaged file renamed aside");
+        assert!(dir.join("state.r0.quarantine").exists());
+        // after quarantine the slot is absent: recovery starts fresh
+        assert_eq!(s.load(0, "state").unwrap(), None);
+        assert_eq!(load_wire_or_fresh::<_, u64>(&s, 0, "state").unwrap(), None);
+
+        // truncated below its header's claim → Torn
+        save_wire(&s, 0, "state", &1u64).unwrap();
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 3]).unwrap();
+        assert!(matches!(
+            s.load(0, "state").unwrap_err(),
+            CkptError::Torn { .. }
+        ));
+
+        // future format version → VersionMismatch
+        save_wire(&s, 0, "state", &2u64).unwrap();
+        let mut raw = std::fs::read(&path).unwrap();
+        raw[4..8].copy_from_slice(&99u32.to_le_bytes());
+        std::fs::write(&path, &raw).unwrap();
+        assert!(matches!(
+            s.load(0, "state").unwrap_err(),
+            CkptError::VersionMismatch {
+                found: 99,
+                supported: 1
+            }
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_slots_are_gc_keyed_by_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("sa_ckpt_gc_{}", std::process::id()));
+        let old = FileStore::keyed(&dir, 0xA1).unwrap();
+        save_wire(&old, 0, "state", &1u64).unwrap();
+        save_wire(&old, 1, "state", &2u64).unwrap();
+        let new = FileStore::keyed(&dir, 0xB2).unwrap();
+        save_wire(&new, 0, "state", &3u64).unwrap();
+        // a save cut down mid-write leaves a .tmp behind
+        std::fs::write(dir.join("state.r9.tmp"), b"partial").unwrap();
+
+        // foreign-fingerprint slots read as absent, own slots verify
+        assert_eq!(load_wire::<_, u64>(&new, 1, "state").unwrap(), None);
+        assert_eq!(load_wire::<_, u64>(&new, 0, "state").unwrap(), Some(3));
+
+        // GC reclaims the surviving stale slot (r0's was overwritten by the
+        // new store's save) and the tmp, and keeps the live slot
+        assert_eq!(new.gc_stale().unwrap(), 2);
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        assert_eq!(load_wire::<_, u64>(&new, 0, "state").unwrap(), Some(3));
+        // idempotent
+        assert_eq!(new.gc_stale().unwrap(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -64,7 +64,8 @@ pub use autotune::{
     Analysis2D, Analysis3D, AutoReport, AutoTuner, PhaseCost, Prediction,
 };
 pub use checkpoint::{
-    agreed_step, load_wire, save_wire, CheckpointStore, FileStore, MatSnapshot, MemStore,
+    agreed_step, load_wire, load_wire_or_fresh, save_wire, CheckpointStore, CkptError, FileStore,
+    MatSnapshot, MemStore,
 };
 pub use dist1d::{uniform_offsets, DistMat1D};
 pub use mat3d::{

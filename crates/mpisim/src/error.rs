@@ -52,6 +52,13 @@ pub enum CommError {
     /// or about to enter — `primitive`. `rank` is the *first* failed rank of
     /// the job (the poison is first-writer-wins, so cascading secondary
     /// failures all name the original victim).
+    ///
+    /// On the `procs` backend this is also how every *transport-level*
+    /// detection surfaces: a socket EOF (peer process exited), an abort
+    /// broadcast, a CRC-corrupt frame on a clean (un-injected) link, missed
+    /// heartbeats past `SA_HEARTBEAT_SECS`, and retransmit exhaustion under
+    /// an injected lossy plan all poison the job naming the peer — the
+    /// failure is always typed, never a silent wrong answer.
     PeerFailed { rank: usize, primitive: Primitive },
     /// The watchdog deadline expired while this rank was parked in
     /// `primitive` for `waited`.

@@ -70,9 +70,12 @@ pub use backend::{Backend, Comm, Mode, Serial, Threads};
 pub use comm::{RankComm, SimComm, ThreadComm};
 pub use costmodel::CostModel;
 pub use error::{CommError, Primitive, RankError, RankOutcome};
-pub use fault::{Fault, FaultAction, FaultComm, FaultPlan};
+pub use fault::{
+    arm_frame_plan, Fault, FaultAction, FaultComm, FaultPlan, FrameFault, FrameFaultRule,
+    FramePlanGuard, LossyRule,
+};
 pub use grid::{valid_layer_counts, Grid2D, Grid3D};
-pub use proc::{kill_self_with_sigkill, ProcComm};
+pub use proc::{kill_self_with_sigkill, mute_heartbeats, ProcComm};
 pub use recover::{AttemptFailure, RecoverableJob, RecoveryReport, RetryPolicy};
 pub use scheduler::rank_active_seconds;
 pub use stats::CommStats;
@@ -81,4 +84,4 @@ pub use universe::{RankJob, Universe};
 pub use window::{
     Exposure, PairedWindow, PartSpec, RemoteWindow, WinElem, Window, WindowError, WindowSpec,
 };
-pub use wire::{Frame, Wire, WireError, MAX_FRAME};
+pub use wire::{crc32, Frame, Wire, WireError, MAX_FRAME};

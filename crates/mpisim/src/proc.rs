@@ -51,22 +51,24 @@
 
 use crate::backend::Comm;
 use crate::error::{raise, CommError, Primitive, RankError, RankOutcome};
+use crate::fault::FaultPlan;
+use crate::fault::FrameFault;
 use crate::recover::RetryPolicy;
 use crate::scheduler::{self, PoisonGuard, Scheduler, WaitSite};
 use crate::stats::{CommStats, StatsCell};
 use crate::window::{Exposure, PartSpec, RemoteWindow, WindowSpec};
-use crate::wire::{vec_codec, Frame, Wire, MAX_FRAME};
+use crate::wire::{vec_codec, Frame, Wire, WireError, MAX_FRAME};
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::cell::Cell;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::ops::Range;
 use std::rc::Rc;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Minimal libc surface for process management — declared directly so the
 /// offline build needs no `libc` crate.
@@ -180,20 +182,45 @@ fn accept_with_retry(
     }
 }
 
-fn read_frame(stream: &mut impl Read) -> std::io::Result<Frame> {
+/// Why reading one frame off a link failed — the distinction the mesh
+/// reader threads act on.
+enum RecvFailure {
+    /// The socket itself failed (EOF, reset, short read): the
+    /// length-delimited framing is gone and the link is dead.
+    Io(std::io::Error),
+    /// The frame arrived intact as a byte string but its CRC (or its
+    /// structure) rejected it. We read exactly the advertised length, so
+    /// the framing is still aligned and the link can keep going — which is
+    /// what lets a lossy-plan run treat detected corruption as loss.
+    Corrupt(WireError),
+}
+
+/// Read one `[u32 LE length][kind][body][crc]` frame, classifying the
+/// failure mode (see [`RecvFailure`]).
+fn read_frame_raw(stream: &mut impl Read) -> Result<Frame, RecvFailure> {
     let mut len4 = [0u8; 4];
-    stream.read_exact(&mut len4)?;
+    stream.read_exact(&mut len4).map_err(RecvFailure::Io)?;
     let len = u32::from_le_bytes(len4) as usize;
     if len > MAX_FRAME {
-        return Err(std::io::Error::new(
+        return Err(RecvFailure::Io(std::io::Error::new(
             std::io::ErrorKind::InvalidData,
             format!("frame length {len} exceeds cap"),
-        ));
+        )));
     }
     let mut body = vec![0u8; len];
-    stream.read_exact(&mut body)?;
-    Frame::from_bytes(&body)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    stream.read_exact(&mut body).map_err(RecvFailure::Io)?;
+    Frame::from_bytes(&body).map_err(RecvFailure::Corrupt)
+}
+
+/// [`read_frame_raw`] flattened to `io::Result` for the bootstrap and
+/// parent paths, where corruption and a dead socket end the same way.
+fn read_frame(stream: &mut impl Read) -> std::io::Result<Frame> {
+    read_frame_raw(stream).map_err(|e| match e {
+        RecvFailure::Io(e) => e,
+        RecvFailure::Corrupt(w) => {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, w.to_string())
+        }
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -241,9 +268,68 @@ struct GetWork {
     end: u64,
 }
 
+/// Work for a peer's responder thread. Readers never write to a socket
+/// (the deadlock-freedom invariant), so acknowledgements of reliable
+/// frames are queued here and written by the responder alongside
+/// `GetResp`s.
+enum RespWork {
+    Get(GetWork),
+    Ack { seq: u64 },
+}
+
 struct GetQueue {
-    q: Mutex<VecDeque<GetWork>>,
+    q: Mutex<VecDeque<RespWork>>,
     cv: Condvar,
+}
+
+/// How long a reliable frame waits for its ack before the first
+/// retransmission. Deliberately generous for localhost so an un-dropped
+/// frame is essentially never retransmitted spuriously — which keeps the
+/// retransmit log of a seeded drop plan replayable.
+const RETRANSMIT_AFTER: Duration = Duration::from_millis(50);
+
+/// One sent-but-unacknowledged reliable frame (the clean, uninjured
+/// encoding — retransmissions bypass the fault shim so a lossy run always
+/// converges).
+struct Unacked {
+    bytes: Vec<u8>,
+    due: Instant,
+    tries: u32,
+}
+
+/// Send half of one mesh link's reliability state.
+#[derive(Default)]
+struct SendLink {
+    next_seq: u64,
+    unacked: BTreeMap<u64, Unacked>,
+}
+
+/// Receive half: in-order delivery with dedup. Retransmissions can reorder
+/// frames on a link; MPI guarantees same-(src, tag, comm) message order,
+/// so released frames are held until their sequence gap closes.
+#[derive(Default)]
+struct RecvLink {
+    next_expected: u64,
+    held: BTreeMap<u64, Frame>,
+}
+
+/// What a reader does after dispatching one frame.
+enum Flow {
+    Continue,
+    Stop,
+}
+
+/// Process-local heartbeat mute for tests: models a peer that is wedged —
+/// alive enough to keep its TCP links open, too stuck to prove liveness.
+/// Affects only the calling process, i.e. exactly one rank under the
+/// procs backend.
+static HEARTBEATS_MUTED: AtomicBool = AtomicBool::new(false);
+
+/// Stop this process's heartbeat beacons (test hook; see
+/// `HEARTBEATS_MUTED` above). Under the procs backend each rank is its
+/// own process, so muting inside a rank closure wedges that rank only.
+pub fn mute_heartbeats() {
+    HEARTBEATS_MUTED.store(true, Ordering::Relaxed);
 }
 
 /// Everything one rank *process* shares between its main thread and its
@@ -264,6 +350,24 @@ struct ProcNode {
     /// rendezvous waits for all of them so our windows outlive their gets.
     peers_done: Mutex<Vec<bool>>,
     peers_done_cv: Condvar,
+    /// The armed lossy-transport plan, if any. `None` on clean runs: the
+    /// whole reliability layer (sequence numbers, acks, the sweeper) is
+    /// bypassed and droppable frames travel bare, so clean runs pay only
+    /// the frame CRC.
+    lossy: Option<Arc<FaultPlan>>,
+    /// This rank's droppable-frame counter — the coordinate
+    /// [`FaultPlan::frame_lookup`] is keyed on.
+    frames_sent: AtomicU64,
+    /// Per-peer send/recv reliability state, indexed by world rank (the
+    /// own-rank slots are never touched).
+    send_links: Vec<Mutex<SendLink>>,
+    recv_links: Vec<Mutex<RecvLink>>,
+    /// `(peer world rank, seq)` of every retransmission, in order — the
+    /// observable surface of the seeded-replay tests.
+    retransmits: Mutex<Vec<(u64, u64)>>,
+    /// Per-peer last-seen clocks, refreshed on every received frame; the
+    /// heartbeat monitor converts a stale clock into a typed peer failure.
+    last_seen: Vec<Mutex<Instant>>,
 }
 
 impl ProcNode {
@@ -289,75 +393,147 @@ impl ProcNode {
         self.peers_done_cv.notify_all();
     }
 
+    /// Write pre-encoded frame bytes (with the length prefix) to `world`'s
+    /// link — the raw path the fault shim and the sweeper use, so injured
+    /// bytes and retransmissions skip re-encoding.
+    fn write_raw(&self, world: usize, bytes: &[u8]) -> std::io::Result<()> {
+        let link = self.links[world]
+            .as_ref()
+            .expect("no link to self — caller handles self-sends locally");
+        let mut msg = Vec::with_capacity(4 + bytes.len());
+        (bytes.len() as u32).put(&mut msg);
+        msg.extend_from_slice(bytes);
+        link.lock().write_all(&msg)
+    }
+
+    /// Send a droppable frame (`Data`/`GetReq`/`GetResp`) to `world`. With
+    /// no lossy plan armed this is a plain [`ProcNode::send_frame`]. Under
+    /// an armed plan the frame is wrapped in [`Frame::Reliable`] with a
+    /// per-link sequence number, recorded for retransmission until acked,
+    /// and the plan gets one chance to drop / corrupt / delay / duplicate
+    /// the wire bytes.
+    fn send_droppable(&self, world: usize, frame: &Frame) -> std::io::Result<()> {
+        let Some(plan) = &self.lossy else {
+            return self.send_frame(world, frame);
+        };
+        let idx = self.frames_sent.fetch_add(1, Ordering::SeqCst);
+        let bytes = {
+            let mut link = self.send_links[world].lock();
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            let bytes = Frame::Reliable {
+                seq,
+                inner: frame.to_bytes(),
+            }
+            .to_bytes();
+            link.unacked.insert(
+                seq,
+                Unacked {
+                    bytes: bytes.clone(),
+                    due: Instant::now() + RETRANSMIT_AFTER,
+                    tries: 0,
+                },
+            );
+            bytes
+        };
+        match plan.frame_lookup(self.world_rank, idx) {
+            Some(FrameFault::Drop) => {
+                eprintln!(
+                    "[sa_mpisim] rank {}: fault plan dropped frame {idx} to peer {world}",
+                    self.world_rank
+                );
+                Ok(()) // never written; the sweeper retransmits it
+            }
+            Some(FrameFault::Corrupt) => {
+                let mut bad = bytes;
+                let pos = (idx as usize) % bad.len();
+                bad[pos] ^= 0x40; // one flipped bit: CRC-detectable, framing intact
+                self.write_raw(world, &bad)
+            }
+            Some(FrameFault::Delay(d)) => {
+                std::thread::sleep(d);
+                self.write_raw(world, &bytes)
+            }
+            Some(FrameFault::Duplicate) => {
+                self.write_raw(world, &bytes)?;
+                self.write_raw(world, &bytes)
+            }
+            None => self.write_raw(world, &bytes),
+        }
+    }
+
+    /// Peer `world` acknowledged reliable frame `seq`: stop retransmitting.
+    fn ack(&self, world: usize, seq: u64) {
+        self.send_links[world].lock().unacked.remove(&seq);
+    }
+
+    /// Admit reliable frame `seq` from `world`: dedup by sequence number
+    /// and release frames in order. Returns the (possibly empty) run of
+    /// frames whose sequence gap just closed, oldest first.
+    fn admit(&self, world: usize, seq: u64, frame: Frame) -> Vec<Frame> {
+        let mut link = self.recv_links[world].lock();
+        if seq < link.next_expected || link.held.contains_key(&seq) {
+            return Vec::new(); // duplicate: already delivered or queued
+        }
+        link.held.insert(seq, frame);
+        let mut out = Vec::new();
+        loop {
+            let next = link.next_expected;
+            let Some(f) = link.held.remove(&next) else {
+                break;
+            };
+            out.push(f);
+            link.next_expected += 1;
+        }
+        out
+    }
+
+    /// Refresh `world`'s last-seen clock (called on every received frame).
+    fn note_alive(&self, world: usize) {
+        *self.last_seen[world].lock() = Instant::now();
+    }
+
     /// Reader thread body for the link to `peer`: drain frames forever.
-    /// Never writes to any socket (deadlock-freedom invariant).
+    /// Never writes to any socket (deadlock-freedom invariant) — reliable
+    /// frames are acknowledged via the responder's queue.
     fn reader_loop(self: &Arc<Self>, peer: usize, stream: TcpStream, getq: Arc<GetQueue>) {
         let mut stream = std::io::BufReader::new(stream);
         let mut clean = false;
         loop {
-            match read_frame(&mut stream) {
-                Ok(Frame::Data {
-                    comm_id,
-                    src,
-                    tag,
-                    metered,
-                    meter_bytes,
-                    type_fp,
-                    count,
-                    payload,
-                }) => {
-                    let mut map = self.inbox.map.lock();
-                    map.entry((comm_id, src, tag))
-                        .or_default()
-                        .push_back(InPayload::Remote {
-                            type_fp,
-                            count,
-                            bytes: payload,
-                            meter_bytes: metered.then_some(meter_bytes),
-                        });
-                    drop(map);
-                    self.inbox.cv.notify_all();
+            match read_frame_raw(&mut stream) {
+                Ok(frame) => {
+                    self.note_alive(peer);
+                    if let Flow::Stop = self.dispatch(peer, frame, &getq, &mut clean) {
+                        return;
+                    }
                 }
-                Ok(Frame::GetReq {
-                    req_id,
-                    win_id,
-                    part,
-                    start,
-                    end,
-                }) => {
-                    let mut q = getq.q.lock();
-                    q.push_back(GetWork {
-                        req_id,
-                        win_id,
-                        part,
-                        start,
-                        end,
-                    });
-                    drop(q);
-                    getq.cv.notify_all();
-                }
-                Ok(Frame::GetResp { req_id, payload }) => {
-                    self.getresp.map.lock().insert(req_id, payload);
-                    self.getresp.cv.notify_all();
-                }
-                Ok(Frame::Abort { victim }) => {
-                    self.sched.poison(victim as usize);
-                    self.mark_peer_done(peer);
-                }
-                Ok(Frame::Bye) => {
-                    clean = true;
-                    self.mark_peer_done(peer);
-                }
-                Ok(_) => {
-                    // Bootstrap frame after bootstrap: protocol corruption.
+                Err(RecvFailure::Corrupt(e)) => {
+                    // Detected, typed, never a silent wrong answer. Under an
+                    // armed lossy plan the injured frame is equivalent to a
+                    // lost one — it is never acked, so the sender
+                    // retransmits the clean bytes and the run completes
+                    // bit-identical. Without a plan armed, corruption on a
+                    // real link is a failed peer.
+                    if self.lossy.is_some() {
+                        eprintln!(
+                            "[sa_mpisim] rank {}: dropping corrupt frame from peer {peer}: {e}",
+                            self.world_rank
+                        );
+                        continue;
+                    }
+                    eprintln!(
+                        "[sa_mpisim] rank {}: corrupt frame from peer {peer}: {e}",
+                        self.world_rank
+                    );
                     self.sched.poison(peer);
                     self.mark_peer_done(peer);
                     return;
                 }
-                Err(_) => {
-                    // EOF or garbage. After a Bye this is the peer's normal
-                    // exit; before one it is a crash (e.g. kill -9) — the
-                    // dead socket is the failure signal, poison the job.
+                Err(RecvFailure::Io(_)) => {
+                    // EOF or a dead socket. After a Bye this is the peer's
+                    // normal exit; before one it is a crash (e.g. kill -9)
+                    // — the dead socket is the failure signal, poison the
+                    // job.
                     if !clean {
                         self.sched.poison(peer);
                     }
@@ -368,8 +544,124 @@ impl ProcNode {
         }
     }
 
+    /// Act on one frame from `peer` (possibly released from the reliable
+    /// in-order buffer). Shared by the direct and reliable delivery paths.
+    fn dispatch(
+        self: &Arc<Self>,
+        peer: usize,
+        frame: Frame,
+        getq: &Arc<GetQueue>,
+        clean: &mut bool,
+    ) -> Flow {
+        match frame {
+            Frame::Data {
+                comm_id,
+                src,
+                tag,
+                metered,
+                meter_bytes,
+                type_fp,
+                count,
+                payload,
+            } => {
+                let mut map = self.inbox.map.lock();
+                map.entry((comm_id, src, tag))
+                    .or_default()
+                    .push_back(InPayload::Remote {
+                        type_fp,
+                        count,
+                        bytes: payload,
+                        meter_bytes: metered.then_some(meter_bytes),
+                    });
+                drop(map);
+                self.inbox.cv.notify_all();
+                Flow::Continue
+            }
+            Frame::GetReq {
+                req_id,
+                win_id,
+                part,
+                start,
+                end,
+            } => {
+                let mut q = getq.q.lock();
+                q.push_back(RespWork::Get(GetWork {
+                    req_id,
+                    win_id,
+                    part,
+                    start,
+                    end,
+                }));
+                drop(q);
+                getq.cv.notify_all();
+                Flow::Continue
+            }
+            Frame::GetResp { req_id, payload } => {
+                self.getresp.map.lock().insert(req_id, payload);
+                self.getresp.cv.notify_all();
+                Flow::Continue
+            }
+            Frame::Abort { victim } => {
+                self.sched.poison(victim as usize);
+                self.mark_peer_done(peer);
+                Flow::Continue
+            }
+            Frame::Bye => {
+                *clean = true;
+                self.mark_peer_done(peer);
+                Flow::Continue
+            }
+            Frame::Heartbeat => Flow::Continue, // note_alive already ran
+            Frame::Ack { seq } => {
+                self.ack(peer, seq);
+                Flow::Continue
+            }
+            Frame::Reliable { seq, inner } => {
+                let inner = match Frame::from_bytes(&inner) {
+                    Ok(f) => f,
+                    Err(e) => {
+                        // The outer CRC passed but the inner frame is bad:
+                        // sender-side corruption, not line noise. Typed
+                        // failure, not a retransmit case.
+                        eprintln!(
+                            "[sa_mpisim] rank {}: undecodable reliable frame from \
+                             peer {peer}: {e}",
+                            self.world_rank
+                        );
+                        self.sched.poison(peer);
+                        self.mark_peer_done(peer);
+                        return Flow::Stop;
+                    }
+                };
+                // Ack every arrival (duplicates included — their ack may
+                // have been the casualty), through the responder so readers
+                // never write.
+                let mut q = getq.q.lock();
+                q.push_back(RespWork::Ack { seq });
+                drop(q);
+                getq.cv.notify_all();
+                for released in self.admit(peer, seq, inner) {
+                    if let Flow::Stop = self.dispatch(peer, released, getq, clean) {
+                        return Flow::Stop;
+                    }
+                }
+                Flow::Continue
+            }
+            Frame::Hello { .. }
+            | Frame::Table { .. }
+            | Frame::Peer { .. }
+            | Frame::Outcome { .. } => {
+                // Bootstrap frame after bootstrap: protocol corruption.
+                self.sched.poison(peer);
+                self.mark_peer_done(peer);
+                Flow::Stop
+            }
+        }
+    }
+
     /// Responder thread body: service `peer`'s get-requests against the
-    /// window registry. Writes only `GetResp` frames (to `peer`).
+    /// window registry, and write the acks the reader queued. Writes only
+    /// to `peer`.
     fn responder_loop(self: &Arc<Self>, peer: usize, getq: Arc<GetQueue>) {
         loop {
             let work = {
@@ -379,6 +671,17 @@ impl ProcNode {
                         break w;
                     }
                     getq.cv.wait(&mut q);
+                }
+            };
+            let work = match work {
+                RespWork::Get(w) => w,
+                RespWork::Ack { seq } => {
+                    // Acks travel bare (never wrapped, never injected
+                    // against): the reliability layer must not depend on
+                    // itself. A failed write means the peer died; its EOF
+                    // machinery handles it.
+                    let _ = self.send_frame(peer, &Frame::Ack { seq });
+                    continue;
                 }
             };
             let mut bytes = Vec::new();
@@ -411,7 +714,92 @@ impl ProcNode {
             };
             // A failed write means the requester died; its own machinery
             // (EOF reader → poison) handles it.
-            let _ = self.send_frame(peer, &frame);
+            let _ = self.send_droppable(peer, &frame);
+        }
+    }
+
+    /// Sweeper thread body (spawned only when a lossy plan is armed):
+    /// retransmit overdue unacked frames under [`RetryPolicy::transport`]'s
+    /// bounded backoff; a peer that exhausts the budget is a failed peer.
+    /// Retransmissions bypass the fault shim, so a seeded lossy run always
+    /// converges to the fault-free result.
+    fn sweeper_loop(self: &Arc<Self>) {
+        let policy = RetryPolicy::transport();
+        loop {
+            std::thread::sleep(Duration::from_millis(5));
+            let now = Instant::now();
+            for world in 0..self.world_size {
+                if world == self.world_rank {
+                    continue;
+                }
+                let mut resend: Vec<(u64, Vec<u8>)> = Vec::new();
+                let mut exhausted = false;
+                {
+                    let mut link = self.send_links[world].lock();
+                    for (seq, u) in link.unacked.iter_mut() {
+                        if u.due > now {
+                            continue;
+                        }
+                        if u.tries >= policy.max_restarts {
+                            exhausted = true;
+                            break;
+                        }
+                        u.tries += 1;
+                        u.due = now + policy.backoff_for(u.tries);
+                        resend.push((*seq, u.bytes.clone()));
+                    }
+                }
+                if exhausted {
+                    eprintln!(
+                        "[sa_mpisim] rank {}: peer {world} never acked after \
+                         {} retransmits — giving it up",
+                        self.world_rank, policy.max_restarts
+                    );
+                    self.sched.poison(world);
+                    self.mark_peer_done(world);
+                    continue;
+                }
+                for (seq, bytes) in resend {
+                    self.retransmits.lock().push((world as u64, seq));
+                    let _ = self.write_raw(world, &bytes);
+                }
+            }
+        }
+    }
+
+    /// Heartbeat monitor thread body (spawned only when a heartbeat
+    /// deadline is configured): beacon every live peer and convert a peer
+    /// whose last-seen clock goes stale past `deadline` into a typed
+    /// failure — bounded-time detection of wedged peers, well before the
+    /// stall watchdog.
+    fn heartbeat_loop(self: &Arc<Self>, deadline: Duration) {
+        let tick = (deadline / 4).max(Duration::from_millis(1));
+        loop {
+            std::thread::sleep(tick);
+            if self.peers_done.lock().iter().all(|&d| d) {
+                return;
+            }
+            for world in 0..self.world_size {
+                if world == self.world_rank || self.peers_done.lock()[world] {
+                    continue;
+                }
+                if !HEARTBEATS_MUTED.load(Ordering::Relaxed) {
+                    // Best-effort: a dead link is the reader's EOF to report.
+                    let _ = self.send_frame(world, &Frame::Heartbeat);
+                }
+                let idle = self.last_seen[world].lock().elapsed();
+                if idle > deadline {
+                    eprintln!(
+                        "[sa_mpisim] rank {}: peer {world} silent for {:.3}s \
+                         (heartbeat deadline {:.3}s) — declaring it failed",
+                        self.world_rank,
+                        idle.as_secs_f64(),
+                        deadline.as_secs_f64()
+                    );
+                    self.sched.poison(world);
+                    self.mark_peer_done(world);
+                }
+            }
         }
     }
 }
@@ -437,7 +825,7 @@ impl RemoteWindow for ProcRemoteWindow {
             start: range.start as u64,
             end: range.end as u64,
         };
-        if self.node.send_frame(world, &frame).is_err() {
+        if self.node.send_droppable(world, &frame).is_err() {
             self.node.sched.poison(world);
         }
         let site = WaitSite::recv(world, req_id);
@@ -508,6 +896,15 @@ impl ProcComm {
         self.members[comm_rank]
     }
 
+    /// The `(peer world rank, sequence number)` of every frame this rank's
+    /// reliability layer retransmitted so far, in retransmission order.
+    /// Always empty unless a lossy fault plan is armed — the observable
+    /// surface of the seeded-replay tests ("the same drop plan retransmits
+    /// the same frames").
+    pub fn retransmit_log(&self) -> Vec<(u64, u64)> {
+        self.node.retransmits.lock().clone()
+    }
+
     fn next_ctrl(&self) -> u64 {
         let v = self.ctrl_counter.get();
         self.ctrl_counter.set(v + 1);
@@ -571,7 +968,7 @@ impl ProcComm {
             payload,
         };
         let world = self.world_of(dst);
-        if self.node.send_frame(world, &frame).is_err() {
+        if self.node.send_droppable(world, &frame).is_err() {
             // Dead socket: the peer is gone. Name the job's victim and
             // unwind — a send can no longer be "eager and never blocks"
             // when the destination no longer exists.
@@ -835,11 +1232,14 @@ impl Comm for ProcComm {
 
 /// Build the mesh, run the rank closure, rendezvous, report, `_exit`.
 /// Never returns; never unwinds past this frame.
+#[allow(clippy::too_many_arguments)]
 fn child_main<F, R>(
     rank: usize,
     nranks: usize,
     threads_per_rank: usize,
     watchdog: Option<Duration>,
+    heartbeat: Option<Duration>,
+    lossy: Option<Arc<FaultPlan>>,
     parent_addr: SocketAddr,
     f: &F,
 ) -> !
@@ -849,7 +1249,16 @@ where
 {
     IN_FORKED_CHILD.store(true, Ordering::Relaxed);
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        child_body(rank, nranks, threads_per_rank, watchdog, parent_addr, f)
+        child_body(
+            rank,
+            nranks,
+            threads_per_rank,
+            watchdog,
+            heartbeat,
+            lossy,
+            parent_addr,
+            f,
+        )
     }));
     // A panic escaping child_body means bootstrap itself failed (sockets,
     // fork siblings dead, ...) — nothing to report on, just die nonzero so
@@ -860,11 +1269,14 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn child_body<F, R>(
     rank: usize,
     nranks: usize,
     threads_per_rank: usize,
     watchdog: Option<Duration>,
+    heartbeat: Option<Duration>,
+    lossy: Option<Arc<FaultPlan>>,
     parent_addr: SocketAddr,
     f: &F,
 ) -> i32
@@ -959,7 +1371,31 @@ where
         next_req: AtomicU64::new(0),
         peers_done: Mutex::new(peers_done),
         peers_done_cv: Condvar::new(),
+        lossy,
+        frames_sent: AtomicU64::new(0),
+        send_links: (0..nranks)
+            .map(|_| Mutex::new(SendLink::default()))
+            .collect(),
+        recv_links: (0..nranks)
+            .map(|_| Mutex::new(RecvLink::default()))
+            .collect(),
+        retransmits: Mutex::new(Vec::new()),
+        last_seen: (0..nranks).map(|_| Mutex::new(Instant::now())).collect(),
     });
+    if node.lossy.is_some() {
+        let n = node.clone();
+        std::thread::Builder::new()
+            .name(format!("sa-proc{rank}-sw"))
+            .spawn(move || n.sweeper_loop())
+            .expect("spawn sweeper");
+    }
+    if let Some(deadline) = heartbeat {
+        let n = node.clone();
+        std::thread::Builder::new()
+            .name(format!("sa-proc{rank}-hb"))
+            .spawn(move || n.heartbeat_loop(deadline))
+            .expect("spawn heartbeat monitor");
+    }
     for (peer, read) in read_halves.into_iter().enumerate() {
         if let Some(stream) = read {
             let getq = Arc::new(GetQueue {
@@ -1051,6 +1487,7 @@ pub(crate) fn launch_procs<F, R>(
     nranks: usize,
     threads_per_rank: usize,
     watchdog: Option<Duration>,
+    heartbeat: Option<Duration>,
     f: F,
 ) -> Vec<RankOutcome<R>>
 where
@@ -1060,10 +1497,26 @@ where
     let listener = TcpListener::bind("127.0.0.1:0").expect("bind rendezvous listener");
     let addr = listener.local_addr().expect("rendezvous addr");
 
+    // The lossy-transport plan the children run under: what this thread
+    // armed (tests), else the environment (CI soak jobs). Resolved before
+    // the fork so every child inherits the same plan through its memory
+    // snapshot.
+    let lossy = crate::fault::armed_frame_plan()
+        .or_else(|| crate::fault::frame_plan_from_env().map(Arc::new));
+
     let mut pids = Vec::with_capacity(nranks);
     for rank in 0..nranks {
         match unsafe { sys::fork() } {
-            0 => child_main(rank, nranks, threads_per_rank, watchdog, addr, &f),
+            0 => child_main(
+                rank,
+                nranks,
+                threads_per_rank,
+                watchdog,
+                heartbeat,
+                lossy.clone(),
+                addr,
+                &f,
+            ),
             pid if pid > 0 => pids.push(pid),
             _ => panic!("fork failed (rank {rank})"),
         }

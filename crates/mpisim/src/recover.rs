@@ -69,13 +69,11 @@ impl RetryPolicy {
     }
 
     /// The policy from the environment: `SA_MAX_RESTARTS` sets
-    /// `max_restarts` (unset / unparsable = 2), with a 10 ms base backoff.
-    /// `SA_MAX_RESTARTS=0` disables recovery.
+    /// `max_restarts` (unset = 2; unparsable = 2, **logged**, so a typo'd
+    /// knob never silently reverts to the default), with a 10 ms base
+    /// backoff. `SA_MAX_RESTARTS=0` disables recovery.
     pub fn from_env() -> RetryPolicy {
-        let max_restarts = std::env::var("SA_MAX_RESTARTS")
-            .ok()
-            .and_then(|raw| raw.trim().parse().ok())
-            .unwrap_or(2);
+        let max_restarts = parse_max_restarts(std::env::var("SA_MAX_RESTARTS").ok().as_deref());
         RetryPolicy::new(max_restarts, Duration::from_millis(10))
     }
 
@@ -94,6 +92,24 @@ impl RetryPolicy {
         self.backoff
             .saturating_mul(1u32.checked_shl(restart.min(20)).unwrap_or(u32::MAX))
             .min(self.max_backoff)
+    }
+}
+
+/// Parse an `SA_MAX_RESTARTS` value. Unset → the default (2); a value
+/// that does not parse as a `u32` also falls back, but *logs the rejected
+/// value* — separated from [`RetryPolicy::from_env`] so the rejection
+/// path is unit-testable without touching the process-global environment.
+fn parse_max_restarts(raw: Option<&str>) -> u32 {
+    const DEFAULT: u32 = 2;
+    match raw {
+        None => DEFAULT,
+        Some(raw) => raw.trim().parse().unwrap_or_else(|_| {
+            eprintln!(
+                "sa-mpisim: ignoring unparseable SA_MAX_RESTARTS={raw:?} (want a u32); \
+                 using default {DEFAULT}"
+            );
+            DEFAULT
+        }),
     }
 }
 
@@ -351,5 +367,18 @@ mod tests {
         let p = RetryPolicy::from_env();
         assert!(p.max_restarts <= 10_000, "default must be small: {p:?}");
         assert!(p.backoff <= p.max_backoff);
+    }
+
+    #[test]
+    fn max_restarts_parsing_accepts_and_rejects_explicitly() {
+        // The pure parser, so no process-global env mutation is needed.
+        assert_eq!(parse_max_restarts(None), 2);
+        assert_eq!(parse_max_restarts(Some("0")), 0);
+        assert_eq!(parse_max_restarts(Some(" 7 ")), 7);
+        // Rejections fall back to the default (and log — not asserted here).
+        assert_eq!(parse_max_restarts(Some("")), 2);
+        assert_eq!(parse_max_restarts(Some("three")), 2);
+        assert_eq!(parse_max_restarts(Some("-1")), 2);
+        assert_eq!(parse_max_restarts(Some("4294967296")), 2); // > u32::MAX
     }
 }

@@ -63,6 +63,7 @@ pub struct Universe {
     nranks: usize,
     threads_per_rank: usize,
     watchdog: Option<Duration>,
+    heartbeat: Option<Duration>,
 }
 
 impl Universe {
@@ -82,6 +83,7 @@ impl Universe {
             nranks,
             threads_per_rank,
             watchdog: watchdog_from_env(),
+            heartbeat: heartbeat_from_env(),
         }
     }
 
@@ -106,6 +108,25 @@ impl Universe {
     /// The configured watchdog deadline, if any.
     pub fn watchdog(&self) -> Option<Duration> {
         self.watchdog
+    }
+
+    /// Override the peer-liveness heartbeat deadline for the `procs`
+    /// backend: each rank sends a low-rate [`Frame::Heartbeat`](crate::Frame::Heartbeat) to every
+    /// peer, and a peer not heard from (any frame counts) for longer than
+    /// `deadline` is converted to a typed
+    /// [`CommError::PeerFailed`](crate::CommError::PeerFailed) — detecting
+    /// SIGKILLed or wedged peers in bounded time, well before the stall
+    /// watchdog. `None` disables it (the default). In-process backends
+    /// ignore it: their "peers" are threads whose death already poisons the
+    /// job synchronously.
+    pub fn with_heartbeat(mut self, deadline: Option<Duration>) -> Universe {
+        self.heartbeat = deadline;
+        self
+    }
+
+    /// The configured heartbeat deadline, if any.
+    pub fn heartbeat(&self) -> Option<Duration> {
+        self.heartbeat
     }
 
     /// Run `f` once per rank on the **serial simulator backend**
@@ -265,7 +286,13 @@ impl Universe {
         F: Fn(&ProcComm) -> R + Send + Sync,
         R: Wire + Send,
     {
-        crate::proc::launch_procs(self.nranks, self.threads_per_rank, self.watchdog, f)
+        crate::proc::launch_procs(
+            self.nranks,
+            self.threads_per_rank,
+            self.watchdog,
+            self.heartbeat,
+            f,
+        )
     }
 
     /// Run a backend-generic [`RankJob`] on the given [`Backend`] —
@@ -413,6 +440,29 @@ fn watchdog_from_env() -> Option<Duration> {
     let raw = std::env::var("SA_WATCHDOG_SECS").ok()?;
     let secs: f64 = raw.trim().parse().ok()?;
     (secs > 0.0).then(|| Duration::from_secs_f64(secs))
+}
+
+/// `SA_HEARTBEAT_SECS` from the environment: fractional seconds accepted,
+/// unset / `0` = off. Unlike the watchdog knob, an unparseable value is
+/// *logged* before falling back to off — a liveness deadline that was asked
+/// for but silently ignored would look exactly like a hung detector.
+fn heartbeat_from_env() -> Option<Duration> {
+    parse_heartbeat_secs(std::env::var("SA_HEARTBEAT_SECS").ok().as_deref())
+}
+
+fn parse_heartbeat_secs(raw: Option<&str>) -> Option<Duration> {
+    let raw = raw?;
+    match raw.trim().parse::<f64>() {
+        Ok(secs) if secs > 0.0 => Some(Duration::from_secs_f64(secs)),
+        Ok(_) => None, // explicit 0 (or negative) = off, as documented
+        Err(_) => {
+            eprintln!(
+                "[sa_mpisim] ignoring unparseable SA_HEARTBEAT_SECS={raw:?} \
+                 (want fractional seconds, e.g. 0.5); heartbeat monitoring off"
+            );
+            None
+        }
+    }
 }
 
 impl Shared {
@@ -783,6 +833,27 @@ mod tests {
             assert_eq!(u.watchdog(), Some(Duration::from_secs(7)));
         }
         assert_eq!(u.with_watchdog(None).watchdog(), None);
+    }
+
+    #[test]
+    fn heartbeat_secs_parsing_accepts_and_rejects_explicitly() {
+        // Parsing only — the env var is process-global, so exercise the
+        // pure parser; with_heartbeat covers the wiring.
+        assert_eq!(parse_heartbeat_secs(None), None);
+        assert_eq!(
+            parse_heartbeat_secs(Some("0.5")),
+            Some(Duration::from_millis(500))
+        );
+        assert_eq!(
+            parse_heartbeat_secs(Some(" 2 ")),
+            Some(Duration::from_secs(2))
+        );
+        assert_eq!(parse_heartbeat_secs(Some("0")), None, "0 disables");
+        assert_eq!(parse_heartbeat_secs(Some("-1")), None);
+        assert_eq!(parse_heartbeat_secs(Some("soon")), None, "logged, off");
+        let u = Universe::new(2).with_heartbeat(Some(Duration::from_millis(250)));
+        assert_eq!(u.heartbeat(), Some(Duration::from_millis(250)));
+        assert_eq!(u.with_heartbeat(None).heartbeat(), None);
     }
 
     #[test]

@@ -38,6 +38,39 @@ use std::time::Duration;
 /// prefix cannot ask the reader to allocate the address space.
 pub const MAX_FRAME: usize = 1 << 30;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) lookup table,
+/// built at compile time so the checksum stays dependency-free.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `bytes` — the checksum every [`Frame`] carries and the
+/// checkpoint header reuses. Standard check value:
+/// `crc32(b"123456789") == 0xCBF4_3926`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
 /// Why a decode failed. Decoding is total: corrupt or truncated input maps
 /// to one of these, never a panic or an unbounded allocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -51,6 +84,11 @@ pub enum WireError {
     BadTag { what: &'static str, tag: u64 },
     /// A frame length prefix above [`MAX_FRAME`].
     FrameTooLarge { len: usize },
+    /// A frame whose stored CRC-32 does not match the checksum of its
+    /// received bytes: the frame was damaged in flight (or at rest).
+    /// `expected` is the checksum the sender stored, `got` what the
+    /// receiver computed.
+    Corrupt { expected: u32, got: u32 },
 }
 
 impl std::fmt::Display for WireError {
@@ -63,6 +101,12 @@ impl std::fmt::Display for WireError {
             WireError::BadTag { what, tag } => write!(f, "bad {what} tag {tag}"),
             WireError::FrameTooLarge { len } => {
                 write!(f, "frame length {len} exceeds cap {MAX_FRAME}")
+            }
+            WireError::Corrupt { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:#010x}, got {got:#010x}"
+                )
             }
         }
     }
@@ -603,6 +647,16 @@ pub enum Frame {
     /// Child → parent: the rank's final [`RankOutcome`](crate::RankOutcome),
     /// pre-encoded (the result type is generic, so the frame carries bytes).
     Outcome { payload: Vec<u8> },
+    /// Periodic "I am alive" beacon on a mesh link; carries no payload.
+    /// Reader threads refresh the peer's last-seen clock on *every* frame,
+    /// heartbeats only guarantee the clock advances on an idle link.
+    Heartbeat,
+    /// Reliable-delivery envelope used when a lossy-transport fault plan is
+    /// armed: `inner` is a complete encoded frame (with its own CRC),
+    /// `seq` a per-link sequence number the receiver acks and dedups by.
+    Reliable { seq: u64, inner: Vec<u8> },
+    /// Receiver → sender acknowledgement of [`Frame::Reliable`] `seq`.
+    Ack { seq: u64 },
 }
 
 const K_HELLO: u8 = 1;
@@ -614,9 +668,14 @@ const K_GETRESP: u8 = 6;
 const K_ABORT: u8 = 7;
 const K_BYE: u8 = 8;
 const K_OUTCOME: u8 = 9;
+const K_HEARTBEAT: u8 = 10;
+const K_RELIABLE: u8 = 11;
+const K_ACK: u8 = 12;
 
 impl Frame {
-    /// Encode as `[kind][body]` (no length prefix).
+    /// Encode as `[kind][body][crc32 LE]` (no length prefix). The trailing
+    /// CRC-32 covers `[kind][body]`, so any in-flight bit flip — in the
+    /// tag, the body, or the checksum itself — is caught at decode.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
@@ -681,17 +740,44 @@ impl Frame {
                 out.push(K_OUTCOME);
                 payload.put(&mut out);
             }
+            Frame::Heartbeat => out.push(K_HEARTBEAT),
+            Frame::Reliable { seq, inner } => {
+                out.push(K_RELIABLE);
+                seq.put(&mut out);
+                inner.put(&mut out);
+            }
+            Frame::Ack { seq } => {
+                out.push(K_ACK);
+                seq.put(&mut out);
+            }
         }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
-    /// Decode a `[kind][body]` buffer produced by [`Frame::to_bytes`].
-    /// Total: truncated or corrupt input yields a typed error.
+    /// Decode a `[kind][body][crc32]` buffer produced by
+    /// [`Frame::to_bytes`]. Total: truncated or corrupt input yields a
+    /// typed error — a checksum mismatch is always
+    /// [`WireError::Corrupt`], never a silent wrong answer.
     pub fn from_bytes(bytes: &[u8]) -> Result<Frame, WireError> {
         if bytes.len() > MAX_FRAME {
             return Err(WireError::FrameTooLarge { len: bytes.len() });
         }
-        let mut buf = bytes;
+        // Minimum frame: 1 kind byte + 4 CRC bytes.
+        if bytes.len() < 5 {
+            return Err(WireError::Truncated {
+                needed: 5 - bytes.len(),
+                have: bytes.len(),
+            });
+        }
+        let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+        let expected = u32::from_le_bytes(crc_bytes.try_into().expect("sized split"));
+        let got = crc32(body);
+        if expected != got {
+            return Err(WireError::Corrupt { expected, got });
+        }
+        let mut buf = body;
         let kind = u8::get(&mut buf)?;
         let frame = match kind {
             K_HELLO => Frame::Hello {
@@ -731,6 +817,14 @@ impl Frame {
             K_BYE => Frame::Bye,
             K_OUTCOME => Frame::Outcome {
                 payload: Vec::<u8>::get(&mut buf)?,
+            },
+            K_HEARTBEAT => Frame::Heartbeat,
+            K_RELIABLE => Frame::Reliable {
+                seq: u64::get(&mut buf)?,
+                inner: Vec::<u8>::get(&mut buf)?,
+            },
+            K_ACK => Frame::Ack {
+                seq: u64::get(&mut buf)?,
             },
             t => {
                 return Err(WireError::BadTag {
@@ -922,6 +1016,12 @@ mod tests {
             Frame::Outcome {
                 payload: Ok::<u64, RankError>(5).to_bytes(),
             },
+            Frame::Heartbeat,
+            Frame::Reliable {
+                seq: 17,
+                inner: Frame::Bye.to_bytes(),
+            },
+            Frame::Ack { seq: 17 },
         ];
         for f in frames {
             let bytes = f.to_bytes();
@@ -933,16 +1033,57 @@ mod tests {
         }
     }
 
+    /// Append the CRC-32 suffix `Frame::to_bytes` would have stamped on a
+    /// hand-built `[kind][body]` buffer, so tests can exercise the decoder
+    /// past the checksum gate.
+    fn with_crc(body: &[u8]) -> Vec<u8> {
+        let mut out = body.to_vec();
+        out.extend_from_slice(&crc32(body).to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+
     #[test]
     fn unknown_frame_kind_is_typed() {
         assert!(matches!(
-            Frame::from_bytes(&[200, 1, 2, 3]),
+            Frame::from_bytes(&with_crc(&[200, 1, 2, 3])),
             Err(WireError::BadTag { what: "Frame", .. })
         ));
         assert!(matches!(
             Frame::from_bytes(&[]),
             Err(WireError::Truncated { .. })
         ));
+    }
+
+    #[test]
+    fn flipped_bits_are_always_corrupt() {
+        let bytes = Frame::Data {
+            comm_id: 1,
+            src: 0,
+            tag: 5,
+            metered: true,
+            meter_bytes: 24,
+            type_fp: 0x1234,
+            count: 3,
+            payload: vec![9, 8, 7],
+        }
+        .to_bytes();
+        for i in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[i] ^= 1 << bit;
+                assert!(
+                    matches!(Frame::from_bytes(&bad), Err(WireError::Corrupt { .. })),
+                    "flip byte {i} bit {bit} was not detected as corruption"
+                );
+            }
+        }
     }
 
     #[test]

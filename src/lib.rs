@@ -59,8 +59,8 @@ pub mod prelude {
     pub use sa_apps::{bc, galerkin, mcl, mis2, restriction, triangle};
     pub use sa_dist::{
         analyze_1d, spgemm_1d, spgemm_1d_ws, spgemm_auto, spgemm_split_3d_sa, spgemm_summa_2d_sa,
-        uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
-        DistMat3D, FetchMode, FileStore, MatSnapshot, MemStore, Plan1D, SessionSnapshot,
+        uniform_offsets, AlgoChoice, AutoTuner, CacheConfig, CheckpointStore, CkptError, DistMat1D,
+        DistMat2D, DistMat3D, FetchMode, FileStore, MatSnapshot, MemStore, Plan1D, SessionSnapshot,
         SessionStats, SpgemmReport, SpgemmSession,
     };
     pub use sa_mpisim::{

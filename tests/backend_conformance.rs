@@ -28,7 +28,8 @@ use saspgemm::dist::{
     CacheConfig, DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D, SpgemmSession,
 };
 use saspgemm::mpisim::{
-    Backend, Comm, CommStats, CostModel, Grid2D, Grid3D, RankJob, Universe, Window,
+    arm_frame_plan, Backend, Comm, CommStats, CostModel, FaultPlan, Grid2D, Grid3D, RankJob,
+    Universe, Window,
 };
 use saspgemm::sparse::gen::erdos_renyi;
 use saspgemm::sparse::semiring::MinPlus;
@@ -433,6 +434,33 @@ fn threads_backend_concurrency_smoke() {
             let expect: u64 = if r % 2 == 0 { 2 + 4 + 6 } else { 1 + 3 + 5 + 7 };
             assert_eq!(*sub_sum, expect, "round {round} rank {r}");
             assert_eq!(*n, 8);
+        }
+    }
+}
+
+#[test]
+fn procs_backend_conforms_under_seeded_frame_loss() {
+    // Hostile-network regression net (PR 9), pinned to the procs backend:
+    // with a seeded lossy plan armed — 5% of droppable frames dropped,
+    // CRC-corrupted, or duplicated — the pure-runtime churn cell must still
+    // conform bit-for-bit against the serial baseline. The per-frame
+    // ack/retransmit layer absorbs every injected fault; nothing above the
+    // transport may be able to tell the link was hostile.
+    let u = Universe::new(4).with_watchdog(Some(Duration::from_secs(120)));
+    let baseline = u.run_backend(Backend::Sim, &RuntimeChurn);
+    for (what, plan) in [
+        ("drop", FaultPlan::seeded_lossy(7, 50, 0, 0)),
+        ("corrupt", FaultPlan::seeded_lossy(7, 0, 50, 0)),
+        ("duplicate", FaultPlan::seeded_lossy(7, 0, 0, 50)),
+    ] {
+        let _armed = arm_frame_plan(&plan);
+        let got = u.run_backend(Backend::Procs, &RuntimeChurn);
+        assert_eq!(baseline.len(), got.len(), "lossy({what}): rank count");
+        for (rank, (base, g)) in baseline.iter().zip(&got).enumerate() {
+            assert_eq!(
+                base, g,
+                "lossy({what}): rank {rank} diverged under seeded frame loss"
+            );
         }
     }
 }

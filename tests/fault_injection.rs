@@ -44,14 +44,14 @@
 //! the seeded-replay sweeps to one seed for CI replay jobs.
 
 use saspgemm::dist::{
-    agreed_step, load_wire, save_wire, spgemm_1d, spgemm_auto, spgemm_split_3d_sa,
+    agreed_step, load_wire_or_fresh, save_wire, spgemm_1d, spgemm_auto, spgemm_split_3d_sa,
     spgemm_summa_2d_sa, uniform_offsets, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
     DistMat3D, FetchMode, FileStore, MemStore, Plan1D, SessionSnapshot, SpgemmSession,
 };
 use saspgemm::mpisim::{
-    kill_self_with_sigkill, Backend, Comm, CommError, CostModel, FaultComm, FaultPlan, Grid2D,
-    Grid3D, Mode, Primitive, RankError, RecoverableJob, RecoveryReport, RetryPolicy, Serial,
-    Threads, Universe,
+    arm_frame_plan, kill_self_with_sigkill, mute_heartbeats, Backend, Comm, CommError, CostModel,
+    FaultComm, FaultPlan, Grid2D, Grid3D, Mode, Primitive, RankError, RecoverableJob,
+    RecoveryReport, RetryPolicy, Serial, Threads, Universe,
 };
 use saspgemm::sparse::gen::erdos_renyi;
 use saspgemm::sparse::Csc;
@@ -550,7 +550,7 @@ fn recovery_workload<C: Comm>(
             let db = da.clone();
             let tag = "rec.session";
             let loaded: Option<(u64, Vec<String>, SessionSnapshot)> =
-                load_wire(store, me, tag).expect("readable checkpoint store");
+                load_wire_or_fresh(store, me, tag).expect("readable checkpoint store");
             let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
             let resume = step.and_then(|k| loaded.filter(|(lk, ..)| *lk == k));
             let mut session = SpgemmSession::create(
@@ -991,5 +991,235 @@ fn seeded_kill_then_recover_is_replayable() {
         );
         assert_eq!(r1, r2, "seed {seed}: recovery report not replayable");
         assert_eq!(o1, o2, "seed {seed}: recovered output not replayable");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile networks (PR 9): seeded frame-level loss under ProcComm's
+// ack/retransmit layer, missed-heartbeat liveness, and checkpoint-integrity
+// fallback — the transport may drop, corrupt, duplicate, or go silent, and
+// the job must still either complete bit-identically or fail typed.
+// ---------------------------------------------------------------------------
+
+/// Run `name` on the procs backend with a frame-level fault plan armed on
+/// the launching thread (forked children inherit it).
+fn lossy_run_procs(name: &'static str, plan: &FaultPlan) -> Vec<Result<String, RankError>> {
+    let _armed = arm_frame_plan(plan);
+    universe().try_run_procs(|comm| workload(name, comm))
+}
+
+/// Seeded frame drop / corrupt / duplicate plans (5% of data frames) on
+/// the procs backend: every run must complete with results and metered
+/// traffic bit-identical to the fault-free run — drops are retransmitted,
+/// duplicates deduped by sequence number, and corrupted frames detected by
+/// CRC (logged, then recovered exactly like a loss). Zero
+/// silent-wrong-answer outcomes across the matrix.
+#[test]
+fn seeded_lossy_transport_completes_bit_identical_procs() {
+    quiet_expected_panics();
+    for name in ["1d", "session"] {
+        let clean: Vec<String> = universe()
+            .try_run_procs(|comm| workload(name, comm))
+            .into_iter()
+            .enumerate()
+            .map(|(r, o)| o.unwrap_or_else(|e| panic!("{name}: clean rank {r} failed: {e:?}")))
+            .collect();
+        for seed in fault_seeds().into_iter().take(2) {
+            for (mode, plan) in [
+                ("drop", FaultPlan::seeded_lossy(seed, 50, 0, 0)),
+                ("corrupt", FaultPlan::seeded_lossy(seed, 0, 50, 0)),
+                ("duplicate", FaultPlan::seeded_lossy(seed, 0, 0, 50)),
+            ] {
+                let out = lossy_run_procs(name, &plan);
+                for (r, o) in out.iter().enumerate() {
+                    let got = o.as_ref().unwrap_or_else(|e| {
+                        panic!("{name}/{mode} seed {seed}: rank {r} failed: {e:?}")
+                    });
+                    assert_eq!(
+                        got, &clean[r],
+                        "{name}/{mode} seed {seed}: rank {r} diverged from the fault-free run"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Satellite: a `drop_frame_at` plan retransmits the *identical* frame
+/// sequence across two runs. The workload is pure send/recv (no windows,
+/// so each rank's droppable-frame order is deterministic), and the
+/// per-rank retransmit logs — (destination, sequence) pairs — must match
+/// run for run, with the dropped frames accounted for.
+#[test]
+fn dropped_frames_retransmit_identically_across_runs() {
+    quiet_expected_panics();
+    let plan = FaultPlan::drop_frame_at(0, 2).with_frame_fault(saspgemm::mpisim::FrameFaultRule {
+        rank: 1,
+        at_frame: 1,
+        fault: saspgemm::mpisim::FrameFault::Drop,
+    });
+    let run = || {
+        let _armed = arm_frame_plan(&plan);
+        universe().try_run_procs(|comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let mut acc = 0u64;
+            for round in 0..4u64 {
+                comm.send_vec(next, round, vec![comm.rank() as u64 * 100 + round]);
+                acc = acc.wrapping_mul(31) + comm.recv_vec::<u64>(prev, round)[0];
+            }
+            // The barrier orders the log read after every retransmission:
+            // a rank downstream of a dropped frame cannot reach the barrier
+            // until the resend lands, and the sweeper logs before writing.
+            comm.barrier();
+            let mut log = comm.retransmit_log();
+            log.sort_unstable();
+            (acc, log)
+        })
+    };
+    let first = run();
+    let second = run();
+    for (r, (a, b)) in first.iter().zip(&second).enumerate() {
+        let a = a.as_ref().unwrap_or_else(|e| panic!("rank {r}: {e:?}"));
+        let b = b.as_ref().unwrap_or_else(|e| panic!("rank {r}: {e:?}"));
+        assert_eq!(a.0, b.0, "rank {r}: results diverged across runs");
+        assert_eq!(
+            a.1, b.1,
+            "rank {r}: retransmitted frame sequence not replayable"
+        );
+    }
+    // the two dropped frames were really retransmitted, on the right ranks
+    let logs: Vec<_> = first.iter().map(|o| &o.as_ref().unwrap().1).collect();
+    assert!(!logs[0].is_empty(), "rank 0's dropped frame never resent");
+    assert!(!logs[1].is_empty(), "rank 1's dropped frame never resent");
+    assert!(
+        logs[2].is_empty() && logs[3].is_empty(),
+        "spurious retransmits"
+    );
+}
+
+/// Peer liveness: a wedged (not dead) peer stops heartbeating; under
+/// `SA_HEARTBEAT_SECS` semantics every survivor must fail typed
+/// `PeerFailed` naming it via missed heartbeats — long before the 60 s
+/// stall watchdog, which is exactly what distinguishes the two deadlines.
+#[test]
+fn wedged_peer_is_detected_by_missed_heartbeats_procs() {
+    quiet_expected_panics();
+    let started = std::time::Instant::now();
+    let out = Universe::new(NRANKS)
+        .with_watchdog(Some(Duration::from_secs(60)))
+        .with_heartbeat(Some(Duration::from_millis(250)))
+        .try_run_procs(|comm| {
+            comm.barrier();
+            if comm.rank() == VICTIM {
+                // model a wedge: the process lives but goes silent
+                mute_heartbeats();
+                std::thread::sleep(Duration::from_secs(3));
+            }
+            // park in a recv nobody serves: only liveness detection can
+            // terminate the job before the watchdog
+            let v: Vec<u64> = comm.recv_vec((comm.rank() + 1) % comm.size(), 999);
+            format!("{v:?}")
+        });
+    let elapsed = started.elapsed();
+    for (r, o) in out.iter().enumerate() {
+        match o {
+            Err(RankError::Comm(CommError::PeerFailed { rank, .. })) if r != VICTIM => {
+                assert_eq!(
+                    *rank, VICTIM,
+                    "rank {r} blamed rank {rank} instead of the silent peer"
+                );
+            }
+            Err(RankError::Comm(_)) if r == VICTIM => {}
+            other => panic!("rank {r}: expected typed heartbeat fallout, got {other:?}"),
+        }
+    }
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "liveness detection took {elapsed:?} — the watchdog must not be what fired"
+    );
+}
+
+/// Checkpoint integrity end to end: a SIGKILLed attempt leaves per-rank
+/// checkpoints behind; one rank's slot is then corrupted on disk. The
+/// resumed run must (a) detect the damage typed and quarantine the file,
+/// (b) collapse to a unanimous fresh start via `agreed_step` (the damaged
+/// rank reports "nothing durable", so nobody resumes ahead), and (c)
+/// produce output bit-identical to a fault-free run from an empty store.
+#[test]
+fn corrupt_checkpoint_slot_triggers_unanimous_fresh_start_procs() {
+    quiet_expected_panics();
+    let policy = RetryPolicy::no_restarts();
+    let watchdog = Duration::from_secs(60);
+
+    // fault-free reference from an empty store
+    let (dir_clean, store_clean) = fresh_file_store("ckptcorrupt_clean");
+    let (clean, clean_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &FaultPlan::none(),
+        &store_clean,
+        &policy,
+        watchdog,
+    );
+    assert!(clean_rep.recovered && clean_rep.restarts == 0);
+
+    // a killed attempt leaves mid-run checkpoints behind
+    let (dir, store) = fresh_file_store("ckptcorrupt");
+    let (_, dead_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &FaultPlan::kill_at(VICTIM, 18).on_attempt(0),
+        &store,
+        &policy,
+        watchdog,
+    );
+    assert!(!dead_rep.recovered, "the SIGKILL plan did not fire");
+
+    // corrupt exactly one rank's slot: flip a payload byte on disk
+    let slot = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|x| x == "ckpt"))
+        .expect("the killed attempt left no checkpoint to corrupt");
+    let mut raw = std::fs::read(&slot).expect("readable slot");
+    assert!(raw.len() > 28, "slot smaller than its header");
+    let last = raw.len() - 1;
+    raw[last] ^= 0x10;
+    std::fs::write(&slot, &raw).expect("rewrite slot");
+
+    // resume against the damaged store: unanimous fresh start, output
+    // identical to the fault-free run
+    let (resumed, resumed_rep) = recoverable_run(
+        Backend::Procs,
+        "mcl",
+        &FaultPlan::none(),
+        &store,
+        &policy,
+        watchdog,
+    );
+    assert!(
+        resumed_rep.recovered,
+        "fresh-start recovery failed: {resumed_rep:?}"
+    );
+    for (r, o) in resumed.iter().enumerate() {
+        let got = &o
+            .as_ref()
+            .unwrap_or_else(|e| panic!("rank {r} failed after fresh start: {e:?}"))
+            .0;
+        assert_eq!(
+            got,
+            &clean[r].as_ref().unwrap().0,
+            "rank {r}: fresh-start output diverged from the fault-free run"
+        );
+    }
+    // forensics: the damaged file was quarantined, not deleted or reused
+    let quarantined = std::fs::read_dir(&dir)
+        .expect("checkpoint dir")
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .any(|p| p.extension().is_some_and(|x| x == "quarantine"));
+    assert!(quarantined, "corrupt slot was not quarantined");
+    for d in [dir_clean, dir] {
+        let _ = std::fs::remove_dir_all(d);
     }
 }

@@ -6,7 +6,7 @@
 //! progress engine.
 
 use proptest::prelude::*;
-use saspgemm::mpisim::{CommError, CommStats, Frame, Primitive, RankError, Wire, WireError};
+use saspgemm::mpisim::{crc32, CommError, CommStats, Frame, Primitive, RankError, Wire, WireError};
 use std::time::Duration;
 
 /// One instance of every frame kind, parameterized by the generated
@@ -47,6 +47,22 @@ fn build_frames(a: u64, b: u64, port: u16, bytes: &[u8], flag: bool) -> Vec<Fram
         Frame::Outcome {
             payload: bytes.to_vec(),
         },
+        Frame::Heartbeat,
+        Frame::Reliable {
+            seq: a ^ b,
+            inner: (Frame::Data {
+                comm_id: a,
+                src: b % 64,
+                tag: b,
+                metered: flag,
+                meter_bytes: a % 4096,
+                type_fp: a ^ b,
+                count: bytes.len() as u64,
+                payload: bytes.to_vec(),
+            })
+            .to_bytes(),
+        },
+        Frame::Ack { seq: b },
     ]
 }
 
@@ -54,7 +70,7 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn every_frame_kind_round_trips(
+    fn every_frame_kind_round_trips_with_valid_checksum(
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         port in 0u64..65536,
@@ -65,6 +81,9 @@ proptest! {
             let enc = f.to_bytes();
             let back = Frame::from_bytes(&enc);
             prop_assert_eq!(back.as_ref().ok(), Some(&f));
+            // the trailing 4 bytes are the CRC32 of everything before them
+            let (body, crc) = enc.split_at(enc.len() - 4);
+            prop_assert_eq!(u32::from_le_bytes(crc.try_into().unwrap()), crc32(body));
         }
     }
 
@@ -91,7 +110,7 @@ proptest! {
     }
 
     #[test]
-    fn bit_flipped_frames_decode_typed_or_not_at_all(
+    fn bit_flipped_frames_are_always_typed_corrupt(
         a in 0u64..u64::MAX,
         b in 0u64..u64::MAX,
         port in 0u64..65536,
@@ -103,10 +122,17 @@ proptest! {
             let mut enc = f.to_bytes();
             let i = pos % enc.len();
             enc[i] ^= xor;
-            // a corrupted frame either decodes to some (different or
-            // coincidentally equal) valid frame or fails typed — the
-            // property under test is that this call always *returns*
-            let _ = Frame::from_bytes(&enc);
+            // any nonzero single-byte damage — header, payload, or the CRC
+            // suffix itself — must surface as Corrupt: never a panic, never
+            // a successful decode, never any other error shape
+            match Frame::from_bytes(&enc) {
+                Err(WireError::Corrupt { expected, got }) => prop_assert_ne!(expected, got),
+                other => prop_assert!(
+                    false,
+                    "byte {} ^ {:#04x} of {:?}: expected Corrupt, got {:?}",
+                    i, xor, f, other
+                ),
+            }
         }
     }
 
@@ -125,14 +151,19 @@ proptest! {
 
     #[test]
     fn hostile_length_claims_fail_fast_without_allocating(
-        kind in 2u8..7, // Table / Data / GetReq / GetResp carry lengths
+        kind in 2u8..8, // length-carrying kinds (7 stands in for 11 = Reliable)
         len in 0u64..u64::MAX,
     ) {
         // [kind][huge length]... with no matching body: must be a typed
-        // error, and must not try to reserve `len` elements first
+        // error, and must not try to reserve `len` elements first. The
+        // checksum is made valid so the decode *reaches* the length guard
+        // instead of bouncing off the CRC check.
+        let kind = if kind == 7 { 11 } else { kind };
         let mut enc = vec![kind];
         len.put(&mut enc);
         enc.extend_from_slice(&[0; 16]);
+        let crc = crc32(&enc);
+        enc.extend_from_slice(&crc.to_le_bytes());
         prop_assert!(Frame::from_bytes(&enc).is_err());
     }
 
@@ -198,8 +229,21 @@ proptest! {
         a in 0u64..u64::MAX,
         junk in 1usize..8,
     ) {
+        // junk appended after the CRC suffix: the stored checksum no longer
+        // covers the tail, so this now surfaces as Corrupt
         let mut enc = (Frame::Abort { victim: a }).to_bytes();
         enc.extend(std::iter::repeat_n(0xAB, junk));
+        match Frame::from_bytes(&enc) {
+            Err(WireError::Corrupt { .. }) => {}
+            other => return Err(format!("expected Corrupt, got {other:?}")),
+        }
+        // junk smuggled *inside* the checksummed region (CRC recomputed to
+        // match): passes integrity, still rejected as Malformed
+        let mut enc = (Frame::Abort { victim: a }).to_bytes();
+        enc.truncate(enc.len() - 4);
+        enc.extend(std::iter::repeat_n(0xAB, junk));
+        let crc = crc32(&enc);
+        enc.extend_from_slice(&crc.to_le_bytes());
         match Frame::from_bytes(&enc) {
             Err(WireError::Malformed { .. }) => {}
             other => return Err(format!("expected Malformed, got {other:?}")),
