@@ -23,7 +23,10 @@
 use crate::dist1d::DistMat1D;
 use crate::fetch::{exchange_meta, plan_fetch, FetchPlan, RankMeta, ENTRY_BYTES};
 use crate::shape::ShapeError;
-use sa_mpisim::{Breakdown, Comm, CommStats, PairedWindow, PhaseTimes, Wire, WireError};
+use sa_mpisim::{
+    Breakdown, Comm, CommStats, PairedWindow, PhaseTimes, PrefetchConfig, Prefetcher, Wire,
+    WireError,
+};
 use sa_sparse::semiring::PlusTimes;
 use sa_sparse::spgemm::{spgemm_with, Kernel, Schedule, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
@@ -408,7 +411,7 @@ pub fn spgemm_1d<C: Comm>(
     b: &DistMat1D,
     plan: &Plan1D,
 ) -> (DistMat1D, SpgemmReport) {
-    run_1d(comm, a, b, plan, false, &SpgemmWorkspace::new())
+    run_1d(comm, a, b, plan, None, &SpgemmWorkspace::new())
 }
 
 /// [`spgemm_1d`] with typed shape validation: non-conformal operands come
@@ -422,7 +425,7 @@ pub fn try_spgemm_1d<C: Comm>(
     plan: &Plan1D,
 ) -> Result<(DistMat1D, SpgemmReport), ShapeError> {
     check_conformal(a, b)?;
-    Ok(run_1d(comm, a, b, plan, false, &SpgemmWorkspace::new()))
+    Ok(run_1d(comm, a, b, plan, None, &SpgemmWorkspace::new()))
 }
 
 /// [`spgemm_1d`] with a caller-held [`SpgemmWorkspace`]: per-thread kernel
@@ -444,20 +447,43 @@ pub fn spgemm_1d_ws<C: Comm>(
     plan: &Plan1D,
     ws: &SpgemmWorkspace<f64>,
 ) -> (DistMat1D, SpgemmReport) {
-    run_1d(comm, a, b, plan, false, ws)
+    run_1d(comm, a, b, plan, None, ws)
 }
 
-/// [`spgemm_1d`] with communication/computation overlap: the local partial
-/// product `Ã_loc·B` runs on a helper thread while this thread drives the
-/// remote fetches, then the remote partial product is merged in. Identical
-/// traffic to [`spgemm_1d`]; the win is bounded by min(comm, local comp).
+/// [`spgemm_1d`] with communication/computation overlap: every planned get
+/// is issued (and metered) up front, then a [`Prefetcher`] streams the
+/// fetches behind the local partial product `Ã_loc·B`; the remote partial
+/// product is merged in at the rendezvous. Identical traffic to
+/// [`spgemm_1d`]; the win is bounded by min(comm, local comp). Honors
+/// `SA_PREFETCH_BYTES` as the per-stage in-flight budget; on backends
+/// without asynchronous gets the prefetcher degrades to in-order inline
+/// issue (same bytes, same order).
 pub fn spgemm_1d_overlap<C: Comm>(
     comm: &C,
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,
 ) -> (DistMat1D, SpgemmReport) {
-    run_1d(comm, a, b, plan, true, &SpgemmWorkspace::new())
+    let cfg = PrefetchConfig {
+        enabled: true,
+        ..PrefetchConfig::from_env()
+    };
+    run_1d(comm, a, b, plan, Some(cfg), &SpgemmWorkspace::new())
+}
+
+/// [`spgemm_1d_overlap`] with an explicit [`PrefetchConfig`] and a
+/// caller-held workspace: the staging buffers the fetched `Ã` lands in are
+/// borrowed from (and returned to) `ws`, so looped overlap multiplies
+/// allocate nothing on the fetch path once warm.
+pub fn spgemm_1d_overlap_ws<C: Comm>(
+    comm: &C,
+    a: &DistMat1D,
+    b: &DistMat1D,
+    plan: &Plan1D,
+    cfg: PrefetchConfig,
+    ws: &SpgemmWorkspace<f64>,
+) -> (DistMat1D, SpgemmReport) {
+    run_1d(comm, a, b, plan, Some(cfg), ws)
 }
 
 fn run_1d<C: Comm>(
@@ -465,7 +491,7 @@ fn run_1d<C: Comm>(
     a: &DistMat1D,
     b: &DistMat1D,
     plan: &Plan1D,
-    overlap: bool,
+    overlap: Option<PrefetchConfig>,
     ws: &SpgemmWorkspace<f64>,
 ) -> (DistMat1D, SpgemmReport) {
     assert_conformal(a, b);
@@ -483,14 +509,18 @@ fn run_1d<C: Comm>(
 
     let k = a.ncols();
     let nrows = a.nrows();
-    let (c_local, comm_s, comp_s, assemble_s) = if overlap {
-        // local partial product on a helper thread while we fetch; the
-        // overlap path keeps its own buffers (it is not the steady-state
-        // session path the workspace optimizes)
+    let (c_local, comm_s, comp_s, assemble_s) = if let Some(cfg) = overlap {
+        // Overlap path: every planned get is issued — validated and
+        // metered — up front on this thread, so the traffic counters
+        // cannot differ from the staged path below. The prefetcher then
+        // streams the transport half into arena staging buffers behind
+        // the local partial product `Ã_loc·B`; backends without
+        // asynchronous gets degrade to the same fetches, in the same
+        // plan order, inline after the local product.
         let t_asm = Instant::now();
         let local_only = {
-            let (mut jc, mut cp) = (Vec::new(), vec![0usize]);
-            let (mut ir, mut num) = (Vec::new(), Vec::new());
+            let mut buf = ws.take_chunk();
+            let mut cp = ws.take_idx();
             let empty = FetchPlan {
                 intervals: Vec::new(),
                 fetch_entries: 0,
@@ -504,57 +534,94 @@ fn run_1d<C: Comm>(
                 a.offsets(),
                 a.local(),
                 true,
-                &mut jc,
+                &mut buf.lens,
                 &mut cp,
-                &mut ir,
-                &mut num,
+                &mut buf.rows,
+                &mut buf.vals,
             );
-            Dcsc::from_parts(nrows, k, jc, cp, ir, num)
+            Dcsc::from_parts(nrows, k, buf.lens, cp, buf.rows, buf.vals)
         };
         let mut assemble = t_asm.elapsed().as_secs_f64();
-        let b_local = b.local();
+
+        let gets: Vec<_> = fplan
+            .intervals
+            .iter()
+            .map(|iv| {
+                win.start_get_both(
+                    comm,
+                    iv.owner,
+                    iv.entries.start as usize..iv.entries.end as usize,
+                )
+                .expect("fetch interval within exposed window")
+            })
+            .collect();
+        let sizes: Vec<u64> = gets.iter().map(|g| g.bytes()).collect();
+
+        // the chunk's rows/vals become the prefetch staging; its lens and
+        // an index buffer hold the remote jc/cp, built in the foreground
+        // (the metadata walk needs no fetched bytes)
+        let remote_buf = ws.take_chunk();
+        let mut remote_jc = remote_buf.lens;
+        let mut remote_cp = ws.take_idx();
+        remote_cp.push(0);
+        let mut staging = (remote_buf.rows, remote_buf.vals, 0.0f64);
+
         let kernel = plan.kernel;
         let schedule = plan.schedule;
-        let pool = comm.pool();
-        let mut remote_jc: Vec<Vidx> = Vec::new();
-        let mut remote_cp: Vec<usize> = vec![0];
-        let mut remote_ir: Vec<Vidx> = Vec::new();
-        let mut remote_num: Vec<f64> = Vec::new();
-        let mut fetch_s = 0.0f64;
-        let mut remote_asm_s = 0.0f64;
-        let (c_loc, t_loc) = std::thread::scope(|scope| {
-            let handle = scope.spawn(|| {
+        let mut pf = Prefetcher::new(comm, cfg);
+        let (c_loc, t_loc, meta_s) = pf.stage(
+            &sizes,
+            &mut staging,
+            |range, st: &mut (Vec<Vidx>, Vec<f64>, f64)| {
                 let t0 = Instant::now();
-                let c = pool.install(|| {
-                    spgemm_with::<PlusTimes<f64>, _, _>(&local_only, b_local, kernel, schedule, ws)
+                for g in &gets[range] {
+                    g.fetch_into(&mut st.0, &mut st.1);
+                }
+                st.2 += t0.elapsed().as_secs_f64();
+            },
+            || {
+                let t0 = Instant::now();
+                for iv in &fplan.intervals {
+                    let base = a.offsets()[iv.owner];
+                    let meta = &metas[iv.owner];
+                    for q in iv.pos.clone() {
+                        remote_jc.push(vidx(base + meta.jc[q] as usize));
+                        remote_cp.push(remote_cp.last().unwrap() + meta.col_entries(q) as usize);
+                    }
+                }
+                let meta_s = t0.elapsed().as_secs_f64();
+                let t0 = Instant::now();
+                let c = comm.install(|| {
+                    spgemm_with::<PlusTimes<f64>, _, _>(
+                        &local_only,
+                        b.local(),
+                        kernel,
+                        schedule,
+                        ws,
+                    )
                 });
-                (c, t0.elapsed().as_secs_f64())
-            });
-            let t0 = Instant::now();
-            fetch_s = assemble_atilde(
-                comm,
-                &win,
-                &fplan,
-                &metas,
-                a.offsets(),
-                a.local(),
-                false,
-                &mut remote_jc,
-                &mut remote_cp,
-                &mut remote_ir,
-                &mut remote_num,
-            );
-            remote_asm_s = (t0.elapsed().as_secs_f64() - fetch_s).max(0.0);
-            handle.join().expect("local partial product")
-        });
-        assemble += remote_asm_s;
+                (c, t0.elapsed().as_secs_f64(), meta_s)
+            },
+        );
+        let (remote_ir, remote_num, fetch_s) = staging;
+        assemble += meta_s;
         let remote = Dcsc::from_parts(nrows, k, remote_jc, remote_cp, remote_ir, remote_num);
         let t0 = Instant::now();
         let c_rem = comm.install(|| {
-            spgemm_with::<PlusTimes<f64>, _, _>(&remote, b_local, kernel, schedule, ws)
+            spgemm_with::<PlusTimes<f64>, _, _>(&remote, b.local(), kernel, schedule, ws)
         });
         let merged = sa_sparse::ewise::ewise_add::<PlusTimes<f64>>(&c_loc, &c_rem);
         let comp = t_loc + t0.elapsed().as_secs_f64();
+        // hand both Ã halves' buffers back to the arena
+        for half in [remote, local_only] {
+            let (jc, cp, ir, num) = half.into_parts();
+            ws.put_chunk(sa_sparse::spgemm::ChunkBuf {
+                lens: jc,
+                rows: ir,
+                vals: num,
+            });
+            ws.put_idx(cp);
+        }
         (merged, fetch_s, comp, assemble)
     } else {
         // Ã assembly into workspace buffers (a ChunkBuf supplies the

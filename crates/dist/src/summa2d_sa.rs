@@ -36,9 +36,12 @@
 
 use crate::fetch::{exchange_meta, pack_support, plan_fetch, support_bit};
 use crate::shape::ShapeError;
-use crate::spgemm1d::{assemble_atilde, FetchMode};
+use crate::spgemm1d::FetchMode;
 use crate::summa2d::DistMat2D;
-use sa_mpisim::{Breakdown, Comm, CommStats, Grid2D, PairedWindow, PhaseTimes};
+use sa_mpisim::{
+    Breakdown, Comm, CommStats, Grid2D, PairedGet, PairedWindow, PhaseTimes, PrefetchConfig,
+    Prefetcher,
+};
 use sa_sparse::semiring::{PlusTimes, Semiring};
 use sa_sparse::spgemm::{spgemm_with, ChunkBuf, Kernel, Schedule, SpgemmWorkspace};
 use sa_sparse::types::{vidx, Vidx};
@@ -48,6 +51,15 @@ use std::time::Instant;
 /// One owner's filtered B sub-block as it crosses the wire:
 /// `(jc, per-column lengths, rows, values)`.
 type BPart = (Vec<Vidx>, Vec<u32>, Vec<Vidx>, Vec<f64>);
+
+/// One segment of the staged `Ã` entry buffers, in assembly order: either
+/// an issued (already metered) remote interval get, or the local block's
+/// splice point. Walking the segments in order reproduces byte-for-byte
+/// the layout the sequential `assemble_atilde` loop produces.
+enum ASeg {
+    Local,
+    Get(PairedGet<Vidx, f64>),
+}
 /// Borrowed view of one B̃ merge source: the same four arrays plus the
 /// owner's global row base.
 type BSrc<'a> = (&'a [Vidx], &'a [u32], &'a [Vidx], &'a [f64], usize);
@@ -132,13 +144,37 @@ fn check_shapes<C: Comm>(grid: &Grid2D<C>, a: &DistMat2D, b: &DistMat2D) -> Resu
 /// [`spgemm_summa_2d_sa`] generic over the semiring, with a caller-held
 /// [`SpgemmWorkspace`]: the `Ã`/`B̃` assembly buffers and all kernel
 /// scratch are borrowed from `ws`, so iterative drivers reach a
-/// zero-allocation steady state on the compute path.
+/// zero-allocation steady state on the compute path. Overlap follows the
+/// `SA_PREFETCH` environment knob (off by default); the result and the
+/// traffic counters are byte-identical either way.
 pub fn spgemm_summa_2d_sa_ws<C: Comm, S: Semiring<T = f64>>(
     comm: &C,
     grid: &Grid2D<C>,
     a: &DistMat2D,
     b: &DistMat2D,
     mode: FetchMode,
+    ws: &SpgemmWorkspace<f64>,
+) -> (DistMat2D, SaSummaReport) {
+    spgemm_summa_2d_sa_ws_cfg::<C, S>(comm, grid, a, b, mode, PrefetchConfig::from_env(), ws)
+}
+
+/// [`spgemm_summa_2d_sa_ws`] with an explicit [`PrefetchConfig`].
+///
+/// The A-side gets are *issued* — validated and metered — up front on the
+/// calling thread in assembly order; a [`Prefetcher`] then either streams
+/// their transport half on a background thread while the B request/ship
+/// exchange and the `Ã`/`B̃` metadata walks run in the foreground
+/// (`cfg.enabled` on an overlap-capable backend), or performs the same
+/// fetches inline afterwards in the same order. Both interleavings write
+/// the same bytes to the same places, so `C`, the report counters, and the
+/// per-rank [`CommStats`] are identical with overlap on or off.
+pub fn spgemm_summa_2d_sa_ws_cfg<C: Comm, S: Semiring<T = f64>>(
+    comm: &C,
+    grid: &Grid2D<C>,
+    a: &DistMat2D,
+    b: &DistMat2D,
+    mode: FetchMode,
+    cfg: PrefetchConfig,
     ws: &SpgemmWorkspace<f64>,
 ) -> (DistMat2D, SaSummaReport) {
     if let Err(e) = check_shapes(grid, a, b) {
@@ -174,145 +210,229 @@ pub fn spgemm_summa_2d_sa_ws<C: Comm, S: Semiring<T = f64>>(
     let meta_delta = comm.stats() - stats0;
     let symbolic_s = t_sym.elapsed().as_secs_f64();
 
-    // --- B exchange: request exactly the columns that intersect my A
-    // support; owners ship the filtered sub-blocks ---
-    let t_b = Instant::now();
-    // column support of my whole block row of A, as a global inner bitmap
-    let mut a_support = vec![false; a.ncols()];
-    for (s, meta) in metas.iter().enumerate() {
-        let base = a.col_offsets()[s];
-        for &k in &meta.jc {
-            a_support[base + k as usize] = true;
-        }
-    }
-    let col = &grid.col_comm; // my rank within it is `grid.myrow`
-    let me_r = grid.myrow;
-    let pr = grid.pr;
-    let mut b_request_bytes = 0u64;
-    for t in 0..pr {
-        if t == me_r {
-            continue;
-        }
-        let (lo, hi) = (b.row_offsets()[t], b.row_offsets()[t + 1]);
-        let req = pack_support((lo..hi).map(|r| a_support[r]), hi - lo);
-        b_request_bytes += req.len() as u64 * 8;
-        col.send_vec(t, TAG_B_REQ, req);
-    }
-    // serve: ship only the entries whose row is in the requester's support
-    // (the owner-side half of the symbolic test — receivers only know my
-    // column ids, not my row ids); a column drops out entirely when none
-    // of its rows survive
-    let mut b_served_bytes = 0u64;
-    for i in 0..pr {
-        if i == me_r {
-            continue;
-        }
-        let req = col.recv_vec::<u64>(i, TAG_B_REQ);
-        let (mut jc, mut lens) = (Vec::new(), Vec::new());
-        let (mut rows, mut vals) = (Vec::new(), Vec::new());
-        for (c, rs, vs) in b_loc.iter_cols() {
-            let before = rows.len();
-            for (&r, &v) in rs.iter().zip(vs) {
-                if support_bit(&req, r as usize) {
-                    rows.push(r);
-                    vals.push(v);
+    // --- issue the A-side gets: validation and metering happen here, on
+    // the calling thread, before any byte moves — the prefetcher's two
+    // interleavings below cannot differ in what they meter ---
+    let mut segs: Vec<ASeg> = Vec::with_capacity(fplan.intervals.len() + 1);
+    {
+        let mut iv_iter = fplan.intervals.iter().peekable();
+        for owner in 0..grid.pc {
+            if owner == grid.mycol {
+                segs.push(ASeg::Local);
+            }
+            while let Some(iv) = iv_iter.peek() {
+                if iv.owner != owner {
+                    break;
                 }
-            }
-            if rows.len() > before {
-                jc.push(c);
-                lens.push((rows.len() - before) as u32);
+                let iv = iv_iter.next().unwrap();
+                segs.push(ASeg::Get(
+                    win.start_get_both(
+                        &grid.row_comm,
+                        owner,
+                        iv.entries.start as usize..iv.entries.end as usize,
+                    )
+                    .expect("fetch interval within exposed window"),
+                ));
             }
         }
-        b_served_bytes += (jc.len() + lens.len() + rows.len()) as u64 * 4 + vals.len() as u64 * 8;
-        col.send_vec(i, TAG_B_SHIP, jc);
-        col.send_vec(i, TAG_B_SHIP, lens);
-        col.send_vec(i, TAG_B_SHIP, rows);
-        col.send_vec(i, TAG_B_SHIP, vals);
     }
-    // collect the filtered sub-blocks, keyed by owner row
-    let mut b_parts: Vec<Option<BPart>> = (0..pr).map(|_| None).collect();
-    let mut b_shipped_bytes = 0u64;
-    for (t, part) in b_parts.iter_mut().enumerate() {
-        if t == me_r {
-            continue;
-        }
-        let jc = col.recv_vec::<Vidx>(t, TAG_B_SHIP);
-        let lens = col.recv_vec::<u32>(t, TAG_B_SHIP);
-        let rows = col.recv_vec::<Vidx>(t, TAG_B_SHIP);
-        let vals = col.recv_vec::<f64>(t, TAG_B_SHIP);
-        b_shipped_bytes += (jc.len() + lens.len() + rows.len()) as u64 * 4 + vals.len() as u64 * 8;
-        *part = Some((jc, lens, rows, vals));
-    }
-    let b_exchange_s = t_b.elapsed().as_secs_f64();
-
-    // --- assemble Ã: my block row of A, needed columns, global inner ids ---
-    let t_asm = Instant::now();
-    let mut abuf = ws.take_chunk();
-    let mut acp = ws.take_idx();
-    let fetch_s = assemble_atilde(
-        &grid.row_comm,
-        &win,
-        &fplan,
-        &metas,
-        a.col_offsets(),
-        &a_loc,
-        true,
-        &mut abuf.lens,
-        &mut acp,
-        &mut abuf.rows,
-        &mut abuf.vals,
-    );
-    let block_h = a.row_offsets()[grid.myrow + 1] - a.row_offsets()[grid.myrow];
-    let atilde = Dcsc::from_parts(block_h, a.ncols(), abuf.lens, acp, abuf.rows, abuf.vals);
-
-    // --- assemble B̃: my block column of B, filtered rows, owners stacked
-    // in row order so each column's global rows come out ascending ---
-    let mut bbuf = ws.take_chunk();
-    let mut bcp = ws.take_idx();
-    bcp.push(0);
-    let local_lens: Vec<u32> = (0..b_loc.nzc())
-        .map(|q| (b_loc.cp()[q + 1] - b_loc.cp()[q]) as u32)
+    let sizes: Vec<u64> = segs
+        .iter()
+        .map(|s| match s {
+            ASeg::Local => 0,
+            ASeg::Get(g) => g.bytes(),
+        })
         .collect();
-    let mut srcs: Vec<BSrc<'_>> = Vec::with_capacity(pr);
-    for (t, part) in b_parts.iter().enumerate() {
-        let base = b.row_offsets()[t];
-        if t == me_r {
-            srcs.push((b_loc.jc(), &local_lens, b_loc.ir(), b_loc.num(), base));
-        } else {
-            let (jc, lens, rows, vals) = part.as_ref().expect("shipped part");
-            srcs.push((jc, lens, rows, vals, base));
-        }
-    }
-    let mut cur = vec![(0usize, 0usize); pr]; // (column pos, entry offset)
-    loop {
-        let mut next: Option<Vidx> = None;
-        for (t, (jc, ..)) in srcs.iter().enumerate() {
-            if cur[t].0 < jc.len() {
-                let c = jc[cur[t].0];
-                next = Some(match next {
-                    Some(n) => n.min(c),
-                    None => c,
-                });
-            }
-        }
-        let Some(cnext) = next else { break };
-        for (t, (jc, lens, rows, vals, base)) in srcs.iter().enumerate() {
-            let (q, e) = cur[t];
-            if q < jc.len() && jc[q] == cnext {
-                let len = lens[q] as usize;
-                for &r in &rows[e..e + len] {
-                    bbuf.rows.push(vidx(*base + r as usize));
+    let abuf = ws.take_chunk();
+    let mut a_jc = abuf.lens;
+    let mut acp = ws.take_idx();
+    acp.push(0);
+    // rows/vals are the prefetch staging; jc/cp are built comm-free in the
+    // foreground from the replicated metadata
+    let mut staging = (abuf.rows, abuf.vals, 0.0f64);
+
+    let mut pf = Prefetcher::new(comm, cfg);
+    let (b_legs, btilde, assemble_s) = pf.stage(
+        &sizes,
+        &mut staging,
+        |range, st: &mut (Vec<Vidx>, Vec<f64>, f64)| {
+            let t0 = Instant::now();
+            for seg in &segs[range] {
+                match seg {
+                    ASeg::Local => {
+                        st.0.extend_from_slice(a_loc.ir());
+                        st.1.extend_from_slice(a_loc.num());
+                    }
+                    ASeg::Get(g) => g.fetch_into(&mut st.0, &mut st.1),
                 }
-                bbuf.vals.extend_from_slice(&vals[e..e + len]);
-                cur[t] = (q + 1, e + len);
             }
-        }
-        bbuf.lens.push(cnext);
-        bcp.push(bbuf.rows.len());
-    }
-    let block_w = b.col_offsets()[grid.mycol + 1] - b.col_offsets()[grid.mycol];
-    let btilde = Dcsc::from_parts(b.nrows(), block_w, bbuf.lens, bcp, bbuf.rows, bbuf.vals);
-    let assemble_s = (t_asm.elapsed().as_secs_f64() - fetch_s).max(0.0);
+            st.2 += t0.elapsed().as_secs_f64();
+        },
+        || {
+            // --- B exchange: request exactly the columns that intersect my
+            // A support; owners ship the filtered sub-blocks ---
+            let t_b = Instant::now();
+            // column support of my whole block row of A, as a global inner
+            // bitmap
+            let mut a_support = vec![false; a.ncols()];
+            for (s, meta) in metas.iter().enumerate() {
+                let base = a.col_offsets()[s];
+                for &k in &meta.jc {
+                    a_support[base + k as usize] = true;
+                }
+            }
+            let col = &grid.col_comm; // my rank within it is `grid.myrow`
+            let me_r = grid.myrow;
+            let pr = grid.pr;
+            let mut b_request_bytes = 0u64;
+            for t in 0..pr {
+                if t == me_r {
+                    continue;
+                }
+                let (lo, hi) = (b.row_offsets()[t], b.row_offsets()[t + 1]);
+                let req = pack_support((lo..hi).map(|r| a_support[r]), hi - lo);
+                b_request_bytes += req.len() as u64 * 8;
+                col.send_vec(t, TAG_B_REQ, req);
+            }
+            // serve: ship only the entries whose row is in the requester's
+            // support (the owner-side half of the symbolic test — receivers
+            // only know my column ids, not my row ids); a column drops out
+            // entirely when none of its rows survive
+            let mut b_served_bytes = 0u64;
+            for i in 0..pr {
+                if i == me_r {
+                    continue;
+                }
+                let req = col.recv_vec::<u64>(i, TAG_B_REQ);
+                let (mut jc, mut lens) = (Vec::new(), Vec::new());
+                let (mut rows, mut vals) = (Vec::new(), Vec::new());
+                for (c, rs, vs) in b_loc.iter_cols() {
+                    let before = rows.len();
+                    for (&r, &v) in rs.iter().zip(vs) {
+                        if support_bit(&req, r as usize) {
+                            rows.push(r);
+                            vals.push(v);
+                        }
+                    }
+                    if rows.len() > before {
+                        jc.push(c);
+                        lens.push((rows.len() - before) as u32);
+                    }
+                }
+                b_served_bytes +=
+                    (jc.len() + lens.len() + rows.len()) as u64 * 4 + vals.len() as u64 * 8;
+                col.send_vec(i, TAG_B_SHIP, jc);
+                col.send_vec(i, TAG_B_SHIP, lens);
+                col.send_vec(i, TAG_B_SHIP, rows);
+                col.send_vec(i, TAG_B_SHIP, vals);
+            }
+            // collect the filtered sub-blocks, keyed by owner row
+            let mut b_parts: Vec<Option<BPart>> = (0..pr).map(|_| None).collect();
+            let mut b_shipped_bytes = 0u64;
+            for (t, part) in b_parts.iter_mut().enumerate() {
+                if t == me_r {
+                    continue;
+                }
+                let jc = col.recv_vec::<Vidx>(t, TAG_B_SHIP);
+                let lens = col.recv_vec::<u32>(t, TAG_B_SHIP);
+                let rows = col.recv_vec::<Vidx>(t, TAG_B_SHIP);
+                let vals = col.recv_vec::<f64>(t, TAG_B_SHIP);
+                b_shipped_bytes +=
+                    (jc.len() + lens.len() + rows.len()) as u64 * 4 + vals.len() as u64 * 8;
+                *part = Some((jc, lens, rows, vals));
+            }
+            let b_exchange_s = t_b.elapsed().as_secs_f64();
+
+            // --- Ã metadata: the jc/cp walk needs only the replicated
+            // metadata, never the fetched bytes — same segment order as the
+            // entry staging above ---
+            let t_asm = Instant::now();
+            let mut iv_iter = fplan.intervals.iter().peekable();
+            for (owner, meta) in metas.iter().enumerate() {
+                let base = a.col_offsets()[owner];
+                if owner == grid.mycol {
+                    for q in 0..a_loc.nzc() {
+                        a_jc.push(vidx(base + a_loc.jc()[q] as usize));
+                        acp.push(acp.last().unwrap() + (a_loc.cp()[q + 1] - a_loc.cp()[q]));
+                    }
+                }
+                while let Some(iv) = iv_iter.peek() {
+                    if iv.owner != owner {
+                        break;
+                    }
+                    let iv = iv_iter.next().unwrap();
+                    for q in iv.pos.clone() {
+                        a_jc.push(vidx(base + meta.jc[q] as usize));
+                        acp.push(acp.last().unwrap() + meta.col_entries(q) as usize);
+                    }
+                }
+            }
+
+            // --- assemble B̃: my block column of B, filtered rows, owners
+            // stacked in row order so each column's global rows come out
+            // ascending ---
+            let mut bbuf = ws.take_chunk();
+            let mut bcp = ws.take_idx();
+            bcp.push(0);
+            let local_lens: Vec<u32> = (0..b_loc.nzc())
+                .map(|q| (b_loc.cp()[q + 1] - b_loc.cp()[q]) as u32)
+                .collect();
+            let mut srcs: Vec<BSrc<'_>> = Vec::with_capacity(pr);
+            for (t, part) in b_parts.iter().enumerate() {
+                let base = b.row_offsets()[t];
+                if t == me_r {
+                    srcs.push((b_loc.jc(), &local_lens, b_loc.ir(), b_loc.num(), base));
+                } else {
+                    let (jc, lens, rows, vals) = part.as_ref().expect("shipped part");
+                    srcs.push((jc, lens, rows, vals, base));
+                }
+            }
+            let mut cur = vec![(0usize, 0usize); pr]; // (column pos, entry offset)
+            loop {
+                let mut next: Option<Vidx> = None;
+                for (t, (jc, ..)) in srcs.iter().enumerate() {
+                    if cur[t].0 < jc.len() {
+                        let c = jc[cur[t].0];
+                        next = Some(match next {
+                            Some(n) => n.min(c),
+                            None => c,
+                        });
+                    }
+                }
+                let Some(cnext) = next else { break };
+                for (t, (jc, lens, rows, vals, base)) in srcs.iter().enumerate() {
+                    let (q, e) = cur[t];
+                    if q < jc.len() && jc[q] == cnext {
+                        let len = lens[q] as usize;
+                        for &r in &rows[e..e + len] {
+                            bbuf.rows.push(vidx(*base + r as usize));
+                        }
+                        bbuf.vals.extend_from_slice(&vals[e..e + len]);
+                        cur[t] = (q + 1, e + len);
+                    }
+                }
+                bbuf.lens.push(cnext);
+                bcp.push(bbuf.rows.len());
+            }
+            let block_w = b.col_offsets()[grid.mycol + 1] - b.col_offsets()[grid.mycol];
+            let btilde = Dcsc::from_parts(b.nrows(), block_w, bbuf.lens, bcp, bbuf.rows, bbuf.vals);
+            let assemble_s = t_asm.elapsed().as_secs_f64();
+            (
+                (
+                    b_request_bytes,
+                    b_shipped_bytes,
+                    b_served_bytes,
+                    b_exchange_s,
+                ),
+                btilde,
+                assemble_s,
+            )
+        },
+    );
+    let (b_request_bytes, b_shipped_bytes, b_served_bytes, b_exchange_s) = b_legs;
+    let (a_rows, a_vals, fetch_s) = staging;
+    let block_h = a.row_offsets()[grid.myrow + 1] - a.row_offsets()[grid.myrow];
+    let atilde = Dcsc::from_parts(block_h, a.ncols(), a_jc, acp, a_rows, a_vals);
 
     // --- fused multiply: C_ij = Ã · B̃ over the full inner dimension ---
     let t_comp = Instant::now();

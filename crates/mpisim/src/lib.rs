@@ -57,6 +57,7 @@ mod error;
 mod fault;
 mod grid;
 mod p2p;
+mod prefetch;
 mod proc;
 mod recover;
 mod scheduler;
@@ -75,6 +76,7 @@ pub use fault::{
     FramePlanGuard, LossyRule,
 };
 pub use grid::{valid_layer_counts, Grid2D, Grid3D};
+pub use prefetch::{PrefetchConfig, PrefetchMeter, Prefetcher};
 pub use proc::{kill_self_with_sigkill, mute_heartbeats, ProcComm};
 pub use recover::{AttemptFailure, RecoverableJob, RecoveryReport, RetryPolicy};
 pub use scheduler::rank_active_seconds;
@@ -82,6 +84,7 @@ pub use stats::CommStats;
 pub use timer::{Breakdown, Phase, PhaseTimes, Timer};
 pub use universe::{RankJob, Universe};
 pub use window::{
-    Exposure, PairedWindow, PartSpec, RemoteWindow, WinElem, Window, WindowError, WindowSpec,
+    Exposure, PairedGet, PairedWindow, PartSpec, RemoteWindow, WinElem, Window, WindowError,
+    WindowSpec,
 };
 pub use wire::{crc32, Frame, Wire, WireError, MAX_FRAME};

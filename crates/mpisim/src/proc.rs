@@ -1192,6 +1192,14 @@ impl Comm for ProcComm {
         self.stats.record_get(bytes);
     }
 
+    fn overlap_capable(&self) -> bool {
+        // GetReq/GetResp round-trips are genuinely asynchronous socket
+        // traffic; ProcRemoteWindow::get_bytes only touches internally
+        // locked node state and parks under the parallel scheduler, so a
+        // helper thread can drive fetches while the rank thread computes.
+        true
+    }
+
     fn expose(&self, spec: WindowSpec) -> Exposure {
         self.node.sched.check_healthy(Primitive::Exchange);
         // Register the deposit with the local progress engine first, so a

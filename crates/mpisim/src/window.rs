@@ -479,10 +479,139 @@ impl<T: WinElem, U: WinElem> PairedWindow<T, U> {
     }
 }
 
+impl<T: WinElem, U: WinElem> PairedWindow<T, U> {
+    /// Issue a paired get without moving data yet: validate and **meter
+    /// now**, on the calling thread, exactly as [`get_both_into`]
+    /// (two RDMA messages for a remote target, nothing for a local one),
+    /// and return a [`PairedGet`] whose [`fetch_into`](PairedGet::fetch_into)
+    /// performs the pure data movement.
+    ///
+    /// This is the issue/rendezvous split the
+    /// [`Prefetcher`](crate::Prefetcher) builds on: a consumer issues its
+    /// whole fetch plan up front (so per-rank [`CommStats`](crate::CommStats)
+    /// are byte-identical to a sequential fetch loop, and no range can be
+    /// metered twice), then lets background and demand paths move the
+    /// bytes in whatever order overlap dictates. The handle is `Send +
+    /// Sync` — it holds only the target's shared buffer or the byte-fetch
+    /// transport, never the `Comm`.
+    ///
+    /// [`get_both_into`]: PairedWindow::get_both_into
+    pub fn start_get_both<C: Comm>(
+        &self,
+        comm: &C,
+        rank: usize,
+        range: Range<usize>,
+    ) -> Result<PairedGet<T, U>, WindowError> {
+        if rank >= self.nranks() {
+            return Err(WindowError::BadRank {
+                rank,
+                size: self.nranks(),
+            });
+        }
+        if range.end > self.len_of(rank) {
+            return Err(WindowError::OutOfRange {
+                rank,
+                requested_end: range.end,
+                exposed_len: self.len_of(rank),
+            });
+        }
+        if rank != comm.rank() {
+            comm.record_get((range.end - range.start) * std::mem::size_of::<T>());
+            comm.record_get((range.end - range.start) * std::mem::size_of::<U>());
+        }
+        let src = match &self.inner {
+            PairedInner::Shared { bufs } => GetSrc::Local(bufs[rank].clone()),
+            PairedInner::Remote {
+                me,
+                local,
+                transport,
+                ..
+            } => {
+                if rank == *me {
+                    GetSrc::Local(local.clone())
+                } else {
+                    GetSrc::Transport(transport.clone())
+                }
+            }
+        };
+        Ok(PairedGet { rank, range, src })
+    }
+}
+
 impl<T, U> Clone for PairedWindow<T, U> {
     fn clone(&self) -> Self {
         PairedWindow {
             inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Where a [`PairedGet`] reads from: the target's shared buffer pair
+/// (in-process, or the issuing rank's own deposit) or the cross-process
+/// byte-fetch transport.
+enum GetSrc<T, U> {
+    Local(Arc<(Vec<T>, Vec<U>)>),
+    Transport(Arc<dyn RemoteWindow>),
+}
+
+/// An issued-but-not-yet-moved paired get (see
+/// [`PairedWindow::start_get_both`]). Metering already happened at issue
+/// time; [`fetch_into`](PairedGet::fetch_into) is pure data movement and
+/// may run on a background thread.
+pub struct PairedGet<T, U> {
+    rank: usize,
+    range: Range<usize>,
+    src: GetSrc<T, U>,
+}
+
+impl<T, U> std::fmt::Debug for PairedGet<T, U> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PairedGet")
+            .field("rank", &self.rank)
+            .field("range", &self.range)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T: WinElem, U: WinElem> PairedGet<T, U> {
+    /// Number of elements this get covers.
+    pub fn len(&self) -> usize {
+        self.range.end - self.range.start
+    }
+
+    /// Whether the covered range is empty.
+    pub fn is_empty(&self) -> bool {
+        self.range.is_empty()
+    }
+
+    /// Wire byte size of this get (both arrays) — what the issue-time
+    /// metering charged for a remote target, and the unit the
+    /// [`PrefetchMeter`](crate::PrefetchMeter) budgets in.
+    pub fn bytes(&self) -> u64 {
+        (self.len() * (std::mem::size_of::<T>() + std::mem::size_of::<U>())) as u64
+    }
+
+    /// Move the data: append the covered range of both arrays to
+    /// `out_a`/`out_b`. Involves no `Comm` and no metering; on a
+    /// cross-process backend this is the blocking `GetReq`/`GetResp`
+    /// round-trip (peer failure unwinds with the typed
+    /// [`CommError`](crate::CommError), like every blocking primitive).
+    pub fn fetch_into(&self, out_a: &mut Vec<T>, out_b: &mut Vec<U>) {
+        match &self.src {
+            GetSrc::Local(buf) => {
+                let (a, b) = &**buf;
+                out_a.extend_from_slice(&a[self.range.clone()]);
+                out_b.extend_from_slice(&b[self.range.clone()]);
+            }
+            GetSrc::Transport(transport) => {
+                let count = self.len();
+                let mut bytes = Vec::with_capacity(count * std::mem::size_of::<T>());
+                transport.get_bytes(self.rank, 0, self.range.clone(), &mut bytes);
+                decode_elems(&bytes, count, out_a);
+                bytes.clear();
+                transport.get_bytes(self.rank, 1, self.range.clone(), &mut bytes);
+                decode_elems(&bytes, count, out_b);
+            }
         }
     }
 }
@@ -679,6 +808,101 @@ mod tests {
                 }
             ));
             assert_eq!((alen, blen), (0, 0));
+        }
+    }
+
+    #[test]
+    fn start_get_both_meters_at_issue_and_fetches_identically() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let ir: Vec<u32> = (0..12).map(|i| comm.rank() as u32 * 100 + i).collect();
+            let num: Vec<f64> = (0..12).map(|i| i as f64 / 3.0).collect();
+            let win = PairedWindow::create(comm, ir, num);
+            let other = 1 - comm.rank();
+            let before = comm.stats();
+            let get = win.start_get_both(comm, other, 4..9).unwrap();
+            let issued = comm.stats() - before;
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            get.fetch_into(&mut a, &mut b);
+            let moved = comm.stats() - before;
+            let (mut a2, mut b2) = (Vec::new(), Vec::new());
+            win.get_both_into(comm, other, 4..9, &mut a2, &mut b2)
+                .unwrap();
+            let after_demand = comm.stats() - before;
+            // the local deposit is metered as zero either way
+            let local = win.start_get_both(comm, comm.rank(), 0..12).unwrap();
+            let after_local = comm.stats() - before;
+            (
+                a == a2,
+                b == b2,
+                issued,
+                moved,
+                after_demand,
+                after_local,
+                local.bytes(),
+            )
+        });
+        for (ir_same, num_same, issued, moved, after_demand, after_local, local_bytes) in got {
+            assert!(ir_same && num_same);
+            assert_eq!(issued.rdma_gets, 2, "metering happens at issue time");
+            assert_eq!(issued.rdma_get_bytes, 5 * 4 + 5 * 8);
+            assert_eq!(
+                (moved.rdma_gets, moved.rdma_get_bytes),
+                (issued.rdma_gets, issued.rdma_get_bytes),
+                "fetch_into moves data without metering again"
+            );
+            assert_eq!(
+                (after_demand.rdma_gets, after_demand.rdma_get_bytes),
+                (4, 2 * (5 * 4 + 5 * 8)),
+                "a demand get of the same range meters like the issued one"
+            );
+            assert_eq!(after_local.rdma_gets, 4, "local issue is free");
+            assert_eq!(local_bytes, 12 * (4 + 8));
+        }
+    }
+
+    #[test]
+    fn started_get_fetches_from_a_helper_thread() {
+        // The Send+Sync claim the prefetcher's background path relies on:
+        // fetch_into works off the rank's main thread (the Comm stays put).
+        let u = Universe::new(2);
+        let got = u.run_threads(|comm| {
+            let win = PairedWindow::create(
+                comm,
+                vec![comm.rank() as u32; 8],
+                vec![comm.rank() as f64; 8],
+            );
+            let get = win.start_get_both(comm, 1 - comm.rank(), 2..6).unwrap();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let (mut a, mut b) = (Vec::new(), Vec::new());
+                    get.fetch_into(&mut a, &mut b);
+                    (a, b)
+                })
+                .join()
+                .unwrap()
+            })
+        });
+        for (r, (a, b)) in got.into_iter().enumerate() {
+            assert_eq!(a, vec![(1 - r) as u32; 4]);
+            assert_eq!(b, vec![(1 - r) as f64; 4]);
+        }
+    }
+
+    #[test]
+    fn start_get_both_validates_before_metering() {
+        let u = Universe::new(2);
+        let got = u.run(|comm| {
+            let win = PairedWindow::create(comm, vec![1u32; 3], vec![1.0f64; 3]);
+            let before = comm.stats();
+            let bad = win.start_get_both(comm, 5, 0..1).unwrap_err();
+            let oob = win.start_get_both(comm, 0, 0..4).unwrap_err();
+            (bad, oob, comm.stats() - before)
+        });
+        for (bad, oob, delta) in got {
+            assert!(matches!(bad, WindowError::BadRank { rank: 5, size: 2 }));
+            assert!(matches!(oob, WindowError::OutOfRange { .. }));
+            assert_eq!(delta.rdma_gets, 0, "failed issue meters nothing");
         }
     }
 

@@ -44,17 +44,19 @@
 //! the seeded-replay sweeps to one seed for CI replay jobs.
 
 use saspgemm::dist::{
-    agreed_step, load_wire_or_fresh, save_wire, spgemm_1d, spgemm_auto, spgemm_split_3d_sa,
-    spgemm_summa_2d_sa, uniform_offsets, CacheConfig, CheckpointStore, DistMat1D, DistMat2D,
-    DistMat3D, FetchMode, FileStore, MemStore, Plan1D, SessionSnapshot, SpgemmSession,
+    agreed_step, load_wire_or_fresh, save_wire, spgemm_1d, spgemm_1d_overlap_ws, spgemm_auto,
+    spgemm_split_3d_sa, spgemm_summa_2d_sa, spgemm_summa_2d_sa_ws_cfg, uniform_offsets,
+    CacheConfig, CheckpointStore, DistMat1D, DistMat2D, DistMat3D, FetchMode, FileStore, MemStore,
+    Plan1D, SessionSnapshot, SpgemmSession,
 };
 use saspgemm::mpisim::{
     arm_frame_plan, kill_self_with_sigkill, mute_heartbeats, Backend, Comm, CommError, CostModel,
-    FaultComm, FaultPlan, Grid2D, Grid3D, Mode, Primitive, RankError, RecoverableJob,
-    RecoveryReport, RetryPolicy, Serial, Threads, Universe,
+    FaultComm, FaultPlan, Grid2D, Grid3D, Mode, PrefetchConfig, Primitive, RankError,
+    RecoverableJob, RecoveryReport, RetryPolicy, Serial, Threads, Universe,
 };
 use saspgemm::sparse::gen::erdos_renyi;
-use saspgemm::sparse::Csc;
+use saspgemm::sparse::semiring::PlusTimes;
+use saspgemm::sparse::{Csc, SpgemmWorkspace};
 use std::sync::Once;
 use std::time::Duration;
 
@@ -542,13 +544,19 @@ fn recovery_workload<C: Comm>(
     let logical = match name {
         // Three cached multiplies with a `SessionSnapshot` checkpoint
         // before each; a restarted rank resumes with the fetch cache and
-        // cumulative stats of the attempt that died.
-        "session" => {
+        // cumulative stats of the attempt that died. The `_overlap`
+        // variant runs the same job with the prefetch engine on — a fault
+        // mid-prefetch must leave nothing torn in the resumed state.
+        "session" | "session_overlap" => {
             let a = int_er(48, 3.0, 201);
             let offsets = uniform_offsets(a.ncols(), comm.size());
             let da = DistMat1D::from_global(comm, &a, &offsets);
             let db = da.clone();
-            let tag = "rec.session";
+            let tag = if name == "session_overlap" {
+                "rec.session.ov"
+            } else {
+                "rec.session"
+            };
             let loaded: Option<(u64, Vec<String>, SessionSnapshot)> =
                 load_wire_or_fresh(store, me, tag).expect("readable checkpoint store");
             let step = agreed_step(comm, loaded.as_ref().map(|(k, ..)| *k));
@@ -559,6 +567,9 @@ fn recovery_workload<C: Comm>(
                 Plan1D::default(),
                 CacheConfig::unlimited(),
             );
+            if name == "session_overlap" {
+                session.set_prefetch(PrefetchConfig::on());
+            }
             let (mut fps, mut k) = match resume {
                 Some((k, fps, snap)) => {
                     session.restore(&snap);
@@ -1221,5 +1232,320 @@ fn corrupt_checkpoint_slot_triggers_unanimous_fresh_start_procs() {
     assert!(quarantined, "corrupt slot was not quarantined");
     for d in [dir_clean, dir] {
         let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Faults inside an in-flight prefetch (PR 10): the overlap engine stages
+// fetches on a background path while the foreground computes, so a fault
+// can now land while a get is airborne. The matrix below re-runs the
+// abort / SIGKILL / seeded-lossy shapes with the prefetcher forced on:
+// every survivor must still fail typed `PeerFailed` naming the victim (a
+// torn staging buffer would instead surface as a wrong fingerprint, a
+// hang, or an untyped panic out of the fetch thread), lossy transports
+// must still complete bit-identically, and `run_recoverable` must resume
+// a killed overlapped session to the fault-free answer.
+// ---------------------------------------------------------------------------
+
+/// The staged workloads with the prefetch engine forced on (explicit
+/// config — env vars are racy in-process). Same fingerprint discipline as
+/// [`workload`].
+fn overlap_workload<C: Comm>(name: &str, comm: &C) -> String {
+    let on = PrefetchConfig::on();
+    match name {
+        "1d" => {
+            let a = int_er(48, 3.0, 101);
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let ws = SpgemmWorkspace::new();
+            let before = comm.stats();
+            let (c, rep) = spgemm_1d_overlap_ws(comm, &da, &db, &Plan1D::default(), on, &ws);
+            format!(
+                "{} {:?} fetched={}",
+                fp(&c.into_local_csc()),
+                comm.stats() - before,
+                rep.fetched_bytes
+            )
+        }
+        "2d" => {
+            let a = int_er(40, 3.0, 102);
+            let b = int_er(40, 2.5, 103);
+            let grid = Grid2D::new(comm, 2, 2);
+            let da = DistMat2D::from_global(&grid, &a);
+            let db = DistMat2D::from_global(&grid, &b);
+            let ws = SpgemmWorkspace::new();
+            let before = comm.stats();
+            let (c, rep) = spgemm_summa_2d_sa_ws_cfg::<_, PlusTimes<f64>>(
+                comm,
+                &grid,
+                &da,
+                &db,
+                FetchMode::Block(4),
+                on,
+                &ws,
+            );
+            format!(
+                "{} {:?} shipped={}",
+                fp_opt(&c.gather(comm, &grid)),
+                comm.stats() - before,
+                rep.b_shipped_bytes
+            )
+        }
+        "session" => {
+            let a = int_er(60, 3.0, 106);
+            let offsets = uniform_offsets(a.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, &a, &offsets);
+            let db = da.clone();
+            let mut session = SpgemmSession::create(
+                comm,
+                da.clone(),
+                Plan1D::default(),
+                CacheConfig::unlimited(),
+            );
+            session.set_prefetch(on);
+            let (c1, r1) = session.multiply(comm, &db);
+            let a2 = a.map(|v| v + 1.0);
+            let invalidated = session.update_a(comm, DistMat1D::from_global(comm, &a2, &offsets));
+            let (c2, r2) = session.multiply(comm, &db);
+            format!(
+                "{} {} inv={} fresh=({},{}) hit=({},{})",
+                fp(&c1.into_local_csc()),
+                fp(&c2.into_local_csc()),
+                invalidated,
+                r1.fresh_bytes,
+                r2.fresh_bytes,
+                r1.cache_hit_bytes,
+                r2.cache_hit_bytes
+            )
+        }
+        other => panic!("unknown overlap workload {other}"),
+    }
+}
+
+const OVERLAP_WORKLOADS: [&str; 3] = ["1d", "2d", "session"];
+
+/// The abort matrix with overlap on: a victim dying while peers have
+/// staged gets in flight must produce exactly the same typed outcome as
+/// the inline matrix — victim panics "injected fault", every survivor
+/// fails `PeerFailed` naming it, nobody hangs in the fetch thread and
+/// nobody reports success off a torn buffer.
+fn assert_overlap_abort_matrix<M: Mode>(at_op: u64) {
+    quiet_expected_panics();
+    for name in OVERLAP_WORKLOADS {
+        let plan = FaultPlan::abort_at(VICTIM, at_op);
+        let out = universe().try_launch::<M, _, _>(|comm| {
+            let fc = FaultComm::new(comm.split(0, comm.rank()), plan.clone());
+            overlap_workload(name, &fc)
+        });
+        if std::env::var("SA_DEBUG_OVERLAP_FAULTS").is_ok() {
+            for (r, o) in out.iter().enumerate() {
+                eprintln!("DEBUG {name} at_op={at_op} rank {r}: {o:?}");
+            }
+        }
+        assert_eq!(out.len(), NRANKS);
+        for (r, o) in out.iter().enumerate() {
+            match o {
+                Ok(res) => panic!(
+                    "overlap {name} at_op={at_op}: rank {r} finished ({res}) despite the injected fault"
+                ),
+                Err(RankError::Panic { summary }) => {
+                    assert_eq!(
+                        r, VICTIM,
+                        "overlap {name} at_op={at_op}: non-victim rank {r} panicked: {summary}"
+                    );
+                    assert!(
+                        summary.contains("injected fault"),
+                        "overlap {name} at_op={at_op}: victim died of something else: {summary}"
+                    );
+                }
+                Err(RankError::Comm(CommError::PeerFailed { rank, primitive })) => {
+                    assert_ne!(
+                        r, VICTIM,
+                        "overlap {name} at_op={at_op}: victim saw a peer failure"
+                    );
+                    assert_eq!(
+                        *rank, VICTIM,
+                        "overlap {name} at_op={at_op}: rank {r} blamed rank {rank} (in {primitive}) instead of the victim"
+                    );
+                }
+                Err(e) => {
+                    panic!("overlap {name} at_op={at_op}: rank {r} failed untyped: {e:?}")
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn overlap_abort_mid_prefetch_fails_every_survivor_typed_serial() {
+    // serial degradation: the engine issues in order on the main thread
+    assert_overlap_abort_matrix::<Serial>(5);
+    assert_overlap_abort_matrix::<Serial>(8);
+}
+
+#[test]
+fn overlap_abort_mid_prefetch_fails_every_survivor_typed_threads() {
+    // genuinely concurrent: the abort lands while fetch threads are live
+    assert_overlap_abort_matrix::<Threads>(5);
+    assert_overlap_abort_matrix::<Threads>(8);
+}
+
+#[test]
+fn overlap_abort_mid_prefetch_fails_every_survivor_typed_procs() {
+    quiet_expected_panics();
+    for at_op in [5u64, 8] {
+        for name in OVERLAP_WORKLOADS {
+            let plan = FaultPlan::abort_at(VICTIM, at_op);
+            let out = universe().try_run_procs(|comm| {
+                let fc = FaultComm::new(comm.split(0, comm.rank()), plan.clone());
+                overlap_workload(name, &fc)
+            });
+            for (r, o) in out.iter().enumerate() {
+                match o {
+                    Err(RankError::Panic { summary }) if r == VICTIM => assert!(
+                        summary.contains("injected fault"),
+                        "overlap {name}: victim died of something else: {summary}"
+                    ),
+                    Err(RankError::Comm(CommError::PeerFailed { rank, .. })) if r != VICTIM => {
+                        assert_eq!(
+                            *rank, VICTIM,
+                            "overlap {name} at_op={at_op}: rank {r} blamed rank {rank}"
+                        );
+                    }
+                    other => panic!(
+                        "overlap {name} at_op={at_op}: rank {r} expected typed fallout, got {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// SIGKILL with GetResp frames potentially airborne: the victim vanishes
+/// without unwinding while peers hold staged gets against its window.
+/// Survivors' fetch threads must be woken by the dead-socket detection and
+/// fail typed, never hang the rendezvous.
+#[test]
+fn overlap_sigkill_mid_prefetch_fails_every_survivor_typed_procs() {
+    quiet_expected_panics();
+    let out = universe().try_run_procs(|comm| {
+        if comm.rank() == VICTIM {
+            kill_self_with_sigkill();
+        }
+        overlap_workload("1d", comm)
+    });
+    assert_eq!(out.len(), NRANKS);
+    for (r, o) in out.iter().enumerate() {
+        match o {
+            Err(RankError::Panic { summary }) if r == VICTIM => assert!(
+                summary.contains("signal 9"),
+                "victim's corpse misclassified: {summary}"
+            ),
+            Err(RankError::Comm(CommError::PeerFailed { rank, .. })) if r != VICTIM => {
+                assert_eq!(*rank, VICTIM, "rank {r} blamed rank {rank} for the SIGKILL");
+            }
+            other => panic!("rank {r}: expected typed SIGKILL fallout, got {other:?}"),
+        }
+    }
+}
+
+/// Seeded frame loss under an active prefetcher: drops, corruptions, and
+/// duplicates now hit GetResp frames feeding background staging buffers.
+/// The ack/retransmit layer must still deliver every run bit-identical to
+/// the fault-free overlapped run — a torn or double-filled staging buffer
+/// cannot hide from the fingerprint.
+#[test]
+fn overlap_seeded_lossy_transport_completes_bit_identical_procs() {
+    quiet_expected_panics();
+    for name in ["1d", "session"] {
+        let clean: Vec<String> = universe()
+            .try_run_procs(|comm| overlap_workload(name, comm))
+            .into_iter()
+            .enumerate()
+            .map(|(r, o)| {
+                o.unwrap_or_else(|e| panic!("overlap {name}: clean rank {r} failed: {e:?}"))
+            })
+            .collect();
+        for seed in fault_seeds().into_iter().take(1) {
+            for (mode, plan) in [
+                ("drop", FaultPlan::seeded_lossy(seed, 50, 0, 0)),
+                ("corrupt", FaultPlan::seeded_lossy(seed, 0, 50, 0)),
+                ("duplicate", FaultPlan::seeded_lossy(seed, 0, 0, 50)),
+            ] {
+                let _armed = arm_frame_plan(&plan);
+                let out = universe().try_run_procs(|comm| overlap_workload(name, comm));
+                for (r, o) in out.iter().enumerate() {
+                    let got = o.as_ref().unwrap_or_else(|e| {
+                        panic!("overlap {name}/{mode} seed {seed}: rank {r} failed: {e:?}")
+                    });
+                    assert_eq!(
+                        got, &clean[r],
+                        "overlap {name}/{mode} seed {seed}: rank {r} diverged from the fault-free run"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Recovery with overlap on: a fault landing mid-prefetch must leave
+/// nothing torn in the checkpoints — `run_recoverable` resumes the
+/// overlapped session to output bit-identical with the fault-free run, on
+/// every backend, within the retry policy.
+#[test]
+fn overlap_session_recovers_bit_identical_across_backends() {
+    quiet_expected_panics();
+    let policy = RetryPolicy::new(2, Duration::from_millis(5));
+    let watchdog = Duration::from_secs(60);
+    for backend in [Backend::Sim, Backend::Threads, Backend::Procs] {
+        let label = format!("ov_{}", backend.name());
+        let (clean_store, clean_dir) = make_store(backend, &format!("{label}_clean"));
+        let (clean, clean_rep) = recoverable_run(
+            backend,
+            "session_overlap",
+            &FaultPlan::none(),
+            clean_store.as_ref(),
+            &policy,
+            watchdog,
+        );
+        assert!(
+            clean_rep.recovered && clean_rep.restarts == 0,
+            "overlap/{label}: fault-free run restarted: {clean_rep:?}"
+        );
+        let plan = if backend == Backend::Procs {
+            FaultPlan::kill_at(VICTIM, 12).on_attempt(0)
+        } else {
+            FaultPlan::abort_at(VICTIM, 5).on_attempt(0)
+        };
+        let (store, dir) = make_store(backend, &format!("{label}_fault"));
+        let (out, report) = recoverable_run(
+            backend,
+            "session_overlap",
+            &plan,
+            store.as_ref(),
+            &policy,
+            watchdog,
+        );
+        assert!(
+            report.recovered && report.restarts >= 1,
+            "overlap/{label}: fault never fired or never recovered: {report:?}"
+        );
+        for (r, o) in out.iter().enumerate() {
+            let got = &o
+                .as_ref()
+                .unwrap_or_else(|e| {
+                    panic!("overlap/{label}: rank {r} failed after recovery: {e:?}")
+                })
+                .0;
+            let want = &clean[r].as_ref().unwrap().0;
+            assert_eq!(
+                got, want,
+                "overlap/{label}: rank {r}'s recovered output diverged from the fault-free run"
+            );
+        }
+        for d in [clean_dir, dir].into_iter().flatten() {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 }

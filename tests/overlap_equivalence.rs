@@ -1,0 +1,494 @@
+//! Overlap-equivalence suite (PR 10): turning prefetch overlap on must be
+//! observationally invisible everywhere except wall-clock. Every staged
+//! consumer of the [`Prefetcher`] — the 1D overlap entry, 2D SUMMA's
+//! A-panel staging, the 3D split's per-layer pipelines, and the session's
+//! miss-fetch assembly — is run as a `{overlap off, overlap on, overlap
+//! under a byte budget} × {SimComm, SA_BACKEND}` matrix and every cell is
+//! diffed against the pinned serial overlap-off baseline:
+//!
+//! * outputs are bit-identical (`f64::to_bits` fingerprints over
+//!   integer-valued operands, so sums are exact and scheduling cannot
+//!   perturb them);
+//! * per-rank [`CommStats`] are byte-identical — gets are metered at
+//!   issue time, so the async fetch path cannot change counters or
+//!   double-meter a prefetched-then-demanded range;
+//! * prefetch staging buffers come from the workspace arena — steady-state
+//!   alloc counters freeze with overlap on, exactly as they do without it.
+//!
+//! CI runs this suite once per `SA_BACKEND` value (sim / threads / procs),
+//! so the promise holds when GetReq/GetResp round-trips are genuinely
+//! asynchronous over sockets, not just on the deterministic simulator.
+
+use saspgemm::dist::{
+    spgemm_1d_overlap_ws, spgemm_1d_ws, spgemm_split_3d_sa_ws_cfg, spgemm_summa_2d_sa_ws_cfg,
+    uniform_offsets, CacheConfig, DistMat1D, DistMat2D, DistMat3D, FetchMode, Plan1D,
+    SpgemmSession,
+};
+use saspgemm::mpisim::{
+    Backend, Comm, CommStats, Grid2D, Grid3D, PrefetchConfig, RankJob, Universe,
+};
+use saspgemm::sparse::gen::erdos_renyi;
+use saspgemm::sparse::semiring::{MinPlus, PlusTimes};
+use saspgemm::sparse::{Csc, SpgemmWorkspace};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// ER matrix with small-integer values: f64 sums over products of these
+/// are exact, so overlap scheduling cannot perturb results even where an
+/// entry point reassociates the ⊕-reduction.
+fn int_er(nrows: usize, ncols: usize, deg: f64, seed: u64) -> Csc<f64> {
+    erdos_renyi(nrows, ncols, deg, seed).map(|v| (v * 7.0).round() + 1.0)
+}
+
+/// Bit-exact fingerprint: dims + every (row, col, value-bits) triple.
+fn fp_csc(c: &Csc<f64>) -> String {
+    let mut s = format!("{}x{}#{}:", c.nrows(), c.ncols(), c.nnz());
+    for (i, j, v) in c.iter() {
+        write!(s, "{i},{j},{:x};", v.to_bits()).unwrap();
+    }
+    s
+}
+
+fn fp_opt(c: &Option<Csc<f64>>) -> String {
+    match c {
+        Some(c) => fp_csc(c),
+        None => "-".into(),
+    }
+}
+
+type Verdict = (String, CommStats);
+
+/// The overlap axis: disabled, unlimited, and a deliberately tiny byte
+/// budget that forces most ranges onto the demand path at rendezvous.
+fn overlap_configs() -> [(&'static str, PrefetchConfig); 3] {
+    [
+        ("off", PrefetchConfig::disabled()),
+        ("on", PrefetchConfig::on()),
+        ("budget1k", PrefetchConfig::budget(1024)),
+    ]
+}
+
+/// The driver: pin the serial overlap-off run as the baseline, then demand
+/// per-rank bit-identical outputs and byte-identical traffic from every
+/// (overlap config, backend) cell.
+fn assert_overlap_equivalence<J, F>(nranks: usize, mk: F, what: &str)
+where
+    J: RankJob<Out = Verdict>,
+    F: Fn(PrefetchConfig) -> J,
+{
+    let u = Universe::new(nranks).with_watchdog(Some(Duration::from_secs(120)));
+    let baseline = u.run_backend(Backend::Sim, &mk(PrefetchConfig::disabled()));
+    for (cname, cfg) in overlap_configs() {
+        for be in [Backend::Sim, Backend::from_env()] {
+            let got = u.run_backend(be, &mk(cfg));
+            assert_eq!(
+                baseline.len(),
+                got.len(),
+                "{what} [{cname}/{}]: rank count",
+                be.name()
+            );
+            for (rank, (base, g)) in baseline.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    base.0,
+                    g.0,
+                    "{what} [{cname}/{}]: rank {rank} output diverged from overlap-off serial baseline",
+                    be.name()
+                );
+                assert_eq!(
+                    base.1,
+                    g.1,
+                    "{what} [{cname}/{}]: rank {rank} metered traffic diverged from overlap-off serial baseline",
+                    be.name()
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cells — one per staged consumer of the prefetch engine
+// ---------------------------------------------------------------------------
+
+/// 1D overlap entry: A-plan fetches staged behind the local-half kernel.
+struct OneD<'a> {
+    a: &'a Csc<f64>,
+    mode: FetchMode,
+    cfg: PrefetchConfig,
+}
+
+impl RankJob for OneD<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let offsets = uniform_offsets(self.a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, self.a, &offsets);
+        let db = da.clone();
+        let plan = Plan1D {
+            fetch_mode: self.mode,
+            ..Default::default()
+        };
+        let ws = SpgemmWorkspace::new();
+        let before = comm.stats();
+        let (c, rep) = spgemm_1d_overlap_ws(comm, &da, &db, &plan, self.cfg, &ws);
+        let traffic = comm.stats() - before;
+        let s = format!(
+            "{}|fetched={} msgs={} needed={} global={}",
+            fp_csc(&c.into_local_csc()),
+            rep.fetched_bytes,
+            rep.rdma_msgs,
+            rep.needed_bytes,
+            rep.fetched_bytes_global,
+        );
+        (s, traffic)
+    }
+}
+
+#[test]
+fn overlap_1d_is_byte_identical() {
+    let a = int_er(48, 48, 4.0, 111);
+    for mode in [FetchMode::Block(4), FetchMode::ColumnExact] {
+        assert_overlap_equivalence(
+            4,
+            |cfg| OneD { a: &a, mode, cfg },
+            &format!("1D overlap {mode:?}"),
+        );
+    }
+}
+
+/// 2D SUMMA staged cell: the A panel is prefetched while the B
+/// request/ship exchange and the Ã metadata walk run in the foreground.
+struct TwoD<'a> {
+    a: &'a Csc<f64>,
+    b: &'a Csc<f64>,
+    pr: usize,
+    pc: usize,
+    tropical: bool,
+    cfg: PrefetchConfig,
+}
+
+impl RankJob for TwoD<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let grid = Grid2D::new(comm, self.pr, self.pc);
+        let da = DistMat2D::from_global(&grid, self.a);
+        let db = DistMat2D::from_global(&grid, self.b);
+        let ws = SpgemmWorkspace::new();
+        let before = comm.stats();
+        let s = if self.tropical {
+            let (c, _rep) = spgemm_summa_2d_sa_ws_cfg::<_, MinPlus>(
+                comm,
+                &grid,
+                &da,
+                &db,
+                FetchMode::Block(4),
+                self.cfg,
+                &ws,
+            );
+            fp_opt(&c.gather(comm, &grid))
+        } else {
+            let (c, rep) = spgemm_summa_2d_sa_ws_cfg::<_, PlusTimes<f64>>(
+                comm,
+                &grid,
+                &da,
+                &db,
+                FetchMode::Block(4),
+                self.cfg,
+                &ws,
+            );
+            format!(
+                "{}|af={} am={} bs={}",
+                fp_opt(&c.gather(comm, &grid)),
+                rep.a_fetched_bytes,
+                rep.a_rdma_msgs,
+                rep.b_shipped_bytes,
+            )
+        };
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn overlap_2d_is_byte_identical() {
+    let a = int_er(40, 40, 3.5, 121);
+    let b = int_er(40, 40, 2.5, 122);
+    for (pr, pc) in [(2, 2), (1, 4)] {
+        for tropical in [false, true] {
+            assert_overlap_equivalence(
+                pr * pc,
+                |cfg| TwoD {
+                    a: &a,
+                    b: &b,
+                    pr,
+                    pc,
+                    tropical,
+                    cfg,
+                },
+                &format!("2D staged {pr}x{pc} tropical={tropical}"),
+            );
+        }
+    }
+}
+
+/// 3D split cell: the prefetch config threads into every layer's SUMMA.
+struct ThreeD<'a> {
+    a: &'a Csc<f64>,
+    b: &'a Csc<f64>,
+    q: usize,
+    layers: usize,
+    cfg: PrefetchConfig,
+}
+
+impl RankJob for ThreeD<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let grid = Grid3D::new(comm, self.q, self.layers);
+        let da = DistMat3D::from_global_split_cols(&grid, self.a);
+        let db = DistMat3D::from_global_split_rows(&grid, self.b);
+        let ws = SpgemmWorkspace::new();
+        let before = comm.stats();
+        let (c, rep) = spgemm_split_3d_sa_ws_cfg::<_, PlusTimes<f64>>(
+            comm,
+            &grid,
+            &da,
+            &db,
+            FetchMode::Block(4),
+            self.cfg,
+            &ws,
+        );
+        let s = format!(
+            "{}|af={} rb={} bs={}",
+            fp_opt(&c.gather(comm)),
+            rep.summa.a_fetched_bytes,
+            rep.reduce_bytes,
+            rep.summa.b_shipped_bytes,
+        );
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn overlap_3d_is_byte_identical() {
+    let a = int_er(36, 36, 3.0, 131);
+    let b = int_er(36, 36, 3.0, 132);
+    for (q, layers) in [(2, 1), (2, 2)] {
+        assert_overlap_equivalence(
+            q * q * layers,
+            |cfg| ThreeD {
+                a: &a,
+                b: &b,
+                q,
+                layers,
+                cfg,
+            },
+            &format!("3D layered q={q} l={layers}"),
+        );
+    }
+}
+
+/// Session miss-fetch cell: repeated multiplies so the overlap path sees a
+/// cold miss set, a pure cache-hit iteration, and a delta-invalidation
+/// miss set — the cache transcript (hits, insertions, evictions) must be
+/// identical with overlap on, or the *next* iteration's bytes would drift.
+struct SessionMiss<'a> {
+    a: &'a Csc<f64>,
+    cfg: PrefetchConfig,
+}
+
+impl RankJob for SessionMiss<'_> {
+    type Out = Verdict;
+    fn run<C: Comm>(&self, comm: &C) -> Verdict {
+        let before = comm.stats();
+        let offsets = uniform_offsets(self.a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, self.a, &offsets);
+        let db = da.clone();
+        let mut session = SpgemmSession::create(
+            comm,
+            da.clone(),
+            Plan1D::default(),
+            CacheConfig::unlimited(),
+        );
+        session.set_prefetch(self.cfg);
+        let (c1, r1) = session.multiply(comm, &db);
+        let (c2, r2) = session.multiply(comm, &db);
+        let a2 = self.a.map(|v| v + 1.0);
+        let da2 = DistMat1D::from_global(comm, &a2, &offsets);
+        let invalidated = session.update_a(comm, da2);
+        let (c3, r3) = session.multiply(comm, &db);
+        let s = format!(
+            "{}|{}|{}|r1={}/{}/{} r2={}/{} r3={}/{} inv={invalidated}",
+            fp_csc(&c1.into_local_csc()),
+            fp_csc(&c2.into_local_csc()),
+            fp_csc(&c3.into_local_csc()),
+            r1.fresh_bytes,
+            r1.cache_hit_bytes,
+            r1.needed_bytes,
+            r2.fresh_bytes,
+            r2.cache_hit_bytes,
+            r3.fresh_bytes,
+            r3.cache_hit_bytes,
+        );
+        (s, comm.stats() - before)
+    }
+}
+
+#[test]
+fn overlap_session_is_byte_identical() {
+    let a = int_er(60, 60, 3.0, 141);
+    assert_overlap_equivalence(
+        4,
+        |cfg| SessionMiss { a: &a, cfg },
+        "session miss-fetch overlap",
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Double-meter regression net + arena discipline
+// ---------------------------------------------------------------------------
+
+/// Regression net for the meter-at-issue contract: the overlap entry and
+/// the plain inline entry must meter *exactly* the same traffic — a range
+/// that is prefetched and then also consumed at rendezvous counts once,
+/// never twice. Pins the full per-rank [`CommStats`], not just get bytes.
+#[test]
+fn overlap_1d_meters_each_range_exactly_once() {
+    let a = int_er(52, 52, 4.0, 151);
+    let u = Universe::new(4).with_watchdog(Some(Duration::from_secs(120)));
+    struct Inline<'a>(&'a Csc<f64>);
+    impl RankJob for Inline<'_> {
+        type Out = Verdict;
+        fn run<C: Comm>(&self, comm: &C) -> Verdict {
+            let offsets = uniform_offsets(self.0.ncols(), comm.size());
+            let da = DistMat1D::from_global(comm, self.0, &offsets);
+            let db = da.clone();
+            let ws = SpgemmWorkspace::new();
+            let before = comm.stats();
+            let (c, rep) = spgemm_1d_ws(comm, &da, &db, &Plan1D::default(), &ws);
+            let s = format!("{}|{}", fp_csc(&c.into_local_csc()), rep.fetched_bytes);
+            (s, comm.stats() - before)
+        }
+    }
+    let inline = u.run_backend(Backend::Sim, &Inline(&a));
+    let overlapped = u.run_backend(
+        Backend::Sim,
+        &OneD {
+            a: &a,
+            mode: FetchMode::Block(256),
+            cfg: PrefetchConfig::on(),
+        },
+    );
+    for (rank, (base, got)) in inline.iter().zip(&overlapped).enumerate() {
+        let base_fp = base.0.split('|').next().unwrap();
+        let got_fp = got.0.split('|').next().unwrap();
+        assert_eq!(base_fp, got_fp, "rank {rank}: product diverged");
+        assert_eq!(
+            base.1, got.1,
+            "rank {rank}: overlap changed the metered traffic — a prefetched \
+             range was metered twice (or a demand fetch went unmetered)"
+        );
+    }
+}
+
+/// Arena discipline: prefetch staging buffers come from the workspace
+/// pools. After warm-up, further overlapped multiplies freeze the alloc
+/// counters — only the reuse counters move.
+#[test]
+fn overlap_staging_is_arena_backed() {
+    let a = int_er(120, 120, 4.0, 161);
+    let u = Universe::new(3);
+    let results = u.run(|comm| {
+        let offsets = uniform_offsets(a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, &a, &offsets);
+        let db = da.clone();
+        let plan = Plan1D {
+            global_stats: false,
+            ..Default::default()
+        };
+        let ws = SpgemmWorkspace::new();
+        // two warm-up iterations populate and size-settle the pools
+        let (c1, _) = spgemm_1d_overlap_ws(comm, &da, &db, &plan, PrefetchConfig::on(), &ws);
+        let _ = spgemm_1d_overlap_ws(comm, &da, &db, &plan, PrefetchConfig::on(), &ws);
+        let warm = ws.counters();
+        let mut last = None;
+        for _ in 0..3 {
+            let (c, _) = spgemm_1d_overlap_ws(comm, &da, &db, &plan, PrefetchConfig::on(), &ws);
+            last = Some(c);
+        }
+        let steady = ws.counters();
+        (
+            c1.into_local_csc(),
+            last.unwrap().into_local_csc(),
+            warm,
+            steady,
+        )
+    });
+    for (first, last, warm, steady) in results {
+        assert_eq!(first, last, "steady-state iterations stay correct");
+        assert!(warm.total_allocs() > 0, "warm-up does allocate");
+        assert_eq!(
+            steady.chunk_allocs, warm.chunk_allocs,
+            "steady state allocates no staging chunks — prefetch buffers come from the arena"
+        );
+        assert_eq!(
+            steady.idx_allocs, warm.idx_allocs,
+            "steady state allocates no index buffers"
+        );
+        assert_eq!(
+            steady.scratch_allocs, warm.scratch_allocs,
+            "steady state allocates no per-thread scratch"
+        );
+        assert!(
+            steady.chunk_reuses > warm.chunk_reuses,
+            "steady state is served from the pools"
+        );
+    }
+}
+
+/// Same discipline for the session's overlapped miss-fetch path: once the
+/// cache is warm the overlapped multiply allocates nothing.
+#[test]
+fn overlap_session_steady_state_is_arena_backed() {
+    let a = int_er(160, 160, 5.0, 171);
+    let u = Universe::new(3);
+    let results = u.run(|comm| {
+        let offsets = uniform_offsets(a.ncols(), comm.size());
+        let da = DistMat1D::from_global(comm, &a, &offsets);
+        let db = da.clone();
+        let mut s = SpgemmSession::create(
+            comm,
+            da,
+            Plan1D {
+                global_stats: false,
+                ..Default::default()
+            },
+            CacheConfig::unlimited(),
+        );
+        s.set_prefetch(PrefetchConfig::on());
+        let (c1, _) = s.multiply(comm, &db);
+        let (_c2, _) = s.multiply(comm, &db);
+        let warm = s.workspace().counters();
+        let mut last = None;
+        for _ in 0..4 {
+            let (c, rep) = s.multiply(comm, &db);
+            assert_eq!(rep.fresh_bytes, 0, "warm cache refetches nothing");
+            last = Some(c);
+        }
+        let steady = s.workspace().counters();
+        (
+            c1.into_local_csc(),
+            last.unwrap().into_local_csc(),
+            warm,
+            steady,
+        )
+    });
+    for (first, last, warm, steady) in results {
+        assert_eq!(first, last, "steady-state iterations stay correct");
+        assert_eq!(
+            (
+                steady.chunk_allocs,
+                steady.idx_allocs,
+                steady.scratch_allocs
+            ),
+            (warm.chunk_allocs, warm.idx_allocs, warm.scratch_allocs),
+            "overlapped session steady state allocates nothing"
+        );
+    }
+}

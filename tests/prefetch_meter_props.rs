@@ -1,0 +1,159 @@
+//! Prefetch-meter property tests (PR 10): the accounting half of the
+//! overlap engine is pure, so its invariants are swept exhaustively
+//! without threads or sockets:
+//!
+//! * conservation — `prefetched_bytes + demand_bytes == planned_bytes`
+//!   exactly, per stage and accumulated;
+//! * exact-once coverage — the admitted prefix and the demand suffix
+//!   partition the stage plan: no range fetched twice, none skipped;
+//! * budget — the admitted prefix's byte sum never exceeds
+//!   `max_inflight`, and admission is *maximal* (the next range would
+//!   not have fit, or there is no next range).
+//!
+//! A final execution-level test drives [`Prefetcher::stage`] itself with a
+//! recording fetch closure and checks the same exact-once coverage on the
+//! ranges the engine actually issues, async and serial alike.
+
+use proptest::prelude::*;
+use saspgemm::mpisim::{PrefetchConfig, PrefetchMeter, Prefetcher, Universe};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn admitted_prefix_plus_demand_suffix_covers_plan_exactly(
+        sizes in proptest::collection::vec(0u64..1 << 32, 0..24),
+        budget in 0u64..1 << 34,
+    ) {
+        let mut m = PrefetchMeter::new();
+        let k = m.admit(&sizes, budget);
+        prop_assert!(k <= sizes.len());
+        // the split is an index partition: 0..k background, k..n demand —
+        // each range lands on exactly one path
+        let prefix: u64 = sizes[..k].iter().sum();
+        let suffix: u64 = sizes[k..].iter().sum();
+        prop_assert_eq!(m.prefetched_bytes(), prefix);
+        prop_assert_eq!(m.demand_bytes(), suffix);
+        prop_assert_eq!(m.planned_bytes(), prefix + suffix);
+        prop_assert_eq!(m.planned_bytes(), sizes.iter().sum::<u64>());
+        prop_assert_eq!(m.stages(), 1);
+    }
+
+    #[test]
+    fn admitted_prefix_respects_budget_and_is_maximal(
+        sizes in proptest::collection::vec(0u64..1 << 32, 0..24),
+        budget in 0u64..1 << 34,
+    ) {
+        let mut m = PrefetchMeter::new();
+        let k = m.admit(&sizes, budget);
+        let prefix: u64 = sizes[..k].iter().sum();
+        prop_assert!(prefix <= budget, "admitted {prefix} over budget {budget}");
+        // maximal: either everything was admitted, or the next range
+        // would have pushed the in-flight total past the budget
+        if k < sizes.len() {
+            let next = prefix.checked_add(sizes[k]);
+            prop_assert!(
+                next.is_none() || next.unwrap() > budget,
+                "range {k} ({}) fit under budget {budget} but was demand-fetched",
+                sizes[k]
+            );
+        }
+    }
+
+    #[test]
+    fn totals_accumulate_across_stages(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(0u64..1 << 24, 0..12),
+            0..8,
+        ),
+        budget in 0u64..1 << 26,
+    ) {
+        let mut m = PrefetchMeter::new();
+        let mut want_prefetched = 0u64;
+        let mut want_demand = 0u64;
+        for sizes in &plans {
+            let k = m.admit(sizes, budget);
+            want_prefetched += sizes[..k].iter().sum::<u64>();
+            want_demand += sizes[k..].iter().sum::<u64>();
+        }
+        prop_assert_eq!(m.prefetched_bytes(), want_prefetched);
+        prop_assert_eq!(m.demand_bytes(), want_demand);
+        prop_assert_eq!(m.planned_bytes(), want_prefetched + want_demand);
+        prop_assert_eq!(m.stages(), plans.len() as u64);
+    }
+
+    #[test]
+    fn oversized_single_range_is_never_admitted(
+        head in 0u64..1 << 20,
+        budget in 0u64..1 << 20,
+    ) {
+        // a range strictly larger than the whole budget must go to the
+        // demand path, whatever precedes it
+        let sizes = [head.min(budget), budget + 1];
+        let mut m = PrefetchMeter::new();
+        let k = m.admit(&sizes, budget);
+        prop_assert!(k <= 1, "oversized range admitted");
+        prop_assert!(m.prefetched_bytes() <= budget);
+    }
+}
+
+/// Execution-level exact-once coverage: whatever path the engine takes —
+/// async (threads backend, budget splits) or serial degradation (SimComm)
+/// — the fetch closure sees a set of ranges that concatenates to `0..n`
+/// with no overlap and no gap, and the meter's split matches it.
+#[test]
+fn stage_issues_each_range_exactly_once() {
+    let sizes: Vec<u64> = vec![100, 300, 50, 700, 20, 20];
+    fn drive<C: saspgemm::mpisim::Comm>(
+        comm: &C,
+        sizes: &[u64],
+        budget: u64,
+    ) -> (Vec<std::ops::Range<usize>>, u64, u64) {
+        let mut pf = Prefetcher::new(comm, PrefetchConfig::budget(budget));
+        let mut seen: Vec<std::ops::Range<usize>> = Vec::new();
+        pf.stage(sizes, &mut seen, |range, seen| seen.push(range), || ());
+        (
+            seen,
+            pf.meter().prefetched_bytes(),
+            pf.meter().demand_bytes(),
+        )
+    }
+    let check = |(seen, prefetched, demand): (Vec<std::ops::Range<usize>>, u64, u64),
+                 budget: u64,
+                 what: &str| {
+        // ranges must concatenate to exactly 0..n: no overlap, no gap
+        let mut next = 0usize;
+        for r in &seen {
+            assert_eq!(
+                r.start, next,
+                "{what} budget {budget}: gap or overlap at {r:?}"
+            );
+            next = r.end;
+        }
+        assert_eq!(
+            next,
+            sizes.len(),
+            "{what} budget {budget}: plan not covered"
+        );
+        assert_eq!(
+            prefetched + demand,
+            sizes.iter().sum::<u64>(),
+            "{what} budget {budget}: conservation"
+        );
+        assert!(prefetched <= budget, "{what} budget {budget}: overrun");
+    };
+    for budget in [0u64, 150, 400, u64::MAX] {
+        let u = Universe::new(2);
+        // serial simulator: the engine degrades to deterministic in-order
+        // issue (no background thread, zero prefetched bytes)
+        for v in u.run(|comm| drive(comm, &sizes, budget)) {
+            assert_eq!(v.1, 0, "serial backend must not claim async prefetch");
+            check(v, budget, "serial");
+        }
+        // threads backend: the background path genuinely runs, so the
+        // budget split is live
+        for v in u.launch::<saspgemm::mpisim::Threads, _, _>(|comm| drive(comm, &sizes, budget)) {
+            check(v, budget, "threads");
+        }
+    }
+}
